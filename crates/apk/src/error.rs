@@ -1,0 +1,69 @@
+//! Error types for package parsing and verification.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing, or verifying packages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackageError {
+    /// A gzip segment could not be decoded.
+    Compression(tsr_compress::CompressError),
+    /// A tar segment could not be decoded.
+    Archive(tsr_archive::ArchiveError),
+    /// The package structure was malformed (missing segments or files).
+    Malformed(String),
+    /// `.PKGINFO` (or an index record) could not be parsed.
+    InvalidMeta(String),
+    /// The package signature did not verify or no trusted key matched.
+    SignatureInvalid(String),
+    /// The data segment hash did not match `.PKGINFO`.
+    DataHashMismatch,
+}
+
+impl fmt::Display for PackageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackageError::Compression(e) => write!(f, "package compression error: {e}"),
+            PackageError::Archive(e) => write!(f, "package archive error: {e}"),
+            PackageError::Malformed(m) => write!(f, "malformed package: {m}"),
+            PackageError::InvalidMeta(m) => write!(f, "invalid package metadata: {m}"),
+            PackageError::SignatureInvalid(m) => write!(f, "package signature invalid: {m}"),
+            PackageError::DataHashMismatch => write!(f, "package data hash mismatch"),
+        }
+    }
+}
+
+impl Error for PackageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PackageError::Compression(e) => Some(e),
+            PackageError::Archive(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tsr_compress::CompressError> for PackageError {
+    fn from(e: tsr_compress::CompressError) -> Self {
+        PackageError::Compression(e)
+    }
+}
+
+impl From<tsr_archive::ArchiveError> for PackageError {
+    fn from(e: tsr_archive::ArchiveError) -> Self {
+        PackageError::Archive(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PackageError::from(tsr_compress::CompressError::UnexpectedEof);
+        assert!(e.to_string().contains("compression"));
+        assert!(e.source().is_some());
+        assert!(PackageError::DataHashMismatch.source().is_none());
+    }
+}

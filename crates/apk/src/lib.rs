@@ -1,0 +1,39 @@
+//! # tsr-apk
+//!
+//! The Alpine-like three-segment package format and signed repository
+//! metadata index used throughout the TSR reproduction (paper §2.1–§2.2,
+//! Figure 3).
+//!
+//! - [`package`]: build, parse, and verify `.apk`-style packages
+//!   (signature ‖ control ‖ data gzip segments),
+//! - [`meta`]: `.PKGINFO` metadata and installation scripts,
+//! - [`index`]: the signed APKINDEX-like metadata index.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsr_apk::package::{Package, PackageBuilder};
+//! use tsr_archive::Entry;
+//! use tsr_crypto::{drbg::HmacDrbg, RsaPrivateKey};
+//!
+//! let mut rng = HmacDrbg::new(b"example");
+//! let key = RsaPrivateKey::generate(1024, &mut rng);
+//!
+//! let mut builder = PackageBuilder::new("hello", "1.0-r0");
+//! builder.file(Entry::file("usr/bin/hello", b"binary".to_vec()));
+//! let blob = builder.build(&key, "builder@example.org");
+//!
+//! let pkg = Package::parse(&blob)?;
+//! pkg.verify(key.public_key())?;
+//! # Ok::<(), tsr_apk::PackageError>(())
+//! ```
+
+pub mod error;
+pub mod index;
+pub mod meta;
+pub mod package;
+
+pub use error::PackageError;
+pub use index::{Index, IndexEntry};
+pub use meta::{InstallScripts, PackageMeta};
+pub use package::{Package, PackageBuilder};

@@ -1,0 +1,209 @@
+//! Package metadata: the `.PKGINFO` file inside the control segment.
+
+use crate::error::PackageError;
+use tsr_crypto::hex;
+
+/// Parsed `.PKGINFO` contents (Figure 3 of the paper: the meta-information
+/// part of the package control segment).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackageMeta {
+    /// Package name, e.g. `openssl`.
+    pub name: String,
+    /// Version string, e.g. `1.1.1g-r0`.
+    pub version: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Names of packages this one depends on.
+    pub depends: Vec<String>,
+    /// SHA-256 of the (compressed) data segment, hex-encoded.
+    pub data_hash: String,
+    /// Uncompressed installed size in bytes.
+    pub installed_size: u64,
+}
+
+impl PackageMeta {
+    /// Serializes to the `key = value` line format used by `.PKGINFO`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("pkgname = {}\n", self.name));
+        out.push_str(&format!("pkgver = {}\n", self.version));
+        if !self.description.is_empty() {
+            out.push_str(&format!("pkgdesc = {}\n", self.description));
+        }
+        out.push_str(&format!("size = {}\n", self.installed_size));
+        for d in &self.depends {
+            out.push_str(&format!("depend = {d}\n"));
+        }
+        if !self.data_hash.is_empty() {
+            out.push_str(&format!("datahash = {}\n", self.data_hash));
+        }
+        out
+    }
+
+    /// Parses the `key = value` format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackageError::InvalidMeta`] when required fields are missing
+    /// or a line is malformed.
+    pub fn parse(text: &str) -> Result<Self, PackageError> {
+        let mut meta = PackageMeta::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                PackageError::InvalidMeta(format!("line {}: missing '='", lineno + 1))
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "pkgname" => meta.name = value.to_string(),
+                "pkgver" => meta.version = value.to_string(),
+                "pkgdesc" => meta.description = value.to_string(),
+                "depend" => meta.depends.push(value.to_string()),
+                "datahash" => meta.data_hash = value.to_string(),
+                "size" => {
+                    meta.installed_size = value.parse().map_err(|_| {
+                        PackageError::InvalidMeta(format!("bad size {value:?}"))
+                    })?;
+                }
+                _ => {} // unknown keys are ignored for forward compatibility
+            }
+        }
+        if meta.name.is_empty() {
+            return Err(PackageError::InvalidMeta("missing pkgname".into()));
+        }
+        if meta.version.is_empty() {
+            return Err(PackageError::InvalidMeta("missing pkgver".into()));
+        }
+        if !meta.data_hash.is_empty() && hex::from_hex(&meta.data_hash).is_none() {
+            return Err(PackageError::InvalidMeta("datahash is not hex".into()));
+        }
+        Ok(meta)
+    }
+}
+
+/// Installation/update scripts carried in the control segment.
+///
+/// The paper's sanitization rewrites exactly these scripts (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InstallScripts {
+    /// Runs before files are extracted.
+    pub pre_install: Option<String>,
+    /// Runs after files are extracted.
+    pub post_install: Option<String>,
+    /// Runs before an upgrade replaces files.
+    pub pre_upgrade: Option<String>,
+    /// Runs after an upgrade replaces files.
+    pub post_upgrade: Option<String>,
+}
+
+impl InstallScripts {
+    /// True when no scripts are present (97.6% of Alpine packages — Table 1).
+    pub fn is_empty(&self) -> bool {
+        self.pre_install.is_none()
+            && self.post_install.is_none()
+            && self.pre_upgrade.is_none()
+            && self.post_upgrade.is_none()
+    }
+
+    /// Iterates `(control-file-name, body)` for the scripts that exist.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &str)> {
+        [
+            (".pre-install", self.pre_install.as_deref()),
+            (".post-install", self.post_install.as_deref()),
+            (".pre-upgrade", self.pre_upgrade.as_deref()),
+            (".post-upgrade", self.post_upgrade.as_deref()),
+        ]
+        .into_iter()
+        .filter_map(|(n, s)| s.map(|s| (n, s)))
+    }
+
+    /// Applies `f` to every script body, producing rewritten scripts.
+    pub fn map<F: FnMut(&'static str, &str) -> String>(&self, mut f: F) -> Self {
+        InstallScripts {
+            pre_install: self.pre_install.as_deref().map(|s| f(".pre-install", s)),
+            post_install: self.post_install.as_deref().map(|s| f(".post-install", s)),
+            pre_upgrade: self.pre_upgrade.as_deref().map(|s| f(".pre-upgrade", s)),
+            post_upgrade: self.post_upgrade.as_deref().map(|s| f(".post-upgrade", s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_roundtrip() {
+        let meta = PackageMeta {
+            name: "openssl".into(),
+            version: "1.1.1g-r0".into(),
+            description: "crypto library".into(),
+            depends: vec!["musl".into(), "zlib".into()],
+            data_hash: "ab".repeat(32),
+            installed_size: 4096,
+        };
+        let parsed = PackageMeta::parse(&meta.to_text()).unwrap();
+        assert_eq!(parsed, meta);
+    }
+
+    #[test]
+    fn meta_minimal() {
+        let parsed = PackageMeta::parse("pkgname = a\npkgver = 1\n").unwrap();
+        assert_eq!(parsed.name, "a");
+        assert!(parsed.depends.is_empty());
+    }
+
+    #[test]
+    fn meta_missing_name_rejected() {
+        assert!(PackageMeta::parse("pkgver = 1\n").is_err());
+        assert!(PackageMeta::parse("pkgname = a\n").is_err());
+    }
+
+    #[test]
+    fn meta_bad_line_rejected() {
+        assert!(PackageMeta::parse("pkgname = a\npkgver = 1\njunk line\n").is_err());
+    }
+
+    #[test]
+    fn meta_bad_hash_rejected() {
+        assert!(
+            PackageMeta::parse("pkgname = a\npkgver = 1\ndatahash = zz\n").is_err()
+        );
+    }
+
+    #[test]
+    fn meta_comments_and_unknown_keys_ignored() {
+        let parsed =
+            PackageMeta::parse("# header\npkgname = a\npkgver = 1\nlicense = MIT\n")
+                .unwrap();
+        assert_eq!(parsed.name, "a");
+    }
+
+    #[test]
+    fn scripts_empty_detection() {
+        assert!(InstallScripts::default().is_empty());
+        let s = InstallScripts {
+            post_install: Some("echo hi".into()),
+            ..Default::default()
+        };
+        assert!(!s.is_empty());
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn scripts_map_rewrites() {
+        let s = InstallScripts {
+            pre_install: Some("adduser x".into()),
+            post_upgrade: Some("echo done".into()),
+            ..Default::default()
+        };
+        let mapped = s.map(|name, body| format!("# {name}\n{body}"));
+        assert_eq!(mapped.pre_install.unwrap(), "# .pre-install\nadduser x");
+        assert_eq!(mapped.post_upgrade.unwrap(), "# .post-upgrade\necho done");
+        assert!(mapped.pre_upgrade.is_none());
+    }
+}

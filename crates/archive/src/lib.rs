@@ -1,0 +1,646 @@
+//! # tsr-archive
+//!
+//! A from-scratch tar (ustar) implementation with PAX extended headers
+//! (POSIX.1-2001 `pax` interchange format).
+//!
+//! The TSR paper (§5.3) stores per-file digital signatures inside PAX
+//! headers of the package tarball; tar extractors copy specific PAX keys
+//! (`SCHILY.xattr.*`) into filesystem extended attributes, where the Linux
+//! IMA appraises them. This crate provides exactly that mechanism:
+//! [`Entry::pax_attrs`] carries arbitrary key→value records, and the
+//! `SCHILY.xattr.` prefix is interpreted by the package-manager substrate as
+//! xattrs to install.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsr_archive::{Archive, Entry};
+//!
+//! let mut entry = Entry::file("usr/bin/tool", b"#!/bin/sh\necho hi\n".to_vec());
+//! entry.set_xattr("security.ima", b"signature-bytes".to_vec());
+//!
+//! let tar = Archive::build(vec![entry]);
+//! let parsed = Archive::parse(&tar)?;
+//! assert_eq!(parsed.entries()[0].xattr("security.ima").unwrap(), b"signature-bytes");
+//! # Ok::<(), tsr_archive::ArchiveError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+const BLOCK: usize = 512;
+/// PAX record prefix that maps to filesystem extended attributes.
+pub const XATTR_PREFIX: &str = "SCHILY.xattr.";
+
+/// Errors produced while parsing tar archives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// Input ended in the middle of a header or entry body.
+    UnexpectedEof,
+    /// A header field could not be parsed.
+    InvalidHeader(String),
+    /// The header checksum did not match.
+    BadChecksum,
+    /// A PAX extended record was malformed.
+    InvalidPaxRecord(String),
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::UnexpectedEof => write!(f, "unexpected end of archive"),
+            ArchiveError::InvalidHeader(m) => write!(f, "invalid tar header: {m}"),
+            ArchiveError::BadChecksum => write!(f, "tar header checksum mismatch"),
+            ArchiveError::InvalidPaxRecord(m) => write!(f, "invalid pax record: {m}"),
+        }
+    }
+}
+
+impl Error for ArchiveError {}
+
+/// The kind of a tar entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntryKind {
+    /// Regular file (`'0'`).
+    File,
+    /// Directory (`'5'`).
+    Directory,
+    /// Symbolic link (`'2'`).
+    Symlink,
+}
+
+impl EntryKind {
+    fn typeflag(self) -> u8 {
+        match self {
+            EntryKind::File => b'0',
+            EntryKind::Directory => b'5',
+            EntryKind::Symlink => b'2',
+        }
+    }
+}
+
+/// One archive member with optional PAX attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Path inside the archive (no leading slash by convention).
+    pub path: String,
+    /// Unix permission bits.
+    pub mode: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Group id.
+    pub gid: u32,
+    /// Modification time (seconds since epoch). Kept at 0 for determinism.
+    pub mtime: u64,
+    /// Entry kind.
+    pub kind: EntryKind,
+    /// Symlink target (empty unless `kind == Symlink`).
+    pub link_target: String,
+    /// File contents (empty for directories and symlinks).
+    pub data: Vec<u8>,
+    /// PAX extended records attached to this entry.
+    pub pax_attrs: BTreeMap<String, Vec<u8>>,
+}
+
+impl Entry {
+    /// Creates a regular file entry with mode `0o644`.
+    pub fn file(path: impl Into<String>, data: Vec<u8>) -> Self {
+        Entry {
+            path: path.into(),
+            mode: 0o644,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+            kind: EntryKind::File,
+            link_target: String::new(),
+            data,
+            pax_attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a directory entry with mode `0o755`.
+    pub fn directory(path: impl Into<String>) -> Self {
+        Entry {
+            path: path.into(),
+            mode: 0o755,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+            kind: EntryKind::Directory,
+            link_target: String::new(),
+            data: Vec::new(),
+            pax_attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a symlink entry.
+    pub fn symlink(path: impl Into<String>, target: impl Into<String>) -> Self {
+        Entry {
+            path: path.into(),
+            mode: 0o777,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+            kind: EntryKind::Symlink,
+            link_target: target.into(),
+            data: Vec::new(),
+            pax_attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Attaches an extended attribute (stored as a `SCHILY.xattr.` PAX record).
+    pub fn set_xattr(&mut self, name: &str, value: Vec<u8>) {
+        self.pax_attrs.insert(format!("{XATTR_PREFIX}{name}"), value);
+    }
+
+    /// Reads an extended attribute if present.
+    pub fn xattr(&self, name: &str) -> Option<&[u8]> {
+        self.pax_attrs
+            .get(&format!("{XATTR_PREFIX}{name}"))
+            .map(|v| v.as_slice())
+    }
+
+    /// Iterates over `(name, value)` for all `SCHILY.xattr.` records.
+    pub fn xattrs(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.pax_attrs
+            .iter()
+            .filter_map(|(k, v)| k.strip_prefix(XATTR_PREFIX).map(|n| (n, v.as_slice())))
+    }
+}
+
+/// A parsed or under-construction tar archive.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Archive {
+    entries: Vec<Entry>,
+}
+
+impl Archive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Archive::default()
+    }
+
+    /// Creates an archive from entries and serializes it immediately.
+    pub fn build(entries: Vec<Entry>) -> Vec<u8> {
+        Archive { entries }.to_bytes()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: Entry) {
+        self.entries.push(entry);
+    }
+
+    /// The archive members in order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Consumes the archive, returning its members.
+    pub fn into_entries(self) -> Vec<Entry> {
+        self.entries
+    }
+
+    /// Finds an entry by exact path.
+    pub fn entry(&self, path: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.path == path)
+    }
+
+    /// Serializes to tar bytes (PAX headers emitted before entries that
+    /// need them, two zero blocks at the end).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            write_entry(&mut out, e);
+        }
+        out.extend_from_slice(&[0u8; BLOCK * 2]);
+        out
+    }
+
+    /// Parses tar bytes.
+    ///
+    /// Stops at the terminating zero block or end of input. PAX (`x`)
+    /// headers are folded into the following entry; global (`g`) headers are
+    /// rejected as unsupported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError`] on truncated input, checksum mismatches, or
+    /// malformed PAX records.
+    pub fn parse(data: &[u8]) -> Result<Self, ArchiveError> {
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        let mut pending_pax: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        loop {
+            if pos + BLOCK > data.len() {
+                // Tolerate a missing end-of-archive marker at exact EOF.
+                if pos == data.len() {
+                    break;
+                }
+                return Err(ArchiveError::UnexpectedEof);
+            }
+            let header = &data[pos..pos + BLOCK];
+            if header.iter().all(|&b| b == 0) {
+                break;
+            }
+            verify_checksum(header)?;
+            let typeflag = header[156];
+            let size = parse_octal(&header[124..136])? as usize;
+            let body_start = pos + BLOCK;
+            let body_end = body_start + size;
+            if body_end > data.len() {
+                return Err(ArchiveError::UnexpectedEof);
+            }
+            let body = &data[body_start..body_end];
+            pos = body_start + size.div_ceil(BLOCK) * BLOCK;
+
+            match typeflag {
+                b'x' => {
+                    parse_pax_records(body, &mut pending_pax)?;
+                }
+                b'g' => {
+                    return Err(ArchiveError::InvalidHeader(
+                        "global pax headers unsupported".into(),
+                    ));
+                }
+                b'0' | 0 | b'5' | b'2' => {
+                    let mut entry = header_to_entry(header, typeflag, body.to_vec())?;
+                    // PAX "path" overrides the (possibly truncated) header name.
+                    if let Some(p) = pending_pax.remove("path") {
+                        entry.path = String::from_utf8_lossy(&p).into_owned();
+                    }
+                    if let Some(l) = pending_pax.remove("linkpath") {
+                        entry.link_target = String::from_utf8_lossy(&l).into_owned();
+                    }
+                    entry.pax_attrs = std::mem::take(&mut pending_pax);
+                    entries.push(entry);
+                }
+                other => {
+                    return Err(ArchiveError::InvalidHeader(format!(
+                        "unsupported typeflag {other:#x}"
+                    )));
+                }
+            }
+        }
+        Ok(Archive { entries })
+    }
+}
+
+fn header_to_entry(
+    header: &[u8],
+    typeflag: u8,
+    data: Vec<u8>,
+) -> Result<Entry, ArchiveError> {
+    let name = parse_str(&header[0..100]);
+    let prefix = parse_str(&header[345..500]);
+    let path = if prefix.is_empty() {
+        name
+    } else {
+        format!("{prefix}/{name}")
+    };
+    let kind = match typeflag {
+        b'0' | 0 => EntryKind::File,
+        b'5' => EntryKind::Directory,
+        b'2' => EntryKind::Symlink,
+        _ => unreachable!("caller filtered typeflags"),
+    };
+    Ok(Entry {
+        path,
+        mode: parse_octal(&header[100..108])? as u32,
+        uid: parse_octal(&header[108..116])? as u32,
+        gid: parse_octal(&header[116..124])? as u32,
+        mtime: parse_octal(&header[136..148])?,
+        kind,
+        link_target: parse_str(&header[157..257]),
+        data,
+        pax_attrs: BTreeMap::new(),
+    })
+}
+
+fn parse_str(field: &[u8]) -> String {
+    let end = field.iter().position(|&b| b == 0).unwrap_or(field.len());
+    String::from_utf8_lossy(&field[..end]).into_owned()
+}
+
+fn parse_octal(field: &[u8]) -> Result<u64, ArchiveError> {
+    let s = field
+        .iter()
+        .take_while(|&&b| b != 0)
+        .map(|&b| b as char)
+        .collect::<String>();
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(0);
+    }
+    u64::from_str_radix(s, 8)
+        .map_err(|_| ArchiveError::InvalidHeader(format!("bad octal field {s:?}")))
+}
+
+fn verify_checksum(header: &[u8]) -> Result<(), ArchiveError> {
+    let stored = parse_octal(&header[148..156])?;
+    let mut sum = 0u64;
+    for (i, &b) in header.iter().enumerate() {
+        sum += if (148..156).contains(&i) { b' ' as u64 } else { b as u64 };
+    }
+    if sum == stored {
+        Ok(())
+    } else {
+        Err(ArchiveError::BadChecksum)
+    }
+}
+
+fn write_entry(out: &mut Vec<u8>, e: &Entry) {
+    // Emit a PAX header when there are attrs or the name does not fit.
+    let mut pax = e.pax_attrs.clone();
+    if e.path.len() > 100 {
+        pax.insert("path".into(), e.path.clone().into_bytes());
+    }
+    if e.link_target.len() > 100 {
+        pax.insert("linkpath".into(), e.link_target.clone().into_bytes());
+    }
+    if !pax.is_empty() {
+        let body = encode_pax_records(&pax);
+        let pax_name = format!("./PaxHeaders/{}", truncate(&e.path, 80));
+        write_raw_header(out, &pax_name, 0o644, 0, 0, 0, body.len(), b'x', "");
+        write_padded(out, &body);
+    }
+    let name = truncate(&e.path, 100);
+    let link = truncate(&e.link_target, 100);
+    let size = if e.kind == EntryKind::File { e.data.len() } else { 0 };
+    write_raw_header(
+        out,
+        &name,
+        e.mode,
+        e.uid,
+        e.gid,
+        e.mtime,
+        size,
+        e.kind.typeflag(),
+        &link,
+    );
+    if e.kind == EntryKind::File {
+        write_padded(out, &e.data);
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        s[..n].to_string()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_raw_header(
+    out: &mut Vec<u8>,
+    name: &str,
+    mode: u32,
+    uid: u32,
+    gid: u32,
+    mtime: u64,
+    size: usize,
+    typeflag: u8,
+    link: &str,
+) {
+    let mut h = [0u8; BLOCK];
+    put_str(&mut h[0..100], name);
+    put_octal(&mut h[100..108], mode as u64);
+    put_octal(&mut h[108..116], uid as u64);
+    put_octal(&mut h[116..124], gid as u64);
+    put_octal(&mut h[124..136], size as u64);
+    put_octal(&mut h[136..148], mtime);
+    h[156] = typeflag;
+    put_str(&mut h[157..257], link);
+    h[257..263].copy_from_slice(b"ustar\0");
+    h[263..265].copy_from_slice(b"00");
+    // Checksum is computed with its own field read as spaces.
+    h[148..156].copy_from_slice(b"        ");
+    let sum: u64 = h.iter().map(|&b| b as u64).sum();
+    let chk = format!("{sum:06o}\0 ");
+    h[148..156].copy_from_slice(chk.as_bytes());
+    out.extend_from_slice(&h);
+}
+
+fn put_str(field: &mut [u8], s: &str) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(field.len());
+    field[..n].copy_from_slice(&bytes[..n]);
+}
+
+fn put_octal(field: &mut [u8], v: u64) {
+    let s = format!("{v:0>width$o}", width = field.len() - 1);
+    field[..s.len()].copy_from_slice(s.as_bytes());
+}
+
+fn write_padded(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(data);
+    let pad = data.len().div_ceil(BLOCK) * BLOCK - data.len();
+    out.extend(std::iter::repeat_n(0u8, pad));
+}
+
+/// Encodes PAX records: `"<len> <key>=<value>\n"` with `len` counting itself.
+fn encode_pax_records(records: &BTreeMap<String, Vec<u8>>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in records {
+        let payload_len = 1 + k.len() + 1 + v.len() + 1; // SP key = value LF
+        let mut total = payload_len + 1; // at least one length digit
+        loop {
+            let digits = total.to_string().len();
+            if digits + payload_len == total {
+                break;
+            }
+            total = digits + payload_len;
+        }
+        out.extend_from_slice(total.to_string().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(k.as_bytes());
+        out.push(b'=');
+        out.extend_from_slice(v);
+        out.push(b'\n');
+    }
+    out
+}
+
+fn parse_pax_records(
+    body: &[u8],
+    into: &mut BTreeMap<String, Vec<u8>>,
+) -> Result<(), ArchiveError> {
+    let mut pos = 0usize;
+    while pos < body.len() {
+        let sp = body[pos..]
+            .iter()
+            .position(|&b| b == b' ')
+            .ok_or_else(|| ArchiveError::InvalidPaxRecord("missing length".into()))?;
+        let len_str = std::str::from_utf8(&body[pos..pos + sp])
+            .map_err(|_| ArchiveError::InvalidPaxRecord("non-utf8 length".into()))?;
+        let total: usize = len_str
+            .parse()
+            .map_err(|_| ArchiveError::InvalidPaxRecord(format!("bad length {len_str:?}")))?;
+        if total <= sp + 1 || pos + total > body.len() {
+            return Err(ArchiveError::InvalidPaxRecord("length out of range".into()));
+        }
+        let record = &body[pos + sp + 1..pos + total];
+        if record.last() != Some(&b'\n') {
+            return Err(ArchiveError::InvalidPaxRecord("missing newline".into()));
+        }
+        let record = &record[..record.len() - 1];
+        let eq = record
+            .iter()
+            .position(|&b| b == b'=')
+            .ok_or_else(|| ArchiveError::InvalidPaxRecord("missing '='".into()))?;
+        let key = String::from_utf8_lossy(&record[..eq]).into_owned();
+        into.insert(key, record[eq + 1..].to_vec());
+        pos += total;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<Entry> {
+        let mut exe = Entry::file("usr/bin/hello", b"binary-data".to_vec());
+        exe.mode = 0o755;
+        exe.set_xattr("security.ima", vec![1, 2, 3, 255, 0, 7]);
+        vec![
+            Entry::directory("usr"),
+            Entry::directory("usr/bin"),
+            exe,
+            Entry::symlink("usr/bin/hi", "hello"),
+            Entry::file("etc/hello.conf", b"key=value\n".to_vec()),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let entries = sample_entries();
+        let bytes = Archive::build(entries.clone());
+        let parsed = Archive::parse(&bytes).unwrap();
+        assert_eq!(parsed.entries(), &entries[..]);
+    }
+
+    #[test]
+    fn xattr_roundtrip_binary_value() {
+        let mut e = Entry::file("f", vec![]);
+        let sig: Vec<u8> = (0..=255).collect();
+        e.set_xattr("security.ima", sig.clone());
+        let parsed = Archive::parse(&Archive::build(vec![e])).unwrap();
+        assert_eq!(parsed.entries()[0].xattr("security.ima").unwrap(), &sig[..]);
+    }
+
+    #[test]
+    fn xattrs_iterator_strips_prefix() {
+        let mut e = Entry::file("f", vec![]);
+        e.set_xattr("security.ima", b"s".to_vec());
+        e.pax_attrs.insert("comment".into(), b"not an xattr".to_vec());
+        let xs: Vec<(&str, &[u8])> = e.xattrs().collect();
+        assert_eq!(xs, vec![("security.ima", &b"s"[..])]);
+    }
+
+    #[test]
+    fn long_paths_via_pax() {
+        let long = format!("very/{}/deep.txt", "sub/".repeat(40));
+        assert!(long.len() > 100);
+        let e = Entry::file(long.clone(), b"x".to_vec());
+        let parsed = Archive::parse(&Archive::build(vec![e])).unwrap();
+        assert_eq!(parsed.entries()[0].path, long);
+    }
+
+    #[test]
+    fn empty_archive() {
+        let bytes = Archive::build(vec![]);
+        assert_eq!(bytes.len(), 1024);
+        assert!(Archive::parse(&bytes).unwrap().entries().is_empty());
+    }
+
+    #[test]
+    fn file_sizes_padded_correctly() {
+        for size in [0usize, 1, 511, 512, 513, 1024] {
+            let e = Entry::file("f", vec![7u8; size]);
+            let parsed = Archive::parse(&Archive::build(vec![e])).unwrap();
+            assert_eq!(parsed.entries()[0].data.len(), size, "size {size}");
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected() {
+        let mut bytes = Archive::build(sample_entries());
+        bytes[0] ^= 1;
+        assert!(matches!(
+            Archive::parse(&bytes),
+            Err(ArchiveError::BadChecksum)
+        ));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let bytes = Archive::build(vec![Entry::file("f", vec![1u8; 600])]);
+        assert!(matches!(
+            Archive::parse(&bytes[..700]),
+            Err(ArchiveError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn entry_lookup_by_path() {
+        let bytes = Archive::build(sample_entries());
+        let a = Archive::parse(&bytes).unwrap();
+        assert!(a.entry("usr/bin/hello").is_some());
+        assert!(a.entry("missing").is_none());
+    }
+
+    #[test]
+    fn symlink_target_preserved() {
+        let bytes = Archive::build(vec![Entry::symlink("a", "b/c")]);
+        let a = Archive::parse(&bytes).unwrap();
+        assert_eq!(a.entries()[0].link_target, "b/c");
+        assert_eq!(a.entries()[0].kind, EntryKind::Symlink);
+    }
+
+    #[test]
+    fn pax_record_encoding_self_length() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), b"v".to_vec());
+        let enc = encode_pax_records(&m);
+        // "6 k=v\n" is 6 bytes total.
+        assert_eq!(enc, b"6 k=v\n");
+    }
+
+    #[test]
+    fn pax_record_length_boundary() {
+        // Value sized so the length field itself changes digit count.
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![b'a'; 92]);
+        let enc = encode_pax_records(&m);
+        let mut parsed = BTreeMap::new();
+        parse_pax_records(&enc, &mut parsed).unwrap();
+        assert_eq!(parsed.get("k").unwrap().len(), 92);
+    }
+
+    #[test]
+    fn malformed_pax_rejected() {
+        let mut m = BTreeMap::new();
+        assert!(parse_pax_records(b"notanumber k=v\n", &mut m).is_err());
+        assert!(parse_pax_records(b"999 k=v\n", &mut m).is_err());
+        assert!(parse_pax_records(b"5 kv\n", &mut m).is_err());
+    }
+
+    #[test]
+    fn mode_uid_gid_mtime_roundtrip() {
+        let mut e = Entry::file("f", vec![]);
+        e.mode = 0o4755;
+        e.uid = 1000;
+        e.gid = 999;
+        e.mtime = 1_600_000_000;
+        let a = Archive::parse(&Archive::build(vec![e.clone()])).unwrap();
+        assert_eq!(a.entries()[0], e);
+    }
+
+    #[test]
+    fn deterministic_serialization() {
+        let e = sample_entries();
+        assert_eq!(Archive::build(e.clone()), Archive::build(e));
+    }
+}

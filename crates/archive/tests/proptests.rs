@@ -1,0 +1,52 @@
+//! Property tests: tar round-trips for arbitrary entries, and the parser
+//! is total on arbitrary bytes.
+
+use proptest::prelude::*;
+use tsr_archive::{Archive, Entry};
+
+fn entry_strategy() -> impl Strategy<Value = Entry> {
+    (
+        "[a-zA-Z0-9_./-]{1,60}",
+        proptest::collection::vec(any::<u8>(), 0..2000),
+        proptest::collection::btree_map(
+            "[a-z.]{1,20}",
+            proptest::collection::vec(any::<u8>(), 0..64),
+            0..3,
+        ),
+    )
+        .prop_map(|(path, data, xattrs)| {
+            // Paths must not collide with PAX reserved forms; sanitize "..".
+            let path = path.replace("..", "_");
+            let mut e = Entry::file(path, data);
+            for (k, v) in xattrs {
+                e.set_xattr(&k, v);
+            }
+            e
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_arbitrary_entries(entries in proptest::collection::vec(entry_strategy(), 0..8)) {
+        let bytes = Archive::build(entries.clone());
+        let parsed = Archive::parse(&bytes).unwrap();
+        prop_assert_eq!(parsed.entries(), &entries[..]);
+    }
+
+    #[test]
+    fn parser_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = Archive::parse(&bytes); // must never panic
+    }
+
+    #[test]
+    fn serialization_deterministic(entries in proptest::collection::vec(entry_strategy(), 0..5)) {
+        prop_assert_eq!(Archive::build(entries.clone()), Archive::build(entries));
+    }
+
+    #[test]
+    fn size_is_block_aligned(entries in proptest::collection::vec(entry_strategy(), 0..5)) {
+        prop_assert_eq!(Archive::build(entries).len() % 512, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the crypto substrate: the primitives
+//! whose cost drives the sanitization pipeline (Table 4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_crypto::hmac::HmacSha256;
+use tsr_crypto::{RsaPrivateKey, Sha256};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [1usize << 10, 64 << 10, 1 << 20] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{}KiB", size >> 10), |b| {
+            b.iter(|| Sha256::digest(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![7u8; 4096];
+    c.bench_function("hmac_sha256_4KiB", |b| {
+        b.iter(|| HmacSha256::mac(b"key", black_box(&data)))
+    });
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = HmacDrbg::new(b"bench-rsa");
+    let k1024 = RsaPrivateKey::generate(1024, &mut rng);
+    let k2048 = RsaPrivateKey::generate(2048, &mut rng);
+    let msg = b"file contents digest input";
+    let sig1024 = k1024.sign_pkcs1_sha256(msg);
+    let sig2048 = k2048.sign_pkcs1_sha256(msg);
+
+    c.bench_function("rsa1024_sign", |b| {
+        b.iter(|| k1024.sign_pkcs1_sha256(black_box(msg)))
+    });
+    c.bench_function("rsa2048_sign", |b| {
+        b.iter(|| k2048.sign_pkcs1_sha256(black_box(msg)))
+    });
+    c.bench_function("rsa1024_verify", |b| {
+        b.iter(|| {
+            k1024
+                .public_key()
+                .verify_pkcs1_sha256(black_box(msg), &sig1024)
+                .unwrap()
+        })
+    });
+    c.bench_function("rsa2048_verify", |b| {
+        b.iter(|| {
+            k2048
+                .public_key()
+                .verify_pkcs1_sha256(black_box(msg), &sig2048)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_hmac, bench_rsa
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion benchmarks for the sanitization pipeline and its substrate
+//! stages (compression, archiving) on small/medium/large packages.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tsr_apk::PackageBuilder;
+use tsr_archive::{Archive, Entry};
+use tsr_core::{PackageSanitizer, Policy};
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_crypto::{RsaPrivateKey, RsaPublicKey};
+use tsr_script::UserGroupUniverse;
+
+fn keys() -> (RsaPrivateKey, RsaPrivateKey) {
+    let mut r1 = HmacDrbg::new(b"bench-upstream");
+    let mut r2 = HmacDrbg::new(b"bench-tsr");
+    (
+        RsaPrivateKey::generate(1024, &mut r1),
+        RsaPrivateKey::generate(1024, &mut r2),
+    )
+}
+
+fn build_package(upstream: &RsaPrivateKey, files: usize, bytes_per_file: usize) -> Vec<u8> {
+    let mut b = PackageBuilder::new("bench", "1.0");
+    let mut rng = HmacDrbg::new(b"content");
+    for i in 0..files {
+        b.file(Entry::file(
+            format!("usr/share/bench/f{i}"),
+            rng.bytes(bytes_per_file),
+        ));
+    }
+    b.post_install("mkdir -p /var/lib/bench");
+    b.build(upstream, "builder")
+}
+
+fn sanitizer(tsr: &RsaPrivateKey) -> PackageSanitizer {
+    let mut u = UserGroupUniverse::new();
+    u.scan_script("adduser -S svc");
+    u.assign_ids();
+    let policy = Policy {
+        mirrors: vec![tsr_core::MirrorRef {
+            hostname: "m".into(),
+            continent: tsr_net::Continent::Europe,
+        }],
+        signers_keys: vec![tsr.public_key().clone()],
+        init_config_files: vec![],
+        f: 0,
+        package_whitelist: Vec::new(),
+        package_blacklist: Vec::new(),
+    };
+    PackageSanitizer::new(tsr.clone(), "tsr", u, &policy)
+}
+
+fn bench_sanitize(c: &mut Criterion) {
+    let (upstream, tsr) = keys();
+    let s = sanitizer(&tsr);
+    let trusted: Vec<(String, RsaPublicKey)> =
+        vec![("builder".into(), upstream.public_key().clone())];
+    let mut g = c.benchmark_group("sanitize_package");
+    for (name, files, size) in [
+        ("small_2x2KiB", 2usize, 2048usize),
+        ("medium_8x8KiB", 8, 8192),
+        ("large_32x32KiB", 32, 32768),
+    ] {
+        let blob = build_package(&upstream, files, size);
+        g.throughput(Throughput::Bytes(blob.len() as u64));
+        g.bench_function(name, |b| {
+            b.iter(|| s.sanitize(black_box(&blob), &trusted).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let data: Vec<u8> = {
+        let phrase: &[u8] = b"the quick brown fox jumps over the lazy dog ";
+        phrase.iter().copied().cycle().take(256 << 10).collect()
+    };
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("gzip_compress_256KiB_text", |b| {
+        b.iter(|| tsr_compress::gzip::compress(black_box(&data)))
+    });
+    let gz = tsr_compress::gzip::compress(&data);
+    g.bench_function("gzip_decompress_256KiB_text", |b| {
+        b.iter(|| tsr_compress::gzip::decompress(black_box(&gz)).unwrap())
+    });
+    let entries: Vec<Entry> = (0..64)
+        .map(|i| Entry::file(format!("f{i}"), vec![i as u8; 4096]))
+        .collect();
+    g.bench_function("tar_build_64x4KiB", |b| {
+        b.iter(|| Archive::build(black_box(entries.clone())))
+    });
+    let tar = Archive::build(entries);
+    g.bench_function("tar_parse_64x4KiB", |b| {
+        b.iter(|| Archive::parse(black_box(&tar)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sanitize, bench_substrate
+}
+criterion_main!(benches);

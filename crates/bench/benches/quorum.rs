@@ -1,0 +1,94 @@
+//! Criterion benchmarks for the quorum reader (compute cost, not the
+//! simulated network time) and the end-to-end monitor verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tsr_apk::Index;
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_crypto::RsaPrivateKey;
+use tsr_mirror::{publish_to_all, Mirror, RepoSnapshot};
+use tsr_net::{Continent, LatencyModel};
+use tsr_quorum::{read_index_quorum, QuorumConfig};
+
+fn setup(n: usize) -> (Vec<Mirror>, Vec<(String, tsr_crypto::RsaPublicKey)>) {
+    let mut rng = HmacDrbg::new(b"qbench");
+    let key = RsaPrivateKey::generate(1024, &mut rng);
+    let mut index = Index::new();
+    for i in 0..50 {
+        index.upsert(Index::entry_for_blob(
+            &format!("pkg{i}"),
+            "1.0",
+            &[],
+            &[i as u8; 100],
+        ));
+    }
+    let snap = RepoSnapshot {
+        snapshot_id: 1,
+        signed_index: index.sign(&key, "repo"),
+        packages: Default::default(),
+    };
+    let mut mirrors: Vec<Mirror> = (0..n)
+        .map(|i| Mirror::new(format!("m{i}"), Continent::ALL[i % 3]))
+        .collect();
+    publish_to_all(&mut mirrors, &snap);
+    (mirrors, vec![("repo".to_string(), key.public_key().clone())])
+}
+
+fn bench_quorum(c: &mut Criterion) {
+    let model = LatencyModel::default();
+    for n in [3usize, 7] {
+        let (mirrors, signers) = setup(n);
+        let config = QuorumConfig {
+            f: (n - 1) / 2,
+            observer: Continent::Europe,
+            timeout: Duration::from_secs(1),
+            ..QuorumConfig::default()
+        };
+        c.bench_function(&format!("quorum_read_{n}_mirrors"), |b| {
+            b.iter(|| {
+                let mut rng = HmacDrbg::new(b"iter");
+                read_index_quorum(black_box(&mirrors), &config, &model, &signers, &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+}
+
+fn bench_attestation(c: &mut Criterion) {
+    use tsr_monitor::Monitor;
+    use tsr_pkgmgr::TrustedOs;
+
+    let mut rng = HmacDrbg::new(b"att");
+    let key = RsaPrivateKey::generate(1024, &mut rng);
+    let mut os = TrustedOs::boot(b"bench-os", &[]);
+    os.trust_key("k", key.public_key().clone());
+    // Install 20 signed files worth of measurements.
+    for i in 0..20 {
+        let mut b = tsr_apk::PackageBuilder::new(format!("p{i}"), "1.0");
+        let content = vec![i as u8; 512];
+        let mut f = tsr_archive::Entry::file(format!("usr/bin/p{i}"), content.clone());
+        f.set_xattr("security.ima", tsr_ima::sign_file_contents(&key, &content));
+        b.file(f);
+        os.install(&b.build(&key, "k")).unwrap();
+    }
+    let mut monitor = Monitor::new();
+    monitor.trust_signer(key.public_key().clone());
+    let evidence = os.attest(b"bench-nonce");
+    c.bench_function("monitor_verify_20_measurements", |b| {
+        b.iter(|| {
+            monitor.verify(
+                black_box(&evidence),
+                os.tpm.attestation_key(),
+                b"bench-nonce",
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_quorum, bench_attestation
+}
+criterion_main!(benches);

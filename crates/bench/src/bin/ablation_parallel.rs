@@ -1,0 +1,78 @@
+//! Ablation — parallel sanitization (the paper's future-work item).
+//!
+//! §6.1: "the download time can be greatly reduced by enabling parallel
+//! downloading. This performance improvement is left as part of future
+//! work." This ablation implements the counterpart for the CPU-bound
+//! phase: sanitizing packages on a crossbeam worker pool, and reports the
+//! speedup over the sequential pipeline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use tsr_bench::{banner, scale, BenchWorld};
+
+fn main() {
+    banner(
+        "Ablation — sequential vs parallel sanitization (paper future work)",
+        "sanitization is per-package independent; a worker pool scales with cores",
+    );
+    let mut world = BenchWorld::new(scale(), b"ablation-par");
+    world.refresh();
+    let signers = world.repo.policy().signer_keys_named();
+    let sanitizer = world.repo.sanitizer().expect("refreshed");
+    let blobs: Vec<Vec<u8>> = world
+        .upstream
+        .blobs
+        .values()
+        .cloned()
+        .collect();
+    println!("packages: {}", blobs.len());
+
+    // Sequential pass.
+    let t = Instant::now();
+    let mut seq_ok = 0usize;
+    for b in &blobs {
+        if sanitizer.sanitize(b, &signers).is_ok() {
+            seq_ok += 1;
+        }
+    }
+    let seq = t.elapsed();
+
+    // Parallel pass over a crossbeam scope, one worker per core.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let next = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let t = Instant::now();
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= blobs.len() {
+                    break;
+                }
+                if sanitizer.sanitize(&blobs[i], &signers).is_ok() {
+                    ok.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    })
+    .expect("workers");
+    let par = t.elapsed();
+    let par_ok = ok.load(Ordering::Relaxed);
+
+    assert_eq!(seq_ok, par_ok, "parallelism must not change outcomes");
+    println!(
+        "  sequential: {:.2} s  ({seq_ok} sanitized)",
+        seq.as_secs_f64()
+    );
+    println!(
+        "  parallel:   {:.2} s  on {workers} workers ({par_ok} sanitized)",
+        par.as_secs_f64()
+    );
+    println!(
+        "  speedup:    {:.2}× (ideal {workers}×)",
+        seq.as_secs_f64() / par.as_secs_f64().max(1e-9)
+    );
+}

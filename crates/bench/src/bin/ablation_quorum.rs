@@ -1,0 +1,96 @@
+//! Ablation — quorum contact strategies.
+//!
+//! Compares the paper's sequential fastest-f+1 strategy against a parallel
+//! first wave, on honest and Byzantine fleets.
+
+use std::time::Duration;
+
+use tsr_apk::Index;
+use tsr_bench::banner;
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_crypto::RsaPrivateKey;
+use tsr_mirror::{Behavior, Mirror, RepoSnapshot};
+use tsr_net::{Continent, LatencyModel};
+use tsr_quorum::{read_index_quorum, QuorumConfig};
+
+fn main() {
+    banner(
+        "Ablation — quorum strategy (sequential vs parallel fastest-f+1)",
+        "fastest-f+1 minimizes contacts; parallelism trades bandwidth for latency",
+    );
+    let mut krng = HmacDrbg::new(b"abq-key");
+    let key = RsaPrivateKey::generate(1024, &mut krng);
+    let mut index = Index::new();
+    index.upsert(Index::entry_for_blob("pkg", "1.0", &[], b"blob"));
+    let snap = |id: u64| {
+        let mut ix = index.clone();
+        ix.snapshot = id;
+        RepoSnapshot {
+            snapshot_id: id,
+            signed_index: ix.sign(&key, "repo"),
+            packages: Default::default(),
+        }
+    };
+    let signers = vec![("repo".to_string(), key.public_key().clone())];
+    let model = LatencyModel::default();
+
+    let make_fleet = |n: usize, stale: usize| -> Vec<Mirror> {
+        let mut ms: Vec<Mirror> = (0..n)
+            .map(|i| {
+                let mut m = Mirror::new(format!("m{i}"), Continent::ALL[i % 3]);
+                m.publish(snap(1));
+                m.publish(snap(2));
+                m
+            })
+            .collect();
+        for m in ms.iter_mut().take(stale) {
+            m.set_behavior(Behavior::Stale { snapshot: 0 });
+        }
+        ms
+    };
+
+    let eval = |name: &str, parallel: bool, stale: usize| {
+        let n = 7;
+        let mirrors = make_fleet(n, stale);
+        let config = QuorumConfig {
+            f: 3,
+            observer: Continent::Europe,
+            timeout: Duration::from_secs(1),
+            parallel_first_wave: parallel,
+            ..QuorumConfig::default()
+        };
+        let mut total = Duration::ZERO;
+        let mut contacted = 0usize;
+        let mut fresh = 0usize;
+        let reps = 20;
+        for rep in 0..reps {
+            let mut rng = HmacDrbg::new(format!("abq:{name}:{stale}:{rep}").as_bytes());
+            let out =
+                read_index_quorum(&mirrors, &config, &model, &signers, &mut rng).unwrap();
+            total += out.elapsed;
+            contacted += out.contacted;
+            if out.index.snapshot == 2 {
+                fresh += 1;
+            }
+        }
+        println!(
+            "  {:<34} avg latency {:>7.0} ms, avg contacts {:.1}, fresh {}/{}",
+            name,
+            total.as_secs_f64() * 1000.0 / reps as f64,
+            contacted as f64 / reps as f64,
+            fresh,
+            reps
+        );
+    };
+
+    println!("honest fleet (7 mirrors across 3 continents, f=3):");
+    eval("sequential fastest-f+1 (paper)", false, 0);
+    eval("parallel fastest-f+1", true, 0);
+
+    println!("\nByzantine fleet (same, 3 mirrors replaying an old snapshot):");
+    eval("sequential fastest-f+1 (paper)", false, 3);
+    eval("parallel fastest-f+1", true, 3);
+
+    println!("\ntakeaway: a parallel first wave cuts the common case to the slowest of");
+    println!("the f+1 fastest mirrors; correctness (freshness under ≤f faults) is identical");
+}

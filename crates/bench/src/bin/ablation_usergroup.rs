@@ -1,0 +1,99 @@
+//! Ablation — canonical user/group preamble vs. naive per-package rewrite.
+//!
+//! The paper's design (§4.2) rewrites every user/group-creating script to
+//! create *all* users and groups of the repository in one canonical order.
+//! The obvious cheaper alternative — re-signing only the users a package
+//! itself creates — breaks: the final `/etc/passwd` depends on the package
+//! installation order, so a single predicted signature cannot cover all
+//! orders. This ablation quantifies that: it installs the account-creating
+//! packages of the workload in many random orders and counts how often the
+//! final configuration matches the predicted (signed) contents.
+
+use tsr_bench::{banner, initial_configs, scale, workload_config};
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_pkgmgr::interp::run_script;
+use tsr_script::UserGroupUniverse;
+use tsr_simfs::SimFs;
+use tsr_workload::{GeneratedRepo, ScriptProfile};
+
+fn base_fs() -> SimFs {
+    let mut fs = SimFs::new();
+    for c in initial_configs() {
+        fs.write_file(&c.path, format!("{}\n", c.content).into_bytes())
+            .unwrap();
+    }
+    fs
+}
+
+fn main() {
+    banner(
+        "Ablation — canonical preamble vs. naive per-package sanitization",
+        "any package subset/order must yield the predicted (signed) config files",
+    );
+    let repo = GeneratedRepo::generate(workload_config(scale(), b"ablation-ug"));
+    // The original (unsanitized) account-creating scripts.
+    let scripts: Vec<String> = repo
+        .specs_with_profile(ScriptProfile::UserGroupCreation)
+        .map(|s| {
+            let pkg = tsr_apk::Package::parse(&repo.blobs[&s.name]).unwrap();
+            pkg.scripts.post_install.unwrap()
+        })
+        .collect();
+    println!("account-creating packages: {}", scripts.len());
+
+    // Build the universe and predicted configs once.
+    let mut universe = UserGroupUniverse::new();
+    for s in &scripts {
+        universe.scan_script(s);
+    }
+    universe.assign_ids();
+    let passwd_initial = format!("{}\n", initial_configs()[0].content);
+    let predicted = universe.predict_passwd(passwd_initial.trim_end_matches('\n'));
+    let preamble = universe.canonical_preamble();
+
+    let trials = 40;
+    let mut rng = HmacDrbg::new(b"orders");
+    let mut canonical_ok = 0usize;
+    let mut naive_ok = 0usize;
+    for _ in 0..trials {
+        // A random subset in a random order.
+        let mut order: Vec<usize> = (0..scripts.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let take = 1 + rng.gen_range(order.len() as u64) as usize;
+        let subset = &order[..take];
+
+        // Canonical: every sanitized script runs the full preamble.
+        let mut fs = base_fs();
+        for _ in subset {
+            run_script(&mut fs, &preamble).unwrap();
+        }
+        let got = String::from_utf8(fs.read_file("/etc/passwd").unwrap().to_vec()).unwrap();
+        if got == predicted {
+            canonical_ok += 1;
+        }
+
+        // Naive: each package creates only its own users (original script).
+        let mut fs = base_fs();
+        for &i in subset {
+            let _ = run_script(&mut fs, &scripts[i]);
+        }
+        let got = String::from_utf8(fs.read_file("/etc/passwd").unwrap().to_vec()).unwrap();
+        if got == predicted {
+            naive_ok += 1;
+        }
+    }
+
+    println!("\nrandom subsets/orders matching the signed prediction ({trials} trials):");
+    println!(
+        "  canonical preamble (TSR):   {canonical_ok}/{trials} = {:.0}%  — attestation always passes",
+        100.0 * canonical_ok as f64 / trials as f64
+    );
+    println!(
+        "  naive per-package rewrite:  {naive_ok}/{trials} = {:.0}%  — attestation fails otherwise",
+        100.0 * naive_ok as f64 / trials as f64
+    );
+    assert_eq!(canonical_ok, trials, "canonical must always match");
+}

@@ -1,0 +1,127 @@
+//! Figure 13 — latency of downloading the repository metadata index from
+//! TSR (deployed in Europe) as a function of mirror count and location.
+//!
+//! Paper: <400 ms for up to 5 same-continent mirrors; <1.2 s for 10;
+//! ~2.2 s for 9 mirrors spread over three continents; the "All" scenario
+//! tracks the fastest continents because TSR contacts the fastest f+1
+//! mirrors first.
+
+use std::time::Duration;
+
+use tsr_apk::Index;
+use tsr_bench::banner;
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_crypto::RsaPrivateKey;
+use tsr_mirror::{Mirror, RepoSnapshot};
+use tsr_net::{Continent, LatencyModel};
+use tsr_quorum::{read_index_quorum, QuorumConfig};
+
+fn fleet(n: usize, where_: Option<Continent>, snap: &RepoSnapshot) -> Vec<Mirror> {
+    (0..n)
+        .map(|i| {
+            let continent = match where_ {
+                Some(c) => c,
+                None => Continent::ALL[i % 3],
+            };
+            let mut m = Mirror::new(format!("m{i}"), continent);
+            m.publish(snap.clone());
+            m
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Figure 13 — quorum index-read latency (TSR in Europe)",
+        "≤400 ms @5 same-continent; ≤1.2 s @10; ≈2.2 s @9 across continents",
+    );
+    // A small signed index is all this experiment needs.
+    let mut krng = HmacDrbg::new(b"fig13-key");
+    let key = RsaPrivateKey::generate(1024, &mut krng);
+    let mut index = Index::new();
+    index.snapshot = 1;
+    index.upsert(Index::entry_for_blob("pkg", "1.0", &[], b"blob"));
+    let snap = RepoSnapshot {
+        snapshot_id: 1,
+        signed_index: index.sign(&key, "repo"),
+        packages: Default::default(),
+    };
+    let signers = vec![("repo".to_string(), key.public_key().clone())];
+    let model = LatencyModel::default();
+
+    let scenarios: &[(&str, Option<Continent>)] = &[
+        ("Europe", Some(Continent::Europe)),
+        ("North America", Some(Continent::NorthAmerica)),
+        ("Asia", Some(Continent::Asia)),
+        ("All (mixed)", None),
+    ];
+
+    print!("{:<16}", "mirrors:");
+    for n in 1..=10 {
+        print!("{n:>9}");
+    }
+    println!();
+    for (name, where_) in scenarios {
+        print!("{name:<16}");
+        for n in 1..=10usize {
+            let f = (n - 1) / 2;
+            let mirrors = fleet(n, *where_, &snap);
+            let config = QuorumConfig {
+                f,
+                observer: Continent::Europe,
+                timeout: Duration::from_secs(1),
+                ..QuorumConfig::default()
+            };
+            // Average over repetitions (paper: 10% trimmed mean of 20).
+            let mut samples = Vec::new();
+            for rep in 0..20 {
+                let mut rng = HmacDrbg::new(format!("fig13:{name}:{n}:{rep}").as_bytes());
+                let out = read_index_quorum(&mirrors, &config, &model, &signers, &mut rng)
+                    .expect("quorum");
+                samples.push(out.elapsed.as_secs_f64() * 1000.0);
+            }
+            let avg = tsr_stats::trimmed_mean(&samples, 0.1);
+            print!("{avg:>7.0}ms");
+        }
+        println!();
+    }
+
+    println!("\nshape checks (f = (n-1)/2 quorum of fastest f+1):");
+    let run = |n: usize, where_: Option<Continent>| -> f64 {
+        let mirrors = fleet(n, where_, &snap);
+        let config = QuorumConfig {
+            f: (n - 1) / 2,
+            observer: Continent::Europe,
+            timeout: Duration::from_secs(1),
+            ..QuorumConfig::default()
+        };
+        let mut samples = Vec::new();
+        for rep in 0..20 {
+            let mut rng = HmacDrbg::new(format!("check:{n}:{where_:?}:{rep}").as_bytes());
+            let out =
+                read_index_quorum(&mirrors, &config, &model, &signers, &mut rng).unwrap();
+            samples.push(out.elapsed.as_secs_f64() * 1000.0);
+        }
+        tsr_stats::trimmed_mean(&samples, 0.1)
+    };
+    let eu5 = run(5, Some(Continent::Europe));
+    let eu10 = run(10, Some(Continent::Europe));
+    let asia9 = run(9, Some(Continent::Asia));
+    let all9 = run(9, None);
+    let na9 = run(9, Some(Continent::NorthAmerica));
+    println!("  5 EU mirrors ≤ 400 ms: {eu5:.0} ms  {}", ok(eu5 <= 400.0));
+    println!("  10 EU mirrors ≤ 1200 ms: {eu10:.0} ms  {}", ok(eu10 <= 1200.0));
+    println!("  9 Asian mirrors ≈ 2.2 s: {asia9:.0} ms  {}", ok(asia9 > 500.0));
+    println!(
+        "  'All' tracks nearer continents (all9={all9:.0} ms ≤ asia9={asia9:.0} ms, ≈ na9={na9:.0} ms): {}",
+        ok(all9 < asia9)
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "✓"
+    } else {
+        "✗"
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 2 — operations performed by installation scripts, with the
+//! Safe / TSR-sanitizable verdicts.
+
+use std::collections::BTreeMap;
+
+use tsr_apk::Package;
+use tsr_bench::{banner, scale, workload_config};
+use tsr_script::classify::{classify_script, OperationKind};
+use tsr_workload::GeneratedRepo;
+
+fn main() {
+    banner(
+        "Table 2 — script operation taxonomy",
+        "45 fs / 22 empty / 36 text / 18 config / 1 empty-file / 201 user-group / 10 shell",
+    );
+    let repo = GeneratedRepo::generate(workload_config(scale(), b"table2"));
+
+    let mut counts: BTreeMap<OperationKind, usize> = BTreeMap::new();
+    for blob in repo.blobs.values() {
+        let pkg = Package::parse(blob).expect("generated package parses");
+        if pkg.scripts.is_empty() {
+            continue;
+        }
+        // Bucket each scripted package by its dominant operation, like the
+        // generator's census.
+        let dominant = pkg
+            .scripts
+            .iter()
+            .map(|(_, body)| classify_script(body).dominant())
+            .max()
+            .unwrap_or(OperationKind::Empty);
+        *counts.entry(dominant).or_default() += 1;
+    }
+
+    let paper: &[(OperationKind, usize)] = &[
+        (OperationKind::FilesystemChange, 45),
+        (OperationKind::Empty, 22),
+        (OperationKind::TextProcessing, 36),
+        (OperationKind::ConfigChange, 18),
+        (OperationKind::EmptyFileCreation, 1),
+        (OperationKind::UserGroupCreation, 201),
+        (OperationKind::ShellActivation, 10),
+    ];
+    println!(
+        "{:<26}{:>9}{:>8}{:>7}{:>6}",
+        "operation", "measured", "paper", "safe", "TSR"
+    );
+    for (kind, paper_count) in paper {
+        let measured = counts.get(kind).copied().unwrap_or(0);
+        println!(
+            "{:<26}{:>9}{:>8}{:>7}{:>6}",
+            kind.to_string(),
+            measured,
+            paper_count,
+            if kind.is_safe() { "yes" } else { "no" },
+            if kind.sanitizable() { "yes" } else { "no" }
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! LSB-first bit readers and writers for DEFLATE streams.
+
+use crate::error::CompressError;
+
+/// Reads bits LSB-first from a byte slice (the DEFLATE bit order).
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index.
+    pos: usize,
+    /// Bit buffer holding up to 32 bits.
+    bit_buf: u32,
+    /// Number of valid bits in `bit_buf`.
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
+    }
+
+    /// Reads `n` bits (0..=24), LSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::UnexpectedEof`] if the input is exhausted.
+    pub fn read_bits(&mut self, n: u32) -> Result<u32, CompressError> {
+        debug_assert!(n <= 24);
+        while self.bit_count < n {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or(CompressError::UnexpectedEof)?;
+            self.pos += 1;
+            self.bit_buf |= (byte as u32) << self.bit_count;
+            self.bit_count += 8;
+        }
+        let out = self.bit_buf & ((1u32 << n) - 1);
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+        Ok(if n == 0 { 0 } else { out })
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> Result<u32, CompressError> {
+        self.read_bits(1)
+    }
+
+    /// Discards buffered bits to realign at the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.bit_buf = 0;
+        self.bit_count = 0;
+    }
+
+    /// Copies `len` raw bytes (must be byte-aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::UnexpectedEof`] if fewer than `len` bytes remain.
+    pub fn read_bytes(&mut self, len: usize) -> Result<&'a [u8], CompressError> {
+        debug_assert_eq!(self.bit_count, 0, "read_bytes requires byte alignment");
+        if self.pos + len > self.data.len() {
+            return Err(CompressError::UnexpectedEof);
+        }
+        let out = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Number of whole bytes consumed so far (buffered bits count as consumed).
+    pub fn bytes_consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Writes bits LSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    bit_buf: u32,
+    bit_count: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `n` bits of `value`, LSB-first.
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 24);
+        debug_assert!(n == 32 || value < (1u32 << n).max(1));
+        self.bit_buf |= value << self.bit_count;
+        self.bit_count += n;
+        while self.bit_count >= 8 {
+            self.out.push(self.bit_buf as u8);
+            self.bit_buf >>= 8;
+            self.bit_count -= 8;
+        }
+    }
+
+    /// Writes a Huffman code of `len` bits given MSB-first (as in code tables),
+    /// reversing it into DEFLATE's LSB-first packing.
+    pub fn write_code(&mut self, code: u32, len: u32) {
+        let rev = reverse_bits(code, len);
+        self.write_bits(rev, len);
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        if self.bit_count > 0 {
+            self.out.push(self.bit_buf as u8);
+            self.bit_buf = 0;
+            self.bit_count = 0;
+        }
+    }
+
+    /// Appends raw bytes (must be byte-aligned).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.bit_count, 0, "write_bytes requires byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Finishes the stream, flushing any partial byte.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.out
+    }
+}
+
+/// Reverses the low `len` bits of `v`.
+pub fn reverse_bits(v: u32, len: u32) -> u32 {
+    let mut out = 0u32;
+    for i in 0..len {
+        out |= ((v >> i) & 1) << (len - 1 - i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_bits_lsb_first() {
+        // 0b10110100 read as 3+5 bits
+        let data = [0b1011_0100u8];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.read_bits(3).unwrap(), 0b100);
+        assert_eq!(r.read_bits(5).unwrap(), 0b10110);
+    }
+
+    #[test]
+    fn read_across_bytes() {
+        let data = [0xff, 0x00, 0xff];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.read_bits(12).unwrap(), 0x0ff);
+        assert_eq!(r.read_bits(12).unwrap(), 0xff0);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut r = BitReader::new(&[0xaa]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xaa);
+        assert!(matches!(r.read_bits(1), Err(CompressError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn align_and_raw_bytes() {
+        let data = [0b0000_0001, 0xde, 0xad];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        r.align_byte();
+        assert_eq!(r.read_bytes(2).unwrap(), &[0xde, 0xad]);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b11001100, 8);
+        w.write_bits(0x3fff, 14);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(8).unwrap(), 0b11001100);
+        assert_eq!(r.read_bits(14).unwrap(), 0x3fff);
+    }
+
+    #[test]
+    fn write_code_reverses() {
+        let mut w = BitWriter::new();
+        // Huffman code 0b110 (MSB-first) must appear as 0b011 LSB-first.
+        w.write_code(0b110, 3);
+        let bytes = w.finish();
+        assert_eq!(bytes[0] & 0b111, 0b011);
+    }
+
+    #[test]
+    fn reverse_bits_cases() {
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0b100, 3), 0b001);
+        assert_eq!(reverse_bits(0b10110, 5), 0b01101);
+        assert_eq!(reverse_bits(0, 0), 0);
+    }
+
+    #[test]
+    fn zero_bit_read_is_zero() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! CRC-32 (IEEE 802.3 polynomial), as used by gzip.
+
+/// Streaming CRC-32 computation.
+///
+/// # Examples
+///
+/// ```
+/// use tsr_compress::crc32::Crc32;
+///
+/// let mut c = Crc32::new();
+/// c.update(b"123456789");
+/// assert_eq!(c.finalize(), 0xcbf43926);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xedb88320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+impl Crc32 {
+    /// Creates a fresh CRC accumulator.
+    pub fn new() -> Self {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    /// Absorbs data.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = t[((self.state ^ b as u32) & 0xff) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Returns the final CRC value.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+
+    /// One-shot CRC of `data`.
+    pub fn checksum(data: &[u8]) -> u32 {
+        let mut c = Crc32::new();
+        c.update(data);
+        c.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(Crc32::checksum(b""), 0);
+        assert_eq!(Crc32::checksum(b"123456789"), 0xcbf43926);
+        assert_eq!(Crc32::checksum(b"The quick brown fox jumps over the lazy dog"), 0x414fa339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"hello world hello world";
+        let mut c = Crc32::new();
+        c.update(&data[..7]);
+        c.update(&data[7..]);
+        assert_eq!(c.finalize(), Crc32::checksum(data));
+    }
+
+    #[test]
+    fn sensitivity() {
+        assert_ne!(Crc32::checksum(b"a"), Crc32::checksum(b"b"));
+    }
+}

@@ -1,0 +1,304 @@
+//! DEFLATE compression (RFC 1951) with LZ77 matching and fixed-Huffman
+//! encoding, falling back to stored blocks when that is smaller.
+
+use crate::bitio::BitWriter;
+use crate::inflate::{DIST_BASE, DIST_EXTRA, LENGTH_BASE, LENGTH_EXTRA};
+
+/// LZ77 window size.
+const WINDOW: usize = 32 * 1024;
+/// Minimum/maximum match lengths in DEFLATE.
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+/// Hash chain parameters.
+const HASH_BITS: usize = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// How many chain links to follow before giving up (greedy quality knob).
+const MAX_CHAIN: usize = 64;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+/// Compresses `input` into a raw DEFLATE stream.
+///
+/// Uses a single fixed-Huffman block with LZ77 back-references; if the
+/// compressed form would exceed the stored representation, emits stored
+/// blocks instead, so output is never much larger than the input.
+///
+/// # Examples
+///
+/// ```
+/// let data = vec![7u8; 4096];
+/// let c = tsr_compress::deflate::compress(&data);
+/// assert!(c.len() < data.len() / 10);
+/// assert_eq!(tsr_compress::inflate::decompress(&c).unwrap(), data);
+/// ```
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let tokens = lz77(input);
+    let fixed = encode_fixed(&tokens);
+    let stored_len = stored_size(input.len());
+    if fixed.len() <= stored_len {
+        fixed
+    } else {
+        encode_stored(input)
+    }
+}
+
+fn stored_size(len: usize) -> usize {
+    // Each stored block holds up to 65535 bytes with a 5-byte header.
+    let blocks = len.div_ceil(65_535).max(1);
+    len + 5 * blocks
+}
+
+/// Encodes the input as stored (uncompressed) blocks.
+pub fn encode_stored(input: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    let chunks: Vec<&[u8]> = if input.is_empty() {
+        vec![&[]]
+    } else {
+        input.chunks(65_535).collect()
+    };
+    for (i, chunk) in chunks.iter().enumerate() {
+        let bfinal = (i + 1 == chunks.len()) as u32;
+        w.write_bits(bfinal, 1);
+        w.write_bits(0, 2);
+        w.align_byte();
+        w.write_bytes(&(chunk.len() as u16).to_le_bytes());
+        w.write_bytes(&(!(chunk.len() as u16)).to_le_bytes());
+        w.write_bytes(chunk);
+    }
+    w.finish()
+}
+
+/// Greedy LZ77 with hash chains.
+fn lz77(input: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(input.len() / 2 + 8);
+    if input.len() < MIN_MATCH + 1 {
+        tokens.extend(input.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; input.len()];
+    let hash = |data: &[u8], i: usize| -> usize {
+        let v = (data[i] as usize) << 16 | (data[i + 1] as usize) << 8 | data[i + 2] as usize;
+        (v.wrapping_mul(0x9E3779B1)) >> (usize::BITS as usize - HASH_BITS)
+    };
+    let mut i = 0;
+    while i < input.len() {
+        if i + MIN_MATCH > input.len() {
+            tokens.push(Token::Literal(input[i]));
+            i += 1;
+            continue;
+        }
+        let h = hash(input, i);
+        let mut candidate = head[h];
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let max_len = (input.len() - i).min(MAX_MATCH);
+        let mut chain = 0;
+        while candidate != usize::MAX && chain < MAX_CHAIN {
+            let dist = i - candidate;
+            if dist > WINDOW {
+                break;
+            }
+            // extend match
+            let mut l = 0usize;
+            while l < max_len && input[candidate + l] == input[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = dist;
+                if l == max_len {
+                    break;
+                }
+            }
+            candidate = prev[candidate];
+            chain += 1;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
+            // Insert hash entries for every position inside the match.
+            let end = (i + best_len).min(input.len() - MIN_MATCH + 1);
+            let mut j = i;
+            while j < end {
+                let hj = hash(input, j);
+                prev[j] = head[hj];
+                head[hj] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            prev[i] = head[h];
+            head[h] = i;
+            tokens.push(Token::Literal(input[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Fixed-Huffman code for a literal/length symbol: (code, bits), MSB-first.
+fn fixed_lit_code(sym: u16) -> (u32, u32) {
+    match sym {
+        0..=143 => (0x30 + sym as u32, 8),
+        144..=255 => (0x190 + (sym as u32 - 144), 9),
+        256..=279 => (sym as u32 - 256, 7),
+        280..=287 => (0xc0 + (sym as u32 - 280), 8),
+        _ => unreachable!("invalid literal symbol"),
+    }
+}
+
+/// Maps a match length (3..=258) to (symbol, extra_bits, extra_value).
+fn length_symbol(len: u16) -> (u16, u8, u16) {
+    debug_assert!((MIN_MATCH as u16..=MAX_MATCH as u16).contains(&len));
+    // Find the largest base <= len; 258 lands exactly on the last base (code 285).
+    let idx = LENGTH_BASE.partition_point(|&b| b <= len) - 1;
+    let base = LENGTH_BASE[idx];
+    (257 + idx as u16, LENGTH_EXTRA[idx], len - base)
+}
+
+/// Maps a distance (1..=32768) to (symbol, extra_bits, extra_value).
+fn distance_symbol(dist: u16) -> (u16, u8, u16) {
+    debug_assert!(dist >= 1);
+    let idx = DIST_BASE.partition_point(|&b| b as u32 <= dist as u32) - 1;
+    let base = DIST_BASE[idx];
+    (idx as u16, DIST_EXTRA[idx], dist - base)
+}
+
+fn encode_fixed(tokens: &[Token]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_bits(1, 1); // BFINAL
+    w.write_bits(1, 2); // fixed Huffman
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => {
+                let (code, bits) = fixed_lit_code(b as u16);
+                w.write_code(code, bits);
+            }
+            Token::Match { len, dist } => {
+                let (sym, extra, extra_val) = length_symbol(len);
+                let (code, bits) = fixed_lit_code(sym);
+                w.write_code(code, bits);
+                if extra > 0 {
+                    w.write_bits(extra_val as u32, extra as u32);
+                }
+                let (dsym, dextra, dextra_val) = distance_symbol(dist);
+                // Fixed distance codes are 5 bits, MSB-first.
+                w.write_code(dsym as u32, 5);
+                if dextra > 0 {
+                    w.write_bits(dextra_val as u32, dextra as u32);
+                }
+            }
+        }
+    }
+    let (code, bits) = fixed_lit_code(256);
+    w.write_code(code, bits);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::decompress;
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(decompress(&compress(b"")).unwrap(), b"");
+    }
+
+    #[test]
+    fn roundtrip_short() {
+        for msg in [&b"a"[..], b"ab", b"abc", b"hello world"] {
+            assert_eq!(decompress(&compress(msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn roundtrip_repetitive_compresses() {
+        let data = b"abcabcabcabcabcabcabcabcabcabc".repeat(100);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 5, "got {} for {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_random_data_not_much_bigger() {
+        // Pseudo-random bytes don't compress; stored fallback bounds growth.
+        let mut state = 0x12345678u32;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 24) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + 5 * 3);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_long_match_258() {
+        let data = vec![b'x'; 1000];
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(c.len() < 40);
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let data = include_str!("deflate.rs").as_bytes();
+        let c = compress(data);
+        assert!(c.len() < data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn length_symbol_boundaries() {
+        assert_eq!(length_symbol(3), (257, 0, 0));
+        assert_eq!(length_symbol(10), (264, 0, 0));
+        assert_eq!(length_symbol(11), (265, 1, 0));
+        assert_eq!(length_symbol(12), (265, 1, 1));
+        assert_eq!(length_symbol(257), (284, 5, 30));
+        assert_eq!(length_symbol(258), (285, 0, 0));
+    }
+
+    #[test]
+    fn distance_symbol_boundaries() {
+        assert_eq!(distance_symbol(1), (0, 0, 0));
+        assert_eq!(distance_symbol(4), (3, 0, 0));
+        assert_eq!(distance_symbol(5), (4, 1, 0));
+        assert_eq!(distance_symbol(24577), (29, 13, 0));
+        assert_eq!(distance_symbol(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn stored_encoding_valid() {
+        let data = vec![9u8; 70_000]; // spans two stored blocks
+        let s = encode_stored(&data);
+        assert_eq!(decompress(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn fixed_lit_codes_match_rfc() {
+        assert_eq!(fixed_lit_code(0), (0x30, 8));
+        assert_eq!(fixed_lit_code(143), (0xbf, 8));
+        assert_eq!(fixed_lit_code(144), (0x190, 9));
+        assert_eq!(fixed_lit_code(255), (0x1ff, 9));
+        assert_eq!(fixed_lit_code(256), (0, 7));
+        assert_eq!(fixed_lit_code(279), (0x17, 7));
+        assert_eq!(fixed_lit_code(280), (0xc0, 8));
+    }
+}

@@ -1,0 +1,28 @@
+//! # tsr-compress
+//!
+//! From-scratch DEFLATE (RFC 1951) and gzip (RFC 1952) for the TSR
+//! reproduction — the replacement for the gzip tooling the paper uses when
+//! unpacking and re-creating `.apk` packages.
+//!
+//! - [`deflate`]: LZ77 + fixed-Huffman compressor with stored-block fallback,
+//! - [`inflate`]: full decompressor (stored, fixed, dynamic Huffman),
+//! - [`gzip`]: gzip member framing with CRC32 and length verification,
+//! - [`crc32`], [`bitio`]: supporting pieces.
+//!
+//! # Examples
+//!
+//! ```
+//! let original = b"packages compress well well well well".repeat(8);
+//! let gz = tsr_compress::gzip::compress(&original);
+//! assert_eq!(tsr_compress::gzip::decompress(&gz)?, original);
+//! # Ok::<(), tsr_compress::CompressError>(())
+//! ```
+
+pub mod bitio;
+pub mod crc32;
+pub mod deflate;
+pub mod error;
+pub mod gzip;
+pub mod inflate;
+
+pub use error::CompressError;

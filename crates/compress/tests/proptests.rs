@@ -1,0 +1,41 @@
+//! Property-based round-trip tests for DEFLATE and gzip.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deflate_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let c = tsr_compress::deflate::compress(&data);
+        prop_assert_eq!(tsr_compress::inflate::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_roundtrip_repetitive(
+        seed in proptest::collection::vec(any::<u8>(), 1..64),
+        reps in 1usize..200,
+    ) {
+        let data: Vec<u8> = seed.iter().copied().cycle().take(seed.len() * reps).collect();
+        let c = tsr_compress::deflate::compress(&data);
+        prop_assert_eq!(tsr_compress::inflate::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn gzip_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let gz = tsr_compress::gzip::compress(&data);
+        prop_assert_eq!(tsr_compress::gzip::decompress(&gz).unwrap(), data);
+    }
+
+    #[test]
+    fn stored_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..70000)) {
+        let s = tsr_compress::deflate::encode_stored(&data);
+        prop_assert_eq!(tsr_compress::inflate::decompress(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn inflate_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = tsr_compress::inflate::decompress(&data);
+        let _ = tsr_compress::gzip::decompress(&data);
+    }
+}

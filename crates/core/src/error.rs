@@ -1,0 +1,86 @@
+//! Error types for the TSR core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by TSR operations.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A security policy could not be parsed.
+    Policy(String),
+    /// A package could not be decoded or verified.
+    Package(tsr_apk::PackageError),
+    /// A script could not be sanitized (the package is rejected).
+    Unsupported(tsr_script::Unsupported),
+    /// The mirror quorum failed.
+    Quorum(tsr_quorum::QuorumError),
+    /// Rollback detected: an index or cache entry is older than state
+    /// protected by the monotonic counter.
+    RollbackDetected(String),
+    /// Sealed state failed to unseal or was inconsistent.
+    SealedState(String),
+    /// The requested repository or package does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Policy(m) => write!(f, "invalid policy: {m}"),
+            CoreError::Package(e) => write!(f, "package error: {e}"),
+            CoreError::Unsupported(e) => write!(f, "{e}"),
+            CoreError::Quorum(e) => write!(f, "quorum error: {e}"),
+            CoreError::RollbackDetected(m) => write!(f, "rollback detected: {m}"),
+            CoreError::SealedState(m) => write!(f, "sealed state error: {m}"),
+            CoreError::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Package(e) => Some(e),
+            CoreError::Unsupported(e) => Some(e),
+            CoreError::Quorum(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tsr_apk::PackageError> for CoreError {
+    fn from(e: tsr_apk::PackageError) -> Self {
+        CoreError::Package(e)
+    }
+}
+
+impl From<tsr_script::Unsupported> for CoreError {
+    fn from(e: tsr_script::Unsupported) -> Self {
+        CoreError::Unsupported(e)
+    }
+}
+
+impl From<tsr_quorum::QuorumError> for CoreError {
+    fn from(e: tsr_quorum::QuorumError) -> Self {
+        CoreError::Quorum(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!CoreError::Policy("x".into()).to_string().is_empty());
+        assert!(CoreError::RollbackDetected("mc".into())
+            .to_string()
+            .contains("rollback"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn f<T: Send + Sync>() {}
+        f::<CoreError>();
+    }
+}

@@ -1,0 +1,33 @@
+//! # tsr-core
+//!
+//! The **Trusted Software Repository** — the paper's primary contribution:
+//! a secure proxy between integrity-enforced operating systems and
+//! community software repositories that serves *sanitized* packages, safe
+//! to install without breaking remote attestation.
+//!
+//! - [`policy`]: per-organization security policies (mirrors, trusted
+//!   signers, initial OS configuration — Listing 1),
+//! - [`sanitizer`]: the instrumented sanitization pipeline (§4.2, §5.3),
+//! - [`cache`]: the package cache with SGX-sealing + TPM-monotonic-counter
+//!   rollback protection (§5.5),
+//! - [`repository`]: one client's repository (quorum refresh, serving),
+//! - [`service`]: the multi-tenant REST service (§5.2).
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` at the workspace root for the end-to-end
+//! flow: deploy policy → refresh → install on an attested OS.
+
+pub mod cache;
+pub mod error;
+pub mod policy;
+pub mod repository;
+pub mod sanitizer;
+pub mod service;
+
+pub use cache::{PackageCache, SealedState};
+pub use error::CoreError;
+pub use policy::{InitConfigFile, MirrorRef, Policy};
+pub use repository::{RefreshReport, TsrRepository};
+pub use sanitizer::{PackageSanitizer, PhaseTimings, SanitizeRecord};
+pub use service::TsrService;

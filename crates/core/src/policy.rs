@@ -1,0 +1,669 @@
+//! Security policies (paper §4.5, Listing 1).
+//!
+//! Each organization deploys a policy to its TSR repository, defining which
+//! mirrors to read, which package signers to trust, and the initial OS
+//! configuration (`/etc/passwd`, `/etc/shadow`, `/etc/group`) on top of
+//! which user/group creation is predicted.
+//!
+//! The policy format is the YAML subset of Listing 1, parsed by a small
+//! schema-specific parser (no external YAML dependency): top-level keys,
+//! lists of maps, and `|-` block scalars.
+
+use tsr_crypto::RsaPublicKey;
+use tsr_net::Continent;
+
+use crate::error::CoreError;
+
+/// A mirror reference in the policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirrorRef {
+    /// Mirror hostname/URL.
+    pub hostname: String,
+    /// Declared location (used by the latency model in simulations).
+    pub continent: Continent,
+}
+
+/// An initial configuration file shipped with the policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitConfigFile {
+    /// Absolute path (e.g. `/etc/passwd`).
+    pub path: String,
+    /// Full file contents.
+    pub content: String,
+}
+
+/// A parsed security policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// Mirrors TSR may read (requires `2f+1` for the chosen `f`).
+    pub mirrors: Vec<MirrorRef>,
+    /// Trusted package/index signer keys (PEM, [`RsaPublicKey`]).
+    pub signers_keys: Vec<RsaPublicKey>,
+    /// Initial configuration files.
+    pub init_config_files: Vec<InitConfigFile>,
+    /// Byzantine mirrors tolerated; defaults to `(mirrors-1)/2`.
+    pub f: usize,
+    /// When non-empty, only these packages are served (the §4.5
+    /// "private/closed variant" extension).
+    pub package_whitelist: Vec<String>,
+    /// Packages never served, regardless of the whitelist.
+    pub package_blacklist: Vec<String>,
+}
+
+impl Policy {
+    /// Whether the policy permits serving `name` (whitelist ∩ ¬blacklist).
+    pub fn permits_package(&self, name: &str) -> bool {
+        if self.package_blacklist.iter().any(|p| p == name) {
+            return false;
+        }
+        self.package_whitelist.is_empty()
+            || self.package_whitelist.iter().any(|p| p == name)
+    }
+
+    /// Looks up an initial config file by path, returning "" when absent.
+    pub fn initial_content(&self, path: &str) -> &str {
+        self.init_config_files
+            .iter()
+            .find(|f| f.path == path)
+            .map(|f| f.content.as_str())
+            .unwrap_or("")
+    }
+
+    /// Trusted signer keys as `(name, key)` pairs keyed by fingerprint.
+    pub fn signer_keys_named(&self) -> Vec<(String, RsaPublicKey)> {
+        self.signers_keys
+            .iter()
+            .map(|k| (k.fingerprint(), k.clone()))
+            .collect()
+    }
+
+    /// Parses the YAML-subset policy format of Listing 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Policy`] on malformed input, unknown continents,
+    /// undecodable keys, or an `f` that the mirror count cannot support.
+    pub fn parse(text: &str) -> Result<Self, CoreError> {
+        let doc = parse_document(text)?;
+        let mut mirrors = Vec::new();
+        let mut signers_keys = Vec::new();
+        let mut init_config_files = Vec::new();
+        let mut f: Option<usize> = None;
+        let mut package_whitelist = Vec::new();
+        let mut package_blacklist = Vec::new();
+
+        for (key, value) in doc {
+            match key.as_str() {
+                "mirrors" => {
+                    for item in value.expect_list("mirrors")? {
+                        let map = item.expect_map("mirrors[]")?;
+                        let hostname = get_scalar(&map, "hostname", "mirrors[]")?;
+                        let continent = match map
+                            .iter()
+                            .find(|(k, _)| k == "continent")
+                            .map(|(_, v)| v)
+                        {
+                            Some(Value::Scalar(s)) => parse_continent(s)?,
+                            _ => Continent::Europe,
+                        };
+                        mirrors.push(MirrorRef {
+                            hostname,
+                            continent,
+                        });
+                    }
+                }
+                "signers_keys" => {
+                    for item in value.expect_list("signers_keys")? {
+                        let pem = item.expect_scalar("signers_keys[]")?;
+                        let key = RsaPublicKey::from_pem(&pem)
+                            .map_err(|e| CoreError::Policy(format!("signer key: {e}")))?;
+                        signers_keys.push(key);
+                    }
+                }
+                "init_config_files" => {
+                    for item in value.expect_list("init_config_files")? {
+                        let map = item.expect_map("init_config_files[]")?;
+                        init_config_files.push(InitConfigFile {
+                            path: get_scalar(&map, "path", "init_config_files[]")?,
+                            content: get_scalar(&map, "content", "init_config_files[]")?,
+                        });
+                    }
+                }
+                "f" => {
+                    let s = value.expect_scalar("f")?;
+                    f = Some(s.trim().parse().map_err(|_| {
+                        CoreError::Policy(format!("f is not a number: {s:?}"))
+                    })?);
+                }
+                "package_whitelist" => {
+                    for item in value.expect_list("package_whitelist")? {
+                        package_whitelist.push(item.expect_scalar("package_whitelist[]")?);
+                    }
+                }
+                "package_blacklist" => {
+                    for item in value.expect_list("package_blacklist")? {
+                        package_blacklist.push(item.expect_scalar("package_blacklist[]")?);
+                    }
+                }
+                other => {
+                    return Err(CoreError::Policy(format!("unknown key {other:?}")));
+                }
+            }
+        }
+
+        if mirrors.is_empty() {
+            return Err(CoreError::Policy("policy lists no mirrors".into()));
+        }
+        if signers_keys.is_empty() {
+            return Err(CoreError::Policy("policy lists no signer keys".into()));
+        }
+        let default_f = (mirrors.len() - 1) / 2;
+        let f = f.unwrap_or(default_f);
+        if mirrors.len() < 2 * f + 1 {
+            return Err(CoreError::Policy(format!(
+                "f={} requires {} mirrors but only {} are listed",
+                f,
+                2 * f + 1,
+                mirrors.len()
+            )));
+        }
+        Ok(Policy {
+            mirrors,
+            signers_keys,
+            init_config_files,
+            f,
+            package_whitelist,
+            package_blacklist,
+        })
+    }
+
+    /// Serializes back to the policy format (round-trip capable).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("mirrors:\n");
+        for m in &self.mirrors {
+            out.push_str(&format!("  - hostname: {}\n", m.hostname));
+            out.push_str(&format!("    continent: {}\n", continent_name(m.continent)));
+        }
+        out.push_str("signers_keys:\n");
+        for k in &self.signers_keys {
+            out.push_str("  - |-\n");
+            for line in k.to_pem().lines() {
+                out.push_str(&format!("      {line}\n"));
+            }
+        }
+        out.push_str("init_config_files:\n");
+        for fcfg in &self.init_config_files {
+            out.push_str(&format!("  - path: {}\n", fcfg.path));
+            out.push_str("    content: |-\n");
+            for line in fcfg.content.lines() {
+                out.push_str(&format!("      {line}\n"));
+            }
+        }
+        out.push_str(&format!("f: {}\n", self.f));
+        for (key, list) in [
+            ("package_whitelist", &self.package_whitelist),
+            ("package_blacklist", &self.package_blacklist),
+        ] {
+            if !list.is_empty() {
+                out.push_str(&format!("{key}:\n"));
+                for p in list {
+                    out.push_str(&format!("  - {p}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn continent_name(c: Continent) -> &'static str {
+    match c {
+        Continent::Europe => "europe",
+        Continent::NorthAmerica => "north-america",
+        Continent::Asia => "asia",
+    }
+}
+
+fn parse_continent(s: &str) -> Result<Continent, CoreError> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "europe" | "eu" => Ok(Continent::Europe),
+        "north-america" | "na" | "northamerica" => Ok(Continent::NorthAmerica),
+        "asia" => Ok(Continent::Asia),
+        other => Err(CoreError::Policy(format!("unknown continent {other:?}"))),
+    }
+}
+
+/// A parsed YAML-subset value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Scalar(String),
+    List(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn expect_list(self, ctx: &str) -> Result<Vec<Value>, CoreError> {
+        match self {
+            Value::List(l) => Ok(l),
+            _ => Err(CoreError::Policy(format!("{ctx}: expected a list"))),
+        }
+    }
+
+    fn expect_map(self, ctx: &str) -> Result<Vec<(String, Value)>, CoreError> {
+        match self {
+            Value::Map(m) => Ok(m),
+            _ => Err(CoreError::Policy(format!("{ctx}: expected a map"))),
+        }
+    }
+
+    fn expect_scalar(self, ctx: &str) -> Result<String, CoreError> {
+        match self {
+            Value::Scalar(s) => Ok(s),
+            _ => Err(CoreError::Policy(format!("{ctx}: expected a scalar"))),
+        }
+    }
+}
+
+fn get_scalar(map: &[(String, Value)], key: &str, ctx: &str) -> Result<String, CoreError> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| CoreError::Policy(format!("{ctx}: missing {key:?}")))?
+        .expect_scalar(&format!("{ctx}.{key}"))
+}
+
+/// Parses the top-level document: `key:` entries.
+fn parse_document(text: &str) -> Result<Vec<(String, Value)>, CoreError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let line = lines[i];
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            i += 1;
+            continue;
+        }
+        if line.starts_with(' ') {
+            return Err(CoreError::Policy(format!(
+                "unexpected indentation at line {}",
+                i + 1
+            )));
+        }
+        let (key, rest) = line
+            .split_once(':')
+            .ok_or_else(|| CoreError::Policy(format!("expected `key:` at line {}", i + 1)))?;
+        let rest = strip_comment(rest).trim().to_string();
+        i += 1;
+        if !rest.is_empty() {
+            out.push((key.trim().to_string(), parse_inline(&rest, &lines, &mut i, 0)?));
+        } else {
+            let v = parse_block(&lines, &mut i, 2)?;
+            out.push((key.trim().to_string(), v));
+        }
+    }
+    Ok(out)
+}
+
+fn strip_comment(s: &str) -> &str {
+    match s.find(" #") {
+        Some(idx) => &s[..idx],
+        None => s,
+    }
+}
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start().len()
+}
+
+/// Parses a value starting at `lines[*i]` indented at least `min_indent`.
+fn parse_block(lines: &[&str], i: &mut usize, min_indent: usize) -> Result<Value, CoreError> {
+    // Skip blanks.
+    while *i < lines.len() && lines[*i].trim().is_empty() {
+        *i += 1;
+    }
+    if *i >= lines.len() {
+        return Ok(Value::Scalar(String::new()));
+    }
+    let line = lines[*i];
+    let ind = indent_of(line);
+    if ind < min_indent {
+        return Ok(Value::Scalar(String::new()));
+    }
+    if line.trim_start().starts_with("- ") || line.trim_start() == "-" {
+        parse_list(lines, i, ind)
+    } else {
+        parse_map(lines, i, ind)
+    }
+}
+
+fn parse_list(lines: &[&str], i: &mut usize, indent: usize) -> Result<Value, CoreError> {
+    let mut items = Vec::new();
+    while *i < lines.len() {
+        let line = lines[*i];
+        if line.trim().is_empty() {
+            *i += 1;
+            continue;
+        }
+        let ind = indent_of(line);
+        if ind < indent || !line.trim_start().starts_with('-') {
+            break;
+        }
+        if ind > indent {
+            return Err(CoreError::Policy(format!(
+                "bad list indentation at line {}",
+                *i + 1
+            )));
+        }
+        // The item content starts after "- ".
+        let after = line.trim_start()[1..].trim_start();
+        let item_indent = ind + 2;
+        if after.is_empty() {
+            *i += 1;
+            items.push(parse_block(lines, i, item_indent)?);
+        } else if after == "|-" || after == "|" {
+            *i += 1;
+            items.push(Value::Scalar(parse_block_scalar(lines, i, item_indent)?));
+        } else if let Some((k, rest)) = split_map_key(after) {
+            // Inline start of a map item: `- key: value`.
+            let mut map = Vec::new();
+            let rest = strip_comment(&rest).trim().to_string();
+            *i += 1;
+            if rest.is_empty() {
+                return Err(CoreError::Policy(format!(
+                    "nested structures under list keys unsupported at line {}",
+                    *i
+                )));
+            }
+            map.push((k, parse_inline(&rest, lines, i, item_indent)?));
+            // Continuation keys at item_indent.
+            if let Value::Map(more) = parse_map_continuation(lines, i, item_indent)? {
+                map.extend(more);
+            }
+            items.push(Value::Map(map));
+        } else {
+            items.push(Value::Scalar(strip_comment(after).trim().to_string()));
+            *i += 1;
+        }
+    }
+    Ok(Value::List(items))
+}
+
+fn split_map_key(s: &str) -> Option<(String, String)> {
+    let idx = s.find(':')?;
+    let key = &s[..idx];
+    if key.contains(' ') || key.is_empty() {
+        return None;
+    }
+    Some((key.to_string(), s[idx + 1..].to_string()))
+}
+
+fn parse_map(lines: &[&str], i: &mut usize, indent: usize) -> Result<Value, CoreError> {
+    let mut map = Vec::new();
+    while *i < lines.len() {
+        let line = lines[*i];
+        if line.trim().is_empty() {
+            *i += 1;
+            continue;
+        }
+        let ind = indent_of(line);
+        if ind != indent || line.trim_start().starts_with('-') {
+            break;
+        }
+        let (key, rest) = line
+            .trim_start()
+            .split_once(':')
+            .ok_or_else(|| CoreError::Policy(format!("expected `key:` at line {}", *i + 1)))?;
+        let rest = strip_comment(rest).trim().to_string();
+        *i += 1;
+        let value = if rest.is_empty() {
+            parse_block(lines, i, indent + 1)?
+        } else {
+            parse_inline(&rest, lines, i, indent)?
+        };
+        map.push((key.trim().to_string(), value));
+    }
+    Ok(Value::Map(map))
+}
+
+/// Continues collecting `key: value` pairs at exactly `indent`.
+fn parse_map_continuation(
+    lines: &[&str],
+    i: &mut usize,
+    indent: usize,
+) -> Result<Value, CoreError> {
+    let mut map = Vec::new();
+    while *i < lines.len() {
+        let line = lines[*i];
+        if line.trim().is_empty() {
+            *i += 1;
+            continue;
+        }
+        let ind = indent_of(line);
+        if ind != indent || line.trim_start().starts_with('-') {
+            break;
+        }
+        let (key, rest) = line
+            .trim_start()
+            .split_once(':')
+            .ok_or_else(|| CoreError::Policy(format!("expected `key:` at line {}", *i + 1)))?;
+        let rest = strip_comment(rest).trim().to_string();
+        *i += 1;
+        let value = if rest.is_empty() {
+            parse_block(lines, i, indent + 1)?
+        } else {
+            parse_inline(&rest, lines, i, indent)?
+        };
+        map.push((key.trim().to_string(), value));
+    }
+    Ok(Value::Map(map))
+}
+
+fn parse_inline(
+    rest: &str,
+    lines: &[&str],
+    i: &mut usize,
+    indent: usize,
+) -> Result<Value, CoreError> {
+    if rest == "|-" || rest == "|" {
+        Ok(Value::Scalar(parse_block_scalar(lines, i, indent + 1)?))
+    } else {
+        Ok(Value::Scalar(rest.to_string()))
+    }
+}
+
+/// Parses a `|-` block scalar: lines indented more than `min_indent`.
+fn parse_block_scalar(
+    lines: &[&str],
+    i: &mut usize,
+    min_indent: usize,
+) -> Result<String, CoreError> {
+    // Determine the block's indentation from its first non-empty line.
+    let mut j = *i;
+    while j < lines.len() && lines[j].trim().is_empty() {
+        j += 1;
+    }
+    if j >= lines.len() || indent_of(lines[j]) < min_indent {
+        return Ok(String::new());
+    }
+    let block_indent = indent_of(lines[j]);
+    let mut out = String::new();
+    while *i < lines.len() {
+        let line = lines[*i];
+        if line.trim().is_empty() {
+            out.push('\n');
+            *i += 1;
+            continue;
+        }
+        if indent_of(line) < block_indent {
+            break;
+        }
+        out.push_str(&line[block_indent..]);
+        out.push('\n');
+        *i += 1;
+    }
+    // `|-` style: strip trailing newlines.
+    while out.ends_with('\n') {
+        out.pop();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+    use tsr_crypto::drbg::HmacDrbg;
+    use tsr_crypto::RsaPrivateKey;
+
+    fn signer_pem() -> &'static String {
+        static PEM: OnceLock<String> = OnceLock::new();
+        PEM.get_or_init(|| {
+            let mut rng = HmacDrbg::new(b"policy-signer");
+            RsaPrivateKey::generate(1024, &mut rng)
+                .public_key()
+                .to_pem()
+        })
+    }
+
+    fn sample_policy_text() -> String {
+        let pem_indented: String = signer_pem()
+            .lines()
+            .map(|l| format!("      {l}\n"))
+            .collect();
+        format!(
+            "mirrors:\n\
+             \x20 - hostname: https://alpinelinux/v3.10/\n\
+             \x20   continent: europe\n\
+             \x20 - hostname: https://yandex.ru/alpine/v3.10/\n\
+             \x20   continent: asia\n\
+             \x20 - hostname: https://ustc.edu.cn/alpine/v3.10/\n\
+             \x20   continent: north-america\n\
+             signers_keys:\n\
+             \x20 - |-\n\
+             {pem_indented}\
+             init_config_files:\n\
+             \x20 - path: /etc/passwd\n\
+             \x20   content: |-\n\
+             \x20     root:x:0:0:root:/root:/bin/ash\n\
+             \x20     daemon:x:2:2:daemon:/sbin:/sbin/nologin\n\
+             \x20 - path: /etc/group\n\
+             \x20   content: |-\n\
+             \x20     root:x:0:root\n\
+             f: 1\n"
+        )
+    }
+
+    #[test]
+    fn parse_listing1_style_policy() {
+        let p = Policy::parse(&sample_policy_text()).unwrap();
+        assert_eq!(p.mirrors.len(), 3);
+        assert_eq!(p.mirrors[0].hostname, "https://alpinelinux/v3.10/");
+        assert_eq!(p.mirrors[1].continent, Continent::Asia);
+        assert_eq!(p.signers_keys.len(), 1);
+        assert_eq!(p.f, 1);
+        assert!(p
+            .initial_content("/etc/passwd")
+            .starts_with("root:x:0:0:root"));
+        assert_eq!(p.initial_content("/etc/shadow"), "");
+    }
+
+    #[test]
+    fn roundtrip_through_to_text() {
+        let p = Policy::parse(&sample_policy_text()).unwrap();
+        let p2 = Policy::parse(&p.to_text()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn default_f_from_mirror_count() {
+        let text = sample_policy_text().replace("f: 1\n", "");
+        let p = Policy::parse(&text).unwrap();
+        assert_eq!(p.f, 1); // (3-1)/2
+    }
+
+    #[test]
+    fn too_large_f_rejected() {
+        let text = sample_policy_text().replace("f: 1", "f: 2");
+        assert!(matches!(Policy::parse(&text), Err(CoreError::Policy(_))));
+    }
+
+    #[test]
+    fn missing_mirrors_rejected() {
+        let text = "signers_keys:\n  - |-\n      x\n";
+        assert!(Policy::parse(text).is_err());
+    }
+
+    #[test]
+    fn bad_signer_key_rejected() {
+        let text = sample_policy_text();
+        // Replace PEM payload with garbage of similar shape.
+        let broken = text.replace(
+            signer_pem().lines().nth(1).unwrap(),
+            "!!!!invalid base64!!!!",
+        );
+        assert!(Policy::parse(&broken).is_err());
+    }
+
+    #[test]
+    fn unknown_top_level_key_rejected() {
+        let text = format!("{}bogus: 1\n", sample_policy_text());
+        assert!(matches!(Policy::parse(&text), Err(CoreError::Policy(_))));
+    }
+
+    #[test]
+    fn unknown_continent_rejected() {
+        let text = sample_policy_text().replace("continent: asia", "continent: mars");
+        assert!(Policy::parse(&text).is_err());
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let text = format!("# header comment\n{}", sample_policy_text());
+        assert!(Policy::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn signer_keys_named_by_fingerprint() {
+        let p = Policy::parse(&sample_policy_text()).unwrap();
+        let named = p.signer_keys_named();
+        assert_eq!(named.len(), 1);
+        assert_eq!(named[0].0.len(), 16);
+    }
+
+    #[test]
+    fn whitelist_blacklist_parse_and_roundtrip() {
+        let text = format!(
+            "{}package_whitelist:\n  - openssl\n  - musl\npackage_blacklist:\n  - badpkg\n",
+            sample_policy_text()
+        );
+        let p = Policy::parse(&text).unwrap();
+        assert_eq!(p.package_whitelist, vec!["openssl", "musl"]);
+        assert_eq!(p.package_blacklist, vec!["badpkg"]);
+        let p2 = Policy::parse(&p.to_text()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn permits_package_semantics() {
+        let mut p = Policy::parse(&sample_policy_text()).unwrap();
+        // Empty whitelist → everything permitted except blacklisted.
+        assert!(p.permits_package("anything"));
+        p.package_blacklist.push("evil".into());
+        assert!(!p.permits_package("evil"));
+        assert!(p.permits_package("fine"));
+        // Non-empty whitelist → only listed packages.
+        p.package_whitelist.push("only".into());
+        assert!(p.permits_package("only"));
+        assert!(!p.permits_package("fine"));
+        // Blacklist wins over whitelist.
+        p.package_whitelist.push("evil".into());
+        assert!(!p.permits_package("evil"));
+    }
+
+    #[test]
+    fn block_scalar_preserves_lines() {
+        let p = Policy::parse(&sample_policy_text()).unwrap();
+        let passwd = p.initial_content("/etc/passwd");
+        assert_eq!(passwd.lines().count(), 2);
+        assert!(passwd.ends_with("/sbin/nologin"));
+    }
+}

@@ -1,0 +1,715 @@
+//! A TSR repository instance: one client's logically separated, sanitized
+//! view of the upstream repository (paper §5.2–§5.5).
+
+use std::time::{Duration, Instant};
+
+use tsr_apk::Index;
+#[cfg(test)]
+use tsr_apk::Package;
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_crypto::{RsaPrivateKey, RsaPublicKey};
+use tsr_mirror::Mirror;
+use tsr_net::LatencyModel;
+use tsr_quorum::{fetch_package_verified, read_index_quorum, QuorumConfig};
+use tsr_sgx::Enclave;
+use tsr_tpm::Tpm;
+
+use crate::cache::{PackageCache, SealedState};
+use crate::error::CoreError;
+use crate::policy::Policy;
+use crate::sanitizer::{scan_universe, PackageSanitizer, SanitizeRecord};
+
+/// Statistics of one repository refresh.
+#[derive(Debug, Clone, Default)]
+pub struct RefreshReport {
+    /// Simulated time of the quorum index read (Figure 13's quantity).
+    pub quorum_elapsed: Duration,
+    /// Mirrors contacted during the quorum read.
+    pub quorum_contacted: usize,
+    /// Packages downloaded from mirrors this refresh.
+    pub downloaded: usize,
+    /// Simulated download time.
+    pub download_elapsed: Duration,
+    /// Per-package sanitization records (packages processed this refresh).
+    pub sanitized: Vec<SanitizeRecord>,
+    /// Wall-clock time spent sanitizing.
+    pub sanitize_elapsed: Duration,
+    /// Packages rejected as unsupported, with reasons.
+    pub rejected: Vec<(String, String)>,
+}
+
+/// One client's TSR repository.
+#[derive(Debug)]
+pub struct TsrRepository {
+    /// Unique repository identifier.
+    pub id: String,
+    policy: Policy,
+    signing_key: RsaPrivateKey,
+    signer_name: String,
+    cache: PackageCache,
+    upstream_index: Option<Index>,
+    sanitized_index: Option<Index>,
+    signed_sanitized_index: Vec<u8>,
+    sanitizer: Option<PackageSanitizer>,
+    universe_fingerprint: String,
+    counter_id: u32,
+    /// Sealed state as last written to the untrusted disk.
+    sealed_disk: Option<Vec<u8>>,
+    /// Rejected packages (name → reason) from the last refresh.
+    rejected: Vec<(String, String)>,
+    /// touches-accounts flag per sanitized package.
+    touches_accounts: std::collections::BTreeMap<String, bool>,
+}
+
+impl TsrRepository {
+    /// Initializes a repository for a deployed policy (Figure 7): the
+    /// signing key is generated *inside the enclave* from a seed derived
+    /// via the enclave's key-derivation facility, and a fresh TPM monotonic
+    /// counter protects the sealed state.
+    ///
+    /// `key_bits` controls the RSA modulus (2048 matches the paper's
+    /// 256-byte signatures; tests may use 1024 for speed).
+    pub fn init(
+        id: impl Into<String>,
+        policy: Policy,
+        enclave: &Enclave<'_>,
+        tpm: &mut Tpm,
+        key_bits: usize,
+    ) -> Self {
+        let id = id.into();
+        let seed = enclave.derive_seed(format!("tsr-repo-key:{id}").as_bytes());
+        let mut rng = HmacDrbg::new(&seed);
+        let signing_key = RsaPrivateKey::generate(key_bits, &mut rng);
+        let counter_id = tpm.create_counter();
+        let signer_name = format!("tsr-{id}");
+        TsrRepository {
+            id,
+            policy,
+            signing_key,
+            signer_name,
+            cache: PackageCache::new(),
+            upstream_index: None,
+            sanitized_index: None,
+            signed_sanitized_index: Vec::new(),
+            sanitizer: None,
+            universe_fingerprint: String::new(),
+            counter_id,
+            sealed_disk: None,
+            rejected: Vec::new(),
+            touches_accounts: Default::default(),
+        }
+    }
+
+    /// The public portion of the repository signing key (returned to the
+    /// client after policy deployment, step ➍ of Figure 7).
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.signing_key.public_key()
+    }
+
+    /// The signer name under which sanitized artifacts are signed.
+    pub fn signer_name(&self) -> &str {
+        &self.signer_name
+    }
+
+    /// The deployed policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The quorum configuration implied by the policy.
+    pub fn quorum_config(&self) -> QuorumConfig {
+        QuorumConfig {
+            f: self.policy.f,
+            ..QuorumConfig::default()
+        }
+    }
+
+    /// Packages rejected during the last refresh.
+    pub fn rejected(&self) -> &[(String, String)] {
+        &self.rejected
+    }
+
+    /// The cache (benchmarks inspect its statistics).
+    pub fn cache(&self) -> &PackageCache {
+        &self.cache
+    }
+
+    /// Mutable cache access (failure-injection tests).
+    pub fn cache_mut(&mut self) -> &mut PackageCache {
+        &mut self.cache
+    }
+
+    /// The current sanitizer, if a refresh has happened.
+    pub fn sanitizer(&self) -> Option<&PackageSanitizer> {
+        self.sanitizer.as_ref()
+    }
+
+    /// Refreshes the repository from the mirror fleet: quorum-reads the
+    /// upstream index, downloads new/changed packages, sanitizes them, and
+    /// regenerates the signed sanitized index (§5.4).
+    ///
+    /// # Errors
+    ///
+    /// Quorum failures, rollback detection (upstream snapshot went
+    /// backwards), or package decode failures.
+    pub fn refresh(
+        &mut self,
+        mirrors: &[Mirror],
+        model: &LatencyModel,
+        rng: &mut HmacDrbg,
+        enclave: &Enclave<'_>,
+        tpm: &mut Tpm,
+    ) -> Result<RefreshReport, CoreError> {
+        let mut report = RefreshReport::default();
+        let qcfg = self.quorum_config();
+        let signers = self.policy.signer_keys_named();
+
+        // 1. Quorum read of the upstream metadata index.
+        let outcome = read_index_quorum(mirrors, &qcfg, model, &signers, rng)?;
+        report.quorum_elapsed = outcome.elapsed;
+        report.quorum_contacted = outcome.contacted;
+        let new_index = outcome.index;
+
+        // 2. Anti-rollback: snapshots must not go backwards.
+        if let Some(prev) = &self.upstream_index {
+            if new_index.snapshot < prev.snapshot {
+                return Err(CoreError::RollbackDetected(format!(
+                    "upstream snapshot {} < previously seen {}",
+                    new_index.snapshot, prev.snapshot
+                )));
+            }
+        }
+
+        // 3. Download packages that are new or changed (skipping packages
+        //    the policy's whitelist/blacklist excludes — §4.5 extension).
+        for entry in new_index.iter() {
+            if !self.policy.permits_package(&entry.name) {
+                continue;
+            }
+            if self.cache.original_matches(&entry.name, &entry.content_hash) {
+                continue;
+            }
+            let (blob, elapsed) =
+                fetch_package_verified(mirrors, &entry.name, &new_index, &qcfg, model, rng)?;
+            report.download_elapsed += elapsed;
+            report.downloaded += 1;
+            self.cache.store_original(&entry.name, blob);
+        }
+        // Drop cache entries for packages that disappeared upstream.
+        let keep: std::collections::BTreeSet<String> =
+            new_index.iter().map(|e| e.name.clone()).collect();
+        self.cache.retain(|n| keep.contains(n));
+        self.touches_accounts.retain(|n, _| keep.contains(n));
+
+        // 4. Rebuild the user/group universe over the whole repository.
+        let blobs: Vec<&[u8]> = new_index
+            .iter()
+            .filter_map(|e| self.cache.read_original(&e.name).map(|(b, _)| b))
+            .collect();
+        let universe = scan_universe(blobs.into_iter());
+        let sanitizer = PackageSanitizer::new(
+            self.signing_key.clone(),
+            self.signer_name.clone(),
+            universe,
+            &self.policy,
+        );
+        let new_fingerprint = sanitizer.universe_fingerprint();
+        let universe_changed = new_fingerprint != self.universe_fingerprint;
+
+        // 5. Sanitize new/changed packages; re-sanitize account-touching
+        //    packages when the universe changed (their preambles and config
+        //    signatures are stale otherwise).
+        let t = Instant::now();
+        let mut sanitized_index = Index::new();
+        sanitized_index.snapshot = new_index.snapshot;
+        self.rejected.clear();
+        for entry in new_index.iter() {
+            if !self.policy.permits_package(&entry.name) {
+                continue;
+            }
+            let prev_ok = self
+                .sanitized_index
+                .as_ref()
+                .and_then(|idx| idx.get(&entry.name))
+                .is_some();
+            let upstream_changed = self
+                .upstream_index
+                .as_ref()
+                .and_then(|idx| idx.get(&entry.name))
+                .map(|e| e.content_hash != entry.content_hash)
+                .unwrap_or(true);
+            let needs_account_refresh = universe_changed
+                && self
+                    .touches_accounts
+                    .get(&entry.name)
+                    .copied()
+                    .unwrap_or(false);
+            if prev_ok && !upstream_changed && !needs_account_refresh {
+                // Keep the existing sanitized blob.
+                if let Some((blob, _)) = self.cache.read_sanitized(&entry.name) {
+                    sanitized_index.upsert(Index::entry_for_blob(
+                        &entry.name,
+                        &entry.version,
+                        &entry.depends,
+                        blob,
+                    ));
+                    continue;
+                }
+            }
+            let Some((original, _)) = self.cache.read_original(&entry.name) else {
+                continue;
+            };
+            match sanitizer.sanitize(original, &signers) {
+                Ok((blob, record)) => {
+                    self.touches_accounts
+                        .insert(entry.name.clone(), record.touches_accounts);
+                    sanitized_index.upsert(Index::entry_for_blob(
+                        &entry.name,
+                        &entry.version,
+                        &entry.depends,
+                        &blob,
+                    ));
+                    self.cache.store_sanitized(&entry.name, blob);
+                    report.sanitized.push(record);
+                }
+                Err(CoreError::Unsupported(e)) => {
+                    self.cache.invalidate_sanitized(&entry.name);
+                    self.rejected.push((entry.name.clone(), e.to_string()));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        report.sanitize_elapsed = t.elapsed();
+        report.rejected = self.rejected.clone();
+
+        // 6. Sign the sanitized index with the TSR key and seal state.
+        self.signed_sanitized_index =
+            sanitized_index.sign(&self.signing_key, &self.signer_name);
+        self.upstream_index = Some(new_index);
+        self.sanitized_index = Some(sanitized_index);
+        self.sanitizer = Some(sanitizer);
+        self.universe_fingerprint = new_fingerprint;
+        self.persist(enclave, tpm)?;
+        Ok(report)
+    }
+
+    /// Serves the signed sanitized metadata index.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] before the first refresh.
+    pub fn serve_index(&self) -> Result<Vec<u8>, CoreError> {
+        if self.signed_sanitized_index.is_empty() {
+            return Err(CoreError::NotFound(
+                "repository not yet refreshed".into(),
+            ));
+        }
+        Ok(self.signed_sanitized_index.clone())
+    }
+
+    /// Serves a sanitized package from the cache, verifying it against the
+    /// in-enclave index first (rollback protection). Returns the blob and
+    /// the simulated disk latency.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown packages,
+    /// [`CoreError::RollbackDetected`] when the cached bytes were tampered.
+    pub fn serve_package(&self, name: &str) -> Result<(Vec<u8>, Duration), CoreError> {
+        let idx = self
+            .sanitized_index
+            .as_ref()
+            .ok_or_else(|| CoreError::NotFound("repository not yet refreshed".into()))?;
+        let entry = idx
+            .get(name)
+            .ok_or_else(|| CoreError::NotFound(format!("package {name}")))?;
+        let (blob, lat) = self
+            .cache
+            .read_sanitized_verified(name, &entry.content_hash)?;
+        Ok((blob.to_vec(), lat))
+    }
+
+    /// The sanitized index (after a refresh).
+    pub fn sanitized_index(&self) -> Option<&Index> {
+        self.sanitized_index.as_ref()
+    }
+
+    /// The last seen upstream index.
+    pub fn upstream_index(&self) -> Option<&Index> {
+        self.upstream_index.as_ref()
+    }
+
+    /// Seals the metadata indexes to the untrusted disk, bumping the
+    /// monotonic counter (§5.5).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SealedState`] on counter failures.
+    pub fn persist(&mut self, enclave: &Enclave<'_>, tpm: &mut Tpm) -> Result<(), CoreError> {
+        let state = SealedState {
+            upstream_index: self
+                .upstream_index
+                .as_ref()
+                .map(|i| i.to_text())
+                .unwrap_or_default(),
+            sanitized_index: self
+                .sanitized_index
+                .as_ref()
+                .map(|i| i.to_text())
+                .unwrap_or_default(),
+            counter: 0,
+        };
+        self.sealed_disk = Some(state.seal(enclave, tpm, self.counter_id)?);
+        Ok(())
+    }
+
+    /// The sealed blob as stored on the untrusted disk.
+    pub fn sealed_disk(&self) -> Option<&[u8]> {
+        self.sealed_disk.as_deref()
+    }
+
+    /// **Failure injection:** replace the sealed disk blob (adversary).
+    pub fn set_sealed_disk(&mut self, blob: Vec<u8>) {
+        self.sealed_disk = Some(blob);
+    }
+
+    /// Restores the metadata indexes after a restart, verifying the
+    /// monotonic counter. The package cache is re-validated lazily on every
+    /// [`Self::serve_package`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SealedState`] / [`CoreError::RollbackDetected`].
+    pub fn restore(&mut self, enclave: &Enclave<'_>, tpm: &Tpm) -> Result<(), CoreError> {
+        let blob = self
+            .sealed_disk
+            .as_ref()
+            .ok_or_else(|| CoreError::SealedState("no sealed state on disk".into()))?;
+        let state = SealedState::unseal(blob, enclave, tpm, self.counter_id)?;
+        self.upstream_index = if state.upstream_index.is_empty() {
+            None
+        } else {
+            Some(Index::parse(&state.upstream_index)?)
+        };
+        let sanitized = if state.sanitized_index.is_empty() {
+            None
+        } else {
+            Some(Index::parse(&state.sanitized_index)?)
+        };
+        self.signed_sanitized_index = match &sanitized {
+            Some(idx) => idx.sign(&self.signing_key, &self.signer_name),
+            None => Vec::new(),
+        };
+        self.sanitized_index = sanitized;
+        Ok(())
+    }
+}
+
+/// Re-sanitizes one package on demand — used by benchmarks reproducing the
+/// "Original"/"None" cache scenarios of Figure 10.
+///
+/// # Errors
+///
+/// Same as [`PackageSanitizer::sanitize`].
+pub fn sanitize_one(
+    repo: &TsrRepository,
+    blob: &[u8],
+) -> Result<(Vec<u8>, SanitizeRecord), CoreError> {
+    let sanitizer = repo
+        .sanitizer()
+        .ok_or_else(|| CoreError::NotFound("repository not yet refreshed".into()))?;
+    sanitizer.sanitize(blob, &repo.policy().signer_keys_named())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{InitConfigFile, MirrorRef};
+    use std::collections::BTreeMap;
+    use std::sync::OnceLock;
+    use tsr_apk::PackageBuilder;
+    use tsr_archive::Entry;
+    use tsr_mirror::{publish_to_all, Behavior, RepoSnapshot};
+    use tsr_net::Continent;
+    use tsr_sgx::Cpu;
+
+    fn upstream_key() -> &'static RsaPrivateKey {
+        static K: OnceLock<RsaPrivateKey> = OnceLock::new();
+        K.get_or_init(|| {
+            let mut rng = HmacDrbg::new(b"repo-upstream");
+            RsaPrivateKey::generate(1024, &mut rng)
+        })
+    }
+
+    fn policy() -> Policy {
+        Policy {
+            mirrors: (0..3)
+                .map(|i| MirrorRef {
+                    hostname: format!("m{i}"),
+                    continent: Continent::Europe,
+                })
+                .collect(),
+            signers_keys: vec![upstream_key().public_key().clone()],
+            init_config_files: vec![InitConfigFile {
+                path: "/etc/passwd".into(),
+                content: "root:x:0:0:root:/root:/bin/ash".into(),
+            }],
+            f: 1,
+            package_whitelist: Vec::new(),
+            package_blacklist: Vec::new(),
+        }
+    }
+
+    fn build_pkg(name: &str, version: &str, script: Option<&str>) -> Vec<u8> {
+        let mut b = PackageBuilder::new(name, version);
+        b.file(Entry::file(format!("usr/bin/{name}"), name.as_bytes().to_vec()));
+        if let Some(s) = script {
+            b.post_install(s);
+        }
+        b.build(upstream_key(), "builder")
+    }
+
+    fn snapshot(id: u64, pkgs: &[(&str, &str, Option<&str>)]) -> RepoSnapshot {
+        let mut index = Index::new();
+        index.snapshot = id;
+        let mut packages = BTreeMap::new();
+        for (name, version, script) in pkgs {
+            let blob = build_pkg(name, version, *script);
+            index.upsert(Index::entry_for_blob(name, version, &[], &blob));
+            packages.insert(name.to_string(), blob);
+        }
+        RepoSnapshot {
+            snapshot_id: id,
+            signed_index: index.sign(upstream_key(), "builder"),
+            packages,
+        }
+    }
+
+    struct World {
+        cpu: Cpu,
+        tpm: Tpm,
+        mirrors: Vec<Mirror>,
+        model: LatencyModel,
+        rng: HmacDrbg,
+    }
+
+    impl World {
+        fn new() -> Self {
+            let mut mirrors: Vec<Mirror> = (0..3)
+                .map(|i| Mirror::new(format!("m{i}"), Continent::Europe))
+                .collect();
+            publish_to_all(
+                &mut mirrors,
+                &snapshot(
+                    1,
+                    &[
+                        ("plain", "1.0", None),
+                        ("websrv", "2.0", Some("adduser -S -D -H www\nmkdir -p /var/www")),
+                        ("badpkg", "0.1", Some("echo x >> /etc/evil.conf")),
+                    ],
+                ),
+            );
+            World {
+                cpu: Cpu::new(b"cpu"),
+                tpm: Tpm::new(b"tpm"),
+                mirrors,
+                model: LatencyModel::default(),
+                rng: HmacDrbg::new(b"world"),
+            }
+        }
+
+        fn repo(&mut self) -> TsrRepository {
+            let enclave = self.cpu.load_enclave(b"tsr-enclave");
+            TsrRepository::init("client-1", policy(), &enclave, &mut self.tpm, 1024)
+        }
+
+        fn refresh(&mut self, repo: &mut TsrRepository) -> Result<RefreshReport, CoreError> {
+            let enclave = self.cpu.load_enclave(b"tsr-enclave");
+            repo.refresh(
+                &self.mirrors,
+                &self.model,
+                &mut self.rng,
+                &enclave,
+                &mut self.tpm,
+            )
+        }
+    }
+
+    #[test]
+    fn end_to_end_refresh_and_serve() {
+        let mut w = World::new();
+        let mut repo = w.repo();
+        let report = w.refresh(&mut repo).unwrap();
+        assert_eq!(report.downloaded, 3);
+        assert_eq!(report.sanitized.len(), 2, "badpkg rejected");
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].0, "badpkg");
+
+        // The served index is signed by the TSR key and lists 2 packages.
+        let signed = repo.serve_index().unwrap();
+        let keys = vec![(repo.signer_name().to_string(), repo.public_key().clone())];
+        let idx = Index::parse_signed(&signed, &keys).unwrap();
+        assert_eq!(idx.len(), 2);
+        assert!(idx.get("badpkg").is_none());
+
+        // Serving a package verifies against the index and the TSR key.
+        let (blob, _) = repo.serve_package("websrv").unwrap();
+        let pkg = Package::parse(&blob).unwrap();
+        pkg.verify(repo.public_key()).unwrap();
+        assert!(pkg
+            .scripts
+            .post_install
+            .unwrap()
+            .contains("canonical user/group creation"));
+    }
+
+    #[test]
+    fn second_refresh_only_sanitizes_changes() {
+        let mut w = World::new();
+        let mut repo = w.repo();
+        w.refresh(&mut repo).unwrap();
+        // Publish snapshot 2 with one updated package (no account change).
+        publish_to_all(
+            &mut w.mirrors,
+            &snapshot(
+                2,
+                &[
+                    ("plain", "1.1", None), // updated
+                    ("websrv", "2.0", Some("adduser -S -D -H www\nmkdir -p /var/www")),
+                    ("badpkg", "0.1", Some("echo x >> /etc/evil.conf")),
+                ],
+            ),
+        );
+        let report = w.refresh(&mut repo).unwrap();
+        assert_eq!(report.downloaded, 1, "only the changed package");
+        assert_eq!(report.sanitized.len(), 1);
+        assert_eq!(report.sanitized[0].name, "plain");
+    }
+
+    #[test]
+    fn universe_change_resanitizes_account_packages() {
+        let mut w = World::new();
+        let mut repo = w.repo();
+        w.refresh(&mut repo).unwrap();
+        // Snapshot 2 adds a package creating a NEW user → universe changes.
+        publish_to_all(
+            &mut w.mirrors,
+            &snapshot(
+                2,
+                &[
+                    ("plain", "1.0", None),
+                    ("websrv", "2.0", Some("adduser -S -D -H www\nmkdir -p /var/www")),
+                    ("badpkg", "0.1", Some("echo x >> /etc/evil.conf")),
+                    ("dbsrv", "1.0", Some("adduser -S -D -H db")),
+                ],
+            ),
+        );
+        let report = w.refresh(&mut repo).unwrap();
+        let names: Vec<&str> = report.sanitized.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"dbsrv"));
+        assert!(
+            names.contains(&"websrv"),
+            "websrv preamble must now include db: {names:?}"
+        );
+        assert!(!names.contains(&"plain"), "plain untouched");
+        // And the new preamble indeed lists both users.
+        let (blob, _) = repo.serve_package("websrv").unwrap();
+        let pkg = Package::parse(&blob).unwrap();
+        let body = pkg.scripts.post_install.unwrap();
+        assert!(body.contains(" db\n"));
+        assert!(body.contains(" www\n"));
+    }
+
+    #[test]
+    fn upstream_rollback_detected() {
+        let mut w = World::new();
+        let mut repo = w.repo();
+        w.refresh(&mut repo).unwrap();
+        publish_to_all(&mut w.mirrors, &snapshot(2, &[("plain", "1.1", None)]));
+        w.refresh(&mut repo).unwrap();
+        // All mirrors now replay snapshot 1 (e.g. colluding majority).
+        for m in &mut w.mirrors {
+            m.set_behavior(Behavior::Stale { snapshot: 0 });
+        }
+        assert!(matches!(
+            w.refresh(&mut repo),
+            Err(CoreError::RollbackDetected(_))
+        ));
+    }
+
+    #[test]
+    fn cache_tamper_detected_on_serve() {
+        let mut w = World::new();
+        let mut repo = w.repo();
+        w.refresh(&mut repo).unwrap();
+        repo.cache_mut().tamper_sanitized("plain", vec![0u8; 10]);
+        assert!(matches!(
+            repo.serve_package("plain"),
+            Err(CoreError::RollbackDetected(_))
+        ));
+    }
+
+    #[test]
+    fn restart_restore_roundtrip() {
+        let mut w = World::new();
+        let mut repo = w.repo();
+        w.refresh(&mut repo).unwrap();
+        let enclave = w.cpu.load_enclave(b"tsr-enclave");
+        // Simulate restart: indexes wiped, restored from sealed disk.
+        let sealed = repo.sealed_disk().unwrap().to_vec();
+        repo.set_sealed_disk(sealed);
+        repo.restore(&enclave, &w.tpm).unwrap();
+        assert!(repo.sanitized_index().is_some());
+        assert!(repo.serve_package("plain").is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_replayed_sealed_state() {
+        let mut w = World::new();
+        let mut repo = w.repo();
+        w.refresh(&mut repo).unwrap();
+        let old_sealed = repo.sealed_disk().unwrap().to_vec();
+        // Another refresh → counter bumps → old sealed blob is stale.
+        publish_to_all(&mut w.mirrors, &snapshot(2, &[("plain", "1.1", None)]));
+        w.refresh(&mut repo).unwrap();
+        repo.set_sealed_disk(old_sealed);
+        let enclave = w.cpu.load_enclave(b"tsr-enclave");
+        assert!(matches!(
+            repo.restore(&enclave, &w.tpm),
+            Err(CoreError::RollbackDetected(_))
+        ));
+    }
+
+    #[test]
+    fn serve_before_refresh_errors() {
+        let mut w = World::new();
+        let repo = w.repo();
+        assert!(matches!(repo.serve_index(), Err(CoreError::NotFound(_))));
+        assert!(matches!(
+            repo.serve_package("plain"),
+            Err(CoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn one_byzantine_mirror_tolerated_end_to_end() {
+        let mut w = World::new();
+        w.mirrors[0].set_behavior(Behavior::CorruptPackages);
+        let mut repo = w.repo();
+        let report = w.refresh(&mut repo).unwrap();
+        assert_eq!(report.sanitized.len(), 2);
+        repo.serve_package("plain").unwrap();
+    }
+
+    #[test]
+    fn repo_keys_differ_per_id_and_enclave() {
+        let mut w = World::new();
+        let enclave = w.cpu.load_enclave(b"tsr-enclave");
+        let r1 = TsrRepository::init("a", policy(), &enclave, &mut w.tpm, 1024);
+        let r2 = TsrRepository::init("b", policy(), &enclave, &mut w.tpm, 1024);
+        assert_ne!(r1.public_key(), r2.public_key());
+        // Same id + same enclave → same key (deterministic derivation).
+        let r3 = TsrRepository::init("a", policy(), &enclave, &mut w.tpm, 1024);
+        assert_eq!(r1.public_key(), r3.public_key());
+    }
+}

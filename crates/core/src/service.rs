@@ -1,0 +1,446 @@
+//! The multi-tenant TSR service and its REST API (paper §5.2).
+//!
+//! A single TSR instance, executing inside one enclave, hosts many logically
+//! separated repositories — one per deployed policy. Clients interact over
+//! HTTP:
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `POST /repositories` (policy text body) | create a repository; returns `id\n<public key PEM>` |
+//! | `POST /repositories/{id}/refresh` | quorum-read upstream, sanitize changes |
+//! | `GET /repositories/{id}/APKINDEX` | the signed sanitized index |
+//! | `GET /repositories/{id}/packages/{name}` | a sanitized package blob |
+//! | `GET /attestation/{hex-nonce}` | SGX attestation report over the nonce |
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_crypto::hex;
+use tsr_http::{Request, Response, Server};
+use tsr_mirror::Mirror;
+use tsr_net::LatencyModel;
+use tsr_sgx::Cpu;
+use tsr_tpm::Tpm;
+
+use crate::error::CoreError;
+use crate::policy::Policy;
+use crate::repository::{RefreshReport, TsrRepository};
+
+/// The enclave code identity of this TSR build (what clients attest).
+pub const ENCLAVE_CODE: &[u8] = b"tsr-enclave-v1";
+
+struct ServiceState {
+    cpu: Cpu,
+    tpm: Tpm,
+    mirrors: Vec<Mirror>,
+    model: LatencyModel,
+    rng: HmacDrbg,
+    repos: BTreeMap<String, TsrRepository>,
+    next_id: u64,
+    key_bits: usize,
+}
+
+/// The multi-tenant TSR service.
+#[derive(Clone)]
+pub struct TsrService {
+    state: Arc<Mutex<ServiceState>>,
+}
+
+impl std::fmt::Debug for TsrService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("TsrService")
+            .field("repositories", &st.repos.len())
+            .field("mirrors", &st.mirrors.len())
+            .finish()
+    }
+}
+
+impl TsrService {
+    /// Creates a service on a simulated SGX CPU.
+    ///
+    /// `key_bits` sizes per-repository signing keys (2048 = paper-faithful,
+    /// 1024 = fast tests).
+    pub fn new(
+        seed: &[u8],
+        mirrors: Vec<Mirror>,
+        model: LatencyModel,
+        key_bits: usize,
+    ) -> Self {
+        let cpu = Cpu::new(seed);
+        let tpm = Tpm::new(seed);
+        let rng = HmacDrbg::new(&[b"tsr-service:", seed].concat());
+        TsrService {
+            state: Arc::new(Mutex::new(ServiceState {
+                cpu,
+                tpm,
+                mirrors,
+                model,
+                rng,
+                repos: BTreeMap::new(),
+                next_id: 1,
+                key_bits,
+            })),
+        }
+    }
+
+    /// Replaces the mirror fleet (tests/benches reconfigure behaviours).
+    pub fn set_mirrors(&self, mirrors: Vec<Mirror>) {
+        self.state.lock().mirrors = mirrors;
+    }
+
+    /// Runs `f` with mutable access to the mirror fleet.
+    pub fn with_mirrors<R>(&self, f: impl FnOnce(&mut Vec<Mirror>) -> R) -> R {
+        f(&mut self.state.lock().mirrors)
+    }
+
+    /// Creates a repository from a policy document, returning
+    /// `(repository id, public signing key PEM)` — Figure 7 steps ➋–➍.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Policy`] for malformed policies.
+    pub fn create_repository(&self, policy_text: &str) -> Result<(String, String), CoreError> {
+        let policy = Policy::parse(policy_text)?;
+        let mut st = self.state.lock();
+        let id = format!("repo-{}", st.next_id);
+        st.next_id += 1;
+        let key_bits = st.key_bits;
+        let st_ref = &mut *st;
+        let enclave = st_ref.cpu.load_enclave(ENCLAVE_CODE);
+        let repo = TsrRepository::init(id.clone(), policy, &enclave, &mut st_ref.tpm, key_bits);
+        let pem = repo.public_key().to_pem();
+        st_ref.repos.insert(id.clone(), repo);
+        Ok((id, pem))
+    }
+
+    /// Refreshes one repository from the mirror fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown ids plus refresh errors.
+    pub fn refresh(&self, id: &str) -> Result<RefreshReport, CoreError> {
+        let mut st = self.state.lock();
+        let st_ref = &mut *st;
+        let repo = st_ref
+            .repos
+            .get_mut(id)
+            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))?;
+        let enclave = st_ref.cpu.load_enclave(ENCLAVE_CODE);
+        repo.refresh(
+            &st_ref.mirrors,
+            &st_ref.model,
+            &mut st_ref.rng,
+            &enclave,
+            &mut st_ref.tpm,
+        )
+    }
+
+    /// Fetches the signed sanitized index of a repository.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown ids / unrefreshed repositories.
+    pub fn fetch_index(&self, id: &str) -> Result<Vec<u8>, CoreError> {
+        let st = self.state.lock();
+        st.repos
+            .get(id)
+            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))?
+            .serve_index()
+    }
+
+    /// Fetches a sanitized package blob.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] / [`CoreError::RollbackDetected`].
+    pub fn fetch_package(&self, id: &str, name: &str) -> Result<Vec<u8>, CoreError> {
+        let st = self.state.lock();
+        let repo = st
+            .repos
+            .get(id)
+            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))?;
+        repo.serve_package(name).map(|(b, _)| b)
+    }
+
+    /// Runs `f` with shared access to a repository.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown ids.
+    pub fn with_repository<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&TsrRepository) -> R,
+    ) -> Result<R, CoreError> {
+        let st = self.state.lock();
+        let repo = st
+            .repos
+            .get(id)
+            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))?;
+        Ok(f(repo))
+    }
+
+    /// The platform attestation key clients use to verify reports.
+    pub fn platform_key_pem(&self) -> String {
+        self.state.lock().cpu.attestation_key().to_pem()
+    }
+
+    /// Produces an attestation report carrying `nonce` (SGX remote
+    /// attestation, Figure 7 step ➊).
+    pub fn attestation_report(&self, nonce: &[u8]) -> (String, String, String) {
+        let st = self.state.lock();
+        let enclave = st.cpu.load_enclave(ENCLAVE_CODE);
+        let report = enclave.report(nonce);
+        (
+            hex::to_hex(&report.mrenclave.0),
+            hex::to_hex(&report.report_data),
+            hex::to_hex(&report.signature),
+        )
+    }
+
+    /// Routes an HTTP request (also usable without a real socket).
+    pub fn handle(&self, req: &Request) -> Response {
+        let path: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+        match (req.method.as_str(), path.as_slice()) {
+            ("POST", ["repositories"]) => {
+                let text = String::from_utf8_lossy(&req.body);
+                match self.create_repository(&text) {
+                    Ok((id, pem)) => Response::ok(format!("{id}\n{pem}").into_bytes()),
+                    Err(e) => Response::bad_request(&e.to_string()),
+                }
+            }
+            ("POST", ["repositories", id, "refresh"]) => match self.refresh(id) {
+                Ok(report) => Response::ok(
+                    format!(
+                        "downloaded={} sanitized={} rejected={}\n",
+                        report.downloaded,
+                        report.sanitized.len(),
+                        report.rejected.len()
+                    )
+                    .into_bytes(),
+                ),
+                Err(CoreError::NotFound(m)) => Response::not_found(&m),
+                Err(e) => Response::server_error(&e.to_string()),
+            },
+            ("GET", ["repositories", id, "APKINDEX"]) => match self.fetch_index(id) {
+                Ok(blob) => Response::ok(blob),
+                Err(e) => Response::not_found(&e.to_string()),
+            },
+            ("GET", ["repositories", id, "packages", name]) => {
+                match self.fetch_package(id, name) {
+                    Ok(blob) => Response::ok(blob),
+                    Err(CoreError::RollbackDetected(m)) => Response::server_error(&m),
+                    Err(e) => Response::not_found(&e.to_string()),
+                }
+            }
+            ("GET", ["attestation", nonce_hex]) => match hex::from_hex(nonce_hex) {
+                Some(nonce) => {
+                    let (mr, data, sig) = self.attestation_report(&nonce);
+                    Response::ok(format!("{mr}\n{data}\n{sig}\n").into_bytes())
+                }
+                None => Response::bad_request("nonce must be hex"),
+            },
+            _ => Response::not_found("unknown route"),
+        }
+    }
+
+    /// Binds an HTTP server exposing [`Self::handle`].
+    ///
+    /// # Errors
+    ///
+    /// [`tsr_http::HttpError`] when the address cannot be bound.
+    pub fn serve(&self, addr: &str) -> Result<Server, tsr_http::HttpError> {
+        let service = self.clone();
+        Server::bind(addr, move |req| service.handle(req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+    use std::sync::OnceLock;
+    use tsr_apk::{Index, PackageBuilder};
+    use tsr_archive::Entry;
+    use tsr_crypto::{RsaPrivateKey, RsaPublicKey};
+    use tsr_mirror::{publish_to_all, RepoSnapshot};
+    use tsr_net::Continent;
+
+    fn upstream_key() -> &'static RsaPrivateKey {
+        static K: OnceLock<RsaPrivateKey> = OnceLock::new();
+        K.get_or_init(|| {
+            let mut rng = HmacDrbg::new(b"svc-upstream");
+            RsaPrivateKey::generate(1024, &mut rng)
+        })
+    }
+
+    fn policy_text() -> String {
+        let pem: String = upstream_key()
+            .public_key()
+            .to_pem()
+            .lines()
+            .map(|l| format!("      {l}\n"))
+            .collect();
+        format!(
+            "mirrors:\n\
+             \x20 - hostname: m0\n\
+             \x20   continent: europe\n\
+             \x20 - hostname: m1\n\
+             \x20   continent: europe\n\
+             \x20 - hostname: m2\n\
+             \x20   continent: europe\n\
+             signers_keys:\n\
+             \x20 - |-\n{pem}\
+             f: 1\n"
+        )
+    }
+
+    fn mirrors() -> Vec<Mirror> {
+        let mut index = Index::new();
+        index.snapshot = 1;
+        let mut packages = Map::new();
+        let mut b = PackageBuilder::new("tool", "1.0");
+        b.file(Entry::file("usr/bin/tool", b"tool-bytes".to_vec()));
+        let blob = b.build(upstream_key(), "builder");
+        index.upsert(Index::entry_for_blob("tool", "1.0", &[], &blob));
+        packages.insert("tool".to_string(), blob);
+        let snap = RepoSnapshot {
+            snapshot_id: 1,
+            signed_index: index.sign(upstream_key(), "builder"),
+            packages,
+        };
+        let mut ms: Vec<Mirror> = (0..3)
+            .map(|i| Mirror::new(format!("m{i}"), Continent::Europe))
+            .collect();
+        publish_to_all(&mut ms, &snap);
+        ms
+    }
+
+    fn service() -> TsrService {
+        TsrService::new(b"svc-test", mirrors(), LatencyModel::default(), 1024)
+    }
+
+    #[test]
+    fn create_refresh_fetch_cycle() {
+        let svc = service();
+        let (id, pem) = svc.create_repository(&policy_text()).unwrap();
+        let key = RsaPublicKey::from_pem(&pem).unwrap();
+        svc.refresh(&id).unwrap();
+        let signed = svc.fetch_index(&id).unwrap();
+        let idx =
+            Index::parse_signed(&signed, &[(format!("tsr-{id}"), key.clone())]).unwrap();
+        assert_eq!(idx.len(), 1);
+        let blob = svc.fetch_package(&id, "tool").unwrap();
+        tsr_apk::Package::parse(&blob).unwrap().verify(&key).unwrap();
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let svc = service();
+        let (id1, pem1) = svc.create_repository(&policy_text()).unwrap();
+        let (id2, pem2) = svc.create_repository(&policy_text()).unwrap();
+        assert_ne!(id1, id2);
+        assert_ne!(pem1, pem2, "each repository gets its own signing key");
+        svc.refresh(&id1).unwrap();
+        // Packages from repo 1 do NOT verify under repo 2's key.
+        let blob = svc.fetch_package(&id1, "tool").unwrap();
+        let key2 = RsaPublicKey::from_pem(&pem2).unwrap();
+        assert!(tsr_apk::Package::parse(&blob).unwrap().verify(&key2).is_err());
+    }
+
+    #[test]
+    fn http_routes_work() {
+        let svc = service();
+        let server = svc.serve("127.0.0.1:0").unwrap();
+        let base = format!("http://{}", server.local_addr());
+        let client = tsr_http::Client::new();
+
+        let resp = client
+            .post(&format!("{base}/repositories"), policy_text().as_bytes())
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        let id = text.lines().next().unwrap().to_string();
+
+        let resp = client
+            .post(&format!("{base}/repositories/{id}/refresh"), &[])
+            .unwrap();
+        assert_eq!(resp.status, 200);
+
+        let resp = client
+            .get(&format!("{base}/repositories/{id}/APKINDEX"))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(!resp.body.is_empty());
+
+        let resp = client
+            .get(&format!("{base}/repositories/{id}/packages/tool"))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+
+        let resp = client
+            .get(&format!("{base}/repositories/{id}/packages/ghost"))
+            .unwrap();
+        assert_eq!(resp.status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn attestation_report_verifies() {
+        let svc = service();
+        let (mr, data, sig) = svc.attestation_report(b"nonce!");
+        let platform = RsaPublicKey::from_pem(&svc.platform_key_pem()).unwrap();
+        let report = tsr_sgx::Report {
+            mrenclave: tsr_sgx::Measurement(
+                hex::from_hex(&mr).unwrap().try_into().unwrap(),
+            ),
+            report_data: hex::from_hex(&data).unwrap(),
+            signature: hex::from_hex(&sig).unwrap(),
+        };
+        report
+            .verify(&platform, &tsr_sgx::Measurement::of(ENCLAVE_CODE))
+            .unwrap();
+        assert!(report.report_data.starts_with(b"nonce!"));
+    }
+
+    #[test]
+    fn bad_policy_rejected_over_http() {
+        let svc = service();
+        let resp = svc.handle(&Request {
+            method: "POST".into(),
+            path: "/repositories".into(),
+            headers: Default::default(),
+            body: b"not a policy".to_vec(),
+        });
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn unknown_routes_404() {
+        let svc = service();
+        let resp = svc.handle(&Request {
+            method: "GET".into(),
+            path: "/bogus".into(),
+            headers: Default::default(),
+            body: vec![],
+        });
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn refresh_unknown_repo_404() {
+        let svc = service();
+        let resp = svc.handle(&Request {
+            method: "POST".into(),
+            path: "/repositories/nope/refresh".into(),
+            headers: Default::default(),
+            body: vec![],
+        });
+        assert_eq!(resp.status, 404);
+    }
+}

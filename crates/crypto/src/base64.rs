@@ -1,0 +1,137 @@
+//! Standard base64 (RFC 4648) encoding/decoding, used for PEM-style key
+//! serialization in security policies.
+
+const ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard base64 with padding.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tsr_crypto::base64::encode(b"any"), "YW55");
+/// assert_eq!(tsr_crypto::base64::encode(b"a"), "YQ==");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard base64. Whitespace (spaces/newlines) is skipped.
+///
+/// Returns `None` on invalid characters or bad padding.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tsr_crypto::base64::decode("YW55"), Some(b"any".to_vec()));
+/// assert_eq!(tsr_crypto::base64::decode("%%%"), None);
+/// ```
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    let mut vals: Vec<u8> = Vec::with_capacity(s.len());
+    let mut pad = 0usize;
+    for c in s.bytes() {
+        match c {
+            b'A'..=b'Z' => vals.push(c - b'A'),
+            b'a'..=b'z' => vals.push(c - b'a' + 26),
+            b'0'..=b'9' => vals.push(c - b'0' + 52),
+            b'+' => vals.push(62),
+            b'/' => vals.push(63),
+            b'=' => pad += 1,
+            b' ' | b'\n' | b'\r' | b'\t' => continue,
+            _ => return None,
+        }
+        // '=' may only appear at the end.
+        if pad > 0 && c != b'=' && !c.is_ascii_whitespace() {
+            return None;
+        }
+    }
+    if pad > 2 || !(vals.len() + pad).is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(vals.len() * 3 / 4);
+    for chunk in vals.chunks(4) {
+        match chunk.len() {
+            4 => {
+                let n = (chunk[0] as u32) << 18
+                    | (chunk[1] as u32) << 12
+                    | (chunk[2] as u32) << 6
+                    | chunk[3] as u32;
+                out.push((n >> 16) as u8);
+                out.push((n >> 8) as u8);
+                out.push(n as u8);
+            }
+            3 => {
+                let n = (chunk[0] as u32) << 18 | (chunk[1] as u32) << 12 | (chunk[2] as u32) << 6;
+                out.push((n >> 16) as u8);
+                out.push((n >> 8) as u8);
+            }
+            2 => {
+                let n = (chunk[0] as u32) << 18 | (chunk[1] as u32) << 12;
+                out.push((n >> 16) as u8);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let cases = [
+            (&b""[..], ""),
+            (&b"f"[..], "Zg=="),
+            (&b"fo"[..], "Zm8="),
+            (&b"foo"[..], "Zm9v"),
+            (&b"foob"[..], "Zm9vYg=="),
+            (&b"fooba"[..], "Zm9vYmE="),
+            (&b"foobar"[..], "Zm9vYmFy"),
+        ];
+        for (raw, enc) in cases {
+            assert_eq!(encode(raw), enc);
+            assert_eq!(decode(enc).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("  Zg==\n").unwrap(), b"f");
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert!(decode("!!!!").is_none());
+        assert!(decode("Zg===").is_none());
+        assert!(decode("Z").is_none());
+        assert!(decode("Zg=x").is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the crypto crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A signature failed verification.
+    BadSignature,
+    /// A key could not be parsed or has inconsistent parameters.
+    InvalidKey(String),
+    /// A digest had the wrong length for the requested operation.
+    InvalidDigestLength {
+        /// Expected digest length in bytes.
+        expected: usize,
+        /// Actual digest length in bytes.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::InvalidKey(msg) => write!(f, "invalid key: {msg}"),
+            CryptoError::InvalidDigestLength { expected, actual } => {
+                write!(f, "invalid digest length: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        for e in [
+            CryptoError::BadSignature,
+            CryptoError::InvalidKey("x".into()),
+            CryptoError::InvalidDigestLength {
+                expected: 32,
+                actual: 16,
+            },
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("invalid"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

@@ -1,0 +1,69 @@
+//! Hexadecimal encoding helpers.
+
+/// Encodes bytes as lowercase hex.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tsr_crypto::hex::to_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decodes a hex string (case-insensitive, even length).
+///
+/// Returns `None` on odd length or non-hex characters.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tsr_crypto::hex::from_hex("dead"), Some(vec![0xde, 0xad]));
+/// assert_eq!(tsr_crypto::hex::from_hex("xz"), None);
+/// ```
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in b.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi << 4 | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex(""), Some(vec![]));
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(from_hex("DEADBEEF"), Some(vec![0xde, 0xad, 0xbe, 0xef]));
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert_eq!(from_hex("abc"), None);
+        assert_eq!(from_hex("zz"), None);
+    }
+}

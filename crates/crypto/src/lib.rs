@@ -1,0 +1,40 @@
+//! # tsr-crypto
+//!
+//! From-scratch cryptographic primitives for the TSR reproduction:
+//!
+//! - [`bignum`]: arbitrary-precision unsigned integers,
+//! - [`sha2`]: SHA-256 / SHA-512 (FIPS 180-4),
+//! - [`hmac`]: HMAC-SHA256,
+//! - [`drbg`]: HMAC-DRBG deterministic random bit generator,
+//! - [`rsa`]: RSA PKCS#1 v1.5 signatures (replacing the paper's `ring` use),
+//! - [`base64`] / [`hex`]: encodings used by policies and logs.
+//!
+//! **This crate trades constant-time guarantees for clarity and zero
+//! dependencies. It exists to make the reproduction self-contained, not to
+//! protect production secrets.**
+//!
+//! # Examples
+//!
+//! ```
+//! use tsr_crypto::drbg::HmacDrbg;
+//! use tsr_crypto::rsa::RsaPrivateKey;
+//!
+//! let mut rng = HmacDrbg::new(b"doc-example-seed");
+//! let key = RsaPrivateKey::generate(1024, &mut rng);
+//! let sig = key.sign_pkcs1_sha256(b"package contents");
+//! key.public_key().verify_pkcs1_sha256(b"package contents", &sig)?;
+//! # Ok::<(), tsr_crypto::error::CryptoError>(())
+//! ```
+
+pub mod base64;
+pub mod bignum;
+pub mod drbg;
+pub mod error;
+pub mod hex;
+pub mod hmac;
+pub mod rsa;
+pub mod sha2;
+
+pub use error::CryptoError;
+pub use rsa::{RsaPrivateKey, RsaPublicKey};
+pub use sha2::{Sha256, Sha512};

@@ -1,0 +1,107 @@
+//! Property-based tests for bignum arithmetic and encodings.
+
+use proptest::prelude::*;
+use tsr_crypto::base64;
+use tsr_crypto::bignum::BigUint;
+use tsr_crypto::hex;
+
+fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..48).prop_map(|b| BigUint::from_be_bytes(&b))
+}
+
+proptest! {
+    #[test]
+    fn be_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let n = BigUint::from_be_bytes(&bytes);
+        let back = n.to_be_bytes();
+        let trimmed: Vec<u8> = bytes.iter().copied().skip_while(|&b| b == 0).collect();
+        prop_assert_eq!(back, trimmed);
+    }
+
+    #[test]
+    fn add_sub_inverse(a in biguint_strategy(), b in biguint_strategy()) {
+        let sum = a.add(&b);
+        prop_assert_eq!(sum.sub(&b), a.clone());
+        prop_assert_eq!(sum.sub(&a), b);
+    }
+
+    #[test]
+    fn add_commutative(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn mul_commutative(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(
+        a in biguint_strategy(),
+        b in biguint_strategy(),
+        c in biguint_strategy(),
+    ) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn shl_shr_inverse(a in biguint_strategy(), bits in 0usize..200) {
+        prop_assert_eq!(a.shl(bits).shr(bits), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in biguint_strategy(), bits in 0usize..100) {
+        let mut p2 = BigUint::one();
+        for _ in 0..bits {
+            p2 = p2.add(&p2);
+        }
+        prop_assert_eq!(a.shl(bits), a.mul(&p2));
+    }
+
+    #[test]
+    fn modpow_matches_naive(base in 0u64..1000, exp in 0u64..40, m in 2u64..1000) {
+        let mut want = 1u128;
+        for _ in 0..exp {
+            want = want * base as u128 % m as u128;
+        }
+        let got = BigUint::from(base).modpow(&BigUint::from(exp), &BigUint::from(m));
+        prop_assert_eq!(got, BigUint::from(want as u64));
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in 3u64..10_000, m in 3u64..10_000) {
+        let a_b = BigUint::from(a);
+        let m_b = BigUint::from(m);
+        match a_b.modinv(&m_b) {
+            Some(inv) => prop_assert_eq!(a_b.modmul(&inv, &m_b), BigUint::one()),
+            None => prop_assert!(!a_b.gcd(&m_b).is_one()),
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(hex::from_hex(&hex::to_hex(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn base64_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(base64::decode(&base64::encode(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn sha256_stable_under_split(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = tsr_crypto::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), tsr_crypto::Sha256::digest(&data));
+    }
+}

@@ -1,0 +1,550 @@
+//! # tsr-http
+//!
+//! A minimal HTTP/1.1 server and client over `std::net` — the replacement
+//! for the Hyper/Rustls stack the paper's prototype uses for TSR's REST API
+//! (§5). Enough of the protocol for a package manager to fetch indexes and
+//! packages from TSR, and for OS owners to deploy policies.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsr_http::{Response, Server, Client};
+//!
+//! let server = Server::bind("127.0.0.1:0", |req| {
+//!     Response::ok(format!("hello {}", req.path).into_bytes())
+//! })?;
+//! let url = format!("http://{}/world", server.local_addr());
+//! let resp = Client::new().get(&url)?;
+//! assert_eq!(resp.body, b"hello /world");
+//! server.shutdown();
+//! # Ok::<(), tsr_http::HttpError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Errors produced by HTTP operations.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed request/response or URL.
+    Protocol(String),
+    /// Non-2xx response surfaced via [`Response::into_result`].
+    Status(u16, Vec<u8>),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http io error: {e}"),
+            HttpError::Protocol(m) => write!(f, "http protocol error: {m}"),
+            HttpError::Status(code, _) => write!(f, "http status {code}"),
+        }
+    }
+}
+
+impl Error for HttpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Request path including query (e.g. `/v1/index`).
+    pub path: String,
+    /// Lower-cased header map.
+    pub headers: BTreeMap<String, String>,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Lower-cased header map.
+    pub headers: BTreeMap<String, String>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a binary body.
+    pub fn ok(body: Vec<u8>) -> Self {
+        Response {
+            status: 200,
+            headers: BTreeMap::new(),
+            body,
+        }
+    }
+
+    /// 404 with a text message.
+    pub fn not_found(msg: &str) -> Self {
+        Response {
+            status: 404,
+            headers: BTreeMap::new(),
+            body: msg.as_bytes().to_vec(),
+        }
+    }
+
+    /// 400 with a text message.
+    pub fn bad_request(msg: &str) -> Self {
+        Response {
+            status: 400,
+            headers: BTreeMap::new(),
+            body: msg.as_bytes().to_vec(),
+        }
+    }
+
+    /// 500 with a text message.
+    pub fn server_error(msg: &str) -> Self {
+        Response {
+            status: 500,
+            headers: BTreeMap::new(),
+            body: msg.as_bytes().to_vec(),
+        }
+    }
+
+    /// Converts non-2xx responses into [`HttpError::Status`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the status and body for non-success responses.
+    pub fn into_result(self) -> Result<Response, HttpError> {
+        if (200..300).contains(&self.status) {
+            Ok(self)
+        } else {
+            Err(HttpError::Status(self.status, self.body))
+        }
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// The request handler type.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// A threaded HTTP server.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds and starts serving with `handler` (one thread per connection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Io`] when the address cannot be bound.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Result<Self, HttpError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handler: Arc<Handler> = Arc::new(handler);
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let h = handler.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &h);
+                });
+            }
+        });
+        Ok(Server {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Kick the accept loop.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: &Arc<Handler>) -> Result<(), HttpError> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // clean close
+            Err(_) => return Ok(()),
+        };
+        let keep_alive = req
+            .headers
+            .get("connection")
+            .map(|v| v.eq_ignore_ascii_case("keep-alive"))
+            .unwrap_or(true); // HTTP/1.1 default
+        let resp = handler(&req);
+        write_response(&mut &stream, &resp, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Protocol("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Protocol("missing path".into()))?
+        .to_string();
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<BTreeMap<String, String>, HttpError> {
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(HttpError::Protocol("eof in headers".into()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Protocol(format!("bad header line {line:?}")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+}
+
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    headers: &BTreeMap<String, String>,
+) -> Result<Vec<u8>, HttpError> {
+    let len: usize = headers
+        .get("content-length")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| HttpError::Protocol(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+fn write_response(
+    w: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> Result<(), HttpError> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.body.len()
+    );
+    for (k, v) in &resp.headers {
+        if k != "content-length" {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+    }
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n\r\n"
+    } else {
+        "connection: close\r\n\r\n"
+    });
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// A simple HTTP client (one connection per request).
+#[derive(Debug, Clone, Default)]
+pub struct Client {
+    timeout: Option<Duration>,
+}
+
+impl Client {
+    /// A client with a 10-second default timeout.
+    pub fn new() -> Self {
+        Client {
+            timeout: Some(Duration::from_secs(10)),
+        }
+    }
+
+    /// Issues a GET request to an `http://host:port/path` URL.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Protocol`] on malformed URLs, [`HttpError::Io`] on
+    /// connection problems.
+    pub fn get(&self, url: &str) -> Result<Response, HttpError> {
+        self.request("GET", url, &[])
+    }
+
+    /// Issues a POST request with a body.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::get`].
+    pub fn post(&self, url: &str, body: &[u8]) -> Result<Response, HttpError> {
+        self.request("POST", url, body)
+    }
+
+    /// Issues an arbitrary-method request.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::get`].
+    pub fn request(&self, method: &str, url: &str, body: &[u8]) -> Result<Response, HttpError> {
+        let (host, path) = parse_url(url)?;
+        let stream = TcpStream::connect(&host)?;
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        let mut w = &stream;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        );
+        w.write_all(head.as_bytes())?;
+        w.write_all(body)?;
+        w.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Protocol(format!("bad status line {status_line:?}")))?;
+        let headers = read_headers(&mut reader)?;
+        let body = read_body(&mut reader, &headers)?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn parse_url(url: &str) -> Result<(String, String), HttpError> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| HttpError::Protocol(format!("unsupported url {url:?}")))?;
+    let (host, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    if host.is_empty() {
+        return Err(HttpError::Protocol("empty host".into()));
+    }
+    Ok((host.to_string(), path.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> Server {
+        Server::bind("127.0.0.1:0", |req| {
+            let mut r = Response::ok(req.body.clone());
+            r.headers
+                .insert("x-path".into(), req.path.clone());
+            r.headers.insert("x-method".into(), req.method.clone());
+            r
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let s = echo_server();
+        let resp = Client::new()
+            .get(&format!("http://{}/some/path?q=1", s.local_addr()))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get("x-path").unwrap(), "/some/path?q=1");
+        assert_eq!(resp.headers.get("x-method").unwrap(), "GET");
+        s.shutdown();
+    }
+
+    #[test]
+    fn post_body_roundtrip() {
+        let s = echo_server();
+        let payload = vec![0u8, 1, 2, 250, 255];
+        let resp = Client::new()
+            .post(&format!("http://{}/upload", s.local_addr()), &payload)
+            .unwrap();
+        assert_eq!(resp.body, payload);
+        s.shutdown();
+    }
+
+    #[test]
+    fn large_binary_body() {
+        let s = echo_server();
+        let payload: Vec<u8> = (0..=255u8).cycle().take(300_000).collect();
+        let resp = Client::new()
+            .post(&format!("http://{}/big", s.local_addr()), &payload)
+            .unwrap();
+        assert_eq!(resp.body.len(), payload.len());
+        assert_eq!(resp.body, payload);
+        s.shutdown();
+    }
+
+    #[test]
+    fn not_found_and_into_result() {
+        let s = Server::bind("127.0.0.1:0", |_| Response::not_found("nope")).unwrap();
+        let resp = Client::new()
+            .get(&format!("http://{}/x", s.local_addr()))
+            .unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(matches!(
+            resp.into_result(),
+            Err(HttpError::Status(404, _))
+        ));
+        s.shutdown();
+    }
+
+    #[test]
+    fn ok_into_result_passes() {
+        assert!(Response::ok(vec![]).into_result().is_ok());
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let s = echo_server();
+        let addr = s.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let body = vec![i as u8; 1000];
+                    let r = Client::new()
+                        .post(&format!("http://{addr}/c"), &body)
+                        .unwrap();
+                    assert_eq!(r.body, body);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn bad_urls_rejected() {
+        let c = Client::new();
+        assert!(matches!(
+            c.get("https://secure.example"),
+            Err(HttpError::Protocol(_))
+        ));
+        assert!(matches!(c.get("http:///x"), Err(HttpError::Protocol(_))));
+    }
+
+    #[test]
+    fn parse_url_variants() {
+        assert_eq!(
+            parse_url("http://h:1/p").unwrap(),
+            ("h:1".into(), "/p".into())
+        );
+        assert_eq!(parse_url("http://h:1").unwrap(), ("h:1".into(), "/".into()));
+    }
+
+    #[test]
+    fn server_drop_shuts_down() {
+        let addr;
+        {
+            let s = echo_server();
+            addr = s.local_addr();
+        }
+        // After drop the port should refuse (eventually); just assert no panic
+        // and that a fresh bind to the same port usually succeeds.
+        let _ = TcpListener::bind(addr);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(HttpError::Protocol("x".into()).to_string().contains("x"));
+        assert!(HttpError::Status(404, vec![]).to_string().contains("404"));
+    }
+}

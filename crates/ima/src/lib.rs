@@ -1,0 +1,414 @@
+//! # tsr-ima
+//!
+//! A simulator of the Linux Integrity Measurement Architecture (IMA)
+//! (paper §2.3, §5.3):
+//!
+//! - every file is **measured** (SHA-256 of its contents) before use,
+//! - measurements are appended to the **IMA log** using the `ima-sig`
+//!   template, which also carries the `security.ima` xattr signature,
+//! - each log entry **extends PCR 10** of the TPM, so the log cannot be
+//!   rewritten after the fact,
+//! - **appraisal** (IMA-appraisal analogue) verifies a file's signature
+//!   before it is loaded, enforcing integrity locally.
+//!
+//! Signature convention: a `security.ima` value is an RSA PKCS#1 v1.5
+//! signature over the 32-byte SHA-256 digest of the file contents. This is
+//! what TSR issues during sanitization and what verifiers check from the
+//! measurement report alone.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsr_ima::Ima;
+//! use tsr_tpm::Tpm;
+//!
+//! let mut tpm = Tpm::new(b"device");
+//! let mut ima = Ima::new();
+//! ima.boot_aggregate(&mut tpm);
+//! ima.measure(&mut tpm, "/usr/bin/tool", b"binary", None);
+//! assert_eq!(Ima::replay(ima.log()), tpm.read_pcr(tsr_tpm::IMA_PCR).unwrap());
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use tsr_crypto::{hex, RsaPublicKey, Sha256};
+use tsr_simfs::SimFs;
+use tsr_tpm::{Tpm, IMA_PCR};
+
+/// The xattr carrying file signatures.
+pub const IMA_XATTR: &str = "security.ima";
+
+/// Errors produced by measurement and appraisal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImaError {
+    /// The file is missing or unreadable.
+    File(String),
+    /// Appraisal failed: no signature present.
+    MissingSignature(String),
+    /// Appraisal failed: signature does not verify under any trusted key.
+    AppraisalFailed(String),
+}
+
+impl fmt::Display for ImaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImaError::File(p) => write!(f, "cannot measure file: {p}"),
+            ImaError::MissingSignature(p) => write!(f, "no security.ima signature on {p}"),
+            ImaError::AppraisalFailed(p) => write!(f, "ima appraisal failed for {p}"),
+        }
+    }
+}
+
+impl Error for ImaError {}
+
+/// One `ima-sig` template entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImaEntry {
+    /// PCR receiving the measurement (always 10 here).
+    pub pcr: u32,
+    /// SHA-256 of the file contents.
+    pub filedata_hash: [u8; 32],
+    /// Measured path.
+    pub path: String,
+    /// `security.ima` signature, if the file carried one.
+    pub signature: Option<Vec<u8>>,
+}
+
+impl ImaEntry {
+    /// The template hash that is extended into the PCR.
+    pub fn template_hash(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"ima-sig");
+        h.update(&self.filedata_hash);
+        h.update(self.path.as_bytes());
+        h.update(&[0]);
+        if let Some(sig) = &self.signature {
+            h.update(sig);
+        }
+        h.finalize()
+    }
+
+    /// Verifies this entry's signature over its file-data hash.
+    ///
+    /// Returns `true` when any of `keys` verifies the signature.
+    pub fn signature_verifies(&self, keys: &[RsaPublicKey]) -> bool {
+        let Some(sig) = &self.signature else {
+            return false;
+        };
+        keys.iter()
+            .any(|k| k.verify_pkcs1_sha256(&self.filedata_hash, sig).is_ok())
+    }
+
+    /// One line of the ASCII measurement list.
+    pub fn to_line(&self) -> String {
+        let sig = self
+            .signature
+            .as_ref()
+            .map(|s| hex::to_hex(s))
+            .unwrap_or_default();
+        format!(
+            "{} {} ima-sig sha256:{} {} {}",
+            self.pcr,
+            hex::to_hex(&self.template_hash()),
+            hex::to_hex(&self.filedata_hash),
+            self.path,
+            sig
+        )
+    }
+}
+
+/// The kernel measurement subsystem state: the append-only log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ima {
+    log: Vec<ImaEntry>,
+}
+
+impl Ima {
+    /// Fresh (pre-boot) measurement state.
+    pub fn new() -> Self {
+        Ima::default()
+    }
+
+    /// Records the boot aggregate as the first measurement.
+    pub fn boot_aggregate(&mut self, tpm: &mut Tpm) {
+        self.measure(tpm, "boot_aggregate", b"tsr-simulated-boot-chain", None);
+    }
+
+    /// Measures file `path` with `content` and optional signature,
+    /// appending to the log and extending PCR 10.
+    pub fn measure(
+        &mut self,
+        tpm: &mut Tpm,
+        path: &str,
+        content: &[u8],
+        signature: Option<Vec<u8>>,
+    ) {
+        let entry = ImaEntry {
+            pcr: IMA_PCR,
+            filedata_hash: Sha256::digest(content),
+            path: path.to_string(),
+            signature,
+        };
+        tpm.extend(IMA_PCR, &entry.template_hash());
+        self.log.push(entry);
+    }
+
+    /// Measures a file stored in the simulated filesystem, picking up its
+    /// `security.ima` xattr automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImaError::File`] when the path is not a regular file.
+    pub fn measure_file(
+        &mut self,
+        tpm: &mut Tpm,
+        fs: &SimFs,
+        path: &str,
+    ) -> Result<(), ImaError> {
+        let content = fs
+            .read_file(path)
+            .map_err(|e| ImaError::File(e.to_string()))?
+            .to_vec();
+        let sig = fs.get_xattr(path, IMA_XATTR).map(|s| s.to_vec());
+        self.measure(tpm, path, &content, sig);
+        Ok(())
+    }
+
+    /// The measurement log.
+    pub fn log(&self) -> &[ImaEntry] {
+        &self.log
+    }
+
+    /// ASCII measurement list (one line per entry).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.log {
+            out.push_str(&e.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Replays a log, computing the PCR-10 value it should produce.
+    ///
+    /// Verifiers compare this against the value in a TPM quote to ensure the
+    /// log was not truncated or reordered.
+    pub fn replay(entries: &[ImaEntry]) -> [u8; 32] {
+        let mut pcr = [0u8; 32];
+        for e in entries {
+            let mut h = Sha256::new();
+            h.update(&pcr);
+            h.update(&e.template_hash());
+            pcr = h.finalize();
+        }
+        pcr
+    }
+
+    /// IMA-appraisal: verifies the `security.ima` signature of `path`
+    /// against the trusted keys *before* the file would be loaded.
+    ///
+    /// # Errors
+    ///
+    /// [`ImaError::MissingSignature`] when the file has no signature,
+    /// [`ImaError::AppraisalFailed`] when no key verifies it.
+    pub fn appraise(
+        fs: &SimFs,
+        path: &str,
+        keys: &[RsaPublicKey],
+    ) -> Result<(), ImaError> {
+        let content = fs
+            .read_file(path)
+            .map_err(|e| ImaError::File(e.to_string()))?;
+        let sig = fs
+            .get_xattr(path, IMA_XATTR)
+            .ok_or_else(|| ImaError::MissingSignature(path.to_string()))?;
+        let digest = Sha256::digest(content);
+        if keys
+            .iter()
+            .any(|k| k.verify_pkcs1_sha256(&digest, sig).is_ok())
+        {
+            Ok(())
+        } else {
+            Err(ImaError::AppraisalFailed(path.to_string()))
+        }
+    }
+}
+
+/// Attestation evidence a remote verifier consumes: the signed TPM quote
+/// plus the IMA measurement log it must replay (paper Figure 6, step ➏).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationEvidence {
+    /// TPM quote over PCR 10 with the verifier's nonce.
+    pub quote: tsr_tpm::Quote,
+    /// The full IMA measurement log.
+    pub log: Vec<ImaEntry>,
+}
+
+/// Signs file contents for the `security.ima` xattr.
+///
+/// TSR uses this during sanitization: the signature covers the SHA-256
+/// digest of the contents, so verifiers can check it from the measurement
+/// report alone.
+pub fn sign_file_contents(key: &tsr_crypto::RsaPrivateKey, content: &[u8]) -> Vec<u8> {
+    key.sign_pkcs1_sha256(&Sha256::digest(content))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+    use tsr_crypto::drbg::HmacDrbg;
+    use tsr_crypto::RsaPrivateKey;
+
+    fn key() -> &'static RsaPrivateKey {
+        static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+        KEY.get_or_init(|| {
+            let mut rng = HmacDrbg::new(b"ima-test");
+            RsaPrivateKey::generate(1024, &mut rng)
+        })
+    }
+
+    #[test]
+    fn measurement_extends_pcr10() {
+        let mut tpm = Tpm::new(b"t");
+        let mut ima = Ima::new();
+        let before = tpm.read_pcr(IMA_PCR).unwrap();
+        ima.measure(&mut tpm, "/bin/sh", b"shell", None);
+        assert_ne!(tpm.read_pcr(IMA_PCR).unwrap(), before);
+        assert_eq!(ima.log().len(), 1);
+    }
+
+    #[test]
+    fn replay_matches_tpm() {
+        let mut tpm = Tpm::new(b"t");
+        let mut ima = Ima::new();
+        ima.boot_aggregate(&mut tpm);
+        ima.measure(&mut tpm, "/a", b"1", None);
+        ima.measure(&mut tpm, "/b", b"2", Some(vec![1, 2, 3]));
+        assert_eq!(Ima::replay(ima.log()), tpm.read_pcr(IMA_PCR).unwrap());
+    }
+
+    #[test]
+    fn replay_detects_reordering() {
+        let mut tpm = Tpm::new(b"t");
+        let mut ima = Ima::new();
+        ima.measure(&mut tpm, "/a", b"1", None);
+        ima.measure(&mut tpm, "/b", b"2", None);
+        let mut tampered = ima.log().to_vec();
+        tampered.swap(0, 1);
+        assert_ne!(Ima::replay(&tampered), tpm.read_pcr(IMA_PCR).unwrap());
+    }
+
+    #[test]
+    fn replay_detects_truncation() {
+        let mut tpm = Tpm::new(b"t");
+        let mut ima = Ima::new();
+        ima.measure(&mut tpm, "/a", b"1", None);
+        ima.measure(&mut tpm, "/b", b"2", None);
+        assert_ne!(Ima::replay(&ima.log()[..1]), tpm.read_pcr(IMA_PCR).unwrap());
+    }
+
+    #[test]
+    fn template_hash_covers_signature() {
+        let e1 = ImaEntry {
+            pcr: IMA_PCR,
+            filedata_hash: [1; 32],
+            path: "/f".into(),
+            signature: None,
+        };
+        let mut e2 = e1.clone();
+        e2.signature = Some(vec![5]);
+        assert_ne!(e1.template_hash(), e2.template_hash());
+    }
+
+    #[test]
+    fn signature_verification_in_log() {
+        let content = b"trusted binary";
+        let sig = sign_file_contents(key(), content);
+        let entry = ImaEntry {
+            pcr: IMA_PCR,
+            filedata_hash: Sha256::digest(content),
+            path: "/usr/bin/x".into(),
+            signature: Some(sig),
+        };
+        assert!(entry.signature_verifies(&[key().public_key().clone()]));
+        // Wrong content hash → fails.
+        let mut bad = entry.clone();
+        bad.filedata_hash = [0; 32];
+        assert!(!bad.signature_verifies(&[key().public_key().clone()]));
+        // No signature → fails.
+        let mut none = entry.clone();
+        none.signature = None;
+        assert!(!none.signature_verifies(&[key().public_key().clone()]));
+    }
+
+    #[test]
+    fn measure_file_reads_xattr() {
+        let mut fs = SimFs::new();
+        fs.write_file("/usr/bin/app", b"code".to_vec()).unwrap();
+        let sig = sign_file_contents(key(), b"code");
+        fs.set_xattr("/usr/bin/app", IMA_XATTR, sig).unwrap();
+        let mut tpm = Tpm::new(b"t");
+        let mut ima = Ima::new();
+        ima.measure_file(&mut tpm, &fs, "/usr/bin/app").unwrap();
+        assert!(ima.log()[0].signature.is_some());
+        assert!(ima.log()[0].signature_verifies(&[key().public_key().clone()]));
+    }
+
+    #[test]
+    fn measure_missing_file_errors() {
+        let fs = SimFs::new();
+        let mut tpm = Tpm::new(b"t");
+        let mut ima = Ima::new();
+        assert!(matches!(
+            ima.measure_file(&mut tpm, &fs, "/nope"),
+            Err(ImaError::File(_))
+        ));
+    }
+
+    #[test]
+    fn appraisal_accepts_signed_file() {
+        let mut fs = SimFs::new();
+        fs.write_file("/lib/l.so", b"lib".to_vec()).unwrap();
+        fs.set_xattr("/lib/l.so", IMA_XATTR, sign_file_contents(key(), b"lib"))
+            .unwrap();
+        Ima::appraise(&fs, "/lib/l.so", &[key().public_key().clone()]).unwrap();
+    }
+
+    #[test]
+    fn appraisal_rejects_unsigned_and_tampered() {
+        let mut fs = SimFs::new();
+        fs.write_file("/f", b"v".to_vec()).unwrap();
+        let keys = [key().public_key().clone()];
+        assert!(matches!(
+            Ima::appraise(&fs, "/f", &keys),
+            Err(ImaError::MissingSignature(_))
+        ));
+        fs.set_xattr("/f", IMA_XATTR, sign_file_contents(key(), b"v"))
+            .unwrap();
+        Ima::appraise(&fs, "/f", &keys).unwrap();
+        // Tamper with content after signing.
+        fs.write_file("/f", b"evil".to_vec()).unwrap();
+        assert!(matches!(
+            Ima::appraise(&fs, "/f", &keys),
+            Err(ImaError::AppraisalFailed(_))
+        ));
+    }
+
+    #[test]
+    fn ascii_log_format() {
+        let mut tpm = Tpm::new(b"t");
+        let mut ima = Ima::new();
+        ima.measure(&mut tpm, "/a", b"1", Some(vec![0xab]));
+        let text = ima.to_text();
+        assert!(text.starts_with("10 "));
+        assert!(text.contains("ima-sig sha256:"));
+        assert!(text.contains(" /a ab"));
+    }
+
+    #[test]
+    fn empty_log_replay_is_zero() {
+        assert_eq!(Ima::replay(&[]), [0u8; 32]);
+    }
+}

@@ -1,0 +1,337 @@
+//! # tsr-mirror
+//!
+//! Repository mirrors with configurable (Byzantine) behaviours — the threat
+//! surface of §3 and Figure 5 of the paper:
+//!
+//! - **Honest** mirrors serve the latest snapshot published by the original
+//!   repository,
+//! - **Stale** mirrors serve an old-but-correctly-signed snapshot (the
+//!   replay/freeze attacks: vulnerable versions, or hiding that updates
+//!   exist),
+//! - **Corrupt** mirrors tamper with package bytes (detected by signature
+//!   or content-hash verification),
+//! - **Offline** mirrors do not answer (an adversary dropping traffic).
+//!
+//! A mirror stores full repository snapshots as published; behaviour only
+//! affects what is *served*.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_net::{Continent, LatencyModel};
+
+/// Errors produced when fetching from a mirror.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MirrorError {
+    /// The mirror did not answer (offline / traffic dropped).
+    Unreachable(String),
+    /// The mirror has no published snapshot yet.
+    Empty(String),
+    /// The requested package is not in the served snapshot.
+    NoSuchPackage(String),
+}
+
+impl fmt::Display for MirrorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MirrorError::Unreachable(m) => write!(f, "mirror {m} unreachable"),
+            MirrorError::Empty(m) => write!(f, "mirror {m} has no snapshot"),
+            MirrorError::NoSuchPackage(p) => write!(f, "no such package: {p}"),
+        }
+    }
+}
+
+impl Error for MirrorError {}
+
+/// One published repository state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepoSnapshot {
+    /// Monotone snapshot number (set by the original repository).
+    pub snapshot_id: u64,
+    /// The signed metadata index blob ([`tsr_apk::Index::sign`] output).
+    pub signed_index: Vec<u8>,
+    /// Package name → package blob.
+    pub packages: BTreeMap<String, Vec<u8>>,
+}
+
+/// How a mirror (mis)behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    /// Serves the latest snapshot faithfully.
+    Honest,
+    /// Serves the snapshot it had at "compromise time" forever
+    /// (replay and freeze attacks).
+    Stale {
+        /// Index into the snapshot history to keep serving.
+        snapshot: usize,
+    },
+    /// Serves the latest index but flips bytes in package blobs.
+    CorruptPackages,
+    /// Drops all traffic.
+    Offline,
+}
+
+/// A repository mirror.
+#[derive(Debug, Clone)]
+pub struct Mirror {
+    /// Mirror hostname-like identifier.
+    pub name: String,
+    /// Where the mirror is hosted (drives simulated latency).
+    pub continent: Continent,
+    behavior: Behavior,
+    history: Vec<RepoSnapshot>,
+}
+
+impl Mirror {
+    /// Creates an honest mirror with no content yet.
+    pub fn new(name: impl Into<String>, continent: Continent) -> Self {
+        Mirror {
+            name: name.into(),
+            continent,
+            behavior: Behavior::Honest,
+            history: Vec::new(),
+        }
+    }
+
+    /// Publishes a new snapshot (the original repository → mirror sync).
+    pub fn publish(&mut self, snapshot: RepoSnapshot) {
+        self.history.push(snapshot);
+    }
+
+    /// Changes the behaviour (e.g. when the adversary compromises it).
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// The current behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Number of snapshots this mirror has seen.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    fn served_snapshot(&self) -> Result<&RepoSnapshot, MirrorError> {
+        match self.behavior {
+            Behavior::Offline => Err(MirrorError::Unreachable(self.name.clone())),
+            Behavior::Stale { snapshot } => self
+                .history
+                .get(snapshot)
+                .or_else(|| self.history.last())
+                .ok_or_else(|| MirrorError::Empty(self.name.clone())),
+            Behavior::Honest | Behavior::CorruptPackages => self
+                .history
+                .last()
+                .ok_or_else(|| MirrorError::Empty(self.name.clone())),
+        }
+    }
+
+    /// Serves the signed metadata index.
+    ///
+    /// # Errors
+    ///
+    /// [`MirrorError::Unreachable`] / [`MirrorError::Empty`].
+    pub fn fetch_index(&self) -> Result<Vec<u8>, MirrorError> {
+        Ok(self.served_snapshot()?.signed_index.clone())
+    }
+
+    /// Serves a package blob (possibly corrupted, per behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`MirrorError`] variants for offline/empty mirrors and unknown names.
+    pub fn fetch_package(&self, name: &str) -> Result<Vec<u8>, MirrorError> {
+        let snap = self.served_snapshot()?;
+        let mut blob = snap
+            .packages
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MirrorError::NoSuchPackage(name.to_string()))?;
+        if self.behavior == Behavior::CorruptPackages && !blob.is_empty() {
+            let mid = blob.len() / 2;
+            blob[mid] ^= 0xff;
+        }
+        Ok(blob)
+    }
+
+    /// Simulated-latency index fetch from an observer on `from`.
+    ///
+    /// Offline mirrors cost the full `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::fetch_index`] errors (the duration is still
+    /// meaningful for the caller's elapsed-time accounting via `timeout`).
+    pub fn fetch_index_timed(
+        &self,
+        model: &LatencyModel,
+        from: Continent,
+        rng: &mut HmacDrbg,
+        timeout: Duration,
+    ) -> (Result<Vec<u8>, MirrorError>, Duration) {
+        match self.fetch_index() {
+            Ok(blob) => {
+                let d = model.transfer_time(from, self.continent, blob.len(), rng);
+                (Ok(blob), d.min(timeout))
+            }
+            Err(e) => (Err(e), timeout),
+        }
+    }
+
+    /// Simulated-latency package fetch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::fetch_package`] errors.
+    pub fn fetch_package_timed(
+        &self,
+        name: &str,
+        model: &LatencyModel,
+        from: Continent,
+        rng: &mut HmacDrbg,
+        timeout: Duration,
+    ) -> (Result<Vec<u8>, MirrorError>, Duration) {
+        match self.fetch_package(name) {
+            Ok(blob) => {
+                let d = model.transfer_time(from, self.continent, blob.len(), rng);
+                (Ok(blob), d.min(timeout))
+            }
+            Err(e) => (Err(e), timeout),
+        }
+    }
+}
+
+/// Convenience: publishes a snapshot to every mirror in the fleet
+/// (the "sync" arrow of Figure 2).
+pub fn publish_to_all(mirrors: &mut [Mirror], snapshot: &RepoSnapshot) {
+    for m in mirrors.iter_mut() {
+        m.publish(snapshot.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(id: u64, marker: u8) -> RepoSnapshot {
+        let mut packages = BTreeMap::new();
+        packages.insert("pkg".to_string(), vec![marker; 64]);
+        RepoSnapshot {
+            snapshot_id: id,
+            signed_index: vec![marker; 32],
+            packages,
+        }
+    }
+
+    #[test]
+    fn honest_serves_latest() {
+        let mut m = Mirror::new("m1", Continent::Europe);
+        m.publish(snapshot(1, 0xaa));
+        m.publish(snapshot(2, 0xbb));
+        assert_eq!(m.fetch_index().unwrap(), vec![0xbb; 32]);
+        assert_eq!(m.fetch_package("pkg").unwrap(), vec![0xbb; 64]);
+        assert_eq!(m.history_len(), 2);
+    }
+
+    #[test]
+    fn stale_serves_old_snapshot() {
+        let mut m = Mirror::new("m1", Continent::Europe);
+        m.publish(snapshot(1, 0xaa));
+        m.publish(snapshot(2, 0xbb));
+        m.set_behavior(Behavior::Stale { snapshot: 0 });
+        assert_eq!(m.fetch_index().unwrap(), vec![0xaa; 32]);
+        assert_eq!(m.fetch_package("pkg").unwrap(), vec![0xaa; 64]);
+    }
+
+    #[test]
+    fn corrupt_flips_package_bytes_only() {
+        let mut m = Mirror::new("m1", Continent::Asia);
+        m.publish(snapshot(1, 0xaa));
+        m.set_behavior(Behavior::CorruptPackages);
+        assert_eq!(m.fetch_index().unwrap(), vec![0xaa; 32]); // index untouched
+        let pkg = m.fetch_package("pkg").unwrap();
+        assert_ne!(pkg, vec![0xaa; 64]);
+        assert_eq!(pkg.len(), 64);
+    }
+
+    #[test]
+    fn offline_unreachable() {
+        let mut m = Mirror::new("m1", Continent::Asia);
+        m.publish(snapshot(1, 0xaa));
+        m.set_behavior(Behavior::Offline);
+        assert!(matches!(m.fetch_index(), Err(MirrorError::Unreachable(_))));
+        assert!(matches!(
+            m.fetch_package("pkg"),
+            Err(MirrorError::Unreachable(_))
+        ));
+    }
+
+    #[test]
+    fn empty_mirror_errors() {
+        let m = Mirror::new("m1", Continent::Europe);
+        assert!(matches!(m.fetch_index(), Err(MirrorError::Empty(_))));
+    }
+
+    #[test]
+    fn unknown_package() {
+        let mut m = Mirror::new("m1", Continent::Europe);
+        m.publish(snapshot(1, 1));
+        assert!(matches!(
+            m.fetch_package("ghost"),
+            Err(MirrorError::NoSuchPackage(_))
+        ));
+    }
+
+    #[test]
+    fn timed_fetch_has_latency() {
+        let mut m = Mirror::new("m1", Continent::Asia);
+        m.publish(snapshot(1, 1));
+        let model = LatencyModel::default();
+        let mut rng = HmacDrbg::new(b"t");
+        let (res, d) = m.fetch_index_timed(
+            &model,
+            Continent::Europe,
+            &mut rng,
+            Duration::from_secs(5),
+        );
+        assert!(res.is_ok());
+        assert!(d >= Duration::from_millis(100)); // EU↔Asia base is 175 ms ± 25%
+    }
+
+    #[test]
+    fn offline_costs_timeout() {
+        let mut m = Mirror::new("m1", Continent::Europe);
+        m.publish(snapshot(1, 1));
+        m.set_behavior(Behavior::Offline);
+        let model = LatencyModel::default();
+        let mut rng = HmacDrbg::new(b"t");
+        let timeout = Duration::from_millis(750);
+        let (res, d) =
+            m.fetch_index_timed(&model, Continent::Europe, &mut rng, timeout);
+        assert!(res.is_err());
+        assert_eq!(d, timeout);
+    }
+
+    #[test]
+    fn publish_to_all_mirrors() {
+        let mut fleet = vec![
+            Mirror::new("a", Continent::Europe),
+            Mirror::new("b", Continent::Asia),
+        ];
+        publish_to_all(&mut fleet, &snapshot(1, 7));
+        assert!(fleet.iter().all(|m| m.history_len() == 1));
+    }
+
+    #[test]
+    fn stale_with_missing_index_falls_back_to_last() {
+        let mut m = Mirror::new("m", Continent::Europe);
+        m.publish(snapshot(1, 1));
+        m.set_behavior(Behavior::Stale { snapshot: 9 });
+        assert!(m.fetch_index().is_ok());
+    }
+}

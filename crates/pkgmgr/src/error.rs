@@ -1,0 +1,79 @@
+//! Error types for the package manager.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by package installation and management.
+#[derive(Debug)]
+pub enum PkgError {
+    /// Package parsing/verification failed.
+    Package(tsr_apk::PackageError),
+    /// Filesystem operation failed.
+    Fs(tsr_simfs::FsError),
+    /// IMA appraisal refused a file.
+    Ima(tsr_ima::ImaError),
+    /// A script command failed.
+    Script(String),
+    /// Dependency resolution failed.
+    Dependency(String),
+    /// The package (or something it needs) was not found.
+    NotFound(String),
+    /// The package is already installed at this version.
+    AlreadyInstalled(String),
+}
+
+impl fmt::Display for PkgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PkgError::Package(e) => write!(f, "package error: {e}"),
+            PkgError::Fs(e) => write!(f, "filesystem error: {e}"),
+            PkgError::Ima(e) => write!(f, "ima error: {e}"),
+            PkgError::Script(m) => write!(f, "script failed: {m}"),
+            PkgError::Dependency(m) => write!(f, "dependency error: {m}"),
+            PkgError::NotFound(m) => write!(f, "not found: {m}"),
+            PkgError::AlreadyInstalled(m) => write!(f, "already installed: {m}"),
+        }
+    }
+}
+
+impl Error for PkgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PkgError::Package(e) => Some(e),
+            PkgError::Fs(e) => Some(e),
+            PkgError::Ima(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tsr_apk::PackageError> for PkgError {
+    fn from(e: tsr_apk::PackageError) -> Self {
+        PkgError::Package(e)
+    }
+}
+
+impl From<tsr_simfs::FsError> for PkgError {
+    fn from(e: tsr_simfs::FsError) -> Self {
+        PkgError::Fs(e)
+    }
+}
+
+impl From<tsr_ima::ImaError> for PkgError {
+    fn from(e: tsr_ima::ImaError) -> Self {
+        PkgError::Ima(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PkgError::from(tsr_simfs::FsError::NotFound("/x".into()));
+        assert!(e.to_string().contains("/x"));
+        assert!(e.source().is_some());
+        assert!(PkgError::Script("y".into()).source().is_none());
+    }
+}

@@ -1,0 +1,537 @@
+//! The installation-script interpreter.
+//!
+//! Executes the shell-subset commands of package scripts against the
+//! simulated filesystem. The account-management commands (`adduser`,
+//! `addgroup`) implement exactly the deterministic semantics that the
+//! sanitizer's prediction assumes (`tsr-script`'s
+//! [`UserGroupUniverse`](tsr_script::usergroup::UserGroupUniverse)):
+//! append-only, idempotent account creation with pinned ids — so that a
+//! sanitized script always drives `/etc/passwd`, `/etc/group`, and
+//! `/etc/shadow` into the predicted contents.
+//!
+//! `tsr-setfattr <path> <name> <hex>` installs a signature xattr, the
+//! mechanism sanitized scripts use to vouch for predicted file contents.
+
+use std::collections::BTreeSet;
+
+use tsr_crypto::hex;
+use tsr_script::parse::{parse_commands, Redirect, SimpleCommand};
+use tsr_simfs::SimFs;
+
+use crate::error::PkgError;
+
+/// Result of running a script: which files were created or modified
+/// (IMA must re-measure them).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScriptEffects {
+    /// Paths written (created, appended, truncated, xattr-changed).
+    pub written: Vec<String>,
+}
+
+impl ScriptEffects {
+    fn touch(&mut self, path: &str) {
+        if !self.written.iter().any(|p| p == path) {
+            self.written.push(path.to_string());
+        }
+    }
+}
+
+/// Executes a script against the filesystem.
+///
+/// Unknown commands are ignored (with no effect), matching the analyzer's
+/// conservative stance: they would have caused the package to be rejected
+/// by TSR before reaching an integrity-enforced OS.
+///
+/// # Errors
+///
+/// Returns [`PkgError::Script`] when a command's arguments are malformed.
+pub fn run_script(fs: &mut SimFs, script: &str) -> Result<ScriptEffects, PkgError> {
+    let mut effects = ScriptEffects::default();
+    for cmd in parse_commands(script) {
+        exec_command(fs, &cmd, &mut effects)?;
+    }
+    Ok(effects)
+}
+
+fn exec_command(
+    fs: &mut SimFs,
+    cmd: &SimpleCommand,
+    effects: &mut ScriptEffects,
+) -> Result<(), PkgError> {
+    // Bare redirection creates/truncates an empty file.
+    if cmd.argv.is_empty() {
+        for (r, target) in &cmd.redirects {
+            if *r == Redirect::Out {
+                fs.write_file(target, Vec::new())?;
+                effects.touch(target);
+            }
+        }
+        return Ok(());
+    }
+    let name = cmd.name().unwrap();
+    let name = name.rsplit('/').next().unwrap_or(name);
+    match name {
+        "mkdir" => {
+            for d in cmd.positional_args(&["-m"]) {
+                fs.mkdir_p(d);
+            }
+        }
+        "rm" => {
+            for p in cmd.positional_args(&[]) {
+                let _ = fs.remove(p); // -f semantics: ignore missing
+            }
+        }
+        "mv" => {
+            let pos = cmd.positional_args(&[]);
+            if pos.len() == 2 {
+                fs.rename(pos[0], pos[1])?;
+                effects.touch(pos[1]);
+            }
+        }
+        "cp" => {
+            let pos = cmd.positional_args(&[]);
+            if pos.len() == 2 {
+                let data = fs.read_file(pos[0])?.to_vec();
+                fs.write_file(pos[1], data)?;
+                effects.touch(pos[1]);
+            }
+        }
+        "ln" => {
+            let pos = cmd.positional_args(&[]);
+            if pos.len() == 2 {
+                let _ = fs.symlink(pos[1], pos[0]);
+            }
+        }
+        "chmod" => {
+            let pos = cmd.positional_args(&[]);
+            if pos.len() == 2 {
+                let mode = u32::from_str_radix(pos[0], 8)
+                    .map_err(|_| PkgError::Script(format!("bad mode {:?}", pos[0])))?;
+                let _ = fs.chmod(pos[1], mode);
+            }
+        }
+        "chown" => { /* ownership changes don't affect measured content */ }
+        "touch" => {
+            for p in cmd.positional_args(&[]) {
+                if !fs.exists(p) {
+                    fs.write_file(p, Vec::new())?;
+                    effects.touch(p);
+                }
+            }
+        }
+        "echo" | "cat" => {
+            // Only redirected output has filesystem effects.
+            for (r, target) in &cmd.redirects {
+                let data = if name == "echo" {
+                    let mut s = cmd.args().join(" ");
+                    s.push('\n');
+                    s.into_bytes()
+                } else {
+                    let pos = cmd.positional_args(&[]);
+                    match pos.first() {
+                        Some(src) => fs.read_file(src)?.to_vec(),
+                        None => Vec::new(),
+                    }
+                };
+                match r {
+                    Redirect::Out => fs.write_file(target, data)?,
+                    Redirect::Append => fs.append_file(target, &data)?,
+                    Redirect::In => continue,
+                }
+                effects.touch(target);
+            }
+        }
+        "adduser" => exec_adduser(fs, cmd, effects)?,
+        "addgroup" => exec_addgroup(fs, cmd, effects)?,
+        "tsr-setfattr" => {
+            let pos = cmd.positional_args(&[]);
+            if pos.len() != 3 {
+                return Err(PkgError::Script(
+                    "tsr-setfattr needs <path> <name> <hex>".into(),
+                ));
+            }
+            let value = hex::from_hex(pos[2])
+                .ok_or_else(|| PkgError::Script("tsr-setfattr value not hex".into()))?;
+            if !fs.exists(pos[0]) {
+                fs.write_file(pos[0], Vec::new())?;
+            }
+            fs.set_xattr(pos[0], pos[1], value)?;
+            effects.touch(pos[0]);
+        }
+        // Read-only and no-op commands.
+        "grep" | "sed" | "awk" | "cut" | "sort" | "head" | "tail" | "wc" | "tr"
+        | "true" | "false" | ":" | "test" | "[" | "printf" | "exit" | "sleep"
+        | "find" | "basename" | "dirname" | "which" | "readlink" => {}
+        _ => { /* unknown commands are inert in the simulation */ }
+    }
+    Ok(())
+}
+
+/// Splits a passwd/group-style file into lines.
+fn config_lines(fs: &SimFs, path: &str) -> Vec<String> {
+    match fs.read_file(path) {
+        Ok(data) => String::from_utf8_lossy(data)
+            .lines()
+            .map(String::from)
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+fn write_config(fs: &mut SimFs, path: &str, lines: &[String]) -> Result<(), PkgError> {
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    fs.write_file(path, out.into_bytes())?;
+    Ok(())
+}
+
+fn gid_of_group(fs: &SimFs, group: &str) -> Option<u32> {
+    config_lines(fs, "/etc/group").iter().find_map(|l| {
+        let mut parts = l.split(':');
+        let name = parts.next()?;
+        if name != group {
+            return None;
+        }
+        parts.next()?; // x
+        parts.next()?.parse().ok()
+    })
+}
+
+fn user_exists(fs: &SimFs, user: &str) -> bool {
+    config_lines(fs, "/etc/passwd")
+        .iter()
+        .any(|l| l.split(':').next() == Some(user))
+}
+
+fn next_free_id(taken: impl Iterator<Item = u32>) -> u32 {
+    let taken: BTreeSet<u32> = taken.collect();
+    let mut id = 100;
+    while taken.contains(&id) {
+        id += 1;
+    }
+    id
+}
+
+fn exec_adduser(
+    fs: &mut SimFs,
+    cmd: &SimpleCommand,
+    effects: &mut ScriptEffects,
+) -> Result<(), PkgError> {
+    let value_flags = ["-h", "-g", "-s", "-G", "-u", "-k", "-d", "-c"];
+    let pos = cmd.positional_args(&value_flags);
+    let Some(user) = pos.first() else {
+        return Err(PkgError::Script("adduser without user name".into()));
+    };
+    if user_exists(fs, user) {
+        return Ok(()); // idempotent
+    }
+    let uid: u32 = match cmd.flag_value("-u").and_then(|v| v.parse().ok()) {
+        Some(u) => u,
+        None => next_free_id(config_lines(fs, "/etc/passwd").iter().filter_map(|l| {
+            l.split(':').nth(2).and_then(|s| s.parse().ok())
+        })),
+    };
+    let group = cmd
+        .flag_value("-G")
+        .or_else(|| pos.get(1).copied())
+        .unwrap_or(user);
+    let gid = gid_of_group(fs, group).unwrap_or(uid);
+    let gecos = cmd
+        .flag_value("-g")
+        .or_else(|| cmd.flag_value("-c"))
+        .unwrap_or("");
+    let home = cmd
+        .flag_value("-h")
+        .or_else(|| cmd.flag_value("-d"))
+        .map(String::from)
+        .unwrap_or_else(|| format!("/home/{user}"));
+    let system = cmd.has_flag("-S") || cmd.has_flag("-r");
+    let shell = cmd
+        .flag_value("-s")
+        .unwrap_or(if system { "/sbin/nologin" } else { "/bin/ash" });
+
+    let mut passwd = config_lines(fs, "/etc/passwd");
+    passwd.push(format!("{user}:x:{uid}:{gid}:{gecos}:{home}:{shell}"));
+    write_config(fs, "/etc/passwd", &passwd)?;
+    effects.touch("/etc/passwd");
+
+    let mut shadow = config_lines(fs, "/etc/shadow");
+    let field = if cmd.has_flag("-D") { "" } else { "!" };
+    shadow.push(format!("{user}:{field}::0:::::"));
+    write_config(fs, "/etc/shadow", &shadow)?;
+    effects.touch("/etc/shadow");
+    Ok(())
+}
+
+fn exec_addgroup(
+    fs: &mut SimFs,
+    cmd: &SimpleCommand,
+    effects: &mut ScriptEffects,
+) -> Result<(), PkgError> {
+    let pos = cmd.positional_args(&["-g"]);
+    let mut group_lines = config_lines(fs, "/etc/group");
+    match pos.len() {
+        1 => {
+            let group = pos[0];
+            if group_lines
+                .iter()
+                .any(|l| l.split(':').next() == Some(group))
+            {
+                return Ok(()); // idempotent
+            }
+            let gid: u32 = match cmd.flag_value("-g").and_then(|v| v.parse().ok()) {
+                Some(g) => g,
+                None => next_free_id(
+                    group_lines
+                        .iter()
+                        .filter_map(|l| l.split(':').nth(2).and_then(|s| s.parse().ok())),
+                ),
+            };
+            group_lines.push(format!("{group}:x:{gid}:"));
+            write_config(fs, "/etc/group", &group_lines)?;
+            effects.touch("/etc/group");
+        }
+        2 => {
+            // `addgroup USER GROUP`: membership, keeping members sorted
+            // (matches the prediction's BTreeSet ordering).
+            let (user, group) = (pos[0], pos[1]);
+            let mut found = false;
+            for line in group_lines.iter_mut() {
+                let mut parts: Vec<&str> = line.split(':').collect();
+                if parts.first() != Some(&group) || parts.len() < 4 {
+                    continue;
+                }
+                found = true;
+                let mut members: BTreeSet<String> = parts[3]
+                    .split(',')
+                    .filter(|m| !m.is_empty())
+                    .map(String::from)
+                    .collect();
+                members.insert(user.to_string());
+                let joined = members.into_iter().collect::<Vec<_>>().join(",");
+                parts[3] = &joined;
+                *line = parts.join(":");
+                break;
+            }
+            if !found {
+                return Err(PkgError::Script(format!(
+                    "addgroup: group {group} does not exist"
+                )));
+            }
+            write_config(fs, "/etc/group", &group_lines)?;
+            effects.touch("/etc/group");
+        }
+        _ => return Err(PkgError::Script("addgroup: bad arguments".into())),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs_with_base() -> SimFs {
+        let mut fs = SimFs::new();
+        fs.write_file("/etc/passwd", b"root:x:0:0:root:/root:/bin/ash\n".to_vec())
+            .unwrap();
+        fs.write_file("/etc/group", b"root:x:0:\n".to_vec()).unwrap();
+        fs.write_file("/etc/shadow", b"root:!::0:::::\n".to_vec())
+            .unwrap();
+        fs
+    }
+
+    #[test]
+    fn mkdir_and_touch() {
+        let mut fs = SimFs::new();
+        let eff = run_script(&mut fs, "mkdir -p /var/lib/app\ntouch /var/lib/app/x").unwrap();
+        assert!(fs.exists("/var/lib/app/x"));
+        assert_eq!(eff.written, vec!["/var/lib/app/x"]);
+    }
+
+    #[test]
+    fn echo_redirect_and_append() {
+        let mut fs = SimFs::new();
+        run_script(&mut fs, "echo hello > /tmp/f\necho world >> /tmp/f").unwrap();
+        assert_eq!(fs.read_file("/tmp/f").unwrap(), b"hello\nworld\n");
+    }
+
+    #[test]
+    fn cp_mv_rm() {
+        let mut fs = SimFs::new();
+        fs.write_file("/a", b"data".to_vec()).unwrap();
+        run_script(&mut fs, "cp /a /b\nmv /b /c\nrm /a").unwrap();
+        assert!(!fs.exists("/a"));
+        assert!(!fs.exists("/b"));
+        assert_eq!(fs.read_file("/c").unwrap(), b"data");
+    }
+
+    #[test]
+    fn rm_missing_tolerated() {
+        let mut fs = SimFs::new();
+        run_script(&mut fs, "rm -f /missing").unwrap();
+    }
+
+    #[test]
+    fn adduser_appends_deterministic_line() {
+        let mut fs = fs_with_base();
+        run_script(
+            &mut fs,
+            "addgroup -g 100 -S www\nadduser -u 101 -G www -S -D -H -s /sbin/nologin www",
+        )
+        .unwrap();
+        let passwd = String::from_utf8(fs.read_file("/etc/passwd").unwrap().to_vec()).unwrap();
+        assert!(passwd.contains("www:x:101:100::/home/www:/sbin/nologin\n"));
+        let shadow = String::from_utf8(fs.read_file("/etc/shadow").unwrap().to_vec()).unwrap();
+        assert!(shadow.contains("www:::0:::::\n")); // -D → empty field
+    }
+
+    #[test]
+    fn adduser_idempotent() {
+        let mut fs = fs_with_base();
+        run_script(&mut fs, "adduser -u 101 -S a\nadduser -u 102 -S a").unwrap();
+        let passwd = String::from_utf8(fs.read_file("/etc/passwd").unwrap().to_vec()).unwrap();
+        assert_eq!(passwd.matches("\na:x:").count(), 1);
+    }
+
+    #[test]
+    fn adduser_auto_uid_skips_taken() {
+        let mut fs = fs_with_base();
+        run_script(&mut fs, "adduser -u 100 -S a\nadduser -S b").unwrap();
+        let passwd = String::from_utf8(fs.read_file("/etc/passwd").unwrap().to_vec()).unwrap();
+        assert!(passwd.contains("b:x:101:"));
+    }
+
+    #[test]
+    fn addgroup_membership_sorted() {
+        let mut fs = fs_with_base();
+        run_script(
+            &mut fs,
+            "addgroup -g 50 -S media\naddgroup zeta media\naddgroup alpha media",
+        )
+        .unwrap();
+        let group = String::from_utf8(fs.read_file("/etc/group").unwrap().to_vec()).unwrap();
+        assert!(group.contains("media:x:50:alpha,zeta\n"));
+    }
+
+    #[test]
+    fn addgroup_membership_missing_group_fails() {
+        let mut fs = fs_with_base();
+        assert!(matches!(
+            run_script(&mut fs, "addgroup u nogroup"),
+            Err(PkgError::Script(_))
+        ));
+    }
+
+    #[test]
+    fn setfattr_installs_signature() {
+        let mut fs = fs_with_base();
+        run_script(&mut fs, "tsr-setfattr /etc/passwd security.ima aabbcc").unwrap();
+        assert_eq!(
+            fs.get_xattr("/etc/passwd", "security.ima").unwrap(),
+            &[0xaa, 0xbb, 0xcc]
+        );
+    }
+
+    #[test]
+    fn setfattr_bad_args_fail() {
+        let mut fs = fs_with_base();
+        assert!(run_script(&mut fs, "tsr-setfattr /etc/passwd security.ima zz").is_err());
+        assert!(run_script(&mut fs, "tsr-setfattr /etc/passwd").is_err());
+    }
+
+    #[test]
+    fn sanitized_script_reaches_predicted_state() {
+        // The key invariant: running the canonical preamble produced by the
+        // universe yields exactly the predicted configuration files.
+        use tsr_script::usergroup::UserGroupUniverse;
+        let mut universe = UserGroupUniverse::new();
+        universe.scan_script("addgroup -S www\nadduser -S -D -H -G www www");
+        universe.scan_script("adduser -S -D -H db\naddgroup db www");
+        universe.assign_ids();
+
+        let initial_passwd = "root:x:0:0:root:/root:/bin/ash";
+        let initial_group = "root:x:0:";
+        let initial_shadow = "root:!::0:::::";
+
+        let mut fs = SimFs::new();
+        fs.write_file("/etc/passwd", format!("{initial_passwd}\n").into_bytes())
+            .unwrap();
+        fs.write_file("/etc/group", format!("{initial_group}\n").into_bytes())
+            .unwrap();
+        fs.write_file("/etc/shadow", format!("{initial_shadow}\n").into_bytes())
+            .unwrap();
+
+        run_script(&mut fs, &universe.canonical_preamble()).unwrap();
+
+        let got_passwd =
+            String::from_utf8(fs.read_file("/etc/passwd").unwrap().to_vec()).unwrap();
+        let got_group =
+            String::from_utf8(fs.read_file("/etc/group").unwrap().to_vec()).unwrap();
+        let got_shadow =
+            String::from_utf8(fs.read_file("/etc/shadow").unwrap().to_vec()).unwrap();
+        assert_eq!(got_passwd, universe.predict_passwd(initial_passwd));
+        assert_eq!(got_group, universe.predict_group(initial_group));
+        assert_eq!(got_shadow, universe.predict_shadow(initial_shadow));
+    }
+
+    #[test]
+    fn preamble_convergence_under_any_order() {
+        // Two different packages' sanitized scripts run in either order →
+        // identical config files (the paper's determinism claim).
+        use tsr_script::usergroup::UserGroupUniverse;
+        let mut universe = UserGroupUniverse::new();
+        universe.scan_script("adduser -S a");
+        universe.scan_script("adduser -S b");
+        universe.assign_ids();
+        let preamble = universe.canonical_preamble();
+
+        let run_order = |scripts: &[&str]| {
+            let mut fs = SimFs::new();
+            fs.write_file("/etc/passwd", b"root:x:0:0::/root:/bin/ash\n".to_vec())
+                .unwrap();
+            fs.write_file("/etc/group", b"root:x:0:\n".to_vec()).unwrap();
+            fs.write_file("/etc/shadow", b"root:!::0:::::\n".to_vec())
+                .unwrap();
+            for s in scripts {
+                run_script(&mut fs, s).unwrap();
+            }
+            (
+                fs.read_file("/etc/passwd").unwrap().to_vec(),
+                fs.read_file("/etc/group").unwrap().to_vec(),
+                fs.read_file("/etc/shadow").unwrap().to_vec(),
+            )
+        };
+        let ab = run_order(&[&preamble, &preamble]);
+        let ba = run_order(&[&preamble]);
+        assert_eq!(ab, ba, "idempotent and order-independent");
+    }
+
+    #[test]
+    fn unknown_commands_inert() {
+        let mut fs = SimFs::new();
+        let eff = run_script(&mut fs, "update-ca-certificates --fresh").unwrap();
+        assert!(eff.written.is_empty());
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn symlink_and_chmod() {
+        let mut fs = SimFs::new();
+        fs.write_file("/bin/busybox", b"bb".to_vec()).unwrap();
+        run_script(&mut fs, "ln -s /bin/busybox /bin/sh\nchmod 755 /bin/busybox").unwrap();
+        assert!(fs.exists("/bin/sh"));
+        match fs.node("/bin/busybox").unwrap() {
+            tsr_simfs::Node::File { mode, .. } => assert_eq!(*mode, 0o755),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn bare_redirect_creates_empty_file() {
+        let mut fs = SimFs::new();
+        run_script(&mut fs, "> /var/run/app.lock").unwrap();
+        assert_eq!(fs.read_file("/var/run/app.lock").unwrap(), b"");
+    }
+}

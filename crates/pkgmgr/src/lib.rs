@@ -1,0 +1,36 @@
+//! # tsr-pkgmgr
+//!
+//! The OS side of the reproduction: an integrity-enforced operating system
+//! ([`os::TrustedOs`] — simulated filesystem + IMA + TPM) and an apk-like
+//! package manager ([`os::PackageManager`]) that fetches indexes and
+//! packages over HTTP, resolves dependencies, runs installation scripts
+//! through the deterministic interpreter ([`interp`]), extracts files with
+//! their `security.ima` signatures, and lets IMA measure everything.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsr_apk::PackageBuilder;
+//! use tsr_archive::Entry;
+//! use tsr_crypto::{drbg::HmacDrbg, RsaPrivateKey};
+//! use tsr_pkgmgr::os::TrustedOs;
+//!
+//! let mut rng = HmacDrbg::new(b"doc");
+//! let key = RsaPrivateKey::generate(1024, &mut rng);
+//!
+//! let mut os = TrustedOs::boot(b"device", &[]);
+//! os.trust_key("builder", key.public_key().clone());
+//!
+//! let mut b = PackageBuilder::new("hello", "1.0");
+//! b.file(Entry::file("usr/bin/hello", b"bin".to_vec()));
+//! os.install(&b.build(&key, "builder"))?;
+//! assert!(os.fs.exists("/usr/bin/hello"));
+//! # Ok::<(), tsr_pkgmgr::PkgError>(())
+//! ```
+
+pub mod error;
+pub mod interp;
+pub mod os;
+
+pub use error::PkgError;
+pub use os::{InstallTiming, PackageManager, TrustedOs};

@@ -1,0 +1,562 @@
+//! # tsr-quorum
+//!
+//! The mirror quorum protocol of §4.5: TSR trusts no individual mirror.
+//! It reads the metadata index from `2f+1` mirrors and accepts the value
+//! reported by at least `f+1` of them, which masks up to `f` Byzantine
+//! mirrors (stale, frozen, or corrupt).
+//!
+//! The implementation reproduces the latency-conscious strategy of §6.3:
+//! contact the **fastest `f+1`** mirrors first; only when they disagree (or
+//! fail) contact additional mirrors until some index value reaches `f+1`
+//! confirmations. Each contact pays connection setup (handshake RTTs) plus
+//! the transfer; contacts are sequential by default like the paper's proxy
+//! (a parallel first wave is available as an ablation). The accumulated
+//! simulated time is the quantity Figure 13 plots.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use tsr_apk::{Index, PackageError};
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_crypto::{hex, RsaPublicKey, Sha256};
+use tsr_mirror::Mirror;
+use tsr_net::{Continent, LatencyModel};
+
+/// Errors produced by quorum reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuorumError {
+    /// Fewer than `2f+1` sources were supplied.
+    NotEnoughSources {
+        /// Sources provided.
+        available: usize,
+        /// Sources required (`2f+1`).
+        required: usize,
+    },
+    /// No index value reached `f+1` matching responses.
+    NoQuorum {
+        /// How many sources were contacted.
+        contacted: usize,
+        /// The largest agreement achieved.
+        best_agreement: usize,
+    },
+    /// A response carried an index that failed signature verification.
+    InvalidIndex(String),
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumError::NotEnoughSources { available, required } => write!(
+                f,
+                "not enough mirrors: {available} available, {required} required"
+            ),
+            QuorumError::NoQuorum {
+                contacted,
+                best_agreement,
+            } => write!(
+                f,
+                "no quorum after contacting {contacted} mirrors (best agreement {best_agreement})"
+            ),
+            QuorumError::InvalidIndex(m) => write!(f, "invalid index from mirror: {m}"),
+        }
+    }
+}
+
+impl Error for QuorumError {}
+
+impl From<PackageError> for QuorumError {
+    fn from(e: PackageError) -> Self {
+        QuorumError::InvalidIndex(e.to_string())
+    }
+}
+
+/// Quorum read configuration.
+#[derive(Debug, Clone)]
+pub struct QuorumConfig {
+    /// Number of Byzantine mirrors tolerated; requires `2f+1` sources.
+    pub f: usize,
+    /// Observer location (where TSR runs).
+    pub observer: Continent,
+    /// Per-request timeout charged for unreachable mirrors.
+    pub timeout: Duration,
+    /// Extra round-trips per contact for connection setup
+    /// (DNS/TCP/TLS handshakes before the HTTP exchange). The paper's
+    /// prototype pays this per mirror, which is why Figure 13's latency
+    /// grows with the number of mirrors contacted.
+    pub handshake_rtts: f64,
+    /// Contact the first `f+1` mirrors in parallel instead of sequentially.
+    /// The paper's single-threaded proxy contacts them sequentially
+    /// (default `false`); the parallel variant is the ablation.
+    pub parallel_first_wave: bool,
+}
+
+impl Default for QuorumConfig {
+    fn default() -> Self {
+        QuorumConfig {
+            f: 1,
+            observer: Continent::Europe,
+            timeout: Duration::from_secs(1),
+            handshake_rtts: 3.5,
+            parallel_first_wave: false,
+        }
+    }
+}
+
+/// Result of a successful quorum read.
+#[derive(Debug, Clone)]
+pub struct QuorumOutcome {
+    /// The agreed, signature-verified index.
+    pub index: Index,
+    /// The raw signed blob (for caching / re-serving).
+    pub raw: Vec<u8>,
+    /// Simulated elapsed time of the read.
+    pub elapsed: Duration,
+    /// How many mirrors were contacted in total.
+    pub contacted: usize,
+    /// How many mirrors agreed on the accepted value.
+    pub agreement: usize,
+}
+
+/// Reads the metadata index from a mirror fleet with `f+1`-of-`2f+1`
+/// agreement.
+///
+/// `trusted_signers` are the repository signer keys from the security
+/// policy; responses whose signature does not verify are discarded (they
+/// can never form a quorum).
+///
+/// # Errors
+///
+/// [`QuorumError::NotEnoughSources`] when fewer than `2f+1` mirrors are
+/// given, [`QuorumError::NoQuorum`] when agreement is impossible.
+pub fn read_index_quorum(
+    mirrors: &[Mirror],
+    config: &QuorumConfig,
+    model: &LatencyModel,
+    trusted_signers: &[(String, RsaPublicKey)],
+    rng: &mut HmacDrbg,
+) -> Result<QuorumOutcome, QuorumError> {
+    let required = 2 * config.f + 1;
+    if mirrors.len() < required {
+        return Err(QuorumError::NotEnoughSources {
+            available: mirrors.len(),
+            required,
+        });
+    }
+
+    // Order by expected (base) latency — "fastest f+1 first".
+    let mut order: Vec<usize> = (0..mirrors.len()).collect();
+    order.sort_by_key(|&i| model.base_rtt(config.observer, mirrors[i].continent));
+
+    // votes: blob-hash → (count, blob)
+    let mut votes: BTreeMap<String, (usize, Vec<u8>)> = BTreeMap::new();
+    let mut contacted = 0usize;
+    let mut elapsed = Duration::ZERO;
+
+    // Wave 1: the fastest f+1 mirrors. Each contact pays connection setup
+    // (handshake RTTs) plus the transfer. Sequential by default (the
+    // paper's proxy); parallel as an ablation (elapsed = max instead of sum).
+    let first_wave = config.f + 1;
+    let mut wave_max = Duration::ZERO;
+    for &i in order.iter().take(first_wave) {
+        let lat = contact(
+            &mirrors[i],
+            config,
+            model,
+            rng,
+            &mut votes,
+            trusted_signers,
+        );
+        wave_max = wave_max.max(lat);
+        if !config.parallel_first_wave {
+            elapsed += lat;
+        }
+        contacted += 1;
+    }
+    if config.parallel_first_wave {
+        elapsed += wave_max;
+    }
+
+    let quorum = config.f + 1;
+    let mut rest = order.iter().skip(first_wave);
+    loop {
+        if let Some((_, (count, blob))) =
+            votes.iter().find(|(_, (c, _))| *c >= quorum)
+        {
+            let agreement = *count;
+            let raw = blob.clone();
+            let index = Index::parse_signed(&raw, trusted_signers)?;
+            return Ok(QuorumOutcome {
+                index,
+                raw,
+                elapsed,
+                contacted,
+                agreement,
+            });
+        }
+        // Escalate sequentially to the next-fastest mirror.
+        let Some(&i) = rest.next() else {
+            let best = votes.values().map(|(c, _)| *c).max().unwrap_or(0);
+            return Err(QuorumError::NoQuorum {
+                contacted,
+                best_agreement: best,
+            });
+        };
+        elapsed += contact(
+            &mirrors[i],
+            config,
+            model,
+            rng,
+            &mut votes,
+            trusted_signers,
+        );
+        contacted += 1;
+    }
+}
+
+/// Contacts one mirror: setup RTTs + transfer, recording any valid vote.
+/// Returns the simulated latency of the contact.
+fn contact(
+    mirror: &Mirror,
+    config: &QuorumConfig,
+    model: &LatencyModel,
+    rng: &mut HmacDrbg,
+    votes: &mut BTreeMap<String, (usize, Vec<u8>)>,
+    trusted_signers: &[(String, RsaPublicKey)],
+) -> Duration {
+    let (res, transfer) =
+        mirror.fetch_index_timed(model, config.observer, rng, config.timeout);
+    let mut setup = Duration::ZERO;
+    if res.is_ok() {
+        // Only reachable mirrors complete handshakes.
+        let rtt = model.sample_rtt(config.observer, mirror.continent, rng);
+        setup = Duration::from_secs_f64(rtt.as_secs_f64() * config.handshake_rtts);
+    }
+    if let Ok(blob) = res {
+        if Index::parse_signed(&blob, trusted_signers).is_ok() {
+            let h = hex::to_hex(&Sha256::digest(&blob));
+            votes.entry(h).or_insert((0, blob)).0 += 1;
+        }
+    }
+    (setup + transfer).min(config.timeout)
+}
+
+/// Downloads a package from the first mirror that serves bytes matching the
+/// index's pinned content hash (§4.5: packages need no quorum — the index
+/// pins them).
+///
+/// # Errors
+///
+/// [`QuorumError::NoQuorum`] (with zero agreement) when no mirror serves a
+/// matching blob.
+pub fn fetch_package_verified(
+    mirrors: &[Mirror],
+    name: &str,
+    index: &Index,
+    config: &QuorumConfig,
+    model: &LatencyModel,
+    rng: &mut HmacDrbg,
+) -> Result<(Vec<u8>, Duration), QuorumError> {
+    let entry = index
+        .get(name)
+        .ok_or_else(|| QuorumError::InvalidIndex(format!("{name} not in index")))?;
+
+    let mut order: Vec<usize> = (0..mirrors.len()).collect();
+    order.sort_by_key(|&i| model.base_rtt(config.observer, mirrors[i].continent));
+
+    let mut elapsed = Duration::ZERO;
+    let mut contacted = 0usize;
+    for &i in &order {
+        let (res, lat) =
+            mirrors[i].fetch_package_timed(name, model, config.observer, rng, config.timeout);
+        elapsed += lat;
+        contacted += 1;
+        if let Ok(blob) = res {
+            let h = hex::to_hex(&Sha256::digest(&blob));
+            if h == entry.content_hash && blob.len() as u64 == entry.size {
+                return Ok((blob, elapsed));
+            }
+        }
+    }
+    Err(QuorumError::NoQuorum {
+        contacted,
+        best_agreement: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+    use std::sync::OnceLock;
+    use tsr_crypto::RsaPrivateKey;
+    use tsr_mirror::{Behavior, RepoSnapshot};
+
+    fn repo_key() -> &'static RsaPrivateKey {
+        static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+        KEY.get_or_init(|| {
+            let mut rng = HmacDrbg::new(b"quorum-test-key");
+            RsaPrivateKey::generate(1024, &mut rng)
+        })
+    }
+
+    fn signers() -> Vec<(String, RsaPublicKey)> {
+        vec![("repo".to_string(), repo_key().public_key().clone())]
+    }
+
+    fn snapshot(id: u64) -> RepoSnapshot {
+        let blob = vec![id as u8; 100];
+        let mut index = Index::new();
+        index.snapshot = id;
+        index.upsert(Index::entry_for_blob("pkg", &format!("1.{id}"), &[], &blob));
+        let signed = index.sign(repo_key(), "repo");
+        let mut packages = Map::new();
+        packages.insert("pkg".to_string(), blob);
+        RepoSnapshot {
+            snapshot_id: id,
+            signed_index: signed,
+            packages,
+        }
+    }
+
+    fn fleet(n: usize) -> Vec<Mirror> {
+        let continents = [Continent::Europe, Continent::NorthAmerica, Continent::Asia];
+        let mut mirrors: Vec<Mirror> = (0..n)
+            .map(|i| Mirror::new(format!("m{i}"), continents[i % 3]))
+            .collect();
+        let snap = snapshot(1);
+        tsr_mirror::publish_to_all(&mut mirrors, &snap);
+        let snap2 = snapshot(2);
+        tsr_mirror::publish_to_all(&mut mirrors, &snap2);
+        mirrors
+    }
+
+    fn config(f: usize) -> QuorumConfig {
+        QuorumConfig {
+            f,
+            observer: Continent::Europe,
+            timeout: Duration::from_secs(1),
+            ..QuorumConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_honest_reaches_quorum() {
+        let mirrors = fleet(3);
+        let mut rng = HmacDrbg::new(b"t1");
+        let out = read_index_quorum(
+            &mirrors,
+            &config(1),
+            &LatencyModel::default(),
+            &signers(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.index.snapshot, 2);
+        assert_eq!(out.contacted, 2); // fastest f+1 agreed immediately
+        assert_eq!(out.agreement, 2);
+        assert!(out.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn too_few_mirrors_rejected() {
+        let mirrors = fleet(2);
+        let mut rng = HmacDrbg::new(b"t2");
+        assert!(matches!(
+            read_index_quorum(
+                &mirrors,
+                &config(1),
+                &LatencyModel::default(),
+                &signers(),
+                &mut rng
+            ),
+            Err(QuorumError::NotEnoughSources {
+                available: 2,
+                required: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn one_stale_mirror_masked() {
+        let mut mirrors = fleet(3);
+        // The stale mirror replays snapshot 1 (valid signature, old data).
+        mirrors[0].set_behavior(Behavior::Stale { snapshot: 0 });
+        let mut rng = HmacDrbg::new(b"t3");
+        let out = read_index_quorum(
+            &mirrors,
+            &config(1),
+            &LatencyModel::default(),
+            &signers(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.index.snapshot, 2, "quorum must pick the fresh index");
+    }
+
+    #[test]
+    fn one_offline_mirror_masked() {
+        let mut mirrors = fleet(3);
+        mirrors[1].set_behavior(Behavior::Offline);
+        let mut rng = HmacDrbg::new(b"t4");
+        let out = read_index_quorum(
+            &mirrors,
+            &config(1),
+            &LatencyModel::default(),
+            &signers(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.index.snapshot, 2);
+    }
+
+    #[test]
+    fn majority_stale_defeats_quorum_for_fresh_value_but_still_agrees() {
+        // If f+1 mirrors collude on the SAME stale snapshot, the quorum
+        // accepts it — this is outside the threat model (majority honest),
+        // and the rollback is caught by TSR's monotonic snapshot check.
+        let mut mirrors = fleet(3);
+        mirrors[0].set_behavior(Behavior::Stale { snapshot: 0 });
+        mirrors[1].set_behavior(Behavior::Stale { snapshot: 0 });
+        let mut rng = HmacDrbg::new(b"t5");
+        let out = read_index_quorum(
+            &mirrors,
+            &config(1),
+            &LatencyModel::default(),
+            &signers(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.index.snapshot, 1);
+    }
+
+    #[test]
+    fn unsigned_garbage_never_forms_quorum() {
+        let mut mirrors = fleet(3);
+        // Two mirrors serve garbage "indexes" (bad signatures).
+        for m in mirrors.iter_mut().take(2) {
+            let mut snap = snapshot(3);
+            snap.signed_index = vec![0xde; 64];
+            m.publish(snap);
+        }
+        let mut rng = HmacDrbg::new(b"t6");
+        // The remaining honest mirror alone cannot reach f+1=2.
+        let err = read_index_quorum(
+            &mirrors,
+            &config(1),
+            &LatencyModel::default(),
+            &signers(),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, QuorumError::NoQuorum { .. }));
+    }
+
+    #[test]
+    fn escalation_contacts_more_mirrors() {
+        let mut mirrors = fleet(5);
+        // Make the two fastest (European) mirrors disagree: one stale.
+        // Order by base RTT puts Europe mirrors (indices 0,3) first.
+        mirrors[0].set_behavior(Behavior::Stale { snapshot: 0 });
+        let mut rng = HmacDrbg::new(b"t7");
+        let out = read_index_quorum(
+            &mirrors,
+            &config(2),
+            &LatencyModel::default(),
+            &signers(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.index.snapshot, 2);
+        assert!(out.contacted > 3, "had to escalate beyond first wave");
+    }
+
+    #[test]
+    fn elapsed_grows_with_cross_continent_quorum() {
+        let mut rng1 = HmacDrbg::new(b"t8");
+        let mut rng2 = HmacDrbg::new(b"t8");
+        let eu_only: Vec<Mirror> = {
+            let mut ms: Vec<Mirror> = (0..3)
+                .map(|i| Mirror::new(format!("eu{i}"), Continent::Europe))
+                .collect();
+            tsr_mirror::publish_to_all(&mut ms, &snapshot(1));
+            ms
+        };
+        let asia_only: Vec<Mirror> = {
+            let mut ms: Vec<Mirror> = (0..3)
+                .map(|i| Mirror::new(format!("as{i}"), Continent::Asia))
+                .collect();
+            tsr_mirror::publish_to_all(&mut ms, &snapshot(1));
+            ms
+        };
+        let model = LatencyModel::default();
+        let eu = read_index_quorum(&eu_only, &config(1), &model, &signers(), &mut rng1)
+            .unwrap();
+        let asia =
+            read_index_quorum(&asia_only, &config(1), &model, &signers(), &mut rng2)
+                .unwrap();
+        assert!(asia.elapsed > eu.elapsed);
+    }
+
+    #[test]
+    fn package_fetch_verified_against_index() {
+        let mirrors = fleet(3);
+        let mut rng = HmacDrbg::new(b"t9");
+        let model = LatencyModel::default();
+        let out =
+            read_index_quorum(&mirrors, &config(1), &model, &signers(), &mut rng).unwrap();
+        let (blob, _) = fetch_package_verified(
+            &mirrors,
+            "pkg",
+            &out.index,
+            &config(1),
+            &model,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(blob, vec![2u8; 100]);
+    }
+
+    #[test]
+    fn corrupt_mirror_skipped_for_packages() {
+        let mut mirrors = fleet(3);
+        // Fastest mirror corrupts packages; download falls through to an
+        // honest one thanks to the index-pinned hash.
+        mirrors[0].set_behavior(Behavior::CorruptPackages);
+        let mut rng = HmacDrbg::new(b"t10");
+        let model = LatencyModel::default();
+        let out =
+            read_index_quorum(&mirrors, &config(1), &model, &signers(), &mut rng).unwrap();
+        let (blob, _) = fetch_package_verified(
+            &mirrors,
+            "pkg",
+            &out.index,
+            &config(1),
+            &model,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(blob, vec![2u8; 100]);
+    }
+
+    #[test]
+    fn unknown_package_errors() {
+        let mirrors = fleet(3);
+        let mut rng = HmacDrbg::new(b"t11");
+        let model = LatencyModel::default();
+        let out =
+            read_index_quorum(&mirrors, &config(1), &model, &signers(), &mut rng).unwrap();
+        assert!(matches!(
+            fetch_package_verified(
+                &mirrors,
+                "ghost",
+                &out.index,
+                &config(1),
+                &model,
+                &mut rng
+            ),
+            Err(QuorumError::InvalidIndex(_))
+        ));
+    }
+}

@@ -1,0 +1,389 @@
+//! Classification of installation-script operations (paper §4.2, Table 2).
+//!
+//! Every simple command is mapped to an [`OperationKind`]; a script's
+//! [`Classification`] aggregates them and decides whether the script is
+//! safe as-is, sanitizable, or unsupported — the exact taxonomy TSR uses to
+//! accept or reject packages.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::parse::{parse_commands, SimpleCommand};
+
+/// The operation categories of Table 2.
+///
+/// Ordered by severity: later variants dominate earlier ones when a script
+/// mixes categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OperationKind {
+    /// Conditional checks, `echo`/`printf` display, no-ops.
+    Empty,
+    /// Directory/symlink/permission manipulation — safe for IMA integrity.
+    FilesystemChange,
+    /// Read-only text processing (grep/awk/…) — safe.
+    TextProcessing,
+    /// `touch`-style creation of empty files — unsafe, sanitizable.
+    EmptyFileCreation,
+    /// User/group creation — unsafe, sanitizable (the 201-package case).
+    UserGroupCreation,
+    /// Modification of existing configuration files — unsafe, NOT sanitized.
+    ConfigChange,
+    /// `add-shell`/`chsh` activation of new shells — unsafe, NOT sanitized
+    /// by policy (§4.2 "Unsupported scripts").
+    ShellActivation,
+    /// Output that cannot be predicted (random keys etc.) — unsupported.
+    Unpredictable,
+}
+
+impl OperationKind {
+    /// Whether the operation leaves OS integrity intact without sanitization
+    /// (the "Safe" column of Table 2).
+    pub fn is_safe(self) -> bool {
+        matches!(
+            self,
+            OperationKind::Empty
+                | OperationKind::FilesystemChange
+                | OperationKind::TextProcessing
+        )
+    }
+
+    /// Whether TSR's sanitization makes the operation safe
+    /// (the "TSR" column of Table 2).
+    pub fn sanitizable(self) -> bool {
+        self.is_safe()
+            || matches!(
+                self,
+                OperationKind::EmptyFileCreation | OperationKind::UserGroupCreation
+            )
+    }
+}
+
+impl fmt::Display for OperationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OperationKind::Empty => "empty script",
+            OperationKind::FilesystemChange => "filesystem changes",
+            OperationKind::TextProcessing => "text processing",
+            OperationKind::EmptyFileCreation => "empty file creation",
+            OperationKind::UserGroupCreation => "user/group creation",
+            OperationKind::ConfigChange => "configuration change",
+            OperationKind::ShellActivation => "shell activation",
+            OperationKind::Unpredictable => "unpredictable output",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classification result for one script.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Classification {
+    /// All operation kinds observed.
+    pub operations: BTreeSet<OperationKind>,
+    /// Commands that triggered non-safe classifications (for diagnostics).
+    pub offending: Vec<String>,
+}
+
+impl Classification {
+    /// The most severe operation (drives the Table 2 per-package bucketing).
+    ///
+    /// Empty scripts (no commands) classify as [`OperationKind::Empty`].
+    pub fn dominant(&self) -> OperationKind {
+        self.operations
+            .iter()
+            .next_back()
+            .copied()
+            .unwrap_or(OperationKind::Empty)
+    }
+
+    /// Safe without sanitization.
+    pub fn is_safe(&self) -> bool {
+        self.operations.iter().all(|o| o.is_safe())
+    }
+
+    /// Safe after TSR sanitization.
+    pub fn sanitizable(&self) -> bool {
+        self.operations.iter().all(|o| o.sanitizable())
+    }
+}
+
+/// Commands that create/remove/move filesystem objects without altering
+/// tracked file contents.
+const FS_COMMANDS: &[&str] = &[
+    "mkdir", "rmdir", "rm", "mv", "cp", "ln", "chmod", "chown", "chgrp",
+    "install", "readlink", "mktemp",
+];
+
+/// Read-only text utilities.
+const TEXT_COMMANDS: &[&str] = &[
+    "grep", "egrep", "fgrep", "awk", "sed", "cut", "sort", "uniq", "head",
+    "tail", "cat", "wc", "tr", "basename", "dirname", "find", "xargs",
+];
+
+/// Display/no-op commands.
+const EMPTY_COMMANDS: &[&str] = &[
+    "echo", "printf", "true", "false", ":", "test", "[", "exit", "return",
+    "sleep", "which", "command", "exec", "set", "unset", "export", "umask",
+    "local", "shift", "eval", "cd",
+];
+
+/// Commands that create users or groups.
+const USERGROUP_COMMANDS: &[&str] = &["adduser", "addgroup", "useradd", "groupadd"];
+
+/// Commands that activate shells.
+const SHELL_COMMANDS: &[&str] = &["add-shell", "remove-shell", "chsh"];
+
+/// Commands whose output is inherently unpredictable (key generation).
+const RANDOM_COMMANDS: &[&str] = &["openssl", "ssh-keygen", "uuidgen", "dd"];
+
+/// Paths whose modification counts as a configuration change.
+const CONFIG_PATHS: &[&str] = &["/etc/"];
+
+/// Files that user/group sanitization itself manages (writes to these via
+/// the dedicated commands are *not* generic config changes).
+const USERGROUP_FILES: &[&str] = &["/etc/passwd", "/etc/group", "/etc/shadow"];
+
+/// Classifies one command.
+pub fn classify_command(cmd: &SimpleCommand) -> OperationKind {
+    let name = match cmd.name() {
+        Some(n) => n.rsplit('/').next().unwrap_or(n),
+        None => {
+            // Bare redirection (`> /path`) truncates/creates an empty file;
+            // under /etc (other than the account files) that is a config
+            // change, elsewhere it is sanitizable empty-file creation.
+            if cmd
+                .redirects
+                .iter()
+                .any(|(r, _)| matches!(r, crate::parse::Redirect::Out))
+            {
+                if CONFIG_PATHS.iter().any(|p| cmd.writes_to(p))
+                    && !USERGROUP_FILES.iter().any(|f| cmd.writes_to(f))
+                {
+                    return OperationKind::ConfigChange;
+                }
+                return OperationKind::EmptyFileCreation;
+            }
+            return OperationKind::Empty; // bare assignment
+        }
+    };
+
+    // Unpredictable output beats everything.
+    if RANDOM_COMMANDS.contains(&name)
+        || cmd.argv.iter().any(|a| a.contains("/dev/urandom") || a.contains("/dev/random"))
+    {
+        return OperationKind::Unpredictable;
+    }
+
+    if SHELL_COMMANDS.contains(&name) {
+        return OperationKind::ShellActivation;
+    }
+    // Appending to /etc/shells by hand is also shell activation.
+    if cmd.writes_to("/etc/shells") {
+        return OperationKind::ShellActivation;
+    }
+
+    if USERGROUP_COMMANDS.contains(&name) {
+        return OperationKind::UserGroupCreation;
+    }
+
+    // sed -i rewrites files in place: config change when under /etc.
+    if name == "sed" && cmd.has_flag("-i") {
+        return OperationKind::ConfigChange;
+    }
+
+    // Any redirect that writes into /etc is a config change...
+    if CONFIG_PATHS
+        .iter()
+        .any(|p| cmd.writes_to(p))
+        && !USERGROUP_FILES.iter().any(|f| cmd.writes_to(f))
+    {
+        return OperationKind::ConfigChange;
+    }
+
+    if name == "touch" {
+        return OperationKind::EmptyFileCreation;
+    }
+    // A bare redirection (`> /path/file`) also creates an empty file.
+    if cmd.argv.is_empty() && !cmd.redirects.is_empty() {
+        return OperationKind::EmptyFileCreation;
+    }
+
+    if FS_COMMANDS.contains(&name) {
+        return OperationKind::FilesystemChange;
+    }
+    if TEXT_COMMANDS.contains(&name) {
+        return OperationKind::TextProcessing;
+    }
+    if EMPTY_COMMANDS.contains(&name) {
+        return OperationKind::Empty;
+    }
+
+    // Unknown commands are conservatively treated as config changes:
+    // TSR cannot predict their effect.
+    OperationKind::ConfigChange
+}
+
+/// Classifies a whole script.
+///
+/// # Examples
+///
+/// ```
+/// use tsr_script::classify::{classify_script, OperationKind};
+///
+/// let c = classify_script("adduser -S -D -H www");
+/// assert_eq!(c.dominant(), OperationKind::UserGroupCreation);
+/// assert!(!c.is_safe());
+/// assert!(c.sanitizable());
+/// ```
+pub fn classify_script(script: &str) -> Classification {
+    let mut classification = Classification::default();
+    for cmd in parse_commands(script) {
+        let kind = classify_command(&cmd);
+        if !kind.is_safe() {
+            classification.offending.push(cmd.argv.join(" "));
+        }
+        classification.operations.insert(kind);
+    }
+    classification
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dominant(s: &str) -> OperationKind {
+        classify_script(s).dominant()
+    }
+
+    #[test]
+    fn empty_script() {
+        assert_eq!(dominant(""), OperationKind::Empty);
+        assert_eq!(dominant("# comment only"), OperationKind::Empty);
+        assert_eq!(dominant("echo installed"), OperationKind::Empty);
+        assert_eq!(dominant("exit 0"), OperationKind::Empty);
+    }
+
+    #[test]
+    fn filesystem_changes_safe() {
+        let c = classify_script("mkdir -p /var/lib/app\nchown app /var/lib/app\nln -s a b");
+        assert_eq!(c.dominant(), OperationKind::FilesystemChange);
+        assert!(c.is_safe());
+        assert!(c.sanitizable());
+    }
+
+    #[test]
+    fn text_processing_safe() {
+        let c = classify_script("grep -q root /etc/passwd && echo found");
+        assert_eq!(c.dominant(), OperationKind::TextProcessing);
+        assert!(c.is_safe());
+    }
+
+    #[test]
+    fn usergroup_sanitizable_not_safe() {
+        let c = classify_script("addgroup -S www\nadduser -S -D -H -G www www");
+        assert_eq!(c.dominant(), OperationKind::UserGroupCreation);
+        assert!(!c.is_safe());
+        assert!(c.sanitizable());
+        assert_eq!(c.offending.len(), 2);
+    }
+
+    #[test]
+    fn useradd_variants_recognized() {
+        assert_eq!(dominant("useradd -r svc"), OperationKind::UserGroupCreation);
+        assert_eq!(dominant("groupadd -r svc"), OperationKind::UserGroupCreation);
+        assert_eq!(
+            dominant("/usr/sbin/adduser -S x"),
+            OperationKind::UserGroupCreation
+        );
+    }
+
+    #[test]
+    fn config_change_not_sanitizable() {
+        let c = classify_script("echo 'opt=1' >> /etc/app.conf");
+        assert_eq!(c.dominant(), OperationKind::ConfigChange);
+        assert!(!c.sanitizable());
+    }
+
+    #[test]
+    fn sed_inplace_is_config_change() {
+        assert_eq!(
+            dominant("sed -i s/a/b/ /etc/app.conf"),
+            OperationKind::ConfigChange
+        );
+        // plain sed is text processing
+        assert_eq!(dominant("sed s/a/b/ /etc/app.conf"), OperationKind::TextProcessing);
+    }
+
+    #[test]
+    fn empty_file_creation_sanitizable() {
+        let c = classify_script("touch /var/run/app.pid");
+        assert_eq!(c.dominant(), OperationKind::EmptyFileCreation);
+        assert!(!c.is_safe());
+        assert!(c.sanitizable());
+    }
+
+    #[test]
+    fn shell_activation_not_sanitized() {
+        let c = classify_script("add-shell /bin/bash");
+        assert_eq!(c.dominant(), OperationKind::ShellActivation);
+        assert!(!c.sanitizable());
+        assert_eq!(
+            dominant("echo /bin/zsh >> /etc/shells"),
+            OperationKind::ShellActivation
+        );
+    }
+
+    #[test]
+    fn unpredictable_output_unsupported() {
+        // The roundcubemail analogue: random session keys.
+        let c = classify_script("head -c 32 /dev/urandom > /etc/app/session.key");
+        assert_eq!(c.dominant(), OperationKind::Unpredictable);
+        assert!(!c.sanitizable());
+        assert_eq!(dominant("openssl rand -hex 16"), OperationKind::Unpredictable);
+    }
+
+    #[test]
+    fn unknown_commands_conservative() {
+        assert_eq!(dominant("frobnicate --hard"), OperationKind::ConfigChange);
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(OperationKind::Unpredictable > OperationKind::ShellActivation);
+        assert!(OperationKind::ShellActivation > OperationKind::ConfigChange);
+        assert!(OperationKind::ConfigChange > OperationKind::UserGroupCreation);
+        assert!(OperationKind::UserGroupCreation > OperationKind::EmptyFileCreation);
+        assert!(OperationKind::EmptyFileCreation > OperationKind::TextProcessing);
+    }
+
+    #[test]
+    fn mixed_script_dominated_by_worst() {
+        let s = "mkdir /var/x\nadduser -S y\necho done";
+        assert_eq!(dominant(s), OperationKind::UserGroupCreation);
+    }
+
+    #[test]
+    fn bare_redirect_classification() {
+        // `> /path` with no command truncates/creates an empty file.
+        assert_eq!(dominant("> /var/run/app.lock"), OperationKind::EmptyFileCreation);
+        // …but doing that to a config file is a config change.
+        assert_eq!(dominant("> /etc/app.conf"), OperationKind::ConfigChange);
+        // …except the account files, which sanitization manages itself.
+        assert_eq!(dominant("> /etc/passwd"), OperationKind::EmptyFileCreation);
+    }
+
+    #[test]
+    fn offending_commands_recorded() {
+        let c = classify_script("mkdir /a
+adduser -S x
+add-shell /bin/zsh");
+        assert_eq!(c.offending.len(), 2);
+        assert!(c.offending[0].contains("adduser"));
+        assert!(c.offending[1].contains("add-shell"));
+    }
+
+    #[test]
+    fn writes_to_passwd_via_usergroup_commands_not_config() {
+        // adduser touches /etc/passwd, but via the dedicated, predictable path.
+        assert_eq!(dominant("adduser -S a"), OperationKind::UserGroupCreation);
+    }
+}

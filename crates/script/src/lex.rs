@@ -1,0 +1,283 @@
+//! A tokenizer for the POSIX-shell subset that appears in package
+//! installation scripts.
+//!
+//! Handles single/double quotes, backslash escapes, comments, command
+//! separators (`;`, `&&`, `||`, `|`, newline), and redirections. Variable
+//! references (`$VAR`) are kept as literal token text — installation-script
+//! analysis treats them opaquely.
+
+/// One shell token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A word (command name, argument, or `VAR=value` assignment).
+    Word(String),
+    /// Command separator: `;`, newline, `&&`, or `||`.
+    Separator,
+    /// Pipe `|`.
+    Pipe,
+    /// Output redirection `>` with optional fd prefix (e.g. `2>`).
+    RedirectOut,
+    /// Appending redirection `>>`.
+    RedirectAppend,
+    /// Input redirection `<`.
+    RedirectIn,
+    /// Background `&`.
+    Background,
+}
+
+/// Tokenizes a script into a flat token stream.
+///
+/// Comments run to end of line. A trailing backslash joins lines. Quoting
+/// preserves separator characters inside words.
+///
+/// # Examples
+///
+/// ```
+/// use tsr_script::lex::{tokenize, Token};
+///
+/// let toks = tokenize("echo 'a b' > /tmp/x");
+/// assert_eq!(toks[0], Token::Word("echo".into()));
+/// assert_eq!(toks[1], Token::Word("a b".into()));
+/// assert_eq!(toks[2], Token::RedirectOut);
+/// ```
+pub fn tokenize(script: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = script.chars().collect();
+    let mut i = 0usize;
+    let mut word = String::new();
+    let mut has_word = false;
+
+    macro_rules! flush {
+        () => {
+            if has_word {
+                tokens.push(Token::Word(std::mem::take(&mut word)));
+                has_word = false;
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '#' if !has_word || word.ends_with(char::is_whitespace) => {
+                // Comment to end of line (only at word start).
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\\' => {
+                if i + 1 < chars.len() {
+                    let next = chars[i + 1];
+                    if next == '\n' {
+                        // Line continuation.
+                        i += 2;
+                        continue;
+                    }
+                    word.push(next);
+                    has_word = true;
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+            '\'' => {
+                has_word = true;
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    word.push(chars[i]);
+                    i += 1;
+                }
+                i += 1; // closing quote (or EOF)
+            }
+            '"' => {
+                has_word = true;
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        let n = chars[i + 1];
+                        if n == '"' || n == '\\' || n == '$' || n == '`' {
+                            word.push(n);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    word.push(chars[i]);
+                    i += 1;
+                }
+                i += 1;
+            }
+            ' ' | '\t' => {
+                flush!();
+                i += 1;
+            }
+            '\n' | ';' => {
+                flush!();
+                if tokens.last() != Some(&Token::Separator) && !tokens.is_empty() {
+                    tokens.push(Token::Separator);
+                }
+                i += 1;
+            }
+            '&' => {
+                flush!();
+                if chars.get(i + 1) == Some(&'&') {
+                    if tokens.last() != Some(&Token::Separator) && !tokens.is_empty() {
+                        tokens.push(Token::Separator);
+                    }
+                    i += 2;
+                } else {
+                    tokens.push(Token::Background);
+                    i += 1;
+                }
+            }
+            '|' => {
+                flush!();
+                if chars.get(i + 1) == Some(&'|') {
+                    if tokens.last() != Some(&Token::Separator) && !tokens.is_empty() {
+                        tokens.push(Token::Separator);
+                    }
+                    i += 2;
+                } else {
+                    tokens.push(Token::Pipe);
+                    i += 1;
+                }
+            }
+            '>' => {
+                flush!();
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::RedirectAppend);
+                    i += 2;
+                } else {
+                    tokens.push(Token::RedirectOut);
+                    i += 1;
+                }
+            }
+            '<' => {
+                flush!();
+                tokens.push(Token::RedirectIn);
+                i += 1;
+            }
+            _ => {
+                // Digit immediately before '>' is an fd prefix (e.g. 2>).
+                if c.is_ascii_digit()
+                    && !has_word
+                    && matches!(chars.get(i + 1), Some('>'))
+                {
+                    // Swallow the fd digit; the '>' is handled next round.
+                    i += 1;
+                    continue;
+                }
+                word.push(c);
+                has_word = true;
+                i += 1;
+            }
+        }
+    }
+    if has_word {
+        tokens.push(Token::Word(word));
+    }
+    // Trim trailing separator for cleanliness.
+    while tokens.last() == Some(&Token::Separator) {
+        tokens.pop();
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &str) -> Vec<String> {
+        tokenize(s)
+            .into_iter()
+            .filter_map(|t| match t {
+                Token::Word(w) => Some(w),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_words() {
+        assert_eq!(words("adduser -S www"), vec!["adduser", "-S", "www"]);
+    }
+
+    #[test]
+    fn single_quotes_preserve_spaces() {
+        assert_eq!(words("echo 'hello world'"), vec!["echo", "hello world"]);
+    }
+
+    #[test]
+    fn double_quotes_with_escape() {
+        assert_eq!(words(r#"echo "a \"b\" c""#), vec!["echo", r#"a "b" c"#]);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        assert_eq!(words("# full line\necho hi # trailing"), vec!["echo", "hi"]);
+    }
+
+    #[test]
+    fn hash_inside_word_kept() {
+        assert_eq!(words("echo a#b"), vec!["echo", "a#b"]);
+    }
+
+    #[test]
+    fn separators_collapse() {
+        let toks = tokenize("a;;\n\nb && c || d");
+        let seps = toks.iter().filter(|t| **t == Token::Separator).count();
+        assert_eq!(seps, 3);
+    }
+
+    #[test]
+    fn pipe_and_redirect() {
+        let toks = tokenize("cat /etc/passwd | grep root > out");
+        assert!(toks.contains(&Token::Pipe));
+        assert!(toks.contains(&Token::RedirectOut));
+    }
+
+    #[test]
+    fn append_redirect() {
+        let toks = tokenize("echo x >> /etc/conf");
+        assert!(toks.contains(&Token::RedirectAppend));
+        assert!(!toks.contains(&Token::RedirectOut));
+    }
+
+    #[test]
+    fn fd_redirect_prefix() {
+        let toks = tokenize("cmd 2> /dev/null");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("cmd".into()),
+                Token::RedirectOut,
+                Token::Word("/dev/null".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn line_continuation() {
+        assert_eq!(words("echo a \\\n b"), vec!["echo", "a", "b"]);
+    }
+
+    #[test]
+    fn backslash_escape_in_word() {
+        assert_eq!(words(r"echo a\ b"), vec!["echo", "a b"]);
+    }
+
+    #[test]
+    fn background_token() {
+        assert!(tokenize("daemon &").contains(&Token::Background));
+    }
+
+    #[test]
+    fn empty_script() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("\n\n# only comments\n").is_empty());
+    }
+
+    #[test]
+    fn variables_kept_literal() {
+        assert_eq!(words("echo $HOME ${x}"), vec!["echo", "$HOME", "${x}"]);
+    }
+}

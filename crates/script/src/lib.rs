@@ -1,0 +1,46 @@
+//! # tsr-script
+//!
+//! Installation-script analysis and sanitization — the core algorithm of the
+//! TSR paper (§4.2):
+//!
+//! - [`lex`] / [`parse`]: a POSIX-shell-subset tokenizer and simple-command
+//!   extractor,
+//! - [`classify`]: the Table 2 operation taxonomy (filesystem changes, text
+//!   processing, user/group creation, config changes, shell activation,
+//!   unpredictable output) and per-script safety verdicts,
+//! - [`usergroup`]: the repository-wide user/group universe, deterministic
+//!   id assignment, and prediction of `/etc/passwd`, `/etc/group`,
+//!   `/etc/shadow`,
+//! - [`sanitize`]: the rewrite that replaces user/group creation with the
+//!   canonical preamble and rejects unsupported scripts.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsr_script::classify::{classify_script, OperationKind};
+//! use tsr_script::sanitize::sanitize_script;
+//! use tsr_script::usergroup::UserGroupUniverse;
+//!
+//! // Scan the whole repository first…
+//! let mut universe = UserGroupUniverse::new();
+//! universe.scan_script("adduser -S -D -H www");
+//! universe.scan_script("adduser -S -D -H db");
+//! universe.assign_ids();
+//!
+//! // …then sanitize each package's scripts against it.
+//! let script = "adduser -S -D -H www\nmkdir -p /var/www";
+//! assert_eq!(classify_script(script).dominant(), OperationKind::UserGroupCreation);
+//! let sanitized = sanitize_script(script, &universe)?;
+//! assert!(sanitized.touches_accounts);
+//! # Ok::<(), tsr_script::sanitize::Unsupported>(())
+//! ```
+
+pub mod classify;
+pub mod lex;
+pub mod parse;
+pub mod sanitize;
+pub mod usergroup;
+
+pub use classify::{classify_script, Classification, OperationKind};
+pub use sanitize::{sanitize_script, SanitizedScript, Unsupported};
+pub use usergroup::{SecurityFinding, UserGroupUniverse};

@@ -1,0 +1,272 @@
+//! Extraction of simple commands from tokenized scripts.
+//!
+//! Control-flow keywords (`if`, `for`, `while`, …) are treated as structure
+//! and skipped, so every executable command in the script — including ones
+//! inside conditionals — is surfaced for classification. This mirrors the
+//! paper's conservative stance: a command that *may* run during installation
+//! must be accounted for.
+
+use crate::lex::{tokenize, Token};
+
+/// Redirection kinds attached to a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Redirect {
+    /// `> path` (truncate / create).
+    Out,
+    /// `>> path` (append).
+    Append,
+    /// `< path`.
+    In,
+}
+
+/// One simple command: environment assignments, argv, and redirections.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimpleCommand {
+    /// Leading `VAR=value` assignments.
+    pub assignments: Vec<(String, String)>,
+    /// The command and its arguments.
+    pub argv: Vec<String>,
+    /// Redirections with their targets.
+    pub redirects: Vec<(Redirect, String)>,
+}
+
+impl SimpleCommand {
+    /// The command name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.argv.first().map(String::as_str)
+    }
+
+    /// Arguments after the command name.
+    pub fn args(&self) -> &[String] {
+        if self.argv.is_empty() {
+            &[]
+        } else {
+            &self.argv[1..]
+        }
+    }
+
+    /// True if any argument equals `flag` (exact match, e.g. `-i`).
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.args().iter().any(|a| a == flag)
+    }
+
+    /// Returns the value following `flag`, e.g. `-s /bin/sh` → `/bin/sh`.
+    pub fn flag_value(&self, flag: &str) -> Option<&str> {
+        let args = self.args();
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Positional (non-flag) arguments, skipping values consumed by the
+    /// given value-taking flags.
+    pub fn positional_args(&self, value_flags: &[&str]) -> Vec<&str> {
+        let mut out = Vec::new();
+        let args = self.args();
+        let mut skip = false;
+        for a in args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if value_flags.contains(&a.as_str()) {
+                skip = true;
+                continue;
+            }
+            if a.starts_with('-') && a.len() > 1 {
+                continue;
+            }
+            out.push(a.as_str());
+        }
+        out
+    }
+
+    /// True when the command redirects output into `path_prefix`.
+    pub fn writes_to(&self, path_prefix: &str) -> bool {
+        self.redirects.iter().any(|(r, target)| {
+            matches!(r, Redirect::Out | Redirect::Append) && target.starts_with(path_prefix)
+        })
+    }
+}
+
+/// Shell reserved words that introduce/close control flow.
+const KEYWORDS: &[&str] = &[
+    "if", "then", "else", "elif", "fi", "for", "do", "done", "while", "until",
+    "case", "esac", "in", "{", "}", "!",
+];
+
+/// Parses a script into its simple commands.
+///
+/// # Examples
+///
+/// ```
+/// let cmds = tsr_script::parse::parse_commands("if true; then adduser -S www; fi");
+/// assert_eq!(cmds.len(), 2); // `true` and `adduser -S www`
+/// assert_eq!(cmds[1].name(), Some("adduser"));
+/// ```
+pub fn parse_commands(script: &str) -> Vec<SimpleCommand> {
+    let tokens = tokenize(script);
+    let mut commands = Vec::new();
+    let mut cur = SimpleCommand::default();
+    let mut expecting_redirect: Option<Redirect> = None;
+
+    macro_rules! flush {
+        () => {
+            if !cur.argv.is_empty() || !cur.assignments.is_empty() || !cur.redirects.is_empty()
+            {
+                commands.push(std::mem::take(&mut cur));
+            }
+        };
+    }
+
+    for tok in tokens {
+        match tok {
+            Token::Word(w) => {
+                if let Some(r) = expecting_redirect.take() {
+                    cur.redirects.push((r, w));
+                    continue;
+                }
+                if cur.argv.is_empty() {
+                    if KEYWORDS.contains(&w.as_str()) {
+                        // Control keyword: acts as a command boundary.
+                        flush!();
+                        continue;
+                    }
+                    // `VAR=value` prefix assignment.
+                    if let Some((name, value)) = w.split_once('=') {
+                        if !name.is_empty()
+                            && name
+                                .chars()
+                                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                            && !name.chars().next().unwrap().is_ascii_digit()
+                        {
+                            cur.assignments.push((name.to_string(), value.to_string()));
+                            continue;
+                        }
+                    }
+                }
+                cur.argv.push(w);
+            }
+            Token::Separator | Token::Pipe | Token::Background => {
+                expecting_redirect = None;
+                flush!();
+            }
+            Token::RedirectOut => expecting_redirect = Some(Redirect::Out),
+            Token::RedirectAppend => expecting_redirect = Some(Redirect::Append),
+            Token::RedirectIn => expecting_redirect = Some(Redirect::In),
+        }
+    }
+    flush!();
+    commands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_command() {
+        let cmds = parse_commands("adduser -S -D -H www-data");
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].name(), Some("adduser"));
+        assert!(cmds[0].has_flag("-S"));
+        assert!(!cmds[0].has_flag("-x"));
+    }
+
+    #[test]
+    fn multiple_commands() {
+        let cmds = parse_commands("mkdir -p /var/lib/x; chown x /var/lib/x && echo ok");
+        assert_eq!(cmds.len(), 3);
+        assert_eq!(cmds[2].name(), Some("echo"));
+    }
+
+    #[test]
+    fn pipeline_splits() {
+        let cmds = parse_commands("cat /etc/group | grep www");
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0].name(), Some("cat"));
+        assert_eq!(cmds[1].name(), Some("grep"));
+    }
+
+    #[test]
+    fn control_flow_skipped_but_bodies_kept() {
+        let script = "if [ -f /etc/x ]; then\n  rm /etc/x\nfi\nfor u in a b; do adduser $u; done";
+        let cmds = parse_commands(script);
+        let names: Vec<String> = cmds
+            .iter()
+            .filter_map(|c| c.name().map(str::to_string))
+            .collect();
+        assert!(names.iter().any(|n| n == "["));
+        assert!(names.iter().any(|n| n == "rm"));
+        assert!(names.iter().any(|n| n == "adduser"));
+    }
+
+    #[test]
+    fn assignments_parsed() {
+        let cmds = parse_commands("PATH=/bin FOO=bar cmd arg");
+        assert_eq!(cmds[0].assignments.len(), 2);
+        assert_eq!(cmds[0].assignments[0], ("PATH".into(), "/bin".into()));
+        assert_eq!(cmds[0].name(), Some("cmd"));
+    }
+
+    #[test]
+    fn assignment_only_command() {
+        let cmds = parse_commands("FOO=bar");
+        assert_eq!(cmds.len(), 1);
+        assert!(cmds[0].argv.is_empty());
+        assert_eq!(cmds[0].assignments[0].0, "FOO");
+    }
+
+    #[test]
+    fn equals_in_argument_not_assignment() {
+        let cmds = parse_commands("sed s/a=b/c/ file");
+        assert_eq!(cmds[0].argv.len(), 3);
+        assert!(cmds[0].assignments.is_empty());
+    }
+
+    #[test]
+    fn redirect_targets_captured() {
+        let cmds = parse_commands("echo hello > /etc/motd");
+        assert_eq!(cmds[0].redirects, vec![(Redirect::Out, "/etc/motd".into())]);
+        assert!(cmds[0].writes_to("/etc/"));
+        assert!(!cmds[0].writes_to("/var/"));
+    }
+
+    #[test]
+    fn append_redirect_captured() {
+        let cmds = parse_commands("cat extra >> /etc/shells");
+        assert_eq!(
+            cmds[0].redirects,
+            vec![(Redirect::Append, "/etc/shells".into())]
+        );
+    }
+
+    #[test]
+    fn flag_value_lookup() {
+        let cmds = parse_commands("adduser -s /sbin/nologin -G www www");
+        assert_eq!(cmds[0].flag_value("-s"), Some("/sbin/nologin"));
+        assert_eq!(cmds[0].flag_value("-G"), Some("www"));
+        assert_eq!(cmds[0].flag_value("-z"), None);
+    }
+
+    #[test]
+    fn positional_args_skip_flag_values() {
+        let cmds = parse_commands("adduser -s /sbin/nologin -G www -S alice");
+        let pos = cmds[0].positional_args(&["-s", "-G", "-g", "-u", "-h", "-k"]);
+        assert_eq!(pos, vec!["alice"]);
+    }
+
+    #[test]
+    fn empty_script_no_commands() {
+        assert!(parse_commands("").is_empty());
+        assert!(parse_commands("# comment\n\n").is_empty());
+    }
+
+    #[test]
+    fn bang_negation_skipped() {
+        let cmds = parse_commands("! grep -q x /etc/passwd");
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].name(), Some("grep"));
+    }
+}

@@ -1,0 +1,534 @@
+//! The repository-wide user/group universe and OS-configuration prediction
+//! (paper §4.2, "Script sanitization").
+//!
+//! TSR scans *every* package in the repository to learn all users and groups
+//! any script may create. Sanitized scripts then create **all** of them in
+//! one canonical order, which makes `/etc/passwd`, `/etc/group`, and
+//! `/etc/shadow` deterministic regardless of which packages are installed
+//! and in which order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::{parse_commands, SimpleCommand};
+
+/// Default shell assigned to system users.
+pub const NOLOGIN: &str = "/sbin/nologin";
+/// Default interactive shell of the base system.
+pub const DEFAULT_SHELL: &str = "/bin/ash";
+
+/// A user that some package creates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserSpec {
+    /// Account name.
+    pub name: String,
+    /// Explicit uid, when the script pins one (`-u`).
+    pub uid: Option<u32>,
+    /// Primary group (`-G`); defaults to a group of the same name.
+    pub group: Option<String>,
+    /// GECOS field (`-g`).
+    pub gecos: String,
+    /// Home directory (`-h`); defaults derived at prediction time.
+    pub home: Option<String>,
+    /// Login shell (`-s`); system users default to nologin.
+    pub shell: Option<String>,
+    /// System account (`-S` / `-r`).
+    pub system: bool,
+    /// Created without a password (`-D`).
+    pub no_password: bool,
+}
+
+impl UserSpec {
+    /// A minimal system-user spec.
+    pub fn system(name: impl Into<String>) -> Self {
+        UserSpec {
+            name: name.into(),
+            uid: None,
+            group: None,
+            gecos: String::new(),
+            home: None,
+            shell: None,
+            system: true,
+            no_password: false,
+        }
+    }
+
+    /// The shell this user ends up with.
+    pub fn effective_shell(&self) -> &str {
+        match &self.shell {
+            Some(s) => s,
+            None if self.system => NOLOGIN,
+            None => DEFAULT_SHELL,
+        }
+    }
+
+    /// True when this spec matches the CVE-2019-5021 pattern the paper's
+    /// sanitizer flagged: password-less account with a usable login shell.
+    pub fn is_security_risk(&self) -> bool {
+        self.no_password
+            && !matches!(self.effective_shell(), NOLOGIN | "/bin/false" | "/usr/sbin/nologin")
+    }
+}
+
+/// A group that some package creates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSpec {
+    /// Group name.
+    pub name: String,
+    /// Explicit gid (`-g`).
+    pub gid: Option<u32>,
+    /// System group (`-S` / `-r`).
+    pub system: bool,
+    /// Supplementary members (`addgroup USER GROUP`).
+    pub members: BTreeSet<String>,
+}
+
+impl GroupSpec {
+    /// A minimal system-group spec.
+    pub fn system(name: impl Into<String>) -> Self {
+        GroupSpec {
+            name: name.into(),
+            gid: None,
+            system: true,
+            members: BTreeSet::new(),
+        }
+    }
+}
+
+/// A security finding produced while scanning scripts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityFinding {
+    /// The affected account.
+    pub user: String,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// The collected universe of users and groups across a repository.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UserGroupUniverse {
+    users: BTreeMap<String, UserSpec>,
+    groups: BTreeMap<String, GroupSpec>,
+    findings: Vec<SecurityFinding>,
+}
+
+/// Base uid assigned to the first discovered user without an explicit uid.
+pub const BASE_UID: u32 = 100;
+/// Base gid assigned to the first discovered group without an explicit gid.
+pub const BASE_GID: u32 = 100;
+
+impl UserGroupUniverse {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scans one script, merging any user/group creation into the universe.
+    pub fn scan_script(&mut self, script: &str) {
+        for cmd in parse_commands(script) {
+            self.scan_command(&cmd);
+        }
+    }
+
+    /// Scans one parsed command.
+    pub fn scan_command(&mut self, cmd: &SimpleCommand) {
+        let name = match cmd.name() {
+            Some(n) => n.rsplit('/').next().unwrap_or(n),
+            None => return,
+        };
+        match name {
+            "adduser" | "useradd" => self.scan_adduser(cmd),
+            "addgroup" | "groupadd" => self.scan_addgroup(cmd),
+            _ => {}
+        }
+    }
+
+    fn scan_adduser(&mut self, cmd: &SimpleCommand) {
+        let value_flags = ["-h", "-g", "-s", "-G", "-u", "-k", "-d", "-c"];
+        let positional = cmd.positional_args(&value_flags);
+        let Some(name) = positional.first() else {
+            return;
+        };
+        let spec = UserSpec {
+            name: name.to_string(),
+            uid: cmd.flag_value("-u").and_then(|v| v.parse().ok()),
+            group: cmd
+                .flag_value("-G")
+                .or_else(|| positional.get(1).copied())
+                .map(String::from),
+            gecos: cmd
+                .flag_value("-g")
+                .or_else(|| cmd.flag_value("-c"))
+                .unwrap_or("")
+                .to_string(),
+            home: cmd
+                .flag_value("-h")
+                .or_else(|| cmd.flag_value("-d"))
+                .map(String::from),
+            shell: cmd.flag_value("-s").map(String::from),
+            system: cmd.has_flag("-S") || cmd.has_flag("-r"),
+            no_password: cmd.has_flag("-D"),
+        };
+        if spec.is_security_risk() {
+            self.findings.push(SecurityFinding {
+                user: spec.name.clone(),
+                description: format!(
+                    "account {} is created without a password but with login shell {}",
+                    spec.name,
+                    spec.effective_shell()
+                ),
+            });
+        }
+        // Ensure the primary group exists in the universe.
+        if let Some(g) = &spec.group {
+            self.groups
+                .entry(g.clone())
+                .or_insert_with(|| GroupSpec::system(g.clone()));
+        } else {
+            self.groups
+                .entry(spec.name.clone())
+                .or_insert_with(|| GroupSpec::system(spec.name.clone()));
+        }
+        self.users.entry(spec.name.clone()).or_insert(spec);
+    }
+
+    fn scan_addgroup(&mut self, cmd: &SimpleCommand) {
+        let value_flags = ["-g"];
+        let positional = cmd.positional_args(&value_flags);
+        match positional.len() {
+            1 => {
+                let spec = GroupSpec {
+                    name: positional[0].to_string(),
+                    gid: cmd.flag_value("-g").and_then(|v| v.parse().ok()),
+                    system: cmd.has_flag("-S") || cmd.has_flag("-r"),
+                    members: BTreeSet::new(),
+                };
+                self.groups
+                    .entry(spec.name.clone())
+                    .and_modify(|g| {
+                        if g.gid.is_none() {
+                            g.gid = spec.gid;
+                        }
+                    })
+                    .or_insert(spec);
+            }
+            2 => {
+                // `addgroup USER GROUP` — membership.
+                let (user, group) = (positional[0], positional[1]);
+                self.groups
+                    .entry(group.to_string())
+                    .or_insert_with(|| GroupSpec::system(group.to_string()))
+                    .members
+                    .insert(user.to_string());
+            }
+            _ => {}
+        }
+    }
+
+    /// Users in canonical (name) order.
+    pub fn users(&self) -> impl Iterator<Item = &UserSpec> {
+        self.users.values()
+    }
+
+    /// Groups in canonical (name) order.
+    pub fn groups(&self) -> impl Iterator<Item = &GroupSpec> {
+        self.groups.values()
+    }
+
+    /// Security findings accumulated during scanning (CVE-2019-5021 analogues).
+    pub fn findings(&self) -> &[SecurityFinding] {
+        &self.findings
+    }
+
+    /// Number of distinct users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of distinct groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no users or groups were discovered.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty() && self.groups.is_empty()
+    }
+
+    /// Assigns deterministic uids/gids to every entry lacking explicit ones.
+    ///
+    /// Ids are assigned in canonical (name) order starting from
+    /// [`BASE_UID`]/[`BASE_GID`], skipping ids already pinned by scripts.
+    pub fn assign_ids(&mut self) {
+        let taken_gids: BTreeSet<u32> = self.groups.values().filter_map(|g| g.gid).collect();
+        let mut next_gid = BASE_GID;
+        for g in self.groups.values_mut() {
+            if g.gid.is_none() {
+                while taken_gids.contains(&next_gid) {
+                    next_gid += 1;
+                }
+                g.gid = Some(next_gid);
+                next_gid += 1;
+            }
+        }
+        let taken_uids: BTreeSet<u32> = self.users.values().filter_map(|u| u.uid).collect();
+        let mut next_uid = BASE_UID;
+        for u in self.users.values_mut() {
+            if u.uid.is_none() {
+                while taken_uids.contains(&next_uid) {
+                    next_uid += 1;
+                }
+                u.uid = Some(next_uid);
+                next_uid += 1;
+            }
+        }
+    }
+
+    /// Gid assigned to `group` (after [`Self::assign_ids`]).
+    pub fn gid_of(&self, group: &str) -> Option<u32> {
+        self.groups.get(group).and_then(|g| g.gid)
+    }
+
+    /// Predicts the final `/etc/passwd` contents: the initial configuration
+    /// followed by every universe user in canonical order.
+    pub fn predict_passwd(&self, initial: &str) -> String {
+        let mut out = normalized(initial);
+        for u in self.users.values() {
+            let uid = u.uid.expect("assign_ids must run before prediction");
+            let group = u.group.as_deref().unwrap_or(&u.name);
+            let gid = self.gid_of(group).unwrap_or(uid);
+            let home = match &u.home {
+                Some(h) => h.clone(),
+                None => format!("/home/{}", u.name),
+            };
+            out.push_str(&format!(
+                "{}:x:{}:{}:{}:{}:{}\n",
+                u.name,
+                uid,
+                gid,
+                u.gecos,
+                home,
+                u.effective_shell()
+            ));
+        }
+        out
+    }
+
+    /// Predicts the final `/etc/group` contents.
+    pub fn predict_group(&self, initial: &str) -> String {
+        let mut out = normalized(initial);
+        for g in self.groups.values() {
+            let gid = g.gid.expect("assign_ids must run before prediction");
+            let members: Vec<&str> = g.members.iter().map(String::as_str).collect();
+            out.push_str(&format!("{}:x:{}:{}\n", g.name, gid, members.join(",")));
+        }
+        out
+    }
+
+    /// Predicts the final `/etc/shadow` contents.
+    pub fn predict_shadow(&self, initial: &str) -> String {
+        let mut out = normalized(initial);
+        for u in self.users.values() {
+            // System/service accounts are locked ("!"); password-less
+            // accounts (-D) have an empty field — the risky pattern.
+            let field = if u.no_password { "" } else { "!" };
+            out.push_str(&format!("{}:{}::0:::::\n", u.name, field));
+        }
+        out
+    }
+
+    /// Emits the canonical creation preamble: commands that create every
+    /// user and group of the universe in canonical order, with pinned ids.
+    ///
+    /// Prepending this block to every sanitized script guarantees that any
+    /// package subset/order yields the same configuration files.
+    pub fn canonical_preamble(&self) -> String {
+        let mut out = String::from("# --- tsr: canonical user/group creation ---\n");
+        for g in self.groups.values() {
+            let gid = g.gid.expect("assign_ids must run before preamble generation");
+            out.push_str(&format!("addgroup -g {} -S {}\n", gid, g.name));
+        }
+        for u in self.users.values() {
+            let uid = u.uid.expect("assign_ids must run before preamble generation");
+            let group = u.group.as_deref().unwrap_or(&u.name);
+            let mut line = format!("adduser -u {uid} -G {group} -S");
+            if u.no_password {
+                line.push_str(" -D");
+            }
+            if u.home.is_none() {
+                line.push_str(" -H");
+            } else {
+                line.push_str(&format!(" -h {}", u.home.as_deref().unwrap()));
+            }
+            line.push_str(&format!(" -s {}", u.effective_shell()));
+            if !u.gecos.is_empty() {
+                line.push_str(&format!(" -g '{}'", u.gecos));
+            }
+            line.push_str(&format!(" {}\n", u.name));
+            out.push_str(&line);
+        }
+        for g in self.groups.values() {
+            for m in &g.members {
+                out.push_str(&format!("addgroup {} {}\n", m, g.name));
+            }
+        }
+        out.push_str("# --- tsr: end canonical preamble ---\n");
+        out
+    }
+}
+
+fn normalized(initial: &str) -> String {
+    let mut s = initial.to_string();
+    if !s.is_empty() && !s.ends_with('\n') {
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INITIAL_PASSWD: &str = "root:x:0:0:root:/root:/bin/ash";
+    const INITIAL_GROUP: &str = "root:x:0:root";
+    const INITIAL_SHADOW: &str = "root:$6$abc:18206:0:::::";
+
+    fn universe_from(scripts: &[&str]) -> UserGroupUniverse {
+        let mut u = UserGroupUniverse::new();
+        for s in scripts {
+            u.scan_script(s);
+        }
+        u.assign_ids();
+        u
+    }
+
+    #[test]
+    fn scan_simple_adduser() {
+        let u = universe_from(&["adduser -S -D -H -s /sbin/nologin www-data"]);
+        assert_eq!(u.user_count(), 1);
+        assert_eq!(u.group_count(), 1); // implicit same-name group
+        let user = u.users().next().unwrap();
+        assert!(user.system);
+        assert!(user.no_password);
+        assert_eq!(user.effective_shell(), NOLOGIN);
+    }
+
+    #[test]
+    fn scan_addgroup_and_membership() {
+        let u = universe_from(&[
+            "addgroup -S postgres",
+            "adduser -S -G postgres postgres",
+            "addgroup postgres tty",
+        ]);
+        assert_eq!(u.group_count(), 2);
+        let tty = u.groups().find(|g| g.name == "tty").unwrap();
+        assert!(tty.members.contains("postgres"));
+    }
+
+    #[test]
+    fn explicit_ids_respected() {
+        let u = universe_from(&["addgroup -g 82 -S www", "adduser -u 82 -G www -S www"]);
+        assert_eq!(u.gid_of("www"), Some(82));
+        assert_eq!(u.users().next().unwrap().uid, Some(82));
+    }
+
+    #[test]
+    fn assigned_ids_skip_taken() {
+        let u = universe_from(&[
+            "addgroup -g 100 -S pinned",
+            "addgroup -S auto1",
+            "addgroup -S auto2",
+        ]);
+        let gids: Vec<u32> = u.groups().map(|g| g.gid.unwrap()).collect();
+        // canonical name order: auto1, auto2, pinned
+        assert_eq!(gids, vec![101, 102, 100]);
+    }
+
+    #[test]
+    fn prediction_is_order_independent() {
+        let a = universe_from(&["adduser -S alice", "adduser -S bob"]);
+        let b = universe_from(&["adduser -S bob", "adduser -S alice"]);
+        assert_eq!(
+            a.predict_passwd(INITIAL_PASSWD),
+            b.predict_passwd(INITIAL_PASSWD)
+        );
+        assert_eq!(a.predict_group(INITIAL_GROUP), b.predict_group(INITIAL_GROUP));
+        assert_eq!(
+            a.predict_shadow(INITIAL_SHADOW),
+            b.predict_shadow(INITIAL_SHADOW)
+        );
+    }
+
+    #[test]
+    fn predicted_passwd_format() {
+        let u = universe_from(&["adduser -S -D -H -G www -g 'web server' www"]);
+        let passwd = u.predict_passwd(INITIAL_PASSWD);
+        assert!(passwd.starts_with("root:x:0:0:"));
+        assert!(passwd.contains("www:x:100:100:web server:/home/www:/sbin/nologin\n"));
+    }
+
+    #[test]
+    fn predicted_shadow_locks_users() {
+        let u = universe_from(&["adduser -S svc"]);
+        assert!(u.predict_shadow(INITIAL_SHADOW).contains("svc:!::0:::::\n"));
+    }
+
+    #[test]
+    fn security_finding_for_empty_password_login_shell() {
+        // The pattern the paper reported to the Alpine community.
+        let mut u = UserGroupUniverse::new();
+        u.scan_script("adduser -D -s /bin/ash oper");
+        assert_eq!(u.findings().len(), 1);
+        assert!(u.findings()[0].description.contains("without a password"));
+    }
+
+    #[test]
+    fn no_finding_for_nologin_users() {
+        let mut u = UserGroupUniverse::new();
+        u.scan_script("adduser -S -D -H svc");
+        assert!(u.findings().is_empty());
+    }
+
+    #[test]
+    fn preamble_contains_all_in_order() {
+        let u = universe_from(&[
+            "adduser -S zeta",
+            "adduser -S alpha",
+            "addgroup -S middle",
+        ]);
+        let p = u.canonical_preamble();
+        let alpha_pos = p.find(" alpha\n").unwrap();
+        let zeta_pos = p.find(" zeta\n").unwrap();
+        assert!(alpha_pos < zeta_pos);
+        assert!(p.contains("addgroup -g"));
+        assert!(p.lines().next().unwrap().starts_with("# --- tsr:"));
+    }
+
+    #[test]
+    fn preamble_is_deterministic() {
+        let a = universe_from(&["adduser -S a", "adduser -S b"]);
+        let b = universe_from(&["adduser -S b", "adduser -S a"]);
+        assert_eq!(a.canonical_preamble(), b.canonical_preamble());
+    }
+
+    #[test]
+    fn duplicate_scans_merge() {
+        let u = universe_from(&["adduser -S www", "adduser -S www"]);
+        assert_eq!(u.user_count(), 1);
+    }
+
+    #[test]
+    fn useradd_groupadd_variants() {
+        let u = universe_from(&["groupadd -r svc", "useradd -r -s /sbin/nologin -d /var/svc svc"]);
+        assert_eq!(u.user_count(), 1);
+        let user = u.users().next().unwrap();
+        assert!(user.system);
+        assert_eq!(user.home.as_deref(), Some("/var/svc"));
+    }
+
+    #[test]
+    fn empty_universe() {
+        let u = universe_from(&["echo nothing"]);
+        assert!(u.is_empty());
+        assert_eq!(u.predict_passwd(INITIAL_PASSWD), format!("{INITIAL_PASSWD}\n"));
+    }
+}

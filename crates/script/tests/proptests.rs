@@ -1,0 +1,96 @@
+//! Property tests: the script tooling must be total (never panic) on
+//! arbitrary input, and sanitization must preserve its invariants.
+
+use proptest::prelude::*;
+use tsr_script::classify::classify_script;
+use tsr_script::lex::tokenize;
+use tsr_script::parse::parse_commands;
+use tsr_script::sanitize::sanitize_script;
+use tsr_script::usergroup::UserGroupUniverse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokenizer_total_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = tokenize(&s);
+    }
+
+    #[test]
+    fn tokenizer_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = tokenize(&s);
+    }
+
+    #[test]
+    fn parser_and_classifier_total(s in "\\PC{0,200}") {
+        let cmds = parse_commands(&s);
+        for c in &cmds {
+            let _ = tsr_script::classify::classify_command(c);
+        }
+        let _ = classify_script(&s);
+    }
+
+    #[test]
+    fn scan_never_panics(s in "\\PC{0,200}") {
+        let mut u = UserGroupUniverse::new();
+        u.scan_script(&s);
+        u.assign_ids();
+        let _ = u.predict_passwd("root:x:0:0::/root:/bin/ash");
+        let _ = u.predict_group("root:x:0:");
+        let _ = u.predict_shadow("root:!::0:::::");
+        if !u.is_empty() {
+            let _ = u.canonical_preamble();
+        }
+    }
+
+    #[test]
+    fn sanitize_safe_scripts_keeps_lines(
+        dirs in proptest::collection::vec("[a-z]{1,12}", 1..6),
+    ) {
+        // Scripts made only of mkdir lines are safe and must survive
+        // sanitization with every line intact.
+        let script: String = dirs
+            .iter()
+            .map(|d| format!("mkdir -p /var/lib/{d}\n"))
+            .collect();
+        let u = UserGroupUniverse::new();
+        let out = sanitize_script(&script, &u).unwrap();
+        prop_assert!(!out.touches_accounts);
+        for d in &dirs {
+            let kept = out.body.contains(&format!("mkdir -p /var/lib/{d}"));
+            prop_assert!(kept, "line for {} missing", d);
+        }
+    }
+
+    #[test]
+    fn sanitized_usergroup_scripts_never_contain_raw_account_commands(
+        users in proptest::collection::vec("[a-z]{1,10}", 1..5),
+    ) {
+        let script: String = users
+            .iter()
+            .map(|u| format!("adduser -S -D -H {u}\n"))
+            .collect();
+        let mut universe = UserGroupUniverse::new();
+        universe.scan_script(&script);
+        universe.assign_ids();
+        let out = sanitize_script(&script, &universe).unwrap();
+        prop_assert!(out.touches_accounts);
+        // Every original adduser line must be replaced by a comment; the
+        // only adduser lines left are the canonical preamble's (which pin
+        // ids with -u).
+        for line in out.body.lines() {
+            if line.trim_start().starts_with("adduser") {
+                prop_assert!(
+                    line.contains("-u "),
+                    "non-canonical adduser survived: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_deterministic(s in "\\PC{0,150}") {
+        prop_assert_eq!(classify_script(&s), classify_script(&s));
+    }
+}

@@ -1,0 +1,483 @@
+//! # tsr-simfs
+//!
+//! An in-memory filesystem with extended attributes — the install target of
+//! the simulated integrity-enforced OS.
+//!
+//! Real deployments measure files on a disk filesystem whose xattrs carry
+//! `security.ima` signatures; this crate reproduces that interface so the
+//! package manager ([`tsr-pkgmgr`]) can extract packages and the IMA
+//! simulator ([`tsr-ima`]) can measure and appraise files.
+//!
+//! [`tsr-pkgmgr`]: ../tsr_pkgmgr/index.html
+//! [`tsr-ima`]: ../tsr_ima/index.html
+//!
+//! # Examples
+//!
+//! ```
+//! use tsr_simfs::SimFs;
+//!
+//! let mut fs = SimFs::new();
+//! fs.write_file("/etc/motd", b"welcome".to_vec())?;
+//! fs.set_xattr("/etc/motd", "security.ima", vec![1, 2, 3])?;
+//! assert_eq!(fs.read_file("/etc/motd")?, b"welcome");
+//! # Ok::<(), tsr_simfs::FsError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by filesystem operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Operation applied to the wrong node type (e.g. reading a directory).
+    NotAFile(String),
+    /// Parent directory missing.
+    NoParent(String),
+    /// Path already exists with an incompatible type.
+    AlreadyExists(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::NotAFile(p) => write!(f, "not a regular file: {p}"),
+            FsError::NoParent(p) => write!(f, "missing parent directory for: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+        }
+    }
+}
+
+impl Error for FsError {}
+
+/// A filesystem node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Regular file.
+    File {
+        /// File contents.
+        data: Vec<u8>,
+        /// Permission bits.
+        mode: u32,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+        /// Extended attributes (`security.ima`, …).
+        xattrs: BTreeMap<String, Vec<u8>>,
+    },
+    /// Directory.
+    Directory {
+        /// Permission bits.
+        mode: u32,
+    },
+    /// Symbolic link.
+    Symlink {
+        /// Link target.
+        target: String,
+    },
+}
+
+/// The in-memory filesystem: normalized absolute path → node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimFs {
+    nodes: BTreeMap<String, Node>,
+}
+
+fn normalize(path: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for p in path.split('/') {
+        match p {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            other => parts.push(other),
+        }
+    }
+    format!("/{}", parts.join("/"))
+}
+
+fn parent_of(path: &str) -> Option<String> {
+    let norm = normalize(path);
+    if norm == "/" {
+        return None;
+    }
+    let idx = norm.rfind('/').unwrap();
+    Some(if idx == 0 { "/".to_string() } else { norm[..idx].to_string() })
+}
+
+impl SimFs {
+    /// Creates a filesystem containing only the root directory.
+    pub fn new() -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert("/".to_string(), Node::Directory { mode: 0o755 });
+        SimFs { nodes }
+    }
+
+    /// True when `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(&normalize(path))
+    }
+
+    /// Returns the node at `path`.
+    pub fn node(&self, path: &str) -> Option<&Node> {
+        self.nodes.get(&normalize(path))
+    }
+
+    /// Creates a directory and all missing ancestors.
+    pub fn mkdir_p(&mut self, path: &str) {
+        let norm = normalize(path);
+        let mut cur = String::new();
+        for part in norm.split('/').filter(|p| !p.is_empty()) {
+            cur.push('/');
+            cur.push_str(part);
+            self.nodes
+                .entry(cur.clone())
+                .or_insert(Node::Directory { mode: 0o755 });
+        }
+    }
+
+    /// Writes (creates or truncates) a regular file, creating parents.
+    ///
+    /// Existing xattrs are preserved on overwrite — the IMA appraisal model
+    /// treats content changes and xattr changes independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotAFile`] when `path` is a directory.
+    pub fn write_file(&mut self, path: &str, data: Vec<u8>) -> Result<(), FsError> {
+        let norm = normalize(path);
+        if let Some(parent) = parent_of(&norm) {
+            self.mkdir_p(&parent);
+        }
+        match self.nodes.get_mut(&norm) {
+            Some(Node::File { data: d, .. }) => {
+                *d = data;
+                Ok(())
+            }
+            Some(_) => Err(FsError::NotAFile(norm)),
+            None => {
+                self.nodes.insert(
+                    norm,
+                    Node::File {
+                        data,
+                        mode: 0o644,
+                        uid: 0,
+                        gid: 0,
+                        xattrs: BTreeMap::new(),
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Appends to a regular file, creating it if missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotAFile`] when `path` is not a regular file.
+    pub fn append_file(&mut self, path: &str, extra: &[u8]) -> Result<(), FsError> {
+        let norm = normalize(path);
+        if !self.exists(&norm) {
+            return self.write_file(&norm, extra.to_vec());
+        }
+        match self.nodes.get_mut(&norm) {
+            Some(Node::File { data, .. }) => {
+                data.extend_from_slice(extra);
+                Ok(())
+            }
+            _ => Err(FsError::NotAFile(norm)),
+        }
+    }
+
+    /// Reads a regular file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or [`FsError::NotAFile`].
+    pub fn read_file(&self, path: &str) -> Result<&[u8], FsError> {
+        let norm = normalize(path);
+        match self.nodes.get(&norm) {
+            Some(Node::File { data, .. }) => Ok(data),
+            Some(_) => Err(FsError::NotAFile(norm)),
+            None => Err(FsError::NotFound(norm)),
+        }
+    }
+
+    /// Creates a symlink.
+    pub fn symlink(&mut self, path: &str, target: &str) -> Result<(), FsError> {
+        let norm = normalize(path);
+        if let Some(parent) = parent_of(&norm) {
+            self.mkdir_p(&parent);
+        }
+        if self.nodes.contains_key(&norm) {
+            return Err(FsError::AlreadyExists(norm));
+        }
+        self.nodes.insert(
+            norm,
+            Node::Symlink {
+                target: target.to_string(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a file or empty directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] when nothing exists at `path`.
+    pub fn remove(&mut self, path: &str) -> Result<(), FsError> {
+        let norm = normalize(path);
+        self.nodes
+            .remove(&norm)
+            .map(|_| ())
+            .ok_or(FsError::NotFound(norm))
+    }
+
+    /// Renames a node.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] when the source is missing.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        let from = normalize(from);
+        let to = normalize(to);
+        let node = self
+            .nodes
+            .remove(&from)
+            .ok_or(FsError::NotFound(from))?;
+        if let Some(parent) = parent_of(&to) {
+            self.mkdir_p(&parent);
+        }
+        self.nodes.insert(to, node);
+        Ok(())
+    }
+
+    /// Sets a file permission mode.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] when `path` is missing.
+    pub fn chmod(&mut self, path: &str, new_mode: u32) -> Result<(), FsError> {
+        let norm = normalize(path);
+        match self.nodes.get_mut(&norm) {
+            Some(Node::File { mode, .. }) | Some(Node::Directory { mode }) => {
+                *mode = new_mode;
+                Ok(())
+            }
+            Some(Node::Symlink { .. }) => Ok(()),
+            None => Err(FsError::NotFound(norm)),
+        }
+    }
+
+    /// Sets owner uid/gid on a file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] when `path` is missing.
+    pub fn chown(&mut self, path: &str, new_uid: u32, new_gid: u32) -> Result<(), FsError> {
+        let norm = normalize(path);
+        match self.nodes.get_mut(&norm) {
+            Some(Node::File { uid, gid, .. }) => {
+                *uid = new_uid;
+                *gid = new_gid;
+                Ok(())
+            }
+            Some(_) => Ok(()),
+            None => Err(FsError::NotFound(norm)),
+        }
+    }
+
+    /// Sets an extended attribute on a regular file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] / [`FsError::NotAFile`].
+    pub fn set_xattr(&mut self, path: &str, name: &str, value: Vec<u8>) -> Result<(), FsError> {
+        let norm = normalize(path);
+        match self.nodes.get_mut(&norm) {
+            Some(Node::File { xattrs, .. }) => {
+                xattrs.insert(name.to_string(), value);
+                Ok(())
+            }
+            Some(_) => Err(FsError::NotAFile(norm)),
+            None => Err(FsError::NotFound(norm)),
+        }
+    }
+
+    /// Reads an extended attribute.
+    pub fn get_xattr(&self, path: &str, name: &str) -> Option<&[u8]> {
+        match self.nodes.get(&normalize(path)) {
+            Some(Node::File { xattrs, .. }) => xattrs.get(name).map(Vec::as_slice),
+            _ => None,
+        }
+    }
+
+    /// Iterates over all regular files (path, contents) in path order.
+    pub fn files(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.nodes.iter().filter_map(|(p, n)| match n {
+            Node::File { data, .. } => Some((p.as_str(), data.as_slice())),
+            _ => None,
+        })
+    }
+
+    /// Lists direct children of a directory.
+    pub fn list_dir(&self, path: &str) -> Vec<&str> {
+        let norm = normalize(path);
+        let prefix = if norm == "/" { String::from("/") } else { format!("{norm}/") };
+        self.nodes
+            .keys()
+            .filter(|k| {
+                k.starts_with(&prefix)
+                    && *k != &norm
+                    && !k[prefix.len()..].contains('/')
+            })
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Number of nodes (excluding the root directory).
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// True when only the root directory exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut fs = SimFs::new();
+        fs.write_file("/etc/motd", b"hi".to_vec()).unwrap();
+        assert_eq!(fs.read_file("/etc/motd").unwrap(), b"hi");
+        assert!(fs.exists("/etc"));
+    }
+
+    #[test]
+    fn normalization() {
+        let mut fs = SimFs::new();
+        fs.write_file("/a//b/../c/./d", b"x".to_vec()).unwrap();
+        assert!(fs.exists("/a/c/d"));
+        assert_eq!(fs.read_file("a/c/d").unwrap(), b"x");
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = SimFs::new();
+        assert!(matches!(fs.read_file("/nope"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn read_directory_errors() {
+        let mut fs = SimFs::new();
+        fs.mkdir_p("/d");
+        assert!(matches!(fs.read_file("/d"), Err(FsError::NotAFile(_))));
+    }
+
+    #[test]
+    fn append_creates_and_extends() {
+        let mut fs = SimFs::new();
+        fs.append_file("/etc/group", b"root:x:0:\n").unwrap();
+        fs.append_file("/etc/group", b"www:x:100:\n").unwrap();
+        assert_eq!(fs.read_file("/etc/group").unwrap(), b"root:x:0:\nwww:x:100:\n");
+    }
+
+    #[test]
+    fn overwrite_preserves_xattrs() {
+        let mut fs = SimFs::new();
+        fs.write_file("/f", b"v1".to_vec()).unwrap();
+        fs.set_xattr("/f", "security.ima", vec![9]).unwrap();
+        fs.write_file("/f", b"v2".to_vec()).unwrap();
+        assert_eq!(fs.get_xattr("/f", "security.ima").unwrap(), &[9]);
+        assert_eq!(fs.read_file("/f").unwrap(), b"v2");
+    }
+
+    #[test]
+    fn xattr_on_missing_file() {
+        let mut fs = SimFs::new();
+        assert!(fs.set_xattr("/nope", "a", vec![]).is_err());
+        assert!(fs.get_xattr("/nope", "a").is_none());
+    }
+
+    #[test]
+    fn symlink_create_and_conflict() {
+        let mut fs = SimFs::new();
+        fs.symlink("/bin/sh", "/bin/ash").unwrap();
+        assert!(matches!(fs.node("/bin/sh"), Some(Node::Symlink { .. })));
+        assert!(matches!(
+            fs.symlink("/bin/sh", "/bin/bash"),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn remove_and_rename() {
+        let mut fs = SimFs::new();
+        fs.write_file("/a", b"1".to_vec()).unwrap();
+        fs.rename("/a", "/b/c").unwrap();
+        assert!(!fs.exists("/a"));
+        assert_eq!(fs.read_file("/b/c").unwrap(), b"1");
+        fs.remove("/b/c").unwrap();
+        assert!(!fs.exists("/b/c"));
+        assert!(fs.remove("/b/c").is_err());
+    }
+
+    #[test]
+    fn chmod_chown() {
+        let mut fs = SimFs::new();
+        fs.write_file("/f", vec![]).unwrap();
+        fs.chmod("/f", 0o755).unwrap();
+        fs.chown("/f", 100, 101).unwrap();
+        match fs.node("/f").unwrap() {
+            Node::File { mode, uid, gid, .. } => {
+                assert_eq!(*mode, 0o755);
+                assert_eq!(*uid, 100);
+                assert_eq!(*gid, 101);
+            }
+            _ => panic!("expected file"),
+        }
+        assert!(fs.chmod("/missing", 0o755).is_err());
+    }
+
+    #[test]
+    fn files_iteration_sorted() {
+        let mut fs = SimFs::new();
+        fs.write_file("/b", vec![]).unwrap();
+        fs.write_file("/a", vec![]).unwrap();
+        fs.mkdir_p("/dir");
+        let paths: Vec<&str> = fs.files().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["/a", "/b"]);
+    }
+
+    #[test]
+    fn list_dir_direct_children_only() {
+        let mut fs = SimFs::new();
+        fs.write_file("/d/x", vec![]).unwrap();
+        fs.write_file("/d/sub/y", vec![]).unwrap();
+        let mut ls = fs.list_dir("/d");
+        ls.sort();
+        assert_eq!(ls, vec!["/d/sub", "/d/x"]);
+        let root = fs.list_dir("/");
+        assert!(root.contains(&"/d"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut fs = SimFs::new();
+        assert!(fs.is_empty());
+        fs.write_file("/f", vec![]).unwrap();
+        assert_eq!(fs.len(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the simulated filesystem: path normalization and
+//! read-your-writes invariants.
+
+use proptest::prelude::*;
+use tsr_simfs::SimFs;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn read_your_writes(
+        path in "[a-z]{1,8}(/[a-z]{1,8}){0,4}",
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut fs = SimFs::new();
+        fs.write_file(&format!("/{path}"), data.clone()).unwrap();
+        prop_assert_eq!(fs.read_file(&format!("/{path}")).unwrap(), &data[..]);
+        // Reading through redundant slashes / dots reaches the same node.
+        prop_assert_eq!(fs.read_file(&format!("//{path}")).unwrap(), &data[..]);
+        prop_assert_eq!(fs.read_file(&format!("/./{path}")).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn append_equals_concat(
+        a in proptest::collection::vec(any::<u8>(), 0..128),
+        b in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut fs = SimFs::new();
+        fs.append_file("/f", &a).unwrap();
+        fs.append_file("/f", &b).unwrap();
+        let want: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(fs.read_file("/f").unwrap(), &want[..]);
+    }
+
+    #[test]
+    fn xattrs_independent_of_content(
+        content in proptest::collection::vec(any::<u8>(), 0..64),
+        sig in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut fs = SimFs::new();
+        fs.write_file("/f", b"v1".to_vec()).unwrap();
+        fs.set_xattr("/f", "security.ima", sig.clone()).unwrap();
+        fs.write_file("/f", content).unwrap();
+        prop_assert_eq!(fs.get_xattr("/f", "security.ima").unwrap(), &sig[..]);
+    }
+
+    #[test]
+    fn operations_never_panic(ops in proptest::collection::vec(
+        ("[a-z/.]{0,20}", 0u8..5), 0..30,
+    )) {
+        let mut fs = SimFs::new();
+        for (path, op) in ops {
+            match op {
+                0 => { let _ = fs.write_file(&path, vec![1]); }
+                1 => { let _ = fs.read_file(&path); }
+                2 => { let _ = fs.remove(&path); }
+                3 => { fs.mkdir_p(&path); }
+                _ => { let _ = fs.list_dir(&path); }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_then_gone(path in "[a-z]{1,8}(/[a-z]{1,8}){0,2}") {
+        let mut fs = SimFs::new();
+        let p = format!("/{path}");
+        fs.write_file(&p, vec![7]).unwrap();
+        fs.remove(&p).unwrap();
+        prop_assert!(!fs.exists(&p));
+        prop_assert!(fs.read_file(&p).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! # tsr-stats
+//!
+//! The statistics the paper's evaluation uses: percentiles and trimmed
+//! means (all timing tables), Spearman rank correlation with p-values
+//! (Table 4), and simple histograms/densities (Figures 8–11).
+
+/// Mean of a sample (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// The `p`-th percentile (0–100) with linear interpolation.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Convenience: several percentiles at once.
+pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+    ps.iter().map(|&p| percentile(xs, p)).collect()
+}
+
+/// `frac`-trimmed mean (e.g. `0.2` drops the lowest and highest 20%),
+/// the paper's "20% trimmed mean" aggregation.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `frac >= 0.5`.
+pub fn trimmed_mean(xs: &[f64], frac: f64) -> f64 {
+    assert!(!xs.is_empty(), "trimmed mean of empty sample");
+    assert!((0.0..0.5).contains(&frac), "trim fraction out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let k = (sorted.len() as f64 * frac).floor() as usize;
+    let kept = &sorted[k..sorted.len() - k];
+    mean(kept)
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap());
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j are tied; average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation coefficient.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation coefficient ρ (ties handled via mean ranks).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+fn phi(z: f64) -> f64 {
+    // erf approximation 7.1.26, |error| < 1.5e-7.
+    let t = 1.0 / (1.0 + 0.3275911 * z.abs() / std::f64::consts::SQRT_2);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-z * z / 2.0).exp();
+    if z >= 0.0 {
+        0.5 * (1.0 + erf)
+    } else {
+        0.5 * (1.0 - erf)
+    }
+}
+
+/// Two-tailed p-value for a Spearman ρ over `n` samples
+/// (large-sample normal approximation `z = ρ·√(n−1)`).
+pub fn spearman_p_value(rho: f64, n: usize) -> f64 {
+    if n < 3 {
+        return 1.0;
+    }
+    let z = rho.abs() * ((n - 1) as f64).sqrt();
+    (2.0 * (1.0 - phi(z))).clamp(0.0, 1.0)
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub lo: f64,
+    /// Right edge of the last bin.
+    pub hi: f64,
+    /// Bin counts.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo);
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo) / bins as f64;
+        for &x in xs {
+            if x < lo || x >= hi {
+                continue;
+            }
+            let b = ((x - lo) / width) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+        Histogram { lo, hi, counts }
+    }
+
+    /// Normalized densities (sum ≈ 1 over in-range samples).
+    pub fn densities(&self) -> Vec<f64> {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Renders a one-line ASCII sparkline (for harness output).
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return "▁".repeat(self.counts.len());
+        }
+        self.counts
+            .iter()
+            .map(|&c| GLYPHS[(c * 7 / max) as usize])
+            .collect()
+    }
+}
+
+/// Converts durations to milliseconds as f64 (helper for stats over timings).
+pub fn durations_to_ms(ds: &[std::time::Duration]) -> Vec<f64> {
+    ds.iter().map(|d| d.as_secs_f64() * 1000.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert_eq!(percentile(&[5.0], 50.0), 5.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_outliers() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 1000.0];
+        let tm = trimmed_mean(&xs, 0.2);
+        assert_eq!(tm, 3.0); // drops 1.0 and 1000.0
+        assert_eq!(trimmed_mean(&[7.0], 0.2), 7.0);
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [10.0, 100.0, 1000.0, 10000.0, 100000.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((spearman(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_uncorrelated_near_zero() {
+        // Deterministic pseudo-random pairs.
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 97) % 101) as f64).collect();
+        let ys: Vec<f64> = (0..200).map(|i| ((i * 61) % 103) as f64).collect();
+        assert!(spearman(&xs, &ys).abs() < 0.2);
+    }
+
+    #[test]
+    fn spearman_robust_to_outliers_vs_pearson() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 2.0, 3.0, 4.0, 1_000_000.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_value_behaviour() {
+        // Strong correlation over many samples → tiny p.
+        assert!(spearman_p_value(0.9, 100) < 0.001);
+        // Weak correlation over few samples → large p.
+        assert!(spearman_p_value(0.1, 10) > 0.5);
+        assert_eq!(spearman_p_value(0.5, 2), 1.0);
+    }
+
+    #[test]
+    fn phi_sanity() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-7);
+        assert!((phi(1.96) - 0.975).abs() < 1e-3);
+        assert!((phi(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn histogram_counts_and_density() {
+        let xs = [0.5, 1.5, 1.6, 2.5, 99.0];
+        let h = Histogram::new(&xs, 0.0, 3.0, 3);
+        assert_eq!(h.counts, vec![1, 2, 1]);
+        let d = h.densities();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(h.sparkline().chars().count(), 3);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new(&[], 0.0, 1.0, 4);
+        assert_eq!(h.counts, vec![0; 4]);
+        assert_eq!(h.densities(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn durations_to_ms_converts() {
+        let ds = [std::time::Duration::from_millis(250)];
+        assert_eq!(durations_to_ms(&ds), vec![250.0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! The Figure 1 scenario: why updates break attestation, and how TSR fixes
+//! it without losing tamper detection.
+//!
+//! Three acts on the same machine:
+//! 1. a legitimate update **without TSR** → the monitor reports a
+//!    violation it cannot tell from an attack (false positive),
+//! 2. the same update delivered **through TSR** (signed files) → accepted,
+//! 3. an actual adversary tampering with a binary → still detected
+//!    (true positive).
+//!
+//! Run with: `cargo run --example os_update_attestation`
+
+use tsr_apk::PackageBuilder;
+use tsr_archive::Entry;
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_crypto::RsaPrivateKey;
+use tsr_ima::sign_file_contents;
+use tsr_monitor::Monitor;
+use tsr_pkgmgr::TrustedOs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = HmacDrbg::new(b"fig1-upstream");
+    let upstream = RsaPrivateKey::generate(1024, &mut rng);
+    let mut rng = HmacDrbg::new(b"fig1-tsr");
+    let tsr = RsaPrivateKey::generate(1024, &mut rng);
+
+    // Two identical machines boot with version 1 of a tool installed; the
+    // IMA log is append-only, so each act runs on its own machine (exactly
+    // like the fleets a monitoring system watches).
+    let v1 = {
+        let mut b = PackageBuilder::new("tool", "1.0");
+        b.file(Entry::file("usr/bin/tool", b"tool-v1".to_vec()));
+        b.build(&upstream, "upstream")
+    };
+    let boot = |seed: &[u8]| -> Result<TrustedOs, Box<dyn std::error::Error>> {
+        let mut os = TrustedOs::boot(seed, &[]);
+        os.trust_key("upstream", upstream.public_key().clone());
+        os.trust_key("tsr", tsr.public_key().clone());
+        os.install(&v1)?;
+        Ok(os)
+    };
+    let mut os_plain = boot(b"machine-a")?;
+    let mut os = boot(b"machine-b")?;
+
+    // The monitoring system snapshots the known-good state (whitelist).
+    let mut monitor = Monitor::new();
+    monitor.whitelist_log(os.ima.log());
+    let verdict = monitor.verify(&os.attest(b"n0"), os.tpm.attestation_key(), b"n0");
+    println!("baseline:            trusted={}", verdict.is_trusted());
+    assert!(verdict.is_trusted());
+
+    // Act 1 (machine A): plain update, no TSR. Hash changes → false positive.
+    let v2_plain = {
+        let mut b = PackageBuilder::new("tool", "2.0");
+        b.file(Entry::file("usr/bin/tool", b"tool-v2".to_vec()));
+        b.build(&upstream, "upstream")
+    };
+    os_plain.install(&v2_plain)?;
+    let verdict = monitor.verify(
+        &os_plain.attest(b"n1"),
+        os_plain.tpm.attestation_key(),
+        b"n1",
+    );
+    println!(
+        "plain update:        trusted={}  ({} violations — FALSE positive)",
+        verdict.is_trusted(),
+        verdict.violations.len()
+    );
+    assert!(!verdict.is_trusted());
+    for v in &verdict.violations {
+        println!("                     {v}");
+    }
+
+    // Act 2: the same update, sanitized by TSR — every file carries a
+    // signature installed via PAX xattrs, and the monitor trusts TSR's key.
+    monitor.trust_signer(tsr.public_key().clone());
+    let v3_tsr = {
+        let mut b = PackageBuilder::new("tool", "3.0");
+        let mut f = Entry::file("usr/bin/tool", b"tool-v3".to_vec());
+        f.set_xattr("security.ima", sign_file_contents(&tsr, b"tool-v3"));
+        b.file(f);
+        b.build(&tsr, "tsr")
+    };
+    os.install(&v3_tsr)?;
+    let verdict = monitor.verify(&os.attest(b"n2"), os.tpm.attestation_key(), b"n2");
+    println!(
+        "TSR update:          trusted={}  (signed measurements: {})",
+        verdict.is_trusted(),
+        verdict.signed
+    );
+    assert!(verdict.is_trusted());
+
+    // Act 3: a real adversary replaces the binary (keeping the xattr).
+    os.tamper_file("/usr/bin/tool", b"malware".to_vec())?;
+    let verdict = monitor.verify(&os.attest(b"n3"), os.tpm.attestation_key(), b"n3");
+    println!(
+        "tampered binary:     trusted={}  ({} violations — TRUE positive)",
+        verdict.is_trusted(),
+        verdict.violations.len()
+    );
+    assert!(!verdict.is_trusted());
+
+    println!("\nTSR distinguishes legitimate updates from attacks: ✓");
+    Ok(())
+}

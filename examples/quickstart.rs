@@ -1,0 +1,158 @@
+//! Quickstart: the full TSR flow on a synthetic repository.
+//!
+//! 1. generate an Alpine-like upstream repository and publish it to mirrors,
+//! 2. start a TSR service (simulated SGX enclave) and deploy a policy,
+//! 3. refresh: quorum-read the index, download, sanitize, re-sign,
+//! 4. boot an integrity-enforced OS, enrol the TSR key, install a package
+//!    over HTTP,
+//! 5. remotely attest the OS and verify it with the monitoring system.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tsr_apk::Index;
+use tsr_crypto::RsaPublicKey;
+use tsr_mirror::{publish_to_all, Mirror};
+use tsr_monitor::Monitor;
+use tsr_net::{Continent, LatencyModel};
+use tsr_pkgmgr::{PackageManager, TrustedOs};
+use tsr_workload::{GeneratedRepo, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Upstream world: a synthetic repository published to three mirrors.
+    println!("==> generating synthetic upstream repository");
+    let repo = GeneratedRepo::generate(WorkloadConfig::tiny(b"quickstart"));
+    println!(
+        "    {} packages, {} KiB total",
+        repo.specs.len(),
+        repo.total_bytes() / 1024
+    );
+    let mut mirrors: Vec<Mirror> = (0..3)
+        .map(|i| Mirror::new(format!("mirror-{i}"), Continent::Europe))
+        .collect();
+    publish_to_all(&mut mirrors, &repo.snapshot());
+
+    // 2. TSR service + policy deployment.
+    println!("==> starting TSR service and deploying a security policy");
+    let service = tsr_core::TsrService::new(
+        b"quickstart-cpu",
+        mirrors,
+        LatencyModel::default(),
+        1024,
+    );
+    let signer_pem: String = repo
+        .signing_key
+        .public_key()
+        .to_pem()
+        .lines()
+        .map(|l| format!("      {l}\n"))
+        .collect();
+    let policy = format!(
+        "mirrors:\n\
+         \x20 - hostname: mirror-0\n\
+         \x20   continent: europe\n\
+         \x20 - hostname: mirror-1\n\
+         \x20   continent: europe\n\
+         \x20 - hostname: mirror-2\n\
+         \x20   continent: europe\n\
+         signers_keys:\n\
+         \x20 - |-\n{signer_pem}\
+         init_config_files:\n\
+         \x20 - path: /etc/passwd\n\
+         \x20   content: |-\n\
+         \x20     root:x:0:0:root:/root:/bin/ash\n\
+         \x20 - path: /etc/group\n\
+         \x20   content: |-\n\
+         \x20     root:x:0:\n\
+         \x20 - path: /etc/shadow\n\
+         \x20   content: |-\n\
+         \x20     root:!::0:::::\n\
+         f: 1\n"
+    );
+    let (repo_id, tsr_key_pem) = service.create_repository(&policy)?;
+    let tsr_key = RsaPublicKey::from_pem(&tsr_key_pem)?;
+    println!("    repository {repo_id}, TSR key fingerprint {}", tsr_key.fingerprint());
+
+    // 3. Refresh: quorum + download + sanitize.
+    println!("==> refreshing (quorum read, download, sanitize)");
+    let report = service.refresh(&repo_id)?;
+    println!(
+        "    quorum: {} mirrors contacted in {:?} (simulated)",
+        report.quorum_contacted, report.quorum_elapsed
+    );
+    println!(
+        "    downloaded {} packages, sanitized {}, rejected {} (unsupported)",
+        report.downloaded,
+        report.sanitized.len(),
+        report.rejected.len()
+    );
+    for (name, reason) in &report.rejected {
+        println!("      rejected {name}: {reason}");
+    }
+
+    // 4. Serve over HTTP; an integrity-enforced OS installs a package.
+    println!("==> booting an integrity-enforced OS and installing from TSR");
+    let server = service.serve("127.0.0.1:0")?;
+    let base = format!("http://{}/repositories/{repo_id}", server.local_addr());
+
+    let initial_configs: Vec<(String, String)> = service
+        .with_repository(&repo_id, |r| {
+            r.sanitizer()
+                .map(|s| {
+                    s.predicted_configs()
+                        .iter()
+                        .map(|(p, _, _)| {
+                            (p.clone(), r.policy().initial_content(p).to_string())
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default()
+        })?;
+    let mut os = TrustedOs::boot(b"quickstart-os", &initial_configs);
+    os.trust_key(format!("tsr-{repo_id}"), tsr_key.clone());
+
+    let pm = PackageManager::new(base);
+    let index: Index = pm.fetch_index(&os)?;
+    // Pick a package that creates a user (exercises the sanitized preamble).
+    let target = index
+        .iter()
+        .map(|e| e.name.clone())
+        .find(|n| {
+            let blob = pm.fetch_package(&index, n).unwrap();
+            tsr_apk::Package::parse(&blob)
+                .map(|p| !p.scripts.is_empty())
+                .unwrap_or(false)
+        })
+        .unwrap_or_else(|| index.iter().next().unwrap().name.clone());
+    let installed = pm.install_with_deps(&mut os, &index, &target)?;
+    println!("    installed {installed:?}");
+
+    // 5. Remote attestation.
+    println!("==> remote attestation");
+    let mut monitor = Monitor::new();
+    // Baseline: the monitor knows the initial config files…
+    for (_, content) in &initial_configs {
+        let mut c = content.clone();
+        if !c.is_empty() && !c.ends_with('\n') {
+            c.push('\n');
+        }
+        monitor.whitelist_content(c.as_bytes());
+    }
+    // …and trusts the TSR signing key (Figure 7 step ➎).
+    monitor.trust_signer(tsr_key);
+    let evidence = os.attest(b"quickstart-nonce");
+    let verdict = monitor.verify(&evidence, os.tpm.attestation_key(), b"quickstart-nonce");
+    println!(
+        "    verdict: trusted={} (whitelisted={}, signed={}, violations={})",
+        verdict.is_trusted(),
+        verdict.whitelisted,
+        verdict.signed,
+        verdict.violations.len()
+    );
+    for v in &verdict.violations {
+        println!("      violation: {v}");
+    }
+    assert!(verdict.is_trusted(), "quickstart must end in a trusted state");
+    server.shutdown();
+    println!("==> done: OS updated without breaking attestation");
+    Ok(())
+}

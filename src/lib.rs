@@ -1,0 +1,47 @@
+//! # tsr
+//!
+//! Facade crate for the TSR workspace — a Rust reproduction of
+//! *"A practical approach for updating an integrity-enforced operating
+//! system"* (Middleware 2020).
+//!
+//! TSR is a secure proxy between integrity-enforced operating systems and
+//! community software repositories. It **sanitizes** packages so updates
+//! install without breaking remote attestation: installation scripts are
+//! rewritten to have deterministic effects, the resulting configuration
+//! files are predicted and signed, and every file gains a digital
+//! signature delivered through PAX tar headers into `security.ima`
+//! extended attributes.
+//!
+//! Each re-exported module is its own crate; start with [`core`] (the
+//! paper's contribution), [`pkgmgr`] (the OS side), and [`monitor`] (the
+//! remote verifier). See the workspace `README.md`, `DESIGN.md`, and
+//! `EXPERIMENTS.md` for the architecture, the substitution notes, and
+//! paper-vs-measured results.
+//!
+//! # Examples
+//!
+//! The end-to-end flow (policy → quorum refresh → sanitize → HTTP serve →
+//! install → attest) lives in `examples/quickstart.rs`:
+//!
+//! ```console
+//! cargo run --example quickstart
+//! ```
+
+pub use tsr_apk as apk;
+pub use tsr_archive as archive;
+pub use tsr_compress as compress;
+pub use tsr_core as core;
+pub use tsr_crypto as crypto;
+pub use tsr_http as http;
+pub use tsr_ima as ima;
+pub use tsr_mirror as mirror;
+pub use tsr_monitor as monitor;
+pub use tsr_net as net;
+pub use tsr_pkgmgr as pkgmgr;
+pub use tsr_quorum as quorum;
+pub use tsr_script as script;
+pub use tsr_sgx as sgx;
+pub use tsr_simfs as simfs;
+pub use tsr_stats as stats;
+pub use tsr_tpm as tpm;
+pub use tsr_workload as workload;

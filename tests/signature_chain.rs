@@ -1,0 +1,190 @@
+//! Integration tests for the complete signature chain — every link from
+//! the upstream build key to the monitor's verdict:
+//!
+//! upstream key → package header → control segment → datahash → data files
+//! → TSR sanitization → TSR key → per-file `security.ima` signatures →
+//! PAX headers → xattrs → IMA log entries → PCR-10 → TPM quote → monitor.
+
+use tsr::apk::{Package, PackageBuilder};
+use tsr::archive::Entry;
+use tsr::core::{InitConfigFile, MirrorRef, PackageSanitizer, Policy};
+use tsr::crypto::drbg::HmacDrbg;
+use tsr::crypto::{RsaPrivateKey, Sha256};
+use tsr::ima::IMA_XATTR;
+use tsr::monitor::Monitor;
+use tsr::pkgmgr::TrustedOs;
+use tsr::script::UserGroupUniverse;
+
+use std::sync::OnceLock;
+
+fn upstream() -> &'static RsaPrivateKey {
+    static K: OnceLock<RsaPrivateKey> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut rng = HmacDrbg::new(b"chain-upstream");
+        RsaPrivateKey::generate(1024, &mut rng)
+    })
+}
+
+fn tsr() -> &'static RsaPrivateKey {
+    static K: OnceLock<RsaPrivateKey> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut rng = HmacDrbg::new(b"chain-tsr");
+        RsaPrivateKey::generate(1024, &mut rng)
+    })
+}
+
+fn sanitizer() -> PackageSanitizer {
+    let mut universe = UserGroupUniverse::new();
+    universe.scan_script("adduser -S -D -H svc");
+    universe.assign_ids();
+    let policy = Policy {
+        mirrors: vec![MirrorRef {
+            hostname: "m".into(),
+            continent: tsr::net::Continent::Europe,
+        }],
+        signers_keys: vec![upstream().public_key().clone()],
+        init_config_files: vec![
+            InitConfigFile {
+                path: "/etc/passwd".into(),
+                content: "root:x:0:0:root:/root:/bin/ash".into(),
+            },
+            InitConfigFile {
+                path: "/etc/group".into(),
+                content: "root:x:0:".into(),
+            },
+            InitConfigFile {
+                path: "/etc/shadow".into(),
+                content: "root:!::0:::::".into(),
+            },
+        ],
+        f: 0,
+        package_whitelist: Vec::new(),
+        package_blacklist: Vec::new(),
+    };
+    PackageSanitizer::new(tsr().clone(), "tsr", universe, &policy)
+}
+
+fn build_upstream_package() -> Vec<u8> {
+    let mut b = PackageBuilder::new("chain", "1.0");
+    let mut exe = Entry::file("usr/bin/chain", b"#!/bin/sh\nchain".to_vec());
+    exe.mode = 0o755;
+    b.file(exe);
+    b.file(Entry::file("usr/share/chain/data", vec![7u8; 2048]));
+    b.file(Entry::symlink("usr/bin/chain-alias", "chain"));
+    b.post_install("adduser -S -D -H svc\nmkdir -p /var/lib/chain");
+    b.build(upstream(), "builder")
+}
+
+#[test]
+fn every_link_of_the_chain_verifies() {
+    let blob = build_upstream_package();
+
+    // Link 1: upstream package verifies under the upstream key.
+    let pkg = Package::parse(&blob).unwrap();
+    pkg.verify(upstream().public_key()).unwrap();
+
+    // Link 2: sanitization re-signs under the TSR key and injects per-file
+    // signatures.
+    let s = sanitizer();
+    let trusted = vec![("builder".to_string(), upstream().public_key().clone())];
+    let (sanitized, record) = s.sanitize(&blob, &trusted).unwrap();
+    assert!(record.touches_accounts);
+    let spkg = Package::parse(&sanitized).unwrap();
+    spkg.verify(tsr().public_key()).unwrap();
+
+    // Link 3: every regular data file carries a TSR signature over its
+    // content digest, delivered via PAX xattrs.
+    for f in &spkg.files {
+        if f.kind == tsr::archive::EntryKind::File {
+            let sig = f.xattr(IMA_XATTR).expect("file signed");
+            tsr()
+                .public_key()
+                .verify_pkcs1_sha256(&Sha256::digest(&f.data), sig)
+                .unwrap();
+        }
+    }
+
+    // Link 4: installation puts signatures into filesystem xattrs, scripts
+    // drive configs into the predicted state, IMA measures everything.
+    let mut os = TrustedOs::boot(
+        b"chain-os",
+        &[
+            ("/etc/passwd".into(), "root:x:0:0:root:/root:/bin/ash".into()),
+            ("/etc/group".into(), "root:x:0:".into()),
+            ("/etc/shadow".into(), "root:!::0:::::".into()),
+        ],
+    );
+    os.trust_key("tsr", tsr().public_key().clone());
+    os.install(&sanitized).unwrap();
+    assert!(
+        os.fs.get_xattr("/usr/bin/chain", IMA_XATTR).is_some()
+    );
+    for (path, predicted, _) in s.predicted_configs() {
+        let got = String::from_utf8(os.fs.read_file(path).unwrap().to_vec()).unwrap();
+        assert_eq!(&got, predicted, "predicted {path}");
+        // The config signature installed by the script appraises.
+        tsr::ima::Ima::appraise(&os.fs, path, &[tsr().public_key().clone()]).unwrap();
+    }
+
+    // Link 5: the quote + log convince a monitor that trusts only the
+    // baseline configs and the TSR key.
+    let mut monitor = Monitor::new();
+    monitor.whitelist_content(b"root:x:0:0:root:/root:/bin/ash\n");
+    monitor.whitelist_content(b"root:x:0:\n");
+    monitor.whitelist_content(b"root:!::0:::::\n");
+    monitor.trust_signer(tsr().public_key().clone());
+    let evidence = os.attest(b"chain-nonce");
+    let verdict = monitor.verify(&evidence, os.tpm.attestation_key(), b"chain-nonce");
+    assert!(verdict.is_trusted(), "violations: {:?}", verdict.violations);
+    assert!(verdict.signed >= 3, "files + configs explained by signatures");
+}
+
+#[test]
+fn breaking_any_link_breaks_the_chain() {
+    let blob = build_upstream_package();
+    let s = sanitizer();
+    let trusted = vec![("builder".to_string(), upstream().public_key().clone())];
+
+    // Broken link 1: upstream signature.
+    {
+        let mut bad = blob.clone();
+        bad[30] ^= 0xff; // inside the signature segment
+        assert!(
+            Package::parse(&bad).is_err()
+                || s.sanitize(&bad, &trusted).is_err(),
+            "tampered upstream blob must not sanitize"
+        );
+    }
+
+    // Broken link 2: wrong upstream signer.
+    {
+        let mut rng = HmacDrbg::new(b"intruder");
+        let intruder = RsaPrivateKey::generate(1024, &mut rng);
+        let forged = {
+            let mut b = PackageBuilder::new("chain", "6.6");
+            b.file(Entry::file("usr/bin/chain", b"evil".to_vec()));
+            b.build(&intruder, "builder")
+        };
+        assert!(s.sanitize(&forged, &trusted).is_err());
+    }
+
+    // Broken link 3: post-sanitization data tamper → OS rejects.
+    {
+        let (sanitized, _) = s.sanitize(&blob, &trusted).unwrap();
+        let pkg = Package::parse(&sanitized).unwrap();
+        let mut files = pkg.files.clone();
+        files[1].data = b"swapped".to_vec(); // keeps the OLD xattr signature
+        let forged = tsr::apk::package::build_from_parts(
+            &pkg.meta,
+            &pkg.scripts,
+            &files,
+            tsr(), // even with the TSR key itself…
+            "tsr",
+        );
+        let mut os = TrustedOs::boot(b"chain-os2", &[]);
+        os.trust_key("tsr", tsr().public_key().clone());
+        os.appraisal_enforced = true;
+        // …the per-file signature no longer matches the content.
+        assert!(os.install(&forged).is_err());
+    }
+}
