@@ -126,9 +126,9 @@ impl Index {
                     });
                 }
                 "V" | "S" | "H" | "D" => {
-                    let e = cur.as_mut().ok_or_else(|| {
-                        PackageError::InvalidMeta(format!("{tag}: before P:"))
-                    })?;
+                    let e = cur
+                        .as_mut()
+                        .ok_or_else(|| PackageError::InvalidMeta(format!("{tag}: before P:")))?;
                     match tag {
                         "V" => e.version = value.to_string(),
                         "H" => e.content_hash = value.to_string(),
@@ -138,8 +138,7 @@ impl Index {
                             })?;
                         }
                         "D" => {
-                            e.depends =
-                                value.split_whitespace().map(String::from).collect();
+                            e.depends = value.split_whitespace().map(String::from).collect();
                         }
                         _ => unreachable!(),
                     }
@@ -189,10 +188,7 @@ impl Index {
     /// Signs the index, producing a two-segment blob
     /// (signature segment ‖ index segment) like a package header.
     pub fn sign(&self, key: &RsaPrivateKey, signer: &str) -> Vec<u8> {
-        let index_tar = Archive::build(vec![Entry::file(
-            "APKINDEX",
-            self.to_text().into_bytes(),
-        )]);
+        let index_tar = Archive::build(vec![Entry::file("APKINDEX", self.to_text().into_bytes())]);
         let index_segment = gzip::compress(&index_tar);
         let signature = key.sign_pkcs1_sha256(&index_segment);
         let sig_tar = Archive::build(vec![Entry::file(

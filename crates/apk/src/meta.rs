@@ -65,9 +65,9 @@ impl PackageMeta {
                 "depend" => meta.depends.push(value.to_string()),
                 "datahash" => meta.data_hash = value.to_string(),
                 "size" => {
-                    meta.installed_size = value.parse().map_err(|_| {
-                        PackageError::InvalidMeta(format!("bad size {value:?}"))
-                    })?;
+                    meta.installed_size = value
+                        .parse()
+                        .map_err(|_| PackageError::InvalidMeta(format!("bad size {value:?}")))?;
                 }
                 _ => {} // unknown keys are ignored for forward compatibility
             }
@@ -170,16 +170,13 @@ mod tests {
 
     #[test]
     fn meta_bad_hash_rejected() {
-        assert!(
-            PackageMeta::parse("pkgname = a\npkgver = 1\ndatahash = zz\n").is_err()
-        );
+        assert!(PackageMeta::parse("pkgname = a\npkgver = 1\ndatahash = zz\n").is_err());
     }
 
     #[test]
     fn meta_comments_and_unknown_keys_ignored() {
         let parsed =
-            PackageMeta::parse("# header\npkgname = a\npkgver = 1\nlicense = MIT\n")
-                .unwrap();
+            PackageMeta::parse("# header\npkgname = a\npkgver = 1\nlicense = MIT\n").unwrap();
         assert_eq!(parsed.name, "a");
     }
 

@@ -173,10 +173,7 @@ impl Package {
     /// # Errors
     ///
     /// [`PackageError::SignatureInvalid`] when no key verifies the package.
-    pub fn verify_any(
-        &self,
-        keys: &[(String, RsaPublicKey)],
-    ) -> Result<(), PackageError> {
+    pub fn verify_any(&self, keys: &[(String, RsaPublicKey)]) -> Result<(), PackageError> {
         for (name, key) in keys {
             if *name == self.signer && self.verify(key).is_ok() {
                 return Ok(());
@@ -323,7 +320,10 @@ mod tests {
         b.description("sample package")
             .depends_on("musl")
             .post_install("echo configured > /dev/null")
-            .file(Entry::file("usr/bin/hello", b"#!/bin/sh\necho hello\n".to_vec()))
+            .file(Entry::file(
+                "usr/bin/hello",
+                b"#!/bin/sh\necho hello\n".to_vec(),
+            ))
             .file(Entry::file("etc/hello.conf", b"greeting=hello\n".to_vec()));
         b.build(test_key(), "builder@example.org")
     }
@@ -336,7 +336,10 @@ mod tests {
         assert_eq!(pkg.meta.depends, vec!["musl"]);
         assert_eq!(pkg.signer, "builder@example.org");
         assert_eq!(pkg.files.len(), 2);
-        assert_eq!(pkg.scripts.post_install.as_deref(), Some("echo configured > /dev/null"));
+        assert_eq!(
+            pkg.scripts.post_install.as_deref(),
+            Some("echo configured > /dev/null")
+        );
     }
 
     #[test]
@@ -398,7 +401,10 @@ mod tests {
         let pkg = Package::parse(&sample_blob()).unwrap();
         let keys = vec![
             ("wrong".to_string(), other.public_key().clone()),
-            ("builder@example.org".to_string(), test_key().public_key().clone()),
+            (
+                "builder@example.org".to_string(),
+                test_key().public_key().clone(),
+            ),
         ];
         pkg.verify_any(&keys).unwrap();
         let only_wrong = vec![("w".to_string(), other.public_key().clone())];

@@ -151,7 +151,8 @@ impl Entry {
 
     /// Attaches an extended attribute (stored as a `SCHILY.xattr.` PAX record).
     pub fn set_xattr(&mut self, name: &str, value: Vec<u8>) {
-        self.pax_attrs.insert(format!("{XATTR_PREFIX}{name}"), value);
+        self.pax_attrs
+            .insert(format!("{XATTR_PREFIX}{name}"), value);
     }
 
     /// Reads an extended attribute if present.
@@ -286,11 +287,7 @@ impl Archive {
     }
 }
 
-fn header_to_entry(
-    header: &[u8],
-    typeflag: u8,
-    data: Vec<u8>,
-) -> Result<Entry, ArchiveError> {
+fn header_to_entry(header: &[u8], typeflag: u8, data: Vec<u8>) -> Result<Entry, ArchiveError> {
     let name = parse_str(&header[0..100]);
     let prefix = parse_str(&header[345..500]);
     let path = if prefix.is_empty() {
@@ -340,7 +337,11 @@ fn verify_checksum(header: &[u8]) -> Result<(), ArchiveError> {
     let stored = parse_octal(&header[148..156])?;
     let mut sum = 0u64;
     for (i, &b) in header.iter().enumerate() {
-        sum += if (148..156).contains(&i) { b' ' as u64 } else { b as u64 };
+        sum += if (148..156).contains(&i) {
+            b' ' as u64
+        } else {
+            b as u64
+        };
     }
     if sum == stored {
         Ok(())
@@ -366,7 +367,11 @@ fn write_entry(out: &mut Vec<u8>, e: &Entry) {
     }
     let name = truncate(&e.path, 100);
     let link = truncate(&e.link_target, 100);
-    let size = if e.kind == EntryKind::File { e.data.len() } else { 0 };
+    let size = if e.kind == EntryKind::File {
+        e.data.len()
+    } else {
+        0
+    };
     write_raw_header(
         out,
         &name,
@@ -534,7 +539,8 @@ mod tests {
     fn xattrs_iterator_strips_prefix() {
         let mut e = Entry::file("f", vec![]);
         e.set_xattr("security.ima", b"s".to_vec());
-        e.pax_attrs.insert("comment".into(), b"not an xattr".to_vec());
+        e.pax_attrs
+            .insert("comment".into(), b"not an xattr".to_vec());
         let xs: Vec<(&str, &[u8])> = e.xattrs().collect();
         assert_eq!(xs, vec![("security.ima", &b"s"[..])]);
     }

@@ -32,7 +32,10 @@ fn setup(n: usize) -> (Vec<Mirror>, Vec<(String, tsr_crypto::RsaPublicKey)>) {
         .map(|i| Mirror::new(format!("m{i}"), Continent::ALL[i % 3]))
         .collect();
     publish_to_all(&mut mirrors, &snap);
-    (mirrors, vec![("repo".to_string(), key.public_key().clone())])
+    (
+        mirrors,
+        vec![("repo".to_string(), key.public_key().clone())],
+    )
 }
 
 fn bench_quorum(c: &mut Criterion) {
@@ -45,11 +48,10 @@ fn bench_quorum(c: &mut Criterion) {
             timeout: Duration::from_secs(1),
             ..QuorumConfig::default()
         };
-        c.bench_function(&format!("quorum_read_{n}_mirrors"), |b| {
+        c.bench_function(format!("quorum_read_{n}_mirrors"), |b| {
             b.iter(|| {
                 let mut rng = HmacDrbg::new(b"iter");
-                read_index_quorum(black_box(&mirrors), &config, &model, &signers, &mut rng)
-                    .unwrap()
+                read_index_quorum(black_box(&mirrors), &config, &model, &signers, &mut rng).unwrap()
             })
         });
     }

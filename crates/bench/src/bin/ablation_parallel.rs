@@ -1,78 +1,87 @@
-//! Ablation — parallel sanitization (the paper's future-work item).
+//! Ablation — sequential vs parallel refresh (the paper's future-work
+//! item).
 //!
 //! §6.1: "the download time can be greatly reduced by enabling parallel
 //! downloading. This performance improvement is left as part of future
-//! work." This ablation implements the counterpart for the CPU-bound
-//! phase: sanitizing packages on a crossbeam worker pool, and reports the
-//! speedup over the sequential pipeline.
+//! work." The TSR core now implements that future work: `refresh` fans
+//! per-package download + sanitize + sign out over a work-stealing worker
+//! pool (`tsr_core::parallel`). This ablation refreshes identical worlds
+//! at increasing worker counts, reports the speedup of the CPU-bound
+//! sanitization phase, and asserts the signed APKINDEX is byte-identical
+//! at every worker count — parallelism must never change what is served.
+//!
+//! Usage: `ablation_parallel [--workers N]` (default: all cores).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use tsr_bench::{banner, scale, BenchWorld};
+use tsr_bench::{banner, fmt_dur, scale, workers_arg, BenchWorld};
 
 fn main() {
     banner(
-        "Ablation — sequential vs parallel sanitization (paper future work)",
-        "sanitization is per-package independent; a worker pool scales with cores",
+        "Ablation — sequential vs parallel refresh (paper future work)",
+        "per-package sanitization is independent; a worker pool scales with cores",
     );
-    let mut world = BenchWorld::new(scale(), b"ablation-par");
-    world.refresh();
-    let signers = world.repo.policy().signer_keys_named();
-    let sanitizer = world.repo.sanitizer().expect("refreshed");
-    let blobs: Vec<Vec<u8>> = world
-        .upstream
-        .blobs
-        .values()
-        .cloned()
-        .collect();
-    println!("packages: {}", blobs.len());
-
-    // Sequential pass.
-    let t = Instant::now();
-    let mut seq_ok = 0usize;
-    for b in &blobs {
-        if sanitizer.sanitize(b, &signers).is_ok() {
-            seq_ok += 1;
+    let max_workers = workers_arg();
+    let mut counts = vec![1usize];
+    for w in [2, 4, 8, 16] {
+        if w < max_workers {
+            counts.push(w);
         }
     }
-    let seq = t.elapsed();
+    if max_workers > 1 {
+        counts.push(max_workers);
+    }
 
-    // Parallel pass over a crossbeam scope, one worker per core.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let next = AtomicUsize::new(0);
-    let ok = AtomicUsize::new(0);
-    let t = Instant::now();
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= blobs.len() {
-                    break;
-                }
-                if sanitizer.sanitize(&blobs[i], &signers).is_ok() {
-                    ok.fetch_add(1, Ordering::Relaxed);
-                }
-            });
+    let mut baseline_sanitize: Option<f64> = None;
+    let mut last_speedup = 1.0;
+    let mut reference_index: Option<Vec<u8>> = None;
+    println!(
+        "{:<10}{:>12}{:>14}{:>12}{:>12}   index",
+        "workers", "refresh", "sanitize", "speedup", "packages"
+    );
+    for &workers in &counts {
+        let mut world = BenchWorld::new(scale(), b"ablation-par");
+        let t = Instant::now();
+        let report = world.refresh_with_workers(workers);
+        let total = t.elapsed();
+        let sanitize = report.sanitize_elapsed;
+        let signed_index = world.repo.serve_index().expect("refreshed");
+
+        let identical = match &reference_index {
+            None => {
+                reference_index = Some(signed_index);
+                "reference"
+            }
+            Some(reference) => {
+                assert_eq!(
+                    reference, &signed_index,
+                    "signed APKINDEX must be byte-identical at {workers} workers"
+                );
+                "identical"
+            }
+        };
+        let speedup = match baseline_sanitize {
+            None => {
+                baseline_sanitize = Some(sanitize.as_secs_f64());
+                1.0
+            }
+            Some(base) => base / sanitize.as_secs_f64().max(1e-9),
+        };
+        last_speedup = speedup;
+        println!(
+            "{workers:<10}{:>12}{:>14}{:>11.2}×{:>12}   {identical}",
+            fmt_dur(total),
+            fmt_dur(sanitize),
+            speedup,
+            report.sanitized.len(),
+        );
+    }
+    if let Some(&last) = counts.last() {
+        if last > 1 {
+            println!(
+                "\nsanitize-phase speedup at {last} workers: {last_speedup:.2}× (ideal {last}×); \
+                 served indexes byte-identical across all worker counts"
+            );
         }
-    })
-    .expect("workers");
-    let par = t.elapsed();
-    let par_ok = ok.load(Ordering::Relaxed);
-
-    assert_eq!(seq_ok, par_ok, "parallelism must not change outcomes");
-    println!(
-        "  sequential: {:.2} s  ({seq_ok} sanitized)",
-        seq.as_secs_f64()
-    );
-    println!(
-        "  parallel:   {:.2} s  on {workers} workers ({par_ok} sanitized)",
-        par.as_secs_f64()
-    );
-    println!(
-        "  speedup:    {:.2}× (ideal {workers}×)",
-        seq.as_secs_f64() / par.as_secs_f64().max(1e-9)
-    );
+    }
 }

@@ -65,8 +65,7 @@ fn main() {
         let reps = 20;
         for rep in 0..reps {
             let mut rng = HmacDrbg::new(format!("abq:{name}:{stale}:{rep}").as_bytes());
-            let out =
-                read_index_quorum(&mirrors, &config, &model, &signers, &mut rng).unwrap();
+            let out = read_index_quorum(&mirrors, &config, &model, &signers, &mut rng).unwrap();
             total += out.elapsed;
             contacted += out.contacted;
             if out.index.snapshot == 2 {

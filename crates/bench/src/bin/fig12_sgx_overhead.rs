@@ -7,7 +7,7 @@
 //! The enclave is simulated: sanitization runs natively and the measured
 //! time is scaled by the EPC cost model (calibrated to the paper's ratios).
 //! The EPC size is shrunk so the synthetic workload's top 5% spills, the
-//! same percentile as the paper's full-size packages (see DESIGN.md).
+//! same percentile as the paper's full-size packages (see ARCHITECTURE.md).
 
 use std::time::Duration;
 
@@ -57,7 +57,10 @@ fn main() {
         recs.len(),
         world.cpu.epc().epc_bytes / 1024
     );
-    println!("{:<10}{:>14}{:>14}{:>10}", "", "without SGX", "with SGX", "ratio");
+    println!(
+        "{:<10}{:>14}{:>14}{:>10}",
+        "", "without SGX", "with SGX", "ratio"
+    );
     for (i, p) in ["P50", "P75", "P95"].iter().enumerate() {
         println!(
             "{:<10}{:>11.2} ms{:>11.2} ms{:>9.2}×",

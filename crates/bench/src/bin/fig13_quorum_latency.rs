@@ -98,8 +98,7 @@ fn main() {
         let mut samples = Vec::new();
         for rep in 0..20 {
             let mut rng = HmacDrbg::new(format!("check:{n}:{where_:?}:{rep}").as_bytes());
-            let out =
-                read_index_quorum(&mirrors, &config, &model, &signers, &mut rng).unwrap();
+            let out = read_index_quorum(&mirrors, &config, &model, &signers, &mut rng).unwrap();
             samples.push(out.elapsed.as_secs_f64() * 1000.0);
         }
         tsr_stats::trimmed_mean(&samples, 0.1)
@@ -110,8 +109,14 @@ fn main() {
     let all9 = run(9, None);
     let na9 = run(9, Some(Continent::NorthAmerica));
     println!("  5 EU mirrors ≤ 400 ms: {eu5:.0} ms  {}", ok(eu5 <= 400.0));
-    println!("  10 EU mirrors ≤ 1200 ms: {eu10:.0} ms  {}", ok(eu10 <= 1200.0));
-    println!("  9 Asian mirrors ≈ 2.2 s: {asia9:.0} ms  {}", ok(asia9 > 500.0));
+    println!(
+        "  10 EU mirrors ≤ 1200 ms: {eu10:.0} ms  {}",
+        ok(eu10 <= 1200.0)
+    );
+    println!(
+        "  9 Asian mirrors ≈ 2.2 s: {asia9:.0} ms  {}",
+        ok(asia9 > 500.0)
+    );
     println!(
         "  'All' tracks nearer continents (all9={all9:.0} ms ≤ asia9={asia9:.0} ms, ≈ na9={na9:.0} ms): {}",
         ok(all9 < asia9)

@@ -41,7 +41,10 @@ fn main() {
     // The mechanism: overhead correlates with files-per-byte.
     println!("\nmedian overhead by file-count bucket (many small files suffer most):");
     let buckets: &[(usize, usize)] = &[(1, 2), (3, 4), (5, 8), (9, 16), (17, 64), (65, 10_000)];
-    println!("{:<18}{:>10}{:>16}", "files in package", "packages", "median overhead");
+    println!(
+        "{:<18}{:>10}{:>16}",
+        "files in package", "packages", "median overhead"
+    );
     for &(lo, hi) in buckets {
         let sel: Vec<f64> = recs
             .iter()

@@ -38,9 +38,15 @@ fn main() {
 
     println!("{:<28}{:>10}{:>14}", "", "measured", "paper (sum)");
     println!("{:<28}{:>10}{:>14}", "Total packages", total, 11_581);
-    println!("{:<28}{:>10}{:>14}", "Without scripts (safe)", without, 11_303);
+    println!(
+        "{:<28}{:>10}{:>14}",
+        "Without scripts (safe)", without, 11_303
+    );
     println!("{:<28}{:>10}{:>14}", "With safe scripts", safe, 53);
-    println!("{:<28}{:>10}{:>14}", "With unsafe scripts", unsafe_scripts, 225);
+    println!(
+        "{:<28}{:>10}{:>14}",
+        "With unsafe scripts", unsafe_scripts, 225
+    );
     println!();
     println!(
         "without-script fraction: measured {:.1}% (paper 97.6%)",

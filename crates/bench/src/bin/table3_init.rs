@@ -43,12 +43,7 @@ fn main() {
     // Re-trigger sanitization of everything by resetting the sanitized side.
     let mut world2 = BenchWorld::new(scale(), b"table3");
     world2.refresh(); // warm: originals + sanitized cached
-    let names: Vec<String> = world2
-        .upstream
-        .blobs
-        .keys()
-        .cloned()
-        .collect();
+    let names: Vec<String> = world2.upstream.blobs.keys().cloned().collect();
     let signers = world2.repo.policy().signer_keys_named();
     let sanitizer_time = {
         let t = Instant::now();

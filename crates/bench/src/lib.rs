@@ -1,8 +1,9 @@
 //! # tsr-bench
 //!
 //! The experiment harness: one binary per table/figure of the paper's
-//! evaluation (§6), plus ablation studies. See `DESIGN.md` for the
-//! experiment index and `EXPERIMENTS.md` for paper-vs-measured results.
+//! evaluation (§6), plus ablation studies. See the workspace `README.md`
+//! for the experiment index and `ARCHITECTURE.md` for the pipeline the
+//! experiments instrument.
 //!
 //! Scale knobs (environment variables):
 //!
@@ -38,6 +39,18 @@ pub fn key_bits() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2048)
+}
+
+/// Worker count from a `--workers N` command-line argument, falling back
+/// to [`tsr_core::default_workers`] (which honours `TSR_WORKERS`).
+pub fn workers_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(tsr_core::default_workers)
 }
 
 /// The standard workload configuration at a given scale.
@@ -129,20 +142,31 @@ impl BenchWorld {
         }
     }
 
-    /// Refreshes the TSR repository from the mirrors.
+    /// Refreshes the TSR repository from the mirrors (sequentially).
     ///
     /// # Panics
     ///
     /// Panics when the refresh fails — benches require a healthy world.
     pub fn refresh(&mut self) -> RefreshReport {
+        self.refresh_with_workers(1)
+    }
+
+    /// Refreshes the TSR repository with the download/sanitize phases
+    /// fanned out over `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the refresh fails — benches require a healthy world.
+    pub fn refresh_with_workers(&mut self, workers: usize) -> RefreshReport {
         let enclave = self.cpu.load_enclave(ENCLAVE_CODE);
         self.repo
-            .refresh(
+            .refresh_parallel(
                 &self.mirrors,
                 &self.model,
                 &mut self.rng,
                 &enclave,
                 &mut self.tpm,
+                workers,
             )
             .expect("bench refresh")
     }

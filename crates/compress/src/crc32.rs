@@ -30,7 +30,11 @@ fn table() -> &'static [u32; 256] {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xedb88320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xedb88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -73,7 +77,10 @@ mod tests {
     fn known_vectors() {
         assert_eq!(Crc32::checksum(b""), 0);
         assert_eq!(Crc32::checksum(b"123456789"), 0xcbf43926);
-        assert_eq!(Crc32::checksum(b"The quick brown fox jumps over the lazy dog"), 0x414fa339);
+        assert_eq!(
+            Crc32::checksum(b"The quick brown fox jumps over the lazy dog"),
+            0x414fa339
+        );
     }
 
     #[test]

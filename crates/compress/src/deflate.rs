@@ -224,7 +224,12 @@ mod tests {
     fn roundtrip_repetitive_compresses() {
         let data = b"abcabcabcabcabcabcabcabcabcabc".repeat(100);
         let c = compress(&data);
-        assert!(c.len() < data.len() / 5, "got {} for {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 5,
+            "got {} for {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 

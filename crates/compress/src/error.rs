@@ -36,7 +36,9 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(CompressError::UnexpectedEof.to_string().contains("end"));
-        assert!(CompressError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(CompressError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
     }
 
     #[test]

@@ -13,21 +13,20 @@ const MAX_DCODES: usize = 30;
 
 /// Length code base values and extra bits (codes 257..=285).
 pub(crate) const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59,
-    67, 83, 99, 115, 131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 pub(crate) const LENGTH_EXTRA: [u8; 29] = [
-    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4,
-    5, 5, 5, 5, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
 ];
 /// Distance code base values and extra bits (codes 0..=29).
 pub(crate) const DIST_BASE: [u16; 30] = [
-    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513,
-    769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 pub(crate) const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10,
-    11, 11, 12, 12, 13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 /// Order in which code-length code lengths are stored (RFC 1951 §3.2.7).
@@ -168,15 +167,15 @@ fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), Compre
     let len = u16::from_le_bytes([header[0], header[1]]);
     let nlen = u16::from_le_bytes([header[2], header[3]]);
     if len != !nlen {
-        return Err(CompressError::InvalidStream("stored length mismatch".into()));
+        return Err(CompressError::InvalidStream(
+            "stored length mismatch".into(),
+        ));
     }
     out.extend_from_slice(r.read_bytes(len as usize)?);
     Ok(())
 }
 
-fn read_dynamic_tables(
-    r: &mut BitReader<'_>,
-) -> Result<(Huffman, Huffman), CompressError> {
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Huffman, Huffman), CompressError> {
     let hlit = r.read_bits(5)? as usize + 257;
     let hdist = r.read_bits(5)? as usize + 1;
     let hclen = r.read_bits(4)? as usize + 4;
@@ -218,19 +217,16 @@ fn read_dynamic_tables(
         }
     }
     if lengths[256] == 0 {
-        return Err(CompressError::InvalidStream("missing end-of-block code".into()));
+        return Err(CompressError::InvalidStream(
+            "missing end-of-block code".into(),
+        ));
     }
     let lit = Huffman::new(&lengths[..hlit])?;
     let dist = Huffman::new(&lengths[hlit..])?;
     Ok((lit, dist))
 }
 
-fn repeat(
-    lengths: &mut [u8],
-    i: &mut usize,
-    value: u8,
-    rep: usize,
-) -> Result<(), CompressError> {
+fn repeat(lengths: &mut [u8], i: &mut usize, value: u8, rep: usize) -> Result<(), CompressError> {
     if *i + rep > lengths.len() {
         return Err(CompressError::InvalidStream("repeat overruns table".into()));
     }
@@ -254,14 +250,13 @@ fn inflate_block(
             256 => return Ok(()),
             257..=285 => {
                 let idx = (sym - 257) as usize;
-                let len = LENGTH_BASE[idx] as usize
-                    + r.read_bits(LENGTH_EXTRA[idx] as u32)? as usize;
+                let len =
+                    LENGTH_BASE[idx] as usize + r.read_bits(LENGTH_EXTRA[idx] as u32)? as usize;
                 let dsym = dist.decode(r)? as usize;
                 if dsym >= 30 {
                     return Err(CompressError::InvalidStream("bad distance code".into()));
                 }
-                let d = DIST_BASE[dsym] as usize
-                    + r.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                let d = DIST_BASE[dsym] as usize + r.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
                 if d > out.len() {
                     return Err(CompressError::InvalidStream(
                         "distance beyond output".into(),
@@ -350,10 +345,7 @@ mod tests {
 
     #[test]
     fn truncated_stream_rejected() {
-        assert!(matches!(
-            decompress(&[]),
-            Err(CompressError::UnexpectedEof)
-        ));
+        assert!(matches!(decompress(&[]), Err(CompressError::UnexpectedEof)));
     }
 
     #[test]

@@ -13,13 +13,23 @@
 //! - [`repository`]: one client's repository (quorum refresh, serving),
 //! - [`service`]: the multi-tenant REST service (§5.2).
 //!
+//! - [`parallel`]: the work-stealing pool that fans the refresh hot path
+//!   out across cores (deterministic result ordering),
+//!
 //! # Examples
 //!
 //! See `examples/quickstart.rs` at the workspace root for the end-to-end
 //! flow: deploy policy → refresh → install on an attested OS.
+//!
+//! The concurrency architecture (per-tenant sharding, lock hierarchy,
+//! parallel refresh) is documented in `ARCHITECTURE.md` at the workspace
+//! root.
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod error;
+pub mod parallel;
 pub mod policy;
 pub mod repository;
 pub mod sanitizer;
@@ -27,6 +37,7 @@ pub mod service;
 
 pub use cache::{PackageCache, SealedState};
 pub use error::CoreError;
+pub use parallel::{default_workers, parallel_map_ordered};
 pub use policy::{InitConfigFile, MirrorRef, Policy};
 pub use repository::{RefreshReport, TsrRepository};
 pub use sanitizer::{PackageSanitizer, PhaseTimings, SanitizeRecord};

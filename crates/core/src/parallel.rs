@@ -1,0 +1,147 @@
+//! Work distribution for the refresh hot path.
+//!
+//! The sanitization pipeline is embarrassingly parallel per package (each
+//! package is checked, rewritten, and signed independently), and the
+//! paper's evaluation is dominated by exactly that per-package cost — §6.1
+//! explicitly leaves parallel downloading as future work. This module
+//! implements that future work with nothing but `std` threads and
+//! channels: a small work-stealing pool where workers pull the next item
+//! index off a shared atomic counter and stream `(index, result)` pairs
+//! back over an `mpsc` channel.
+//!
+//! Results are re-assembled **in input order** before they are returned,
+//! so everything built on top of [`parallel_map_ordered`] — signatures,
+//! index construction, [`RefreshReport`](crate::RefreshReport) contents —
+//! is byte-identical regardless of the worker count. That determinism is
+//! load-bearing: two TSR replicas refreshing the same snapshot must serve
+//! the same signed index no matter how many cores they have.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The default worker count for parallel refresh phases.
+///
+/// Reads the `TSR_WORKERS` environment variable; when unset or invalid,
+/// falls back to [`std::thread::available_parallelism`].
+pub fn default_workers() -> usize {
+    parse_workers(std::env::var("TSR_WORKERS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Parses a `TSR_WORKERS`-style override: positive integers only.
+fn parse_workers(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Maps `f` over `items` on `workers` threads, returning results in input
+/// order.
+///
+/// Work is distributed by stealing: each worker claims the next unclaimed
+/// item index from a shared atomic cursor, so a slow item (one enormous
+/// package) never stalls the queue behind it. `f` receives the item index
+/// and a reference to the item.
+///
+/// With `workers <= 1` or fewer than two items, everything runs inline on
+/// the caller's thread — no threads are spawned, making the sequential
+/// path zero-overhead and trivially deadlock-free.
+pub fn parallel_map_ordered<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = workers.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    let mut slots: Vec<Option<R>> = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+    });
+
+    slots
+        .iter_mut()
+        .map(|s| s.take().expect("worker produced every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1, 2, 4, 7] {
+            let out = parallel_map_ordered(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<u8> = vec![0; 57];
+        let out = parallel_map_ordered(&items, 4, |_, _| count.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(out.len(), 57);
+        assert_eq!(count.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map_ordered(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map_ordered(&[9u32], 8, |_, &x| x), vec![9]);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let items: Vec<u64> = (0..64).collect();
+        let hash = |_: usize, &x: &u64| x.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+        let base = parallel_map_ordered(&items, 1, hash);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(parallel_map_ordered(&items, workers, hash), base);
+        }
+    }
+
+    #[test]
+    fn workers_override_parsing() {
+        // The env override is parsed by a pure helper — tested without
+        // mutating process-global state (set_var races sibling tests).
+        assert_eq!(parse_workers(Some("3")), Some(3));
+        assert_eq!(parse_workers(Some("junk")), None);
+        assert_eq!(parse_workers(Some("0")), None);
+        assert_eq!(parse_workers(None), None);
+        assert!(default_workers() >= 1);
+    }
+}

@@ -56,8 +56,7 @@ impl Policy {
         if self.package_blacklist.iter().any(|p| p == name) {
             return false;
         }
-        self.package_whitelist.is_empty()
-            || self.package_whitelist.iter().any(|p| p == name)
+        self.package_whitelist.is_empty() || self.package_whitelist.iter().any(|p| p == name)
     }
 
     /// Looks up an initial config file by path, returning "" when absent.
@@ -98,14 +97,11 @@ impl Policy {
                     for item in value.expect_list("mirrors")? {
                         let map = item.expect_map("mirrors[]")?;
                         let hostname = get_scalar(&map, "hostname", "mirrors[]")?;
-                        let continent = match map
-                            .iter()
-                            .find(|(k, _)| k == "continent")
-                            .map(|(_, v)| v)
-                        {
-                            Some(Value::Scalar(s)) => parse_continent(s)?,
-                            _ => Continent::Europe,
-                        };
+                        let continent =
+                            match map.iter().find(|(k, _)| k == "continent").map(|(_, v)| v) {
+                                Some(Value::Scalar(s)) => parse_continent(s)?,
+                                _ => Continent::Europe,
+                            };
                         mirrors.push(MirrorRef {
                             hostname,
                             continent,
@@ -131,9 +127,11 @@ impl Policy {
                 }
                 "f" => {
                     let s = value.expect_scalar("f")?;
-                    f = Some(s.trim().parse().map_err(|_| {
-                        CoreError::Policy(format!("f is not a number: {s:?}"))
-                    })?);
+                    f = Some(
+                        s.trim()
+                            .parse()
+                            .map_err(|_| CoreError::Policy(format!("f is not a number: {s:?}")))?,
+                    );
                 }
                 "package_whitelist" => {
                     for item in value.expect_list("package_whitelist")? {
@@ -294,7 +292,10 @@ fn parse_document(text: &str) -> Result<Vec<(String, Value)>, CoreError> {
         let rest = strip_comment(rest).trim().to_string();
         i += 1;
         if !rest.is_empty() {
-            out.push((key.trim().to_string(), parse_inline(&rest, &lines, &mut i, 0)?));
+            out.push((
+                key.trim().to_string(),
+                parse_inline(&rest, &lines, &mut i, 0)?,
+            ));
         } else {
             let v = parse_block(&lines, &mut i, 2)?;
             out.push((key.trim().to_string(), v));

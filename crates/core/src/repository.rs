@@ -16,8 +16,9 @@ use tsr_tpm::Tpm;
 
 use crate::cache::{PackageCache, SealedState};
 use crate::error::CoreError;
+use crate::parallel::parallel_map_ordered;
 use crate::policy::Policy;
-use crate::sanitizer::{scan_universe, PackageSanitizer, SanitizeRecord};
+use crate::sanitizer::{scan_universe_parallel, PackageSanitizer, SanitizeRecord};
 
 /// Statistics of one repository refresh.
 #[derive(Debug, Clone, Default)]
@@ -146,7 +147,9 @@ impl TsrRepository {
 
     /// Refreshes the repository from the mirror fleet: quorum-reads the
     /// upstream index, downloads new/changed packages, sanitizes them, and
-    /// regenerates the signed sanitized index (§5.4).
+    /// regenerates the signed sanitized index (§5.4). Runs the pipeline
+    /// sequentially; see [`Self::refresh_parallel`] for the multi-core
+    /// variant.
     ///
     /// # Errors
     ///
@@ -159,6 +162,51 @@ impl TsrRepository {
         rng: &mut HmacDrbg,
         enclave: &Enclave<'_>,
         tpm: &mut Tpm,
+    ) -> Result<RefreshReport, CoreError> {
+        self.refresh_parallel(mirrors, model, rng, enclave, tpm, 1)
+    }
+
+    /// [`Self::refresh`] with the download and sanitization phases fanned
+    /// out over `workers` threads.
+    ///
+    /// The signed index, cache contents, and [`RefreshReport`] are
+    /// byte-identical for every worker count: work items are planned
+    /// sequentially (including per-package RNG derivation), executed on a
+    /// work-stealing pool, and their results applied back in input order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::refresh`].
+    pub fn refresh_parallel(
+        &mut self,
+        mirrors: &[Mirror],
+        model: &LatencyModel,
+        rng: &mut HmacDrbg,
+        enclave: &Enclave<'_>,
+        tpm: &mut Tpm,
+        workers: usize,
+    ) -> Result<RefreshReport, CoreError> {
+        let report = self.refresh_unsealed(mirrors, model, rng, workers)?;
+        self.persist(enclave, tpm)?;
+        Ok(report)
+    }
+
+    /// The refresh pipeline without the final sealing step.
+    ///
+    /// [`TsrService`](crate::TsrService) uses this to keep the TPM lock
+    /// out of the (long) download/sanitize phases: the service runs
+    /// `refresh_unsealed` holding only the repository's own lock, then
+    /// briefly takes the shared TPM to [`Self::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::refresh`].
+    pub fn refresh_unsealed(
+        &mut self,
+        mirrors: &[Mirror],
+        model: &LatencyModel,
+        rng: &mut HmacDrbg,
+        workers: usize,
     ) -> Result<RefreshReport, CoreError> {
         let mut report = RefreshReport::default();
         let qcfg = self.quorum_config();
@@ -182,18 +230,30 @@ impl TsrRepository {
 
         // 3. Download packages that are new or changed (skipping packages
         //    the policy's whitelist/blacklist excludes — §4.5 extension).
-        for entry in new_index.iter() {
-            if !self.policy.permits_package(&entry.name) {
-                continue;
-            }
-            if self.cache.original_matches(&entry.name, &entry.content_hash) {
-                continue;
-            }
-            let (blob, elapsed) =
-                fetch_package_verified(mirrors, &entry.name, &new_index, &qcfg, model, rng)?;
+        //    Each download gets its own DRBG derived *sequentially* from
+        //    the caller's, so mirror selection jitter is independent of
+        //    how the downloads are later scheduled across workers.
+        let downloads: Vec<(String, HmacDrbg)> = new_index
+            .iter()
+            .filter(|e| {
+                self.policy.permits_package(&e.name)
+                    && !self.cache.original_matches(&e.name, &e.content_hash)
+            })
+            .map(|e| {
+                let mut seed = rng.bytes(32);
+                seed.extend_from_slice(e.name.as_bytes());
+                (e.name.clone(), HmacDrbg::new(&seed))
+            })
+            .collect();
+        let fetched = parallel_map_ordered(&downloads, workers, |_, (name, drbg)| {
+            let mut drbg = drbg.clone();
+            fetch_package_verified(mirrors, name, &new_index, &qcfg, model, &mut drbg)
+        });
+        for ((name, _), result) in downloads.iter().zip(fetched) {
+            let (blob, elapsed) = result?;
             report.download_elapsed += elapsed;
             report.downloaded += 1;
-            self.cache.store_original(&entry.name, blob);
+            self.cache.store_original(name, blob);
         }
         // Drop cache entries for packages that disappeared upstream.
         let keep: std::collections::BTreeSet<String> =
@@ -201,12 +261,15 @@ impl TsrRepository {
         self.cache.retain(|n| keep.contains(n));
         self.touches_accounts.retain(|n, _| keep.contains(n));
 
-        // 4. Rebuild the user/group universe over the whole repository.
+        // 4. Rebuild the user/group universe over the whole repository
+        //    (packages are parsed on the worker pool; the universe itself
+        //    is folded in index order, keeping id assignment stable).
         let blobs: Vec<&[u8]> = new_index
             .iter()
             .filter_map(|e| self.cache.read_original(&e.name).map(|(b, _)| b))
             .collect();
-        let universe = scan_universe(blobs.into_iter());
+        let universe = scan_universe_parallel(&blobs, workers);
+        drop(blobs);
         let sanitizer = PackageSanitizer::new(
             self.signing_key.clone(),
             self.signer_name.clone(),
@@ -218,11 +281,16 @@ impl TsrRepository {
 
         // 5. Sanitize new/changed packages; re-sanitize account-touching
         //    packages when the universe changed (their preambles and config
-        //    signatures are stale otherwise).
+        //    signatures are stale otherwise). The plan (which packages to
+        //    keep vs. re-sanitize) is decided sequentially; the expensive
+        //    sanitize calls run on the pool; results are applied in index
+        //    order so the signed index is identical for any worker count.
         let t = Instant::now();
         let mut sanitized_index = Index::new();
         sanitized_index.snapshot = new_index.snapshot;
         self.rejected.clear();
+        let mut meta: Vec<(String, String, Vec<String>)> = Vec::new();
+        let mut work: Vec<&[u8]> = Vec::new();
         for entry in new_index.iter() {
             if !self.policy.permits_package(&entry.name) {
                 continue;
@@ -259,22 +327,28 @@ impl TsrRepository {
             let Some((original, _)) = self.cache.read_original(&entry.name) else {
                 continue;
             };
-            match sanitizer.sanitize(original, &signers) {
+            meta.push((
+                entry.name.clone(),
+                entry.version.clone(),
+                entry.depends.clone(),
+            ));
+            work.push(original);
+        }
+        let results =
+            parallel_map_ordered(&work, workers, |_, blob| sanitizer.sanitize(blob, &signers));
+        drop(work);
+        for ((name, version, depends), result) in meta.into_iter().zip(results) {
+            match result {
                 Ok((blob, record)) => {
                     self.touches_accounts
-                        .insert(entry.name.clone(), record.touches_accounts);
-                    sanitized_index.upsert(Index::entry_for_blob(
-                        &entry.name,
-                        &entry.version,
-                        &entry.depends,
-                        &blob,
-                    ));
-                    self.cache.store_sanitized(&entry.name, blob);
+                        .insert(name.clone(), record.touches_accounts);
+                    sanitized_index.upsert(Index::entry_for_blob(&name, &version, &depends, &blob));
+                    self.cache.store_sanitized(&name, blob);
                     report.sanitized.push(record);
                 }
                 Err(CoreError::Unsupported(e)) => {
-                    self.cache.invalidate_sanitized(&entry.name);
-                    self.rejected.push((entry.name.clone(), e.to_string()));
+                    self.cache.invalidate_sanitized(&name);
+                    self.rejected.push((name, e.to_string()));
                 }
                 Err(e) => return Err(e),
             }
@@ -282,14 +356,12 @@ impl TsrRepository {
         report.sanitize_elapsed = t.elapsed();
         report.rejected = self.rejected.clone();
 
-        // 6. Sign the sanitized index with the TSR key and seal state.
-        self.signed_sanitized_index =
-            sanitized_index.sign(&self.signing_key, &self.signer_name);
+        // 6. Sign the sanitized index with the TSR key.
+        self.signed_sanitized_index = sanitized_index.sign(&self.signing_key, &self.signer_name);
         self.upstream_index = Some(new_index);
         self.sanitized_index = Some(sanitized_index);
         self.sanitizer = Some(sanitizer);
         self.universe_fingerprint = new_fingerprint;
-        self.persist(enclave, tpm)?;
         Ok(report)
     }
 
@@ -300,9 +372,7 @@ impl TsrRepository {
     /// [`CoreError::NotFound`] before the first refresh.
     pub fn serve_index(&self) -> Result<Vec<u8>, CoreError> {
         if self.signed_sanitized_index.is_empty() {
-            return Err(CoreError::NotFound(
-                "repository not yet refreshed".into(),
-            ));
+            return Err(CoreError::NotFound("repository not yet refreshed".into()));
         }
         Ok(self.signed_sanitized_index.clone())
     }
@@ -462,7 +532,10 @@ mod tests {
 
     fn build_pkg(name: &str, version: &str, script: Option<&str>) -> Vec<u8> {
         let mut b = PackageBuilder::new(name, version);
-        b.file(Entry::file(format!("usr/bin/{name}"), name.as_bytes().to_vec()));
+        b.file(Entry::file(
+            format!("usr/bin/{name}"),
+            name.as_bytes().to_vec(),
+        ));
         if let Some(s) = script {
             b.post_install(s);
         }
@@ -504,7 +577,11 @@ mod tests {
                     1,
                     &[
                         ("plain", "1.0", None),
-                        ("websrv", "2.0", Some("adduser -S -D -H www\nmkdir -p /var/www")),
+                        (
+                            "websrv",
+                            "2.0",
+                            Some("adduser -S -D -H www\nmkdir -p /var/www"),
+                        ),
                         ("badpkg", "0.1", Some("echo x >> /etc/evil.conf")),
                     ],
                 ),
@@ -575,7 +652,11 @@ mod tests {
                 2,
                 &[
                     ("plain", "1.1", None), // updated
-                    ("websrv", "2.0", Some("adduser -S -D -H www\nmkdir -p /var/www")),
+                    (
+                        "websrv",
+                        "2.0",
+                        Some("adduser -S -D -H www\nmkdir -p /var/www"),
+                    ),
                     ("badpkg", "0.1", Some("echo x >> /etc/evil.conf")),
                 ],
             ),
@@ -598,7 +679,11 @@ mod tests {
                 2,
                 &[
                     ("plain", "1.0", None),
-                    ("websrv", "2.0", Some("adduser -S -D -H www\nmkdir -p /var/www")),
+                    (
+                        "websrv",
+                        "2.0",
+                        Some("adduser -S -D -H www\nmkdir -p /var/www"),
+                    ),
                     ("badpkg", "0.1", Some("echo x >> /etc/evil.conf")),
                     ("dbsrv", "1.0", Some("adduser -S -D -H db")),
                 ],

@@ -89,8 +89,7 @@ impl SanitizeRecord {
         if self.original_size == 0 {
             return 0.0;
         }
-        (self.sanitized_size as f64 - self.original_size as f64) * 100.0
-            / self.original_size as f64
+        (self.sanitized_size as f64 - self.original_size as f64) * 100.0 / self.original_size as f64
     }
 }
 
@@ -116,9 +115,18 @@ impl PackageSanitizer {
         policy: &Policy,
     ) -> Self {
         let predicted = [
-            ("/etc/passwd", universe.predict_passwd(policy.initial_content("/etc/passwd"))),
-            ("/etc/group", universe.predict_group(policy.initial_content("/etc/group"))),
-            ("/etc/shadow", universe.predict_shadow(policy.initial_content("/etc/shadow"))),
+            (
+                "/etc/passwd",
+                universe.predict_passwd(policy.initial_content("/etc/passwd")),
+            ),
+            (
+                "/etc/group",
+                universe.predict_group(policy.initial_content("/etc/group")),
+            ),
+            (
+                "/etc/shadow",
+                universe.predict_shadow(policy.initial_content("/etc/shadow")),
+            ),
         ];
         let predicted_configs = predicted
             .into_iter()
@@ -192,8 +200,9 @@ impl PackageSanitizer {
         let mut touches_accounts = false;
         let mut empty_files: Vec<String> = Vec::new();
         let mut rewrite_err: Option<tsr_script::Unsupported> = None;
-        let scripts = pkg.scripts.map(|_name, body| {
-            match sanitize_script(body, &self.universe) {
+        let scripts = pkg
+            .scripts
+            .map(|_name, body| match sanitize_script(body, &self.universe) {
                 Ok(s) => {
                     touches_accounts |= s.touches_accounts;
                     empty_files.extend(s.created_empty_files.iter().cloned());
@@ -203,8 +212,7 @@ impl PackageSanitizer {
                     rewrite_err.get_or_insert(e);
                     String::new()
                 }
-            }
-        });
+            });
         if let Some(e) = rewrite_err {
             return Err(CoreError::Unsupported(e));
         }
@@ -217,9 +225,7 @@ impl PackageSanitizer {
         for f in &mut files {
             uncompressed += f.data.len();
             if f.kind == tsr_archive::EntryKind::File {
-                let sig = self
-                    .signing_key
-                    .sign_pkcs1_sha256(&Sha256::digest(&f.data));
+                let sig = self.signing_key.sign_pkcs1_sha256(&Sha256::digest(&f.data));
                 f.set_xattr("security.ima", sig);
             }
         }
@@ -293,6 +299,36 @@ pub fn scan_universe<'a>(blobs: impl Iterator<Item = &'a [u8]>) -> UserGroupUniv
             for (_, body) in pkg.scripts.iter() {
                 universe.scan_script(body);
             }
+        }
+    }
+    universe.assign_ids();
+    universe
+}
+
+/// [`scan_universe`] with package parsing fanned out over `workers`
+/// threads.
+///
+/// Parsing (decompression + tar walk) dominates the pre-pass, so it runs
+/// on the worker pool; the extracted script bodies are then folded into
+/// the universe **in input order**, which keeps user/group id assignment —
+/// and therefore every downstream signature — independent of the worker
+/// count.
+pub fn scan_universe_parallel(blobs: &[&[u8]], workers: usize) -> UserGroupUniverse {
+    let scripts: Vec<Vec<String>> =
+        crate::parallel::parallel_map_ordered(blobs, workers, |_, blob| {
+            match Package::parse(blob) {
+                Ok(pkg) => pkg
+                    .scripts
+                    .iter()
+                    .map(|(_, body)| body.to_string())
+                    .collect(),
+                Err(_) => Vec::new(),
+            }
+        });
+    let mut universe = UserGroupUniverse::new();
+    for bodies in &scripts {
+        for body in bodies {
+            universe.scan_script(body);
         }
     }
     universe.assign_ids();
@@ -392,7 +428,10 @@ mod tests {
         let (out, rec) = s.sanitize(&blob, &trusted()).unwrap();
         assert_eq!(rec.file_count, 3);
         assert!(!rec.touches_accounts);
-        assert!(rec.sanitized_size > rec.original_size, "signatures add bytes");
+        assert!(
+            rec.sanitized_size > rec.original_size,
+            "signatures add bytes"
+        );
         // Output verifies under the TSR key and carries per-file signatures.
         let pkg = Package::parse(&out).unwrap();
         pkg.verify(s.public_key()).unwrap();

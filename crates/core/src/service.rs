@@ -13,9 +13,8 @@
 //! | `GET /attestation/{hex-nonce}` | SGX attestation report over the nonce |
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use tsr_crypto::drbg::HmacDrbg;
 use tsr_crypto::hex;
@@ -26,35 +25,67 @@ use tsr_sgx::Cpu;
 use tsr_tpm::Tpm;
 
 use crate::error::CoreError;
+use crate::parallel::default_workers;
 use crate::policy::Policy;
 use crate::repository::{RefreshReport, TsrRepository};
 
 /// The enclave code identity of this TSR build (what clients attest).
 pub const ENCLAVE_CODE: &[u8] = b"tsr-enclave-v1";
 
-struct ServiceState {
+/// Locks a mutex, recovering the data from a poisoned lock (a panicking
+/// request handler must not take the whole multi-tenant service down).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Hardware and fleet state shared by every repository: the simulated SGX
+/// CPU (immutable after construction), the TPM (brief lock at seal time),
+/// the mirror fleet (read-mostly), and the service DRBG (locked only long
+/// enough to derive a per-operation child).
+struct SharedState {
     cpu: Cpu,
-    tpm: Tpm,
-    mirrors: Vec<Mirror>,
+    tpm: Mutex<Tpm>,
+    mirrors: RwLock<Vec<Mirror>>,
     model: LatencyModel,
-    rng: HmacDrbg,
-    repos: BTreeMap<String, TsrRepository>,
-    next_id: u64,
+    rng: Mutex<HmacDrbg>,
+    next_id: AtomicU64,
     key_bits: usize,
+    workers: AtomicUsize,
 }
 
 /// The multi-tenant TSR service.
+///
+/// # Concurrency model
+///
+/// The service is sharded per tenant: the repository map is behind an
+/// [`RwLock`] (taken for writing only when a repository is created), and
+/// each repository lives in its own `Arc<Mutex<TsrRepository>>`. Requests
+/// against different repositories therefore never contend — a long
+/// refresh of one tenant runs concurrently with index/package reads on
+/// every other tenant.
+///
+/// Shared hardware has its own fine-grained locks (see [`SharedState`]).
+/// The lock order is `repository → tpm`; the mirrors and RNG locks are
+/// only ever held on their own (the mirror fleet is snapshotted before a
+/// refresh starts), and no repository lock is ever taken while holding
+/// another repository's — which makes the hierarchy deadlock-free.
 #[derive(Clone)]
 pub struct TsrService {
-    state: Arc<Mutex<ServiceState>>,
+    shared: Arc<SharedState>,
+    repos: Arc<RwLock<BTreeMap<String, Arc<Mutex<TsrRepository>>>>>,
 }
 
 impl std::fmt::Debug for TsrService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.state.lock();
+        let repos = self.repos.read().unwrap_or_else(PoisonError::into_inner);
+        let mirrors = self
+            .shared
+            .mirrors
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
         f.debug_struct("TsrService")
-            .field("repositories", &st.repos.len())
-            .field("mirrors", &st.mirrors.len())
+            .field("repositories", &repos.len())
+            .field("mirrors", &mirrors.len())
             .finish()
     }
 }
@@ -63,38 +94,75 @@ impl TsrService {
     /// Creates a service on a simulated SGX CPU.
     ///
     /// `key_bits` sizes per-repository signing keys (2048 = paper-faithful,
-    /// 1024 = fast tests).
-    pub fn new(
-        seed: &[u8],
-        mirrors: Vec<Mirror>,
-        model: LatencyModel,
-        key_bits: usize,
-    ) -> Self {
+    /// 1024 = fast tests). The refresh worker count defaults to
+    /// [`default_workers`]; tune it with [`Self::set_workers`].
+    pub fn new(seed: &[u8], mirrors: Vec<Mirror>, model: LatencyModel, key_bits: usize) -> Self {
         let cpu = Cpu::new(seed);
         let tpm = Tpm::new(seed);
         let rng = HmacDrbg::new(&[b"tsr-service:", seed].concat());
         TsrService {
-            state: Arc::new(Mutex::new(ServiceState {
+            shared: Arc::new(SharedState {
                 cpu,
-                tpm,
-                mirrors,
+                tpm: Mutex::new(tpm),
+                mirrors: RwLock::new(mirrors),
                 model,
-                rng,
-                repos: BTreeMap::new(),
-                next_id: 1,
+                rng: Mutex::new(rng),
+                next_id: AtomicU64::new(1),
                 key_bits,
-            })),
+                workers: AtomicUsize::new(default_workers()),
+            }),
+            repos: Arc::new(RwLock::new(BTreeMap::new())),
         }
+    }
+
+    /// Sets the worker count used for the parallel phases of
+    /// [`Self::refresh`] (downloads, universe scan, sanitization).
+    ///
+    /// The served bytes are identical for every worker count; only the
+    /// wall-clock time changes.
+    pub fn set_workers(&self, workers: usize) {
+        self.shared.workers.store(workers.max(1), Ordering::Relaxed);
+    }
+
+    /// The current refresh worker count.
+    pub fn workers(&self) -> usize {
+        self.shared.workers.load(Ordering::Relaxed)
     }
 
     /// Replaces the mirror fleet (tests/benches reconfigure behaviours).
     pub fn set_mirrors(&self, mirrors: Vec<Mirror>) {
-        self.state.lock().mirrors = mirrors;
+        *self
+            .shared
+            .mirrors
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = mirrors;
     }
 
     /// Runs `f` with mutable access to the mirror fleet.
     pub fn with_mirrors<R>(&self, f: impl FnOnce(&mut Vec<Mirror>) -> R) -> R {
-        f(&mut self.state.lock().mirrors)
+        f(&mut self
+            .shared
+            .mirrors
+            .write()
+            .unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Looks up one repository shard.
+    fn repo(&self, id: &str) -> Result<Arc<Mutex<TsrRepository>>, CoreError> {
+        self.repos
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(id)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))
+    }
+
+    /// Derives an independent child DRBG from the service RNG (the lock is
+    /// held only for the derivation, never across a refresh).
+    fn child_rng(&self, label: &str) -> HmacDrbg {
+        let mut seed = lock(&self.shared.rng).bytes(32);
+        seed.extend_from_slice(label.as_bytes());
+        HmacDrbg::new(&seed)
     }
 
     /// Creates a repository from a policy document, returning
@@ -105,38 +173,50 @@ impl TsrService {
     /// [`CoreError::Policy`] for malformed policies.
     pub fn create_repository(&self, policy_text: &str) -> Result<(String, String), CoreError> {
         let policy = Policy::parse(policy_text)?;
-        let mut st = self.state.lock();
-        let id = format!("repo-{}", st.next_id);
-        st.next_id += 1;
-        let key_bits = st.key_bits;
-        let st_ref = &mut *st;
-        let enclave = st_ref.cpu.load_enclave(ENCLAVE_CODE);
-        let repo = TsrRepository::init(id.clone(), policy, &enclave, &mut st_ref.tpm, key_bits);
+        let id = format!(
+            "repo-{}",
+            self.shared.next_id.fetch_add(1, Ordering::Relaxed)
+        );
+        let enclave = self.shared.cpu.load_enclave(ENCLAVE_CODE);
+        let repo = {
+            let mut tpm = lock(&self.shared.tpm);
+            TsrRepository::init(id.clone(), policy, &enclave, &mut tpm, self.shared.key_bits)
+        };
         let pem = repo.public_key().to_pem();
-        st_ref.repos.insert(id.clone(), repo);
+        self.repos
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id.clone(), Arc::new(Mutex::new(repo)));
         Ok((id, pem))
     }
 
     /// Refreshes one repository from the mirror fleet.
     ///
+    /// Holds only that repository's lock for the duration; refreshes of
+    /// different repositories run fully in parallel. The shared locks are
+    /// held only briefly: the mirror fleet is snapshotted at refresh
+    /// start (so a queued mirror writer never stalls other tenants), and
+    /// the TPM is taken only for the final sealing step.
+    ///
     /// # Errors
     ///
     /// [`CoreError::NotFound`] for unknown ids plus refresh errors.
     pub fn refresh(&self, id: &str) -> Result<RefreshReport, CoreError> {
-        let mut st = self.state.lock();
-        let st_ref = &mut *st;
-        let repo = st_ref
-            .repos
-            .get_mut(id)
-            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))?;
-        let enclave = st_ref.cpu.load_enclave(ENCLAVE_CODE);
-        repo.refresh(
-            &st_ref.mirrors,
-            &st_ref.model,
-            &mut st_ref.rng,
-            &enclave,
-            &mut st_ref.tpm,
-        )
+        let shard = self.repo(id)?;
+        let mut rng = self.child_rng(id);
+        let workers = self.workers();
+        let enclave = self.shared.cpu.load_enclave(ENCLAVE_CODE);
+        let mirrors = self
+            .shared
+            .mirrors
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut repo = lock(&shard);
+        let report = repo.refresh_unsealed(&mirrors, &self.shared.model, &mut rng, workers)?;
+        let mut tpm = lock(&self.shared.tpm);
+        repo.persist(&enclave, &mut tpm)?;
+        Ok(report)
     }
 
     /// Fetches the signed sanitized index of a repository.
@@ -145,11 +225,9 @@ impl TsrService {
     ///
     /// [`CoreError::NotFound`] for unknown ids / unrefreshed repositories.
     pub fn fetch_index(&self, id: &str) -> Result<Vec<u8>, CoreError> {
-        let st = self.state.lock();
-        st.repos
-            .get(id)
-            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))?
-            .serve_index()
+        let shard = self.repo(id)?;
+        let repo = lock(&shard);
+        repo.serve_index()
     }
 
     /// Fetches a sanitized package blob.
@@ -158,11 +236,8 @@ impl TsrService {
     ///
     /// [`CoreError::NotFound`] / [`CoreError::RollbackDetected`].
     pub fn fetch_package(&self, id: &str, name: &str) -> Result<Vec<u8>, CoreError> {
-        let st = self.state.lock();
-        let repo = st
-            .repos
-            .get(id)
-            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))?;
+        let shard = self.repo(id)?;
+        let repo = lock(&shard);
         repo.serve_package(name).map(|(b, _)| b)
     }
 
@@ -176,24 +251,20 @@ impl TsrService {
         id: &str,
         f: impl FnOnce(&TsrRepository) -> R,
     ) -> Result<R, CoreError> {
-        let st = self.state.lock();
-        let repo = st
-            .repos
-            .get(id)
-            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))?;
-        Ok(f(repo))
+        let shard = self.repo(id)?;
+        let repo = lock(&shard);
+        Ok(f(&repo))
     }
 
     /// The platform attestation key clients use to verify reports.
     pub fn platform_key_pem(&self) -> String {
-        self.state.lock().cpu.attestation_key().to_pem()
+        self.shared.cpu.attestation_key().to_pem()
     }
 
     /// Produces an attestation report carrying `nonce` (SGX remote
     /// attestation, Figure 7 step ➊).
     pub fn attestation_report(&self, nonce: &[u8]) -> (String, String, String) {
-        let st = self.state.lock();
-        let enclave = st.cpu.load_enclave(ENCLAVE_CODE);
+        let enclave = self.shared.cpu.load_enclave(ENCLAVE_CODE);
         let report = enclave.report(nonce);
         (
             hex::to_hex(&report.mrenclave.0),
@@ -230,13 +301,11 @@ impl TsrService {
                 Ok(blob) => Response::ok(blob),
                 Err(e) => Response::not_found(&e.to_string()),
             },
-            ("GET", ["repositories", id, "packages", name]) => {
-                match self.fetch_package(id, name) {
-                    Ok(blob) => Response::ok(blob),
-                    Err(CoreError::RollbackDetected(m)) => Response::server_error(&m),
-                    Err(e) => Response::not_found(&e.to_string()),
-                }
-            }
+            ("GET", ["repositories", id, "packages", name]) => match self.fetch_package(id, name) {
+                Ok(blob) => Response::ok(blob),
+                Err(CoreError::RollbackDetected(m)) => Response::server_error(&m),
+                Err(e) => Response::not_found(&e.to_string()),
+            },
             ("GET", ["attestation", nonce_hex]) => match hex::from_hex(nonce_hex) {
                 Some(nonce) => {
                     let (mr, data, sig) = self.attestation_report(&nonce);
@@ -331,11 +400,13 @@ mod tests {
         let key = RsaPublicKey::from_pem(&pem).unwrap();
         svc.refresh(&id).unwrap();
         let signed = svc.fetch_index(&id).unwrap();
-        let idx =
-            Index::parse_signed(&signed, &[(format!("tsr-{id}"), key.clone())]).unwrap();
+        let idx = Index::parse_signed(&signed, &[(format!("tsr-{id}"), key.clone())]).unwrap();
         assert_eq!(idx.len(), 1);
         let blob = svc.fetch_package(&id, "tool").unwrap();
-        tsr_apk::Package::parse(&blob).unwrap().verify(&key).unwrap();
+        tsr_apk::Package::parse(&blob)
+            .unwrap()
+            .verify(&key)
+            .unwrap();
     }
 
     #[test]
@@ -349,7 +420,10 @@ mod tests {
         // Packages from repo 1 do NOT verify under repo 2's key.
         let blob = svc.fetch_package(&id1, "tool").unwrap();
         let key2 = RsaPublicKey::from_pem(&pem2).unwrap();
-        assert!(tsr_apk::Package::parse(&blob).unwrap().verify(&key2).is_err());
+        assert!(tsr_apk::Package::parse(&blob)
+            .unwrap()
+            .verify(&key2)
+            .is_err());
     }
 
     #[test]
@@ -396,9 +470,7 @@ mod tests {
         let (mr, data, sig) = svc.attestation_report(b"nonce!");
         let platform = RsaPublicKey::from_pem(&svc.platform_key_pem()).unwrap();
         let report = tsr_sgx::Report {
-            mrenclave: tsr_sgx::Measurement(
-                hex::from_hex(&mr).unwrap().try_into().unwrap(),
-            ),
+            mrenclave: tsr_sgx::Measurement(hex::from_hex(&mr).unwrap().try_into().unwrap()),
             report_data: hex::from_hex(&data).unwrap(),
             signature: hex::from_hex(&sig).unwrap(),
         };

@@ -1,8 +1,7 @@
 //! Standard base64 (RFC 4648) encoding/decoding, used for PEM-style key
 //! serialization in security policies.
 
-const ALPHABET: &[u8; 64] =
-    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
 /// Encodes bytes as standard base64 with padding.
 ///

@@ -465,7 +465,11 @@ impl BigUint {
             return None;
         }
         // Normalize t0 into [0, m).
-        let inv = if t0.0 { m.sub(&t0.1.rem(m)) } else { t0.1.rem(m) };
+        let inv = if t0.0 {
+            m.sub(&t0.1.rem(m))
+        } else {
+            t0.1.rem(m)
+        };
         Some(inv.rem(m))
     }
 
@@ -563,9 +567,7 @@ fn div_rem_knuth(u: &[u32], v: &[u32]) -> (Vec<u32>, Vec<u32>) {
         let top = (un[j + n] as u64) << 32 | un[j + n - 1] as u64;
         let mut q_hat = top / vn[n - 1] as u64;
         let mut r_hat = top % vn[n - 1] as u64;
-        while q_hat >= BASE
-            || q_hat * vn[n - 2] as u64 > (r_hat << 32 | un[j + n - 2] as u64)
-        {
+        while q_hat >= BASE || q_hat * vn[n - 2] as u64 > (r_hat << 32 | un[j + n - 2] as u64) {
             q_hat -= 1;
             r_hat += vn[n - 1] as u64;
             if r_hat >= BASE {
@@ -668,18 +670,14 @@ mod tests {
         for c in cases {
             let n = BigUint::from_be_bytes(c);
             let back = n.to_be_bytes();
-            let trimmed: Vec<u8> =
-                c.iter().copied().skip_while(|&b| b == 0).collect();
+            let trimmed: Vec<u8> = c.iter().copied().skip_while(|&b| b == 0).collect();
             assert_eq!(back, trimmed);
         }
     }
 
     #[test]
     fn leading_zero_bytes_ignored() {
-        assert_eq!(
-            BigUint::from_be_bytes(&[0, 0, 0, 5]),
-            BigUint::from(5u64)
-        );
+        assert_eq!(BigUint::from_be_bytes(&[0, 0, 0, 5]), BigUint::from(5u64));
     }
 
     #[test]
@@ -853,7 +851,10 @@ mod tests {
             BigUint::from(48u64).gcd(&BigUint::from(36u64)),
             BigUint::from(12u64)
         );
-        assert_eq!(BigUint::from(17u64).gcd(&BigUint::from(5u64)), BigUint::one());
+        assert_eq!(
+            BigUint::from(17u64).gcd(&BigUint::from(5u64)),
+            BigUint::one()
+        );
     }
 
     #[test]

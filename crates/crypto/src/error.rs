@@ -25,7 +25,10 @@ impl fmt::Display for CryptoError {
             CryptoError::BadSignature => write!(f, "signature verification failed"),
             CryptoError::InvalidKey(msg) => write!(f, "invalid key: {msg}"),
             CryptoError::InvalidDigestLength { expected, actual } => {
-                write!(f, "invalid digest length: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "invalid digest length: expected {expected}, got {actual}"
+                )
             }
         }
     }

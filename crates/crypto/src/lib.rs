@@ -4,7 +4,7 @@
 //!
 //! - [`bignum`]: arbitrary-precision unsigned integers,
 //! - [`sha2`]: SHA-256 / SHA-512 (FIPS 180-4),
-//! - [`hmac`]: HMAC-SHA256,
+//! - [`hmac`]: keyed hashing with HMAC-SHA256,
 //! - [`drbg`]: HMAC-DRBG deterministic random bit generator,
 //! - [`rsa`]: RSA PKCS#1 v1.5 signatures (replacing the paper's `ring` use),
 //! - [`base64`] / [`hex`]: encodings used by policies and logs.

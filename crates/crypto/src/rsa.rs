@@ -17,8 +17,8 @@ use crate::{base64, hex};
 
 /// ASN.1 DigestInfo prefix for SHA-256 (RFC 8017 §9.2 notes).
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03,
-    0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// Public RSA exponent used by all generated keys.
@@ -489,7 +489,9 @@ mod tests {
         let key = test_key_2048();
         let sig = key.sign_pkcs1_sha256(b"payload");
         assert_eq!(sig.len(), 256);
-        key.public_key().verify_pkcs1_sha256(b"payload", &sig).unwrap();
+        key.public_key()
+            .verify_pkcs1_sha256(b"payload", &sig)
+            .unwrap();
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! # Ok::<(), tsr_http::HttpError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -154,21 +156,41 @@ fn status_text(code: u16) -> &'static str {
 /// The request handler type.
 pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
 
-/// A threaded HTTP server.
+/// The default worker-pool size for [`Server::bind`]: twice the available
+/// cores, but at least 8 threads so small machines still overlap slow
+/// clients.
+pub fn default_pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get() * 2)
+        .unwrap_or(8)
+        .max(8)
+}
+
+/// A threaded HTTP server backed by a **bounded** worker pool.
+///
+/// Accepted connections are pushed onto a bounded queue and served by a
+/// fixed number of worker threads, so a flood of clients degrades into
+/// queueing delay instead of unbounded thread creation (the previous
+/// thread-per-connection design).
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl fmt::Debug for Server {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Server").field("addr", &self.addr).finish()
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
     }
 }
 
 impl Server {
-    /// Binds and starts serving with `handler` (one thread per connection).
+    /// Binds and starts serving with `handler` on a worker pool of
+    /// [`default_pool_size`] threads.
     ///
     /// # Errors
     ///
@@ -177,27 +199,75 @@ impl Server {
         addr: A,
         handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
     ) -> Result<Self, HttpError> {
+        Self::bind_with_workers(addr, handler, default_pool_size())
+    }
+
+    /// Binds and starts serving with `handler` on exactly `workers`
+    /// threads (at least one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Io`] when the address cannot be bound.
+    pub fn bind_with_workers<A: ToSocketAddrs>(
+        addr: A,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+        workers: usize,
+    ) -> Result<Self, HttpError> {
+        let workers = workers.max(1);
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
         let handler: Arc<Handler> = Arc::new(handler);
-        let handle = std::thread::spawn(move || {
+
+        // Bounded hand-off queue: accept blocks once `4 × workers`
+        // connections are waiting, shedding load at the kernel backlog
+        // instead of buffering without limit.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 4);
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+
+        let pool: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let handler = handler.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || loop {
+                    // Take the queue lock only to pull the next connection.
+                    let conn = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    match conn {
+                        Ok(stream) => {
+                            // A panicking handler must not shrink the fixed
+                            // pool — contain it to this one connection.
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                serve_connection(stream, &handler, &stop)
+                            }));
+                        }
+                        Err(_) => break, // accept loop gone → drain done
+                    }
+                })
+            })
+            .collect();
+
+        let stop2 = stop.clone();
+        let accept_handle = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let h = handler.clone();
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &h);
-                });
+                if tx.send(stream).is_err() {
+                    break;
+                }
             }
+            // `tx` drops here; idle workers see the disconnect and exit.
         });
         Ok(Server {
             addr: local,
             stop,
-            handle: Some(handle),
+            accept_handle: Some(accept_handle),
+            workers: pool,
         })
     }
 
@@ -206,16 +276,25 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept thread.
+    /// The number of worker threads serving connections.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops accepting connections, drains queued ones, and joins the
+    /// accept thread and the worker pool.
     pub fn shutdown(mut self) {
         self.stop_inner();
     }
 
     fn stop_inner(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Kick the accept loop.
+        // Kick the accept loop; the kicked connection is dropped unserved.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
-        if let Some(h) = self.handle.take() {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -223,16 +302,26 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.handle.is_some() {
+        if self.accept_handle.is_some() {
             self.stop_inner();
         }
     }
 }
 
-fn serve_connection(stream: TcpStream, handler: &Arc<Handler>) -> Result<(), HttpError> {
+fn serve_connection(
+    stream: TcpStream,
+    handler: &Arc<Handler>,
+    stop: &AtomicBool,
+) -> Result<(), HttpError> {
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     loop {
+        // Close keep-alive connections once shutdown starts, so joining
+        // the pool is bounded by one in-flight request + read timeout
+        // instead of the client's goodwill.
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
         let req = match read_request(&mut reader) {
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()), // clean close
@@ -310,11 +399,7 @@ fn read_body<R: BufRead>(
     Ok(body)
 }
 
-fn write_response(
-    w: &mut impl Write,
-    resp: &Response,
-    keep_alive: bool,
-) -> Result<(), HttpError> {
+fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> Result<(), HttpError> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\ncontent-length: {}\r\n",
         resp.status,
@@ -428,8 +513,7 @@ mod tests {
     fn echo_server() -> Server {
         Server::bind("127.0.0.1:0", |req| {
             let mut r = Response::ok(req.body.clone());
-            r.headers
-                .insert("x-path".into(), req.path.clone());
+            r.headers.insert("x-path".into(), req.path.clone());
             r.headers.insert("x-method".into(), req.method.clone());
             r
         })
@@ -478,10 +562,7 @@ mod tests {
             .get(&format!("http://{}/x", s.local_addr()))
             .unwrap();
         assert_eq!(resp.status, 404);
-        assert!(matches!(
-            resp.into_result(),
-            Err(HttpError::Status(404, _))
-        ));
+        assert!(matches!(resp.into_result(), Err(HttpError::Status(404, _))));
         s.shutdown();
     }
 
@@ -508,6 +589,55 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        s.shutdown();
+    }
+
+    #[test]
+    fn bounded_pool_serves_more_clients_than_workers() {
+        // 2 workers, 12 concurrent clients: every request must still be
+        // answered (queueing, not dropping).
+        let s = Server::bind_with_workers("127.0.0.1:0", |req| Response::ok(req.body.clone()), 2)
+            .unwrap();
+        assert_eq!(s.worker_count(), 2);
+        let addr = s.local_addr();
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let body = vec![i as u8; 256];
+                    let r = Client::new()
+                        .post(&format!("http://{addr}/q"), &body)
+                        .unwrap();
+                    assert_eq!(r.body, body);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn handler_panic_does_not_kill_the_pool() {
+        let s = Server::bind_with_workers(
+            "127.0.0.1:0",
+            |req| {
+                if req.path == "/boom" {
+                    panic!("handler exploded");
+                }
+                Response::ok(b"ok".to_vec())
+            },
+            1,
+        )
+        .unwrap();
+        let addr = s.local_addr();
+        // Two panics on a 1-worker pool…
+        for _ in 0..2 {
+            let _ = Client::new().get(&format!("http://{addr}/boom"));
+        }
+        // …and the pool must still answer.
+        let r = Client::new().get(&format!("http://{addr}/fine")).unwrap();
+        assert_eq!(r.body, b"ok");
         s.shutdown();
     }
 

@@ -160,12 +160,7 @@ impl Ima {
     /// # Errors
     ///
     /// Returns [`ImaError::File`] when the path is not a regular file.
-    pub fn measure_file(
-        &mut self,
-        tpm: &mut Tpm,
-        fs: &SimFs,
-        path: &str,
-    ) -> Result<(), ImaError> {
+    pub fn measure_file(&mut self, tpm: &mut Tpm, fs: &SimFs, path: &str) -> Result<(), ImaError> {
         let content = fs
             .read_file(path)
             .map_err(|e| ImaError::File(e.to_string()))?
@@ -212,11 +207,7 @@ impl Ima {
     ///
     /// [`ImaError::MissingSignature`] when the file has no signature,
     /// [`ImaError::AppraisalFailed`] when no key verifies it.
-    pub fn appraise(
-        fs: &SimFs,
-        path: &str,
-        keys: &[RsaPublicKey],
-    ) -> Result<(), ImaError> {
+    pub fn appraise(fs: &SimFs, path: &str, keys: &[RsaPublicKey]) -> Result<(), ImaError> {
         let content = fs
             .read_file(path)
             .map_err(|e| ImaError::File(e.to_string()))?;

@@ -293,12 +293,8 @@ mod tests {
         m.publish(snapshot(1, 1));
         let model = LatencyModel::default();
         let mut rng = HmacDrbg::new(b"t");
-        let (res, d) = m.fetch_index_timed(
-            &model,
-            Continent::Europe,
-            &mut rng,
-            Duration::from_secs(5),
-        );
+        let (res, d) =
+            m.fetch_index_timed(&model, Continent::Europe, &mut rng, Duration::from_secs(5));
         assert!(res.is_ok());
         assert!(d >= Duration::from_millis(100)); // EU↔Asia base is 175 ms ± 25%
     }
@@ -311,8 +307,7 @@ mod tests {
         let model = LatencyModel::default();
         let mut rng = HmacDrbg::new(b"t");
         let timeout = Duration::from_millis(750);
-        let (res, d) =
-            m.fetch_index_timed(&model, Continent::Europe, &mut rng, timeout);
+        let (res, d) = m.fetch_index_timed(&model, Continent::Europe, &mut rng, timeout);
         assert!(res.is_err());
         assert_eq!(d, timeout);
     }

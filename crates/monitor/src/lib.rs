@@ -131,7 +131,9 @@ impl Monitor {
 
         // 1. Quote authenticity & freshness.
         if let Err(e) = evidence.quote.verify(ak, nonce) {
-            verdict.violations.push(Violation::QuoteInvalid(e.to_string()));
+            verdict
+                .violations
+                .push(Violation::QuoteInvalid(e.to_string()));
             return verdict;
         }
 
@@ -212,7 +214,9 @@ mod tests {
             if let Some(s) = &sig {
                 self.fs.set_xattr(path, "security.ima", s.clone()).unwrap();
             }
-            self.ima.measure_file(&mut self.tpm, &self.fs, path).unwrap();
+            self.ima
+                .measure_file(&mut self.tpm, &self.fs, path)
+                .unwrap();
         }
 
         fn attest(&self, nonce: &[u8]) -> AttestationEvidence {

@@ -26,8 +26,7 @@ pub enum Continent {
 
 impl Continent {
     /// All continents, in declaration order.
-    pub const ALL: [Continent; 3] =
-        [Continent::Europe, Continent::NorthAmerica, Continent::Asia];
+    pub const ALL: [Continent; 3] = [Continent::Europe, Continent::NorthAmerica, Continent::Asia];
 }
 
 impl std::fmt::Display for Continent {
@@ -204,8 +203,7 @@ mod tests {
         let m = LatencyModel::default().with_jitter(0.0);
         let mut rng = HmacDrbg::new(b"t");
         let small = m.transfer_time(Continent::Europe, Continent::Europe, 1_000, &mut rng);
-        let large =
-            m.transfer_time(Continent::Europe, Continent::Europe, 10_000_000, &mut rng);
+        let large = m.transfer_time(Continent::Europe, Continent::Europe, 10_000_000, &mut rng);
         assert!(large > small);
     }
 

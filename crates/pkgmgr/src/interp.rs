@@ -159,9 +159,9 @@ fn exec_command(
             effects.touch(pos[0]);
         }
         // Read-only and no-op commands.
-        "grep" | "sed" | "awk" | "cut" | "sort" | "head" | "tail" | "wc" | "tr"
-        | "true" | "false" | ":" | "test" | "[" | "printf" | "exit" | "sleep"
-        | "find" | "basename" | "dirname" | "which" | "readlink" => {}
+        "grep" | "sed" | "awk" | "cut" | "sort" | "head" | "tail" | "wc" | "tr" | "true"
+        | "false" | ":" | "test" | "[" | "printf" | "exit" | "sleep" | "find" | "basename"
+        | "dirname" | "which" | "readlink" => {}
         _ => { /* unknown commands are inert in the simulation */ }
     }
     Ok(())
@@ -229,9 +229,11 @@ fn exec_adduser(
     }
     let uid: u32 = match cmd.flag_value("-u").and_then(|v| v.parse().ok()) {
         Some(u) => u,
-        None => next_free_id(config_lines(fs, "/etc/passwd").iter().filter_map(|l| {
-            l.split(':').nth(2).and_then(|s| s.parse().ok())
-        })),
+        None => next_free_id(
+            config_lines(fs, "/etc/passwd")
+                .iter()
+                .filter_map(|l| l.split(':').nth(2).and_then(|s| s.parse().ok())),
+        ),
     };
     let group = cmd
         .flag_value("-G")
@@ -336,7 +338,8 @@ mod tests {
         let mut fs = SimFs::new();
         fs.write_file("/etc/passwd", b"root:x:0:0:root:/root:/bin/ash\n".to_vec())
             .unwrap();
-        fs.write_file("/etc/group", b"root:x:0:\n".to_vec()).unwrap();
+        fs.write_file("/etc/group", b"root:x:0:\n".to_vec())
+            .unwrap();
         fs.write_file("/etc/shadow", b"root:!::0:::::\n".to_vec())
             .unwrap();
         fs
@@ -465,12 +468,9 @@ mod tests {
 
         run_script(&mut fs, &universe.canonical_preamble()).unwrap();
 
-        let got_passwd =
-            String::from_utf8(fs.read_file("/etc/passwd").unwrap().to_vec()).unwrap();
-        let got_group =
-            String::from_utf8(fs.read_file("/etc/group").unwrap().to_vec()).unwrap();
-        let got_shadow =
-            String::from_utf8(fs.read_file("/etc/shadow").unwrap().to_vec()).unwrap();
+        let got_passwd = String::from_utf8(fs.read_file("/etc/passwd").unwrap().to_vec()).unwrap();
+        let got_group = String::from_utf8(fs.read_file("/etc/group").unwrap().to_vec()).unwrap();
+        let got_shadow = String::from_utf8(fs.read_file("/etc/shadow").unwrap().to_vec()).unwrap();
         assert_eq!(got_passwd, universe.predict_passwd(initial_passwd));
         assert_eq!(got_group, universe.predict_group(initial_group));
         assert_eq!(got_shadow, universe.predict_shadow(initial_shadow));
@@ -491,7 +491,8 @@ mod tests {
             let mut fs = SimFs::new();
             fs.write_file("/etc/passwd", b"root:x:0:0::/root:/bin/ash\n".to_vec())
                 .unwrap();
-            fs.write_file("/etc/group", b"root:x:0:\n".to_vec()).unwrap();
+            fs.write_file("/etc/group", b"root:x:0:\n".to_vec())
+                .unwrap();
             fs.write_file("/etc/shadow", b"root:!::0:::::\n".to_vec())
                 .unwrap();
             for s in scripts {
@@ -520,7 +521,11 @@ mod tests {
     fn symlink_and_chmod() {
         let mut fs = SimFs::new();
         fs.write_file("/bin/busybox", b"bb".to_vec()).unwrap();
-        run_script(&mut fs, "ln -s /bin/busybox /bin/sh\nchmod 755 /bin/busybox").unwrap();
+        run_script(
+            &mut fs,
+            "ln -s /bin/busybox /bin/sh\nchmod 755 /bin/busybox",
+        )
+        .unwrap();
         assert!(fs.exists("/bin/sh"));
         match fs.node("/bin/busybox").unwrap() {
             tsr_simfs::Node::File { mode, .. } => assert_eq!(*mode, 0o755),

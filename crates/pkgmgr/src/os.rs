@@ -6,9 +6,9 @@ use std::time::{Duration, Instant};
 
 use tsr_apk::{Index, Package};
 use tsr_crypto::{hex, RsaPublicKey, Sha256};
-use tsr_ima::{AttestationEvidence, Ima};
 #[cfg(test)]
 use tsr_ima::IMA_XATTR;
+use tsr_ima::{AttestationEvidence, Ima};
 use tsr_simfs::SimFs;
 use tsr_tpm::{Tpm, IMA_PCR};
 
@@ -103,7 +103,10 @@ impl TrustedOs {
 
     /// Whether `name` is installed at `version`.
     pub fn has_installed(&self, name: &str, version: &str) -> bool {
-        self.db.get(name).map(|p| p.version == version).unwrap_or(false)
+        self.db
+            .get(name)
+            .map(|p| p.version == version)
+            .unwrap_or(false)
     }
 
     /// Installs a package blob (verify → pre-script → extract → post-script
@@ -393,7 +396,10 @@ mod tests {
 
     fn base_configs() -> Vec<(String, String)> {
         vec![
-            ("/etc/passwd".into(), "root:x:0:0:root:/root:/bin/ash".into()),
+            (
+                "/etc/passwd".into(),
+                "root:x:0:0:root:/root:/bin/ash".into(),
+            ),
             ("/etc/group".into(), "root:x:0:".into()),
             ("/etc/shadow".into(), "root:!::0:::::".into()),
         ]
@@ -422,10 +428,7 @@ mod tests {
         let os = os();
         // boot aggregate + 3 config files
         assert_eq!(os.ima.log().len(), 4);
-        assert_eq!(
-            Ima::replay(os.ima.log()),
-            os.tpm.read_pcr(IMA_PCR).unwrap()
-        );
+        assert_eq!(Ima::replay(os.ima.log()), os.tpm.read_pcr(IMA_PCR).unwrap());
     }
 
     #[test]
@@ -496,7 +499,10 @@ mod tests {
         f.set_xattr(IMA_XATTR, sig.clone());
         b.file(f);
         os.install(&b.build(key(), "signer")).unwrap();
-        assert_eq!(os.fs.get_xattr("/usr/lib/lib.so", IMA_XATTR).unwrap(), &sig[..]);
+        assert_eq!(
+            os.fs.get_xattr("/usr/lib/lib.so", IMA_XATTR).unwrap(),
+            &sig[..]
+        );
         // The log entry carries the signature.
         let entry = os
             .ima
@@ -534,10 +540,7 @@ mod tests {
         os.install(&pkg("tool", "1.0", &[])).unwrap();
         let ev = os.attest(b"nonce");
         ev.quote.verify(os.tpm.attestation_key(), b"nonce").unwrap();
-        assert_eq!(
-            Ima::replay(&ev.log),
-            *ev.quote.pcr(IMA_PCR).unwrap()
-        );
+        assert_eq!(Ima::replay(&ev.log), *ev.quote.pcr(IMA_PCR).unwrap());
     }
 
     #[test]

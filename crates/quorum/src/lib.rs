@@ -48,7 +48,10 @@ pub enum QuorumError {
 impl fmt::Display for QuorumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QuorumError::NotEnoughSources { available, required } => write!(
+            QuorumError::NotEnoughSources {
+                available,
+                required,
+            } => write!(
                 f,
                 "not enough mirrors: {available} available, {required} required"
             ),
@@ -160,14 +163,7 @@ pub fn read_index_quorum(
     let first_wave = config.f + 1;
     let mut wave_max = Duration::ZERO;
     for &i in order.iter().take(first_wave) {
-        let lat = contact(
-            &mirrors[i],
-            config,
-            model,
-            rng,
-            &mut votes,
-            trusted_signers,
-        );
+        let lat = contact(&mirrors[i], config, model, rng, &mut votes, trusted_signers);
         wave_max = wave_max.max(lat);
         if !config.parallel_first_wave {
             elapsed += lat;
@@ -181,9 +177,7 @@ pub fn read_index_quorum(
     let quorum = config.f + 1;
     let mut rest = order.iter().skip(first_wave);
     loop {
-        if let Some((_, (count, blob))) =
-            votes.iter().find(|(_, (c, _))| *c >= quorum)
-        {
+        if let Some((_, (count, blob))) = votes.iter().find(|(_, (c, _))| *c >= quorum) {
             let agreement = *count;
             let raw = blob.clone();
             let index = Index::parse_signed(&raw, trusted_signers)?;
@@ -203,14 +197,7 @@ pub fn read_index_quorum(
                 best_agreement: best,
             });
         };
-        elapsed += contact(
-            &mirrors[i],
-            config,
-            model,
-            rng,
-            &mut votes,
-            trusted_signers,
-        );
+        elapsed += contact(&mirrors[i], config, model, rng, &mut votes, trusted_signers);
         contacted += 1;
     }
 }
@@ -225,8 +212,7 @@ fn contact(
     votes: &mut BTreeMap<String, (usize, Vec<u8>)>,
     trusted_signers: &[(String, RsaPublicKey)],
 ) -> Duration {
-    let (res, transfer) =
-        mirror.fetch_index_timed(model, config.observer, rng, config.timeout);
+    let (res, transfer) = mirror.fetch_index_timed(model, config.observer, rng, config.timeout);
     let mut setup = Duration::ZERO;
     if res.is_ok() {
         // Only reachable mirrors complete handshakes.
@@ -491,11 +477,9 @@ mod tests {
             ms
         };
         let model = LatencyModel::default();
-        let eu = read_index_quorum(&eu_only, &config(1), &model, &signers(), &mut rng1)
-            .unwrap();
+        let eu = read_index_quorum(&eu_only, &config(1), &model, &signers(), &mut rng1).unwrap();
         let asia =
-            read_index_quorum(&asia_only, &config(1), &model, &signers(), &mut rng2)
-                .unwrap();
+            read_index_quorum(&asia_only, &config(1), &model, &signers(), &mut rng2).unwrap();
         assert!(asia.elapsed > eu.elapsed);
     }
 
@@ -504,17 +488,10 @@ mod tests {
         let mirrors = fleet(3);
         let mut rng = HmacDrbg::new(b"t9");
         let model = LatencyModel::default();
-        let out =
-            read_index_quorum(&mirrors, &config(1), &model, &signers(), &mut rng).unwrap();
-        let (blob, _) = fetch_package_verified(
-            &mirrors,
-            "pkg",
-            &out.index,
-            &config(1),
-            &model,
-            &mut rng,
-        )
-        .unwrap();
+        let out = read_index_quorum(&mirrors, &config(1), &model, &signers(), &mut rng).unwrap();
+        let (blob, _) =
+            fetch_package_verified(&mirrors, "pkg", &out.index, &config(1), &model, &mut rng)
+                .unwrap();
         assert_eq!(blob, vec![2u8; 100]);
     }
 
@@ -526,17 +503,10 @@ mod tests {
         mirrors[0].set_behavior(Behavior::CorruptPackages);
         let mut rng = HmacDrbg::new(b"t10");
         let model = LatencyModel::default();
-        let out =
-            read_index_quorum(&mirrors, &config(1), &model, &signers(), &mut rng).unwrap();
-        let (blob, _) = fetch_package_verified(
-            &mirrors,
-            "pkg",
-            &out.index,
-            &config(1),
-            &model,
-            &mut rng,
-        )
-        .unwrap();
+        let out = read_index_quorum(&mirrors, &config(1), &model, &signers(), &mut rng).unwrap();
+        let (blob, _) =
+            fetch_package_verified(&mirrors, "pkg", &out.index, &config(1), &model, &mut rng)
+                .unwrap();
         assert_eq!(blob, vec![2u8; 100]);
     }
 
@@ -545,17 +515,9 @@ mod tests {
         let mirrors = fleet(3);
         let mut rng = HmacDrbg::new(b"t11");
         let model = LatencyModel::default();
-        let out =
-            read_index_quorum(&mirrors, &config(1), &model, &signers(), &mut rng).unwrap();
+        let out = read_index_quorum(&mirrors, &config(1), &model, &signers(), &mut rng).unwrap();
         assert!(matches!(
-            fetch_package_verified(
-                &mirrors,
-                "ghost",
-                &out.index,
-                &config(1),
-                &model,
-                &mut rng
-            ),
+            fetch_package_verified(&mirrors, "ghost", &out.index, &config(1), &model, &mut rng),
             Err(QuorumError::InvalidIndex(_))
         ));
     }

@@ -41,9 +41,7 @@ impl OperationKind {
     pub fn is_safe(self) -> bool {
         matches!(
             self,
-            OperationKind::Empty
-                | OperationKind::FilesystemChange
-                | OperationKind::TextProcessing
+            OperationKind::Empty | OperationKind::FilesystemChange | OperationKind::TextProcessing
         )
     }
 
@@ -109,21 +107,20 @@ impl Classification {
 /// Commands that create/remove/move filesystem objects without altering
 /// tracked file contents.
 const FS_COMMANDS: &[&str] = &[
-    "mkdir", "rmdir", "rm", "mv", "cp", "ln", "chmod", "chown", "chgrp",
-    "install", "readlink", "mktemp",
+    "mkdir", "rmdir", "rm", "mv", "cp", "ln", "chmod", "chown", "chgrp", "install", "readlink",
+    "mktemp",
 ];
 
 /// Read-only text utilities.
 const TEXT_COMMANDS: &[&str] = &[
-    "grep", "egrep", "fgrep", "awk", "sed", "cut", "sort", "uniq", "head",
-    "tail", "cat", "wc", "tr", "basename", "dirname", "find", "xargs",
+    "grep", "egrep", "fgrep", "awk", "sed", "cut", "sort", "uniq", "head", "tail", "cat", "wc",
+    "tr", "basename", "dirname", "find", "xargs",
 ];
 
 /// Display/no-op commands.
 const EMPTY_COMMANDS: &[&str] = &[
-    "echo", "printf", "true", "false", ":", "test", "[", "exit", "return",
-    "sleep", "which", "command", "exec", "set", "unset", "export", "umask",
-    "local", "shift", "eval", "cd",
+    "echo", "printf", "true", "false", ":", "test", "[", "exit", "return", "sleep", "which",
+    "command", "exec", "set", "unset", "export", "umask", "local", "shift", "eval", "cd",
 ];
 
 /// Commands that create users or groups.
@@ -168,7 +165,10 @@ pub fn classify_command(cmd: &SimpleCommand) -> OperationKind {
 
     // Unpredictable output beats everything.
     if RANDOM_COMMANDS.contains(&name)
-        || cmd.argv.iter().any(|a| a.contains("/dev/urandom") || a.contains("/dev/random"))
+        || cmd
+            .argv
+            .iter()
+            .any(|a| a.contains("/dev/urandom") || a.contains("/dev/random"))
     {
         return OperationKind::Unpredictable;
     }
@@ -191,9 +191,7 @@ pub fn classify_command(cmd: &SimpleCommand) -> OperationKind {
     }
 
     // Any redirect that writes into /etc is a config change...
-    if CONFIG_PATHS
-        .iter()
-        .any(|p| cmd.writes_to(p))
+    if CONFIG_PATHS.iter().any(|p| cmd.writes_to(p))
         && !USERGROUP_FILES.iter().any(|f| cmd.writes_to(f))
     {
         return OperationKind::ConfigChange;
@@ -289,7 +287,10 @@ mod tests {
     #[test]
     fn useradd_variants_recognized() {
         assert_eq!(dominant("useradd -r svc"), OperationKind::UserGroupCreation);
-        assert_eq!(dominant("groupadd -r svc"), OperationKind::UserGroupCreation);
+        assert_eq!(
+            dominant("groupadd -r svc"),
+            OperationKind::UserGroupCreation
+        );
         assert_eq!(
             dominant("/usr/sbin/adduser -S x"),
             OperationKind::UserGroupCreation
@@ -310,7 +311,10 @@ mod tests {
             OperationKind::ConfigChange
         );
         // plain sed is text processing
-        assert_eq!(dominant("sed s/a/b/ /etc/app.conf"), OperationKind::TextProcessing);
+        assert_eq!(
+            dominant("sed s/a/b/ /etc/app.conf"),
+            OperationKind::TextProcessing
+        );
     }
 
     #[test]
@@ -338,7 +342,10 @@ mod tests {
         let c = classify_script("head -c 32 /dev/urandom > /etc/app/session.key");
         assert_eq!(c.dominant(), OperationKind::Unpredictable);
         assert!(!c.sanitizable());
-        assert_eq!(dominant("openssl rand -hex 16"), OperationKind::Unpredictable);
+        assert_eq!(
+            dominant("openssl rand -hex 16"),
+            OperationKind::Unpredictable
+        );
     }
 
     #[test]
@@ -364,7 +371,10 @@ mod tests {
     #[test]
     fn bare_redirect_classification() {
         // `> /path` with no command truncates/creates an empty file.
-        assert_eq!(dominant("> /var/run/app.lock"), OperationKind::EmptyFileCreation);
+        assert_eq!(
+            dominant("> /var/run/app.lock"),
+            OperationKind::EmptyFileCreation
+        );
         // …but doing that to a config file is a config change.
         assert_eq!(dominant("> /etc/app.conf"), OperationKind::ConfigChange);
         // …except the account files, which sanitization manages itself.
@@ -373,9 +383,11 @@ mod tests {
 
     #[test]
     fn offending_commands_recorded() {
-        let c = classify_script("mkdir /a
+        let c = classify_script(
+            "mkdir /a
 adduser -S x
-add-shell /bin/zsh");
+add-shell /bin/zsh",
+        );
         assert_eq!(c.offending.len(), 2);
         assert!(c.offending[0].contains("adduser"));
         assert!(c.offending[1].contains("add-shell"));

@@ -158,10 +158,7 @@ pub fn tokenize(script: &str) -> Vec<Token> {
             }
             _ => {
                 // Digit immediately before '>' is an fd prefix (e.g. 2>).
-                if c.is_ascii_digit()
-                    && !has_word
-                    && matches!(chars.get(i + 1), Some('>'))
-                {
+                if c.is_ascii_digit() && !has_word && matches!(chars.get(i + 1), Some('>')) {
                     // Swallow the fd digit; the '>' is handled next round.
                     i += 1;
                     continue;

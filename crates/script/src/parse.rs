@@ -92,8 +92,8 @@ impl SimpleCommand {
 
 /// Shell reserved words that introduce/close control flow.
 const KEYWORDS: &[&str] = &[
-    "if", "then", "else", "elif", "fi", "for", "do", "done", "while", "until",
-    "case", "esac", "in", "{", "}", "!",
+    "if", "then", "else", "elif", "fi", "for", "do", "done", "while", "until", "case", "esac",
+    "in", "{", "}", "!",
 ];
 
 /// Parses a script into its simple commands.
@@ -113,8 +113,7 @@ pub fn parse_commands(script: &str) -> Vec<SimpleCommand> {
 
     macro_rules! flush {
         () => {
-            if !cur.argv.is_empty() || !cur.assignments.is_empty() || !cur.redirects.is_empty()
-            {
+            if !cur.argv.is_empty() || !cur.assignments.is_empty() || !cur.redirects.is_empty() {
                 commands.push(std::mem::take(&mut cur));
             }
         };
@@ -136,9 +135,7 @@ pub fn parse_commands(script: &str) -> Vec<SimpleCommand> {
                     // `VAR=value` prefix assignment.
                     if let Some((name, value)) = w.split_once('=') {
                         if !name.is_empty()
-                            && name
-                                .chars()
-                                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
                             && !name.chars().next().unwrap().is_ascii_digit()
                         {
                             cur.assignments.push((name.to_string(), value.to_string()));

@@ -215,8 +215,7 @@ mod tests {
     #[test]
     fn random_output_rejected() {
         let u = universe(&[]);
-        let err =
-            sanitize_script("dd if=/dev/urandom of=/etc/key bs=32 count=1", &u).unwrap_err();
+        let err = sanitize_script("dd if=/dev/urandom of=/etc/key bs=32 count=1", &u).unwrap_err();
         assert_eq!(err.kind, OperationKind::Unpredictable);
     }
 
@@ -242,10 +241,7 @@ mod tests {
     #[test]
     fn signature_commands_appended() {
         let mut body = String::from("echo hi\n");
-        append_signature_commands(
-            &mut body,
-            &[("/etc/passwd".into(), "aabb".into())],
-        );
+        append_signature_commands(&mut body, &[("/etc/passwd".into(), "aabb".into())]);
         assert!(body.contains("tsr-setfattr /etc/passwd security.ima aabb"));
         let mut unchanged = String::from("x\n");
         append_signature_commands(&mut unchanged, &[]);

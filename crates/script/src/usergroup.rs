@@ -65,7 +65,10 @@ impl UserSpec {
     /// sanitizer flagged: password-less account with a usable login shell.
     pub fn is_security_risk(&self) -> bool {
         self.no_password
-            && !matches!(self.effective_shell(), NOLOGIN | "/bin/false" | "/usr/sbin/nologin")
+            && !matches!(
+                self.effective_shell(),
+                NOLOGIN | "/bin/false" | "/usr/sbin/nologin"
+            )
     }
 }
 
@@ -344,11 +347,15 @@ impl UserGroupUniverse {
     pub fn canonical_preamble(&self) -> String {
         let mut out = String::from("# --- tsr: canonical user/group creation ---\n");
         for g in self.groups.values() {
-            let gid = g.gid.expect("assign_ids must run before preamble generation");
+            let gid = g
+                .gid
+                .expect("assign_ids must run before preamble generation");
             out.push_str(&format!("addgroup -g {} -S {}\n", gid, g.name));
         }
         for u in self.users.values() {
-            let uid = u.uid.expect("assign_ids must run before preamble generation");
+            let uid = u
+                .uid
+                .expect("assign_ids must run before preamble generation");
             let group = u.group.as_deref().unwrap_or(&u.name);
             let mut line = format!("adduser -u {uid} -G {group} -S");
             if u.no_password {
@@ -451,7 +458,10 @@ mod tests {
             a.predict_passwd(INITIAL_PASSWD),
             b.predict_passwd(INITIAL_PASSWD)
         );
-        assert_eq!(a.predict_group(INITIAL_GROUP), b.predict_group(INITIAL_GROUP));
+        assert_eq!(
+            a.predict_group(INITIAL_GROUP),
+            b.predict_group(INITIAL_GROUP)
+        );
         assert_eq!(
             a.predict_shadow(INITIAL_SHADOW),
             b.predict_shadow(INITIAL_SHADOW)
@@ -490,11 +500,7 @@ mod tests {
 
     #[test]
     fn preamble_contains_all_in_order() {
-        let u = universe_from(&[
-            "adduser -S zeta",
-            "adduser -S alpha",
-            "addgroup -S middle",
-        ]);
+        let u = universe_from(&["adduser -S zeta", "adduser -S alpha", "addgroup -S middle"]);
         let p = u.canonical_preamble();
         let alpha_pos = p.find(" alpha\n").unwrap();
         let zeta_pos = p.find(" zeta\n").unwrap();
@@ -518,7 +524,10 @@ mod tests {
 
     #[test]
     fn useradd_groupadd_variants() {
-        let u = universe_from(&["groupadd -r svc", "useradd -r -s /sbin/nologin -d /var/svc svc"]);
+        let u = universe_from(&[
+            "groupadd -r svc",
+            "useradd -r -s /sbin/nologin -d /var/svc svc",
+        ]);
         assert_eq!(u.user_count(), 1);
         let user = u.users().next().unwrap();
         assert!(user.system);
@@ -529,6 +538,9 @@ mod tests {
     fn empty_universe() {
         let u = universe_from(&["echo nothing"]);
         assert!(u.is_empty());
-        assert_eq!(u.predict_passwd(INITIAL_PASSWD), format!("{INITIAL_PASSWD}\n"));
+        assert_eq!(
+            u.predict_passwd(INITIAL_PASSWD),
+            format!("{INITIAL_PASSWD}\n")
+        );
     }
 }

@@ -37,7 +37,9 @@ pub enum SgxError {
 impl fmt::Display for SgxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SgxError::UnsealFailed => write!(f, "unsealing failed: wrong enclave/cpu or tampered blob"),
+            SgxError::UnsealFailed => {
+                write!(f, "unsealing failed: wrong enclave/cpu or tampered blob")
+            }
             SgxError::ReportInvalid(m) => write!(f, "attestation report invalid: {m}"),
         }
     }
@@ -274,7 +276,14 @@ impl Enclave<'_> {
         let real = start.elapsed();
         let factor = self.cpu.epc.overhead_factor(working_set);
         let simulated = Duration::from_nanos((real.as_nanos() as f64 * factor) as u64);
-        (out, EnclaveTiming { real, simulated, factor })
+        (
+            out,
+            EnclaveTiming {
+                real,
+                simulated,
+                factor,
+            },
+        )
     }
 }
 
@@ -357,7 +366,8 @@ mod tests {
         let c = cpu();
         let e = c.load_enclave(b"tsr-v1");
         let r = e.report(b"pubkey-hash");
-        r.verify(c.attestation_key(), &Measurement::of(b"tsr-v1")).unwrap();
+        r.verify(c.attestation_key(), &Measurement::of(b"tsr-v1"))
+            .unwrap();
         assert_eq!(r.report_data.len(), 64);
     }
 
@@ -412,7 +422,10 @@ mod tests {
         let c1 = cpu();
         let c2 = Cpu::new(b"cpu-1");
         let blob = c1.load_enclave(b"tsr").seal(b"secret");
-        assert_eq!(c2.load_enclave(b"tsr").unseal(&blob), Err(SgxError::UnsealFailed));
+        assert_eq!(
+            c2.load_enclave(b"tsr").unseal(&blob),
+            Err(SgxError::UnsealFailed)
+        );
     }
 
     #[test]

@@ -107,7 +107,11 @@ fn parent_of(path: &str) -> Option<String> {
         return None;
     }
     let idx = norm.rfind('/').unwrap();
-    Some(if idx == 0 { "/".to_string() } else { norm[..idx].to_string() })
+    Some(if idx == 0 {
+        "/".to_string()
+    } else {
+        norm[..idx].to_string()
+    })
 }
 
 impl SimFs {
@@ -248,10 +252,7 @@ impl SimFs {
     pub fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
         let from = normalize(from);
         let to = normalize(to);
-        let node = self
-            .nodes
-            .remove(&from)
-            .ok_or(FsError::NotFound(from))?;
+        let node = self.nodes.remove(&from).ok_or(FsError::NotFound(from))?;
         if let Some(parent) = parent_of(&to) {
             self.mkdir_p(&parent);
         }
@@ -330,14 +331,14 @@ impl SimFs {
     /// Lists direct children of a directory.
     pub fn list_dir(&self, path: &str) -> Vec<&str> {
         let norm = normalize(path);
-        let prefix = if norm == "/" { String::from("/") } else { format!("{norm}/") };
+        let prefix = if norm == "/" {
+            String::from("/")
+        } else {
+            format!("{norm}/")
+        };
         self.nodes
             .keys()
-            .filter(|k| {
-                k.starts_with(&prefix)
-                    && *k != &norm
-                    && !k[prefix.len()..].contains('/')
-            })
+            .filter(|k| k.starts_with(&prefix) && *k != &norm && !k[prefix.len()..].contains('/'))
             .map(String::as_str)
             .collect()
     }
@@ -391,7 +392,10 @@ mod tests {
         let mut fs = SimFs::new();
         fs.append_file("/etc/group", b"root:x:0:\n").unwrap();
         fs.append_file("/etc/group", b"www:x:100:\n").unwrap();
-        assert_eq!(fs.read_file("/etc/group").unwrap(), b"root:x:0:\nwww:x:100:\n");
+        assert_eq!(
+            fs.read_file("/etc/group").unwrap(),
+            b"root:x:0:\nwww:x:100:\n"
+        );
     }
 
     #[test]

@@ -280,12 +280,21 @@ impl GeneratedRepo {
         let mut profiles = Vec::with_capacity(cfg.census.total());
         let buckets = [
             (ScriptProfile::NoScript, cfg.census.no_script),
-            (ScriptProfile::FilesystemChanges, cfg.census.filesystem_changes),
+            (
+                ScriptProfile::FilesystemChanges,
+                cfg.census.filesystem_changes,
+            ),
             (ScriptProfile::EmptyScript, cfg.census.empty_script),
             (ScriptProfile::TextProcessing, cfg.census.text_processing),
             (ScriptProfile::ConfigChange, cfg.census.config_change),
-            (ScriptProfile::EmptyFileCreation, cfg.census.empty_file_creation),
-            (ScriptProfile::UserGroupCreation, cfg.census.user_group_creation),
+            (
+                ScriptProfile::EmptyFileCreation,
+                cfg.census.empty_file_creation,
+            ),
+            (
+                ScriptProfile::UserGroupCreation,
+                cfg.census.user_group_creation,
+            ),
             (ScriptProfile::ShellActivation, cfg.census.shell_activation),
         ];
         for (profile, count) in buckets {
@@ -305,8 +314,8 @@ impl GeneratedRepo {
         for (idx, profile) in profiles.iter().copied().enumerate() {
             let name = format!("pkg{idx:05}");
             let version = "1.0-r0".to_string();
-            let file_count = (log_normal(&mut rng, cfg.median_files, cfg.files_sigma)
-                .round() as usize)
+            let file_count = (log_normal(&mut rng, cfg.median_files, cfg.files_sigma).round()
+                as usize)
                 .clamp(1, 400);
             let mut builder = PackageBuilder::new(&name, &version);
             builder.description(format!("synthetic package {idx} ({profile:?})"));
@@ -444,8 +453,7 @@ impl GeneratedRepo {
                 .clamp(64.0, 64_000_000.0) as usize;
             for f in 0..spec.file_count {
                 let base = total_bytes / spec.file_count;
-                let len =
-                    (base / 2 + (self.rng.gen_range(base.max(1) as u64) as usize)).max(16);
+                let len = (base / 2 + (self.rng.gen_range(base.max(1) as u64) as usize)).max(16);
                 builder.file(Entry::file(
                     format!("usr/share/{}/file{f:03}", spec.name),
                     file_contents(&mut self.rng, len),
@@ -489,7 +497,8 @@ mod tests {
         let cfg = WorkloadConfig::tiny(b"t1");
         assert_eq!(repo.specs.len(), cfg.census.total());
         assert_eq!(
-            repo.specs_with_profile(ScriptProfile::UserGroupCreation).count(),
+            repo.specs_with_profile(ScriptProfile::UserGroupCreation)
+                .count(),
             cfg.census.user_group_creation
         );
         assert_eq!(

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     publish_to_all(&mut mirrors, &repo.snapshot());
     println!("upstream published a security update for {updated:?} (snapshot 2)");
 
-    let signers = vec![(repo.signer_name.clone(), repo.signing_key.public_key().clone())];
+    let signers = vec![(
+        repo.signer_name.clone(),
+        repo.signing_key.public_key().clone(),
+    )];
     let model = LatencyModel::default();
     let config = QuorumConfig {
         f: 2,
@@ -75,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "3 corrupt mirrors:   quorum still reached (snapshot {}) — honest escalation",
             out.index.snapshot
         ),
-        Err(QuorumError::NoQuorum { contacted, best_agreement }) => println!(
+        Err(QuorumError::NoQuorum {
+            contacted,
+            best_agreement,
+        }) => println!(
             "3 corrupt mirrors:   no quorum (contacted {contacted}, best agreement \
              {best_agreement}) — unsigned data can never win"
         ),

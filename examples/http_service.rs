@@ -1,0 +1,71 @@
+//! Serve the TSR REST API on a local port against a synthetic upstream.
+//!
+//! Starts the multi-tenant service, deploys one policy, refreshes it, and
+//! then keeps serving so the API can be driven with any HTTP client:
+//!
+//! ```console
+//! cargo run --example http_service -- 8080 &
+//! curl http://127.0.0.1:8080/repositories/repo-1/APKINDEX
+//! ```
+//!
+//! The first argument is the port (default 0 = OS-assigned; the bound
+//! address is printed). The server runs until the process is killed.
+
+use tsr_mirror::{publish_to_all, Mirror};
+use tsr_net::{Continent, LatencyModel};
+use tsr_workload::{GeneratedRepo, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0);
+
+    println!("==> generating synthetic upstream repository");
+    let repo = GeneratedRepo::generate(WorkloadConfig::tiny(b"http-service"));
+    let mut mirrors: Vec<Mirror> = (0..3)
+        .map(|i| Mirror::new(format!("mirror-{i}"), Continent::Europe))
+        .collect();
+    publish_to_all(&mut mirrors, &repo.snapshot());
+
+    println!("==> starting TSR service and deploying a policy");
+    let service =
+        tsr_core::TsrService::new(b"http-service-cpu", mirrors, LatencyModel::default(), 1024);
+    let signer_pem: String = repo
+        .signing_key
+        .public_key()
+        .to_pem()
+        .lines()
+        .map(|l| format!("      {l}\n"))
+        .collect();
+    let policy = format!(
+        "mirrors:\n\
+         \x20 - hostname: mirror-0\n\
+         \x20   continent: europe\n\
+         \x20 - hostname: mirror-1\n\
+         \x20   continent: europe\n\
+         \x20 - hostname: mirror-2\n\
+         \x20   continent: europe\n\
+         signers_keys:\n\
+         \x20 - |-\n{signer_pem}\
+         f: 1\n"
+    );
+    let (id, _pem) = service.create_repository(&policy)?;
+    let report = service.refresh(&id)?;
+    println!(
+        "    {id}: downloaded {} / sanitized {} / rejected {}",
+        report.downloaded,
+        report.sanitized.len(),
+        report.rejected.len()
+    );
+
+    let server = service.serve(&format!("127.0.0.1:{port}"))?;
+    println!("==> serving on http://{}", server.local_addr());
+    println!(
+        "    try: curl http://{}/repositories/{id}/APKINDEX",
+        server.local_addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

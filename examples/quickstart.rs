@@ -33,12 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. TSR service + policy deployment.
     println!("==> starting TSR service and deploying a security policy");
-    let service = tsr_core::TsrService::new(
-        b"quickstart-cpu",
-        mirrors,
-        LatencyModel::default(),
-        1024,
-    );
+    let service =
+        tsr_core::TsrService::new(b"quickstart-cpu", mirrors, LatencyModel::default(), 1024);
     let signer_pem: String = repo
         .signing_key
         .public_key()
@@ -70,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let (repo_id, tsr_key_pem) = service.create_repository(&policy)?;
     let tsr_key = RsaPublicKey::from_pem(&tsr_key_pem)?;
-    println!("    repository {repo_id}, TSR key fingerprint {}", tsr_key.fingerprint());
+    println!(
+        "    repository {repo_id}, TSR key fingerprint {}",
+        tsr_key.fingerprint()
+    );
 
     // 3. Refresh: quorum + download + sanitize.
     println!("==> refreshing (quorum read, download, sanitize)");
@@ -94,19 +93,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = service.serve("127.0.0.1:0")?;
     let base = format!("http://{}/repositories/{repo_id}", server.local_addr());
 
-    let initial_configs: Vec<(String, String)> = service
-        .with_repository(&repo_id, |r| {
-            r.sanitizer()
-                .map(|s| {
-                    s.predicted_configs()
-                        .iter()
-                        .map(|(p, _, _)| {
-                            (p.clone(), r.policy().initial_content(p).to_string())
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .unwrap_or_default()
-        })?;
+    let initial_configs: Vec<(String, String)> = service.with_repository(&repo_id, |r| {
+        r.sanitizer()
+            .map(|s| {
+                s.predicted_configs()
+                    .iter()
+                    .map(|(p, _, _)| (p.clone(), r.policy().initial_content(p).to_string()))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default()
+    })?;
     let mut os = TrustedOs::boot(b"quickstart-os", &initial_configs);
     os.trust_key(format!("tsr-{repo_id}"), tsr_key.clone());
 
@@ -151,7 +147,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for v in &verdict.violations {
         println!("      violation: {v}");
     }
-    assert!(verdict.is_trusted(), "quickstart must end in a trusted state");
+    assert!(
+        verdict.is_trusted(),
+        "quickstart must end in a trusted state"
+    );
     server.shutdown();
     println!("==> done: OS updated without breaking attestation");
     Ok(())

@@ -48,16 +48,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          f: 1\n"
     );
     let policy = Policy::parse(&policy_text)?;
-    println!("policy: {} mirrors, f={} (tolerates {} Byzantine)", policy.mirrors.len(), policy.f, policy.f);
+    println!(
+        "policy: {} mirrors, f={} (tolerates {} Byzantine)",
+        policy.mirrors.len(),
+        policy.f,
+        policy.f
+    );
 
     // Classify a few representative installation scripts (Table 2).
     println!("\nscript classification (Table 2 taxonomy):");
     let samples = [
-        ("postgresql", "addgroup -S postgres\nadduser -S -D -H -G postgres postgres"),
-        ("nginx-tuning", "mkdir -p /var/lib/nginx\nchown nginx /var/lib/nginx"),
+        (
+            "postgresql",
+            "addgroup -S postgres\nadduser -S -D -H -G postgres postgres",
+        ),
+        (
+            "nginx-tuning",
+            "mkdir -p /var/lib/nginx\nchown nginx /var/lib/nginx",
+        ),
         ("app-config", "echo 'port=8080' >> /etc/app.conf"),
         ("bash", "add-shell /bin/bash"),
-        ("roundcubemail-like", "head -c 32 /dev/urandom > /etc/app/session.key"),
+        (
+            "roundcubemail-like",
+            "head -c 32 /dev/urandom > /etc/app/session.key",
+        ),
         ("risky-account", "adduser -D -s /bin/ash operator"),
     ];
     for (name, script) in samples {

@@ -1,0 +1,230 @@
+//! Minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds without crates.io access, so this shim provides
+//! the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! and the `criterion_group!` / `criterion_main!` macros — implemented as
+//! a simple adaptive wall-clock timer. Results are printed as
+//! `name  time: <median per iter>  [thrpt: <MiB/s>]`; there is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark (bytes or elements per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration timings.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost estimate.
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let estimate = t.elapsed().max(Duration::from_nanos(50));
+        // Batch so each sample runs ≥ ~2 ms but stays bounded.
+        let per_sample =
+            (Duration::from_millis(2).as_nanos() / estimate.as_nanos()).max(1) as usize;
+        let per_sample = per_sample.min(10_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size.max(1) {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed() / per_sample as u32);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            return Duration::ZERO;
+        }
+        s.sort();
+        s[s.len() / 2]
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<42} time: {:>12}", fmt_time(median));
+    if let Some(tp) = throughput {
+        let per_sec = |n: u64| n as f64 / median.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    "   thrpt: {:.2} MiB/s",
+                    per_sec(n) / (1024.0 * 1024.0)
+                ));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("   thrpt: {:.2} elem/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver (shim for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(name.as_ref(), b.median(), None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.as_ref()),
+            b.median(),
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group runner function (shim for criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut calls = 0usize;
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_reports_throughput() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("hash", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(Duration::from_nanos(10)).contains("ns"));
+        assert!(fmt_time(Duration::from_micros(10)).contains("µs"));
+        assert!(fmt_time(Duration::from_millis(10)).contains("ms"));
+        assert!(fmt_time(Duration::from_secs(2)).contains(" s"));
+    }
+}

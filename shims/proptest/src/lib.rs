@@ -1,0 +1,677 @@
+//! Minimal stand-in for the `proptest` crate.
+//!
+//! The workspace builds without crates.io access, so this shim implements
+//! the subset of proptest the workspace's property tests actually use:
+//!
+//! - the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   attribute and `name in strategy` argument lists,
+//! - [`Strategy`] with `prop_map` / `prop_perturb`,
+//! - strategies for integer ranges, tuples, [`Just`], `any::<u8>()`,
+//!   `any::<u64>()`, a regex-subset string generator, and
+//!   [`collection::vec`] / [`collection::btree_map`],
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Generation is fully deterministic: each test derives its RNG seed from
+//! its module path and name, so failures reproduce across runs. There is
+//! no shrinking — failing inputs are printed as-is via the assertion
+//! message.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Commonly used items, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Deterministic splitmix64 RNG driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG seeded from an arbitrary label (e.g. the test name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the label gives a stable, well-mixed seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Returns the next 64 random bits (splitmix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Splits off an independent child RNG.
+    pub fn fork(&mut self) -> TestRng {
+        TestRng {
+            state: self.next_u64() ^ 0xa076_1d64_78bd_642f,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion; carries the rendered message.
+    Fail(String),
+    /// The case asked to be skipped (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from a rendered message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection (skipped case) from a rendered message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Per-case result used inside `proptest!` bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Transforms generated values with access to a forked RNG.
+    fn prop_perturb<U, F>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, TestRng) -> U,
+    {
+        Perturb { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy always producing a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_perturb`].
+#[derive(Debug, Clone)]
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value, TestRng) -> U> Strategy for Perturb<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        let v = self.inner.sample(rng);
+        let child = rng.fork();
+        (self.f)(v, child)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64).saturating_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Samples an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        rng.next_u64() as u16
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for an unconstrained value of `T` (see [`any`]).
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// One parsed element of a string pattern.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of inclusive character ranges, e.g. `[a-z0-9_.]`.
+    Class(Vec<(char, char)>),
+    /// A parenthesised sub-pattern.
+    Group(Vec<(Atom, u32, u32)>),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '-' => {
+                // A dash between two chars is a range; otherwise literal.
+                if let (Some(lo), Some(&hi)) = (pending, chars.peek()) {
+                    if hi != ']' {
+                        chars.next();
+                        ranges.push((lo, hi));
+                        pending = None;
+                        continue;
+                    }
+                }
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some('-');
+            }
+            c => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(c);
+            }
+        }
+    }
+    if let Some(p) = pending {
+        ranges.push((p, p));
+    }
+    ranges
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().unwrap_or(0),
+            hi.trim().parse().unwrap_or(1),
+        ),
+        None => {
+            let n = spec.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(Atom, u32, u32)> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        let atom = match c {
+            ')' => {
+                chars.next();
+                break;
+            }
+            '[' => {
+                chars.next();
+                Atom::Class(parse_class(chars))
+            }
+            '(' => {
+                chars.next();
+                Atom::Group(parse_pattern(chars))
+            }
+            '\\' => {
+                chars.next();
+                match chars.next() {
+                    // \PC — any printable character (shimmed as printable ASCII).
+                    Some('P') => {
+                        chars.next(); // consume the category letter ('C')
+                        Atom::Class(vec![(' ', '~')])
+                    }
+                    Some(esc) => Atom::Class(vec![(esc, esc)]),
+                    None => break,
+                }
+            }
+            lit => {
+                chars.next();
+                Atom::Class(vec![(lit, lit)])
+            }
+        };
+        let (lo, hi) = parse_quantifier(chars);
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn sample_atoms(atoms: &[(Atom, u32, u32)], rng: &mut TestRng, out: &mut String) {
+    for (atom, lo, hi) in atoms {
+        let reps = lo + rng.below(u64::from(hi - lo) + 1) as u32;
+        for _ in 0..reps {
+            match atom {
+                Atom::Class(ranges) => {
+                    if ranges.is_empty() {
+                        continue;
+                    }
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(a, b)| u64::from(*b as u32) - u64::from(*a as u32) + 1)
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for (a, b) in ranges {
+                        let span = u64::from(*b as u32) - u64::from(*a as u32) + 1;
+                        if pick < span {
+                            if let Some(c) = char::from_u32(*a as u32 + pick as u32) {
+                                out.push(c);
+                            }
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+                Atom::Group(inner) => sample_atoms(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// A `&str` is interpreted as a regex-subset pattern generating `String`s.
+///
+/// Supported: literal characters, `[..]` classes with ranges, `(..)`
+/// groups, `{m,n}` / `{n}` quantifiers, and `\PC` (printable character).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(&mut self.chars().peekable());
+        let mut out = String::new();
+        sample_atoms(&atoms, rng, &mut out);
+        out
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end.saturating_sub(self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with a size drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let span = self.len.end.saturating_sub(self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.key.sample(rng), self.value.sample(rng));
+            }
+            out
+        }
+    }
+
+    /// Generates maps from `key`/`value` strategies with size in `len`.
+    pub fn btree_map<K, V>(key: K, value: V, len: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, len }
+    }
+}
+
+pub use collection::vec as prop_vec;
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (
+        $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $(#[test] fn $name($($arg in $strat),+) $body)*);
+    };
+    (@run ($cfg:expr);
+        $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut passed = 0u32;
+                let mut rejected = 0u32;
+                while passed < config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.cases.saturating_mul(64).max(1024),
+                                "proptest: too many rejected cases in {}",
+                                stringify!($name)
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} of {} failed: {}", passed + 1, stringify!($name), msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = TestRng::from_name("pat");
+        for _ in 0..50 {
+            let s = Strategy::sample(&"[a-z]{1,8}(/[a-z]{1,8}){0,2}", &mut rng);
+            assert!(!s.is_empty());
+            for part in s.split('/') {
+                assert!(!part.is_empty() && part.len() <= 8, "bad part in {s:?}");
+                assert!(part.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn printable_class() {
+        let mut rng = TestRng::from_name("pc");
+        let s = Strategy::sample(&"\\PC{0,200}", &mut rng);
+        assert!(s.len() <= 200);
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+
+        #[test]
+        fn map_applies(n in (0u64..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+}

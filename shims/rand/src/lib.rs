@@ -1,0 +1,31 @@
+//! Minimal stand-in for the `rand` crate.
+//!
+//! The workspace builds without crates.io access, so this shim provides
+//! only what the workspace consumes: the [`RngCore`] trait that
+//! `tsr_crypto::drbg::HmacDrbg` implements so it can drive generic
+//! rand-style consumers. The trait surface matches `rand` 0.8 minus
+//! `try_fill_bytes` (no fallible generators exist in this workspace).
+
+/// The core random-number-generator trait (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}

@@ -14,9 +14,9 @@
 //!
 //! Each re-exported module is its own crate; start with [`core`] (the
 //! paper's contribution), [`pkgmgr`] (the OS side), and [`monitor`] (the
-//! remote verifier). See the workspace `README.md`, `DESIGN.md`, and
-//! `EXPERIMENTS.md` for the architecture, the substitution notes, and
-//! paper-vs-measured results.
+//! remote verifier). See the workspace `README.md` for the crate map and
+//! quickstart, and `ARCHITECTURE.md` for the refresh pipeline, the
+//! concurrency model, and the simulation substitution notes.
 //!
 //! # Examples
 //!

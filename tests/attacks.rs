@@ -119,10 +119,7 @@ fn majority_collusion_rollback_detected() {
     for m in &mut w.mirrors {
         m.set_behavior(Behavior::Stale { snapshot: 0 });
     }
-    assert!(matches!(
-        w.refresh(),
-        Err(CoreError::RollbackDetected(_))
-    ));
+    assert!(matches!(w.refresh(), Err(CoreError::RollbackDetected(_))));
 }
 
 #[test]
@@ -219,7 +216,10 @@ fn mitm_cannot_forge_packages_for_the_os() {
     let mut rng = HmacDrbg::new(b"mallory");
     let mallory = RsaPrivateKey::generate(1024, &mut rng);
     let mut b = tsr::apk::PackageBuilder::new("pkg00000", "9.9");
-    b.file(tsr::archive::Entry::file("usr/bin/pkg00000", b"evil".to_vec()));
+    b.file(tsr::archive::Entry::file(
+        "usr/bin/pkg00000",
+        b"evil".to_vec(),
+    ));
     let forged = b.build(&mallory, w.repo.signer_name());
     assert!(os.install(&forged).is_err());
 
@@ -232,13 +232,7 @@ fn mitm_cannot_forge_packages_for_the_os() {
 fn cve_2019_5021_analogue_reported() {
     let mut w = World::new(b"atk-cve");
     w.refresh().unwrap();
-    let findings = w
-        .repo
-        .sanitizer()
-        .unwrap()
-        .universe()
-        .findings()
-        .to_vec();
+    let findings = w.repo.sanitizer().unwrap().universe().findings().to_vec();
     assert_eq!(findings.len(), 2, "the two risky packages are flagged");
     for f in &findings {
         assert!(f.description.contains("without a password"));

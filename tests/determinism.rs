@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use tsr::core::{InitConfigFile, MirrorRef, Policy, PackageSanitizer};
+use tsr::core::{InitConfigFile, MirrorRef, PackageSanitizer, Policy};
 use tsr::crypto::drbg::HmacDrbg;
 use tsr::crypto::RsaPrivateKey;
 use tsr::pkgmgr::interp::run_script;
@@ -89,8 +89,7 @@ fn sanitized_packages(n: usize) -> (Vec<Vec<u8>>, PackageSanitizer) {
         }
     }
     universe.assign_ids();
-    let sanitizer =
-        PackageSanitizer::new(tsr_key().clone(), "tsr", universe, &policy());
+    let sanitizer = PackageSanitizer::new(tsr_key().clone(), "tsr", universe, &policy());
     let trusted = vec![("builder".to_string(), upstream_key().public_key().clone())];
     let sanitized = blobs
         .iter()

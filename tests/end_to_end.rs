@@ -71,7 +71,10 @@ fn boot_os(s: &Setup, seed: &[u8]) -> TrustedOs {
     let mut os = TrustedOs::boot(
         seed,
         &[
-            ("/etc/passwd".into(), "root:x:0:0:root:/root:/bin/ash".into()),
+            (
+                "/etc/passwd".into(),
+                "root:x:0:0:root:/root:/bin/ash".into(),
+            ),
             ("/etc/group".into(), "root:x:0:".into()),
             ("/etc/shadow".into(), "root:!::0:::::".into()),
         ],
@@ -113,7 +116,10 @@ fn full_flow_over_http_keeps_attestation_green() {
     let evidence = os.attest(b"nonce-e2e");
     let verdict = monitor.verify(&evidence, os.tpm.attestation_key(), b"nonce-e2e");
     assert!(verdict.is_trusted(), "violations: {:?}", verdict.violations);
-    assert!(verdict.signed > 0, "updates must be explained by signatures");
+    assert!(
+        verdict.signed > 0,
+        "updates must be explained by signatures"
+    );
     server.shutdown();
 }
 
@@ -142,7 +148,8 @@ fn update_cycle_stays_trusted() {
     // Upstream publishes an update; TSR refreshes; the OS upgrades.
     let updated = s.upstream.publish_update(4);
     let snap = s.upstream.snapshot();
-    s.service.with_mirrors(|mirrors| publish_to_all(mirrors, &snap));
+    s.service
+        .with_mirrors(|mirrors| publish_to_all(mirrors, &snap));
     let report = s.service.refresh(&s.repo_id).unwrap();
     assert!(report.downloaded >= 1);
 
@@ -238,19 +245,11 @@ fn attestation_detects_post_install_tampering() {
     let name = &index.iter().next().unwrap().name;
     let blob = s.service.fetch_package(&s.repo_id, name).unwrap();
     os.install(&blob).unwrap();
-    let v = monitor.verify(
-        &os.attest(b"n1"),
-        os.tpm.attestation_key(),
-        b"n1",
-    );
+    let v = monitor.verify(&os.attest(b"n1"), os.tpm.attestation_key(), b"n1");
     assert!(v.is_trusted());
     // Adversary tampers with an installed binary.
     let victim = format!("/usr/bin/{name}");
     os.tamper_file(&victim, b"malware".to_vec()).unwrap();
-    let v = monitor.verify(
-        &os.attest(b"n2"),
-        os.tpm.attestation_key(),
-        b"n2",
-    );
+    let v = monitor.verify(&os.attest(b"n2"), os.tpm.attestation_key(), b"n2");
     assert!(!v.is_trusted());
 }

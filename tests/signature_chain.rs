@@ -109,16 +109,17 @@ fn every_link_of_the_chain_verifies() {
     let mut os = TrustedOs::boot(
         b"chain-os",
         &[
-            ("/etc/passwd".into(), "root:x:0:0:root:/root:/bin/ash".into()),
+            (
+                "/etc/passwd".into(),
+                "root:x:0:0:root:/root:/bin/ash".into(),
+            ),
             ("/etc/group".into(), "root:x:0:".into()),
             ("/etc/shadow".into(), "root:!::0:::::".into()),
         ],
     );
     os.trust_key("tsr", tsr().public_key().clone());
     os.install(&sanitized).unwrap();
-    assert!(
-        os.fs.get_xattr("/usr/bin/chain", IMA_XATTR).is_some()
-    );
+    assert!(os.fs.get_xattr("/usr/bin/chain", IMA_XATTR).is_some());
     for (path, predicted, _) in s.predicted_configs() {
         let got = String::from_utf8(os.fs.read_file(path).unwrap().to_vec()).unwrap();
         assert_eq!(&got, predicted, "predicted {path}");
@@ -136,7 +137,10 @@ fn every_link_of_the_chain_verifies() {
     let evidence = os.attest(b"chain-nonce");
     let verdict = monitor.verify(&evidence, os.tpm.attestation_key(), b"chain-nonce");
     assert!(verdict.is_trusted(), "violations: {:?}", verdict.violations);
-    assert!(verdict.signed >= 3, "files + configs explained by signatures");
+    assert!(
+        verdict.signed >= 3,
+        "files + configs explained by signatures"
+    );
 }
 
 #[test]
@@ -150,8 +154,7 @@ fn breaking_any_link_breaks_the_chain() {
         let mut bad = blob.clone();
         bad[30] ^= 0xff; // inside the signature segment
         assert!(
-            Package::parse(&bad).is_err()
-                || s.sanitize(&bad, &trusted).is_err(),
+            Package::parse(&bad).is_err() || s.sanitize(&bad, &trusted).is_err(),
             "tampered upstream blob must not sanitize"
         );
     }
