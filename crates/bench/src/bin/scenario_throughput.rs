@@ -1,0 +1,52 @@
+//! Bench — fault-injection scenario throughput.
+//!
+//! Runs the canned `tsr-sim` scenario library once per listed seed and
+//! reports wall-clock cost, events per second, and the virtual-time to
+//! wall-time ratio — the figure of merit for how much fault-schedule
+//! coverage a CI minute buys.
+
+use std::time::Instant;
+
+use tsr_bench::banner;
+use tsr_sim::{canned_scenarios, env_seed};
+
+fn main() {
+    banner(
+        "Scenario throughput — deterministic fault-injection harness",
+        "events/s and virtual:wall ratio per canned scenario",
+    );
+    let seed = env_seed();
+    println!(
+        "{:<28} {:>7} {:>9} {:>10} {:>11} {:>9}",
+        "scenario", "events", "wall_ms", "events/s", "virtual_ms", "v:w"
+    );
+
+    let mut total_events = 0usize;
+    let mut total_wall = 0.0f64;
+    for scenario in canned_scenarios(seed) {
+        let start = Instant::now();
+        let report = scenario
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        let wall = start.elapsed();
+        let wall_s = wall.as_secs_f64();
+        let virt_ms = report.virtual_elapsed.as_secs_f64() * 1e3;
+        println!(
+            "{:<28} {:>7} {:>9.1} {:>10.1} {:>11.1} {:>9.3}",
+            report.scenario,
+            report.events,
+            wall_s * 1e3,
+            report.events as f64 / wall_s,
+            virt_ms,
+            virt_ms / (wall_s * 1e3),
+        );
+        total_events += report.events;
+        total_wall += wall_s;
+    }
+    println!(
+        "\ntotal: {} events in {:.1} ms ({:.1} events/s), seed {seed}",
+        total_events,
+        total_wall * 1e3,
+        total_events as f64 / total_wall
+    );
+}

@@ -443,6 +443,21 @@ impl TsrRepository {
         self.sealed_disk = Some(blob);
     }
 
+    /// **Failure injection:** simulates an enclave crash. All volatile
+    /// in-enclave state is lost; what survives is exactly what lives on
+    /// the untrusted disk (the package cache and the sealed blob) plus the
+    /// deterministically re-derivable signing key. Follow with
+    /// [`Self::restore`] to model the restart.
+    pub fn crash(&mut self) {
+        self.upstream_index = None;
+        self.sanitized_index = None;
+        self.signed_sanitized_index.clear();
+        self.sanitizer = None;
+        self.universe_fingerprint.clear();
+        self.touches_accounts.clear();
+        self.rejected.clear();
+    }
+
     /// Restores the metadata indexes after a restart, verifying the
     /// monotonic counter. The package cache is re-validated lazily on every
     /// [`Self::serve_package`].
@@ -763,6 +778,20 @@ mod tests {
             repo.restore(&enclave, &w.tpm),
             Err(CoreError::RollbackDetected(_))
         ));
+    }
+
+    #[test]
+    fn crash_then_restore_serves_identical_index() {
+        let mut w = World::new();
+        let mut repo = w.repo();
+        w.refresh(&mut repo).unwrap();
+        let before = repo.serve_index().unwrap();
+        repo.crash();
+        assert!(repo.serve_index().is_err(), "volatile state gone");
+        let enclave = w.cpu.load_enclave(b"tsr-enclave");
+        repo.restore(&enclave, &w.tpm).unwrap();
+        assert_eq!(repo.serve_index().unwrap(), before, "byte-identical");
+        repo.serve_package("plain").unwrap();
     }
 
     #[test]

@@ -46,7 +46,7 @@ struct SharedState {
     cpu: Cpu,
     tpm: Mutex<Tpm>,
     mirrors: RwLock<Vec<Mirror>>,
-    model: LatencyModel,
+    model: RwLock<LatencyModel>,
     rng: Mutex<HmacDrbg>,
     next_id: AtomicU64,
     key_bits: usize,
@@ -105,7 +105,7 @@ impl TsrService {
                 cpu,
                 tpm: Mutex::new(tpm),
                 mirrors: RwLock::new(mirrors),
-                model,
+                model: RwLock::new(model),
                 rng: Mutex::new(rng),
                 next_id: AtomicU64::new(1),
                 key_bits,
@@ -145,6 +145,26 @@ impl TsrService {
             .mirrors
             .write()
             .unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Replaces the network model used for mirror fetches — fault
+    /// injection for partitions and latency spikes. Takes effect for the
+    /// next refresh; a refresh in flight keeps the model it started with.
+    pub fn set_model(&self, model: LatencyModel) {
+        *self
+            .shared
+            .model
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = model;
+    }
+
+    /// The current network model.
+    pub fn model(&self) -> LatencyModel {
+        self.shared
+            .model
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Looks up one repository shard.
@@ -212,11 +232,45 @@ impl TsrService {
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .clone();
+        let model = self.model();
         let mut repo = lock(&shard);
-        let report = repo.refresh_unsealed(&mirrors, &self.shared.model, &mut rng, workers)?;
+        let report = repo.refresh_unsealed(&mirrors, &model, &mut rng, workers)?;
         let mut tpm = lock(&self.shared.tpm);
         repo.persist(&enclave, &mut tpm)?;
         Ok(report)
+    }
+
+    /// Simulates an enclave crash followed by a restart on the *same*
+    /// hardware: every repository loses its volatile in-enclave state
+    /// (indexes, sanitizer, signed index) and recovers it from the
+    /// TPM-counter-bound sealed blob on the untrusted disk. The package
+    /// cache survives (it lives on disk and is re-verified lazily on every
+    /// serve); signing keys are re-derived deterministically inside the
+    /// enclave, so the restored signed index is byte-identical.
+    ///
+    /// Returns `(repository id, restore outcome)` per tenant. A tenant
+    /// that was never refreshed has no sealed state and reports
+    /// [`CoreError::SealedState`]; others must restore cleanly.
+    pub fn crash_restart(&self) -> Vec<(String, Result<(), CoreError>)> {
+        let enclave = self.shared.cpu.load_enclave(ENCLAVE_CODE);
+        let shards: Vec<(String, Arc<Mutex<TsrRepository>>)> = self
+            .repos
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(id, shard)| (id.clone(), shard.clone()))
+            .collect();
+        shards
+            .into_iter()
+            .map(|(id, shard)| {
+                let mut repo = lock(&shard);
+                repo.crash();
+                // Lock order `repository → tpm` (see the struct docs).
+                let tpm = lock(&self.shared.tpm);
+                let outcome = repo.restore(&enclave, &tpm);
+                (id, outcome)
+            })
+            .collect()
     }
 
     /// Fetches the signed sanitized index of a repository.
@@ -502,6 +556,59 @@ mod tests {
             body: vec![],
         });
         assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn crash_restart_recovers_all_tenants() {
+        let svc = service();
+        let (id1, _) = svc.create_repository(&policy_text()).unwrap();
+        let (id2, _) = svc.create_repository(&policy_text()).unwrap();
+        svc.refresh(&id1).unwrap();
+        svc.refresh(&id2).unwrap();
+        let before1 = svc.fetch_index(&id1).unwrap();
+        let before2 = svc.fetch_index(&id2).unwrap();
+        for (id, outcome) in svc.crash_restart() {
+            outcome.unwrap_or_else(|e| panic!("{id}: {e}"));
+        }
+        assert_eq!(svc.fetch_index(&id1).unwrap(), before1);
+        assert_eq!(svc.fetch_index(&id2).unwrap(), before2);
+        svc.fetch_package(&id1, "tool").unwrap();
+    }
+
+    #[test]
+    fn mirror_request_counters_persist_across_refreshes() {
+        // The refresh snapshots (clones) the fleet, but clones share the
+        // per-mirror request counter — so request-keyed behaviours like
+        // equivocation progress across refreshes instead of resetting.
+        let svc = service();
+        let (id, _) = svc.create_repository(&policy_text()).unwrap();
+        svc.refresh(&id).unwrap();
+        let before = svc.with_mirrors(|ms| ms.iter().map(|m| m.requests_served()).sum::<u64>());
+        assert!(before > 0, "refresh requests land on the shared fleet");
+        svc.refresh(&id).unwrap();
+        let after = svc.with_mirrors(|ms| ms.iter().map(|m| m.requests_served()).sum::<u64>());
+        assert!(after > before);
+    }
+
+    #[test]
+    fn crash_restart_before_refresh_reports_missing_seal() {
+        let svc = service();
+        let (_, _) = svc.create_repository(&policy_text()).unwrap();
+        let results = svc.crash_restart();
+        assert_eq!(results.len(), 1);
+        assert!(matches!(results[0].1, Err(CoreError::SealedState(_))));
+    }
+
+    #[test]
+    fn set_model_swaps_network_conditions() {
+        let svc = service();
+        let (id, _) = svc.create_repository(&policy_text()).unwrap();
+        svc.refresh(&id).unwrap();
+        let spiked = LatencyModel::default().with_latency_factor(50.0);
+        svc.set_model(spiked.clone());
+        assert_eq!(svc.model(), spiked);
+        // Refreshes keep working under the spiked model.
+        svc.refresh(&id).unwrap();
     }
 
     #[test]

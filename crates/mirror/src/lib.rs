@@ -10,14 +10,22 @@
 //!   exist),
 //! - **Corrupt** mirrors tamper with package bytes (detected by signature
 //!   or content-hash verification),
-//! - **Offline** mirrors do not answer (an adversary dropping traffic).
+//! - **Offline** mirrors do not answer (an adversary dropping traffic),
+//! - **Equivocating** mirrors alternate between the fresh and a stale
+//!   snapshot across requests (serving different observers different
+//!   correctly-signed views),
+//! - **Slow** mirrors serve honest content at a fraction of the nominal
+//!   bandwidth (a degraded or throttled mirror).
 //!
 //! A mirror stores full repository snapshots as published; behaviour only
-//! affects what is *served*.
+//! affects what is *served*. Timed fetches also honour continent-level
+//! partitions injected through [`LatencyModel::reachable`].
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use tsr_crypto::drbg::HmacDrbg;
@@ -72,6 +80,19 @@ pub enum Behavior {
     CorruptPackages,
     /// Drops all traffic.
     Offline,
+    /// Alternates between the latest snapshot and the snapshot at
+    /// `stale` on successive requests — a Byzantine mirror showing
+    /// different observers different (correctly signed) views.
+    Equivocate {
+        /// Index into the snapshot history served on every other request.
+        stale: usize,
+    },
+    /// Serves honest content with transfers `factor`× slower than the
+    /// network model's nominal time (still bounded by the timeout).
+    Slow {
+        /// Transfer-time multiplier (≥ 1 to be meaningful).
+        factor: u32,
+    },
 }
 
 /// A repository mirror.
@@ -83,6 +104,12 @@ pub struct Mirror {
     pub continent: Continent,
     behavior: Behavior,
     history: Vec<RepoSnapshot>,
+    /// Requests answered so far (drives equivocation and statistics).
+    /// Shared across clones: a clone is another handle to the same
+    /// (remote) mirror, and the request count is that mirror's
+    /// server-side state — so behaviours keyed on it (equivocation)
+    /// progress even when callers snapshot the fleet per refresh.
+    requests: Arc<AtomicU64>,
 }
 
 impl Mirror {
@@ -93,6 +120,7 @@ impl Mirror {
             continent,
             behavior: Behavior::Honest,
             history: Vec::new(),
+            requests: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -116,7 +144,17 @@ impl Mirror {
         self.history.len()
     }
 
-    fn served_snapshot(&self) -> Result<&RepoSnapshot, MirrorError> {
+    /// Requests this mirror has answered (or dropped) so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Counts a request, returning its 0-based sequence number.
+    fn next_request(&self) -> u64 {
+        self.requests.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn served_snapshot(&self, request: u64) -> Result<&RepoSnapshot, MirrorError> {
         match self.behavior {
             Behavior::Offline => Err(MirrorError::Unreachable(self.name.clone())),
             Behavior::Stale { snapshot } => self
@@ -124,7 +162,15 @@ impl Mirror {
                 .get(snapshot)
                 .or_else(|| self.history.last())
                 .ok_or_else(|| MirrorError::Empty(self.name.clone())),
-            Behavior::Honest | Behavior::CorruptPackages => self
+            Behavior::Equivocate { stale } if request % 2 == 1 => self
+                .history
+                .get(stale)
+                .or_else(|| self.history.last())
+                .ok_or_else(|| MirrorError::Empty(self.name.clone())),
+            Behavior::Honest
+            | Behavior::CorruptPackages
+            | Behavior::Equivocate { .. }
+            | Behavior::Slow { .. } => self
                 .history
                 .last()
                 .ok_or_else(|| MirrorError::Empty(self.name.clone())),
@@ -137,7 +183,8 @@ impl Mirror {
     ///
     /// [`MirrorError::Unreachable`] / [`MirrorError::Empty`].
     pub fn fetch_index(&self) -> Result<Vec<u8>, MirrorError> {
-        Ok(self.served_snapshot()?.signed_index.clone())
+        let request = self.next_request();
+        Ok(self.served_snapshot(request)?.signed_index.clone())
     }
 
     /// Serves a package blob (possibly corrupted, per behaviour).
@@ -146,7 +193,8 @@ impl Mirror {
     ///
     /// [`MirrorError`] variants for offline/empty mirrors and unknown names.
     pub fn fetch_package(&self, name: &str) -> Result<Vec<u8>, MirrorError> {
-        let snap = self.served_snapshot()?;
+        let request = self.next_request();
+        let snap = self.served_snapshot(request)?;
         let mut blob = snap
             .packages
             .get(name)
@@ -159,9 +207,18 @@ impl Mirror {
         Ok(blob)
     }
 
+    /// The transfer-time multiplier this mirror's behaviour imposes.
+    fn slow_factor(&self) -> u32 {
+        match self.behavior {
+            Behavior::Slow { factor } => factor.max(1),
+            _ => 1,
+        }
+    }
+
     /// Simulated-latency index fetch from an observer on `from`.
     ///
-    /// Offline mirrors cost the full `timeout`.
+    /// Offline mirrors — and mirrors cut off by a network partition in
+    /// `model` — cost the full `timeout`.
     ///
     /// # Errors
     ///
@@ -174,9 +231,13 @@ impl Mirror {
         rng: &mut HmacDrbg,
         timeout: Duration,
     ) -> (Result<Vec<u8>, MirrorError>, Duration) {
+        if !model.reachable(from, self.continent) {
+            return (Err(MirrorError::Unreachable(self.name.clone())), timeout);
+        }
         match self.fetch_index() {
             Ok(blob) => {
-                let d = model.transfer_time(from, self.continent, blob.len(), rng);
+                let d =
+                    model.transfer_time(from, self.continent, blob.len(), rng) * self.slow_factor();
                 (Ok(blob), d.min(timeout))
             }
             Err(e) => (Err(e), timeout),
@@ -187,7 +248,8 @@ impl Mirror {
     ///
     /// # Errors
     ///
-    /// Propagates [`Self::fetch_package`] errors.
+    /// Propagates [`Self::fetch_package`] errors; partitioned mirrors are
+    /// unreachable at full timeout cost.
     pub fn fetch_package_timed(
         &self,
         name: &str,
@@ -196,9 +258,13 @@ impl Mirror {
         rng: &mut HmacDrbg,
         timeout: Duration,
     ) -> (Result<Vec<u8>, MirrorError>, Duration) {
+        if !model.reachable(from, self.continent) {
+            return (Err(MirrorError::Unreachable(self.name.clone())), timeout);
+        }
         match self.fetch_package(name) {
             Ok(blob) => {
-                let d = model.transfer_time(from, self.continent, blob.len(), rng);
+                let d =
+                    model.transfer_time(from, self.continent, blob.len(), rng) * self.slow_factor();
                 (Ok(blob), d.min(timeout))
             }
             Err(e) => (Err(e), timeout),
@@ -328,5 +394,67 @@ mod tests {
         m.publish(snapshot(1, 1));
         m.set_behavior(Behavior::Stale { snapshot: 9 });
         assert!(m.fetch_index().is_ok());
+    }
+
+    #[test]
+    fn equivocating_mirror_alternates_views() {
+        let mut m = Mirror::new("m", Continent::Europe);
+        m.publish(snapshot(1, 0xaa));
+        m.publish(snapshot(2, 0xbb));
+        m.set_behavior(Behavior::Equivocate { stale: 0 });
+        assert_eq!(m.fetch_index().unwrap(), vec![0xbb; 32], "fresh first");
+        assert_eq!(m.fetch_index().unwrap(), vec![0xaa; 32], "then stale");
+        assert_eq!(m.fetch_index().unwrap(), vec![0xbb; 32], "fresh again");
+        assert_eq!(m.requests_served(), 3);
+    }
+
+    #[test]
+    fn slow_mirror_is_honest_but_late() {
+        let mut m = Mirror::new("m", Continent::Europe);
+        m.publish(snapshot(1, 0xcc));
+        let model = LatencyModel::default().with_jitter(0.0);
+        let timeout = Duration::from_secs(60);
+        let mut r1 = HmacDrbg::new(b"s");
+        let (fast_res, fast) = m.fetch_index_timed(&model, Continent::Europe, &mut r1, timeout);
+        m.set_behavior(Behavior::Slow { factor: 10 });
+        let mut r2 = HmacDrbg::new(b"s");
+        let (slow_res, slow) = m.fetch_index_timed(&model, Continent::Europe, &mut r2, timeout);
+        assert_eq!(fast_res.unwrap(), slow_res.unwrap(), "content honest");
+        assert_eq!(slow, fast * 10);
+    }
+
+    #[test]
+    fn partitioned_mirror_unreachable_at_timeout_cost() {
+        let mut m = Mirror::new("m", Continent::Asia);
+        m.publish(snapshot(1, 1));
+        let model = LatencyModel::default().with_isolated(vec![Continent::Asia]);
+        let mut rng = HmacDrbg::new(b"p");
+        let timeout = Duration::from_millis(500);
+        let (res, d) = m.fetch_index_timed(&model, Continent::Europe, &mut rng, timeout);
+        assert!(matches!(res, Err(MirrorError::Unreachable(_))));
+        assert_eq!(d, timeout);
+        // Same-continent observers still reach it.
+        let (res, _) = m.fetch_index_timed(&model, Continent::Asia, &mut rng, timeout);
+        assert!(res.is_ok());
+    }
+
+    #[test]
+    fn clones_share_the_request_counter() {
+        // A clone is another handle to the same mirror: requests made
+        // through a fleet snapshot advance the shared server-side count,
+        // so equivocation keeps alternating across snapshot-and-refresh
+        // cycles.
+        let mut m = Mirror::new("m", Continent::Europe);
+        m.publish(snapshot(1, 0xaa));
+        m.publish(snapshot(2, 0xbb));
+        m.set_behavior(Behavior::Equivocate { stale: 0 });
+        let snapshot_handle = m.clone();
+        assert_eq!(snapshot_handle.fetch_index().unwrap(), vec![0xbb; 32]);
+        assert_eq!(
+            m.requests_served(),
+            1,
+            "clone's request visible on original"
+        );
+        assert_eq!(m.fetch_index().unwrap(), vec![0xaa; 32], "parity advanced");
     }
 }

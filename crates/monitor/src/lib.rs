@@ -68,6 +68,12 @@ impl Verdict {
     pub fn is_trusted(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Total measurements explained (whitelist + trusted signatures) —
+    /// the denominator-free health figure scenario harnesses record.
+    pub fn explained(&self) -> usize {
+        self.whitelisted + self.signed
+    }
 }
 
 /// The monitoring system configuration.
@@ -270,6 +276,7 @@ mod tests {
         assert!(v.is_trusted(), "{:?}", v.violations);
         assert_eq!(v.signed, 1);
         assert_eq!(v.whitelisted, 1);
+        assert_eq!(v.explained(), 2);
     }
 
     #[test]

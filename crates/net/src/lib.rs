@@ -63,6 +63,13 @@ pub struct LatencyModel {
     jitter_frac: f64,
     /// Sustained single-stream WAN throughput in bytes/second.
     wan_bytes_per_sec: f64,
+    /// Continents cut off from cross-continent traffic (fault injection):
+    /// any cross-continent path with an isolated endpoint is down;
+    /// same-continent traffic always flows.
+    isolated: Vec<Continent>,
+    /// Global congestion multiplier on RTTs and transfer times
+    /// (fault injection; 1.0 = nominal).
+    latency_factor: f64,
 }
 
 impl Default for LatencyModel {
@@ -79,6 +86,8 @@ impl Default for LatencyModel {
             // The paper downloads ~3 GB from public mirrors in ~17 min,
             // i.e. ~2.9 MB/s sustained — the calibration used here.
             wan_bytes_per_sec: 2.94e6,
+            isolated: Vec::new(),
+            latency_factor: 1.0,
         }
     }
 }
@@ -97,16 +106,18 @@ impl LatencyModel {
         Duration::from_secs_f64(ms / 1000.0)
     }
 
-    /// Samples an RTT with deterministic jitter from `rng`.
+    /// Samples an RTT with deterministic jitter from `rng`, scaled by the
+    /// congestion factor.
     pub fn sample_rtt(&self, a: Continent, b: Continent, rng: &mut HmacDrbg) -> Duration {
         let base = self.base_rtt(a, b).as_secs_f64();
         // Uniform in [1-j, 1+j].
         let u = rng.gen_range(1_000_000) as f64 / 1_000_000.0;
         let factor = 1.0 - self.jitter_frac + 2.0 * self.jitter_frac * u;
-        Duration::from_secs_f64(base * factor)
+        Duration::from_secs_f64(base * factor * self.latency_factor)
     }
 
     /// Time to transfer `bytes` at the modeled WAN bandwidth, plus one RTT.
+    /// Congestion slows the bandwidth term by the same factor as RTTs.
     pub fn transfer_time(
         &self,
         a: Continent,
@@ -115,7 +126,39 @@ impl LatencyModel {
         rng: &mut HmacDrbg,
     ) -> Duration {
         let rtt = self.sample_rtt(a, b, rng);
-        rtt + Duration::from_secs_f64(bytes as f64 / self.wan_bytes_per_sec)
+        rtt + Duration::from_secs_f64(bytes as f64 / self.wan_bytes_per_sec * self.latency_factor)
+    }
+
+    /// Whether traffic between `a` and `b` currently flows: same-continent
+    /// paths always do, cross-continent paths are down when either endpoint
+    /// is isolated by a partition.
+    pub fn reachable(&self, a: Continent, b: Continent) -> bool {
+        a == b || (!self.isolated.contains(&a) && !self.isolated.contains(&b))
+    }
+
+    /// Isolates a set of continents (continent-level network partition):
+    /// cross-continent traffic to or from them is dropped until healed
+    /// with an empty set. Same-continent traffic is unaffected.
+    pub fn with_isolated(mut self, continents: Vec<Continent>) -> Self {
+        self.isolated = continents;
+        self
+    }
+
+    /// The currently isolated continents.
+    pub fn isolated(&self) -> &[Continent] {
+        &self.isolated
+    }
+
+    /// Sets the global congestion multiplier (latency-spike injection).
+    /// Values below nominal are clamped to 1.0.
+    pub fn with_latency_factor(mut self, factor: f64) -> Self {
+        self.latency_factor = factor.max(1.0);
+        self
+    }
+
+    /// The current congestion multiplier.
+    pub fn latency_factor(&self) -> f64 {
+        self.latency_factor
     }
 
     /// Overrides the WAN bandwidth (bytes/second).
@@ -218,5 +261,36 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(Continent::NorthAmerica.to_string(), "North America");
+    }
+
+    #[test]
+    fn partition_cuts_cross_continent_only() {
+        let m = LatencyModel::default().with_isolated(vec![Continent::Europe]);
+        assert!(m.reachable(Continent::Europe, Continent::Europe));
+        assert!(m.reachable(Continent::Asia, Continent::NorthAmerica));
+        assert!(!m.reachable(Continent::Europe, Continent::Asia));
+        assert!(!m.reachable(Continent::NorthAmerica, Continent::Europe));
+        let healed = m.with_isolated(Vec::new());
+        assert!(healed.reachable(Continent::Europe, Continent::Asia));
+    }
+
+    #[test]
+    fn latency_factor_scales_rtt_and_transfer() {
+        let base = LatencyModel::default().with_jitter(0.0);
+        let spiked = base.clone().with_latency_factor(10.0);
+        let mut r1 = HmacDrbg::new(b"f");
+        let mut r2 = HmacDrbg::new(b"f");
+        let a = base.sample_rtt(Continent::Europe, Continent::Asia, &mut r1);
+        let b = spiked.sample_rtt(Continent::Europe, Continent::Asia, &mut r2);
+        assert!((b.as_secs_f64() / a.as_secs_f64() - 10.0).abs() < 1e-9);
+        let ta = base.transfer_time(Continent::Europe, Continent::Europe, 1_000_000, &mut r1);
+        let tb = spiked.transfer_time(Continent::Europe, Continent::Europe, 1_000_000, &mut r2);
+        assert!(tb > ta.mul_f64(9.0));
+    }
+
+    #[test]
+    fn latency_factor_clamped_to_nominal() {
+        let m = LatencyModel::default().with_latency_factor(0.1);
+        assert!((m.latency_factor() - 1.0).abs() < 1e-12);
     }
 }

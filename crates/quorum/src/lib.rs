@@ -129,10 +129,16 @@ pub struct QuorumOutcome {
 /// policy; responses whose signature does not verify are discarded (they
 /// can never form a quorum).
 ///
+/// Each *distinct* mirror (by name) is contacted at most once: a mirror
+/// registered several times in the fleet cannot vote more than once, so a
+/// single compromised host listed under `2f+1` aliases can never satisfy
+/// the quorum by itself.
+///
 /// # Errors
 ///
-/// [`QuorumError::NotEnoughSources`] when fewer than `2f+1` mirrors are
-/// given, [`QuorumError::NoQuorum`] when agreement is impossible.
+/// [`QuorumError::NotEnoughSources`] when fewer than `2f+1` distinct
+/// mirrors are given, [`QuorumError::NoQuorum`] when agreement is
+/// impossible.
 pub fn read_index_quorum(
     mirrors: &[Mirror],
     config: &QuorumConfig,
@@ -140,17 +146,20 @@ pub fn read_index_quorum(
     trusted_signers: &[(String, RsaPublicKey)],
     rng: &mut HmacDrbg,
 ) -> Result<QuorumOutcome, QuorumError> {
+    // Order by expected (base) latency — "fastest f+1 first" — keeping
+    // only the first occurrence of each mirror name (duplicate-vote guard).
+    let mut order: Vec<usize> = (0..mirrors.len()).collect();
+    order.sort_by_key(|&i| model.base_rtt(config.observer, mirrors[i].continent));
+    let mut seen_names = std::collections::BTreeSet::new();
+    order.retain(|&i| seen_names.insert(mirrors[i].name.as_str()));
+
     let required = 2 * config.f + 1;
-    if mirrors.len() < required {
+    if order.len() < required {
         return Err(QuorumError::NotEnoughSources {
-            available: mirrors.len(),
+            available: order.len(),
             required,
         });
     }
-
-    // Order by expected (base) latency — "fastest f+1 first".
-    let mut order: Vec<usize> = (0..mirrors.len()).collect();
-    order.sort_by_key(|&i| model.base_rtt(config.observer, mirrors[i].continent));
 
     // votes: blob-hash → (count, blob)
     let mut votes: BTreeMap<String, (usize, Vec<u8>)> = BTreeMap::new();

@@ -1,0 +1,227 @@
+//! Quorum edge cases: behaviour exactly at the `f` / `f+1` boundaries,
+//! unanimous-but-stale fleets, duplicate mirror registrations, and
+//! equivocating mirrors.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use tsr_apk::Index;
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_crypto::{RsaPrivateKey, RsaPublicKey};
+use tsr_mirror::{publish_to_all, Behavior, Mirror, RepoSnapshot};
+use tsr_net::{Continent, LatencyModel};
+use tsr_quorum::{read_index_quorum, QuorumConfig, QuorumError};
+
+fn repo_key() -> &'static RsaPrivateKey {
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = HmacDrbg::new(b"quorum-edge-key");
+        RsaPrivateKey::generate(1024, &mut rng)
+    })
+}
+
+fn signers() -> Vec<(String, RsaPublicKey)> {
+    vec![("repo".to_string(), repo_key().public_key().clone())]
+}
+
+fn snapshot(id: u64) -> RepoSnapshot {
+    let blob = vec![id as u8; 64];
+    let mut index = Index::new();
+    index.snapshot = id;
+    index.upsert(Index::entry_for_blob("pkg", &format!("1.{id}"), &[], &blob));
+    let mut packages = BTreeMap::new();
+    packages.insert("pkg".to_string(), blob);
+    RepoSnapshot {
+        snapshot_id: id,
+        signed_index: index.sign(repo_key(), "repo"),
+        packages,
+    }
+}
+
+/// `n` European mirrors holding snapshots 1 and 2.
+fn fleet(n: usize) -> Vec<Mirror> {
+    let mut mirrors: Vec<Mirror> = (0..n)
+        .map(|i| Mirror::new(format!("m{i}"), Continent::Europe))
+        .collect();
+    publish_to_all(&mut mirrors, &snapshot(1));
+    publish_to_all(&mut mirrors, &snapshot(2));
+    mirrors
+}
+
+fn config(f: usize) -> QuorumConfig {
+    QuorumConfig {
+        f,
+        observer: Continent::Europe,
+        timeout: Duration::from_secs(1),
+        ..QuorumConfig::default()
+    }
+}
+
+fn garbage(m: &mut Mirror) {
+    let mut snap = snapshot(3);
+    snap.signed_index = vec![0xde; 48]; // unverifiable bytes
+    m.publish(snap);
+}
+
+#[test]
+fn exactly_f_faulty_is_masked() {
+    // f=2 tolerates exactly 2 arbitrary faults among 5 sources.
+    let mut mirrors = fleet(5);
+    garbage(&mut mirrors[0]);
+    garbage(&mut mirrors[1]);
+    let mut rng = HmacDrbg::new(b"e1");
+    let out = read_index_quorum(
+        &mirrors,
+        &config(2),
+        &LatencyModel::default(),
+        &signers(),
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(out.index.snapshot, 2);
+    assert!(out.agreement >= 3, "f+1 honest confirmations");
+}
+
+#[test]
+fn f_plus_one_faulty_defeats_quorum() {
+    // One fault beyond the budget: 3 garbage mirrors of 5 leave only 2
+    // honest votes — below the f+1 = 3 threshold. The quorum must fail
+    // rather than serve under-confirmed data.
+    let mut mirrors = fleet(5);
+    for m in mirrors.iter_mut().take(3) {
+        garbage(m);
+    }
+    let mut rng = HmacDrbg::new(b"e2");
+    let err = read_index_quorum(
+        &mirrors,
+        &config(2),
+        &LatencyModel::default(),
+        &signers(),
+        &mut rng,
+    )
+    .unwrap_err();
+    match err {
+        QuorumError::NoQuorum {
+            contacted,
+            best_agreement,
+        } => {
+            assert_eq!(contacted, 5, "every source was tried");
+            assert_eq!(best_agreement, 2, "honest votes stay below threshold");
+        }
+        other => panic!("expected NoQuorum, got {other:?}"),
+    }
+}
+
+#[test]
+fn f_plus_one_honest_is_the_exact_boundary() {
+    // 2 offline + 3 honest with f=2: the three honest mirrors are exactly
+    // the f+1 = 3 agreement needed.
+    let mut mirrors = fleet(5);
+    mirrors[1].set_behavior(Behavior::Offline);
+    mirrors[3].set_behavior(Behavior::Offline);
+    let mut rng = HmacDrbg::new(b"e3");
+    let out = read_index_quorum(
+        &mirrors,
+        &config(2),
+        &LatencyModel::default(),
+        &signers(),
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(out.index.snapshot, 2);
+    assert_eq!(out.agreement, 3);
+    assert_eq!(out.contacted, 5, "offline mirrors had to be waited out");
+}
+
+#[test]
+fn all_agree_but_stale_reaches_quorum_on_the_stale_value() {
+    // A unanimous fleet frozen on snapshot 1 satisfies the quorum — the
+    // quorum layer cannot know it is stale. Anti-rollback lives one layer
+    // up (the repository's monotonic snapshot check), which is exactly
+    // what the scenario tier exercises end-to-end.
+    let mut mirrors = fleet(3);
+    for m in &mut mirrors {
+        m.set_behavior(Behavior::Stale { snapshot: 0 });
+    }
+    let mut rng = HmacDrbg::new(b"e4");
+    let out = read_index_quorum(
+        &mirrors,
+        &config(1),
+        &LatencyModel::default(),
+        &signers(),
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(out.index.snapshot, 1, "the agreed value is the stale one");
+    assert_eq!(out.agreement, 2);
+}
+
+#[test]
+fn duplicate_registration_cannot_self_quorum() {
+    // A single compromised mirror listed under 2f+1 = 3 aliases of the
+    // same name must not satisfy the availability requirement by itself.
+    let mut one = Mirror::new("m0", Continent::Europe);
+    one.publish(snapshot(1));
+    let mirrors = vec![one.clone(), one.clone(), one];
+    let mut rng = HmacDrbg::new(b"e5");
+    let err = read_index_quorum(
+        &mirrors,
+        &config(1),
+        &LatencyModel::default(),
+        &signers(),
+        &mut rng,
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        QuorumError::NotEnoughSources {
+            available: 1,
+            required: 3
+        }
+    );
+}
+
+#[test]
+fn duplicate_mirror_votes_only_once() {
+    // A stale mirror registered twice would reach the f+1 = 2 threshold by
+    // double-voting; with per-name dedup the honest majority wins instead.
+    let mut mirrors = fleet(3);
+    mirrors[0].set_behavior(Behavior::Stale { snapshot: 0 });
+    let duplicate = mirrors[0].clone();
+    mirrors.insert(1, duplicate); // stale mirror listed twice, up front
+    let mut rng = HmacDrbg::new(b"e6");
+    let out = read_index_quorum(
+        &mirrors,
+        &config(1),
+        &LatencyModel::default(),
+        &signers(),
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(
+        out.index.snapshot, 2,
+        "the stale double-vote must not form a quorum"
+    );
+    assert_eq!(out.agreement, 2, "two distinct honest mirrors agreed");
+}
+
+#[test]
+fn equivocating_mirror_cannot_block_repeated_reads() {
+    // An equivocator alternates signed views across requests; with two
+    // honest peers every read still converges on the fresh snapshot.
+    let mut mirrors = fleet(3);
+    mirrors[0].set_behavior(Behavior::Equivocate { stale: 0 });
+    let mut rng = HmacDrbg::new(b"e7");
+    for round in 0..4 {
+        let out = read_index_quorum(
+            &mirrors,
+            &config(1),
+            &LatencyModel::default(),
+            &signers(),
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(out.index.snapshot, 2, "round {round}");
+    }
+}

@@ -1,0 +1,405 @@
+//! Simulation events and composable fault injectors.
+//!
+//! A scenario's schedule is a list of `(virtual time, event)` pairs. Events
+//! are plain data — the engine interprets them against the live world — so
+//! a schedule is trivially serializable into the trace and replayable.
+//!
+//! [`Injector`]s are the level above: each one expands into a batch of
+//! scheduled events, drawing any nondeterministic choices (which mirrors to
+//! compromise) from the scenario's seeded DRBG, so composition of injectors
+//! stays reproducible per seed.
+
+use std::time::Duration;
+
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_mirror::Behavior;
+use tsr_net::Continent;
+
+/// One scheduled state transition of the simulated world.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// Upstream publishes a new snapshot bumping `packages` packages, and
+    /// syncs it to every mirror.
+    PublishUpdate {
+        /// Number of packages to bump.
+        packages: usize,
+    },
+    /// The adversary (or an outage) changes one mirror's behaviour.
+    SetBehavior {
+        /// Index into the mirror fleet.
+        mirror: usize,
+        /// The new behaviour.
+        behavior: Behavior,
+    },
+    /// A continent-level partition isolates the listed continents from all
+    /// cross-continent traffic.
+    Partition {
+        /// Continents cut off.
+        isolated: Vec<Continent>,
+    },
+    /// The partition heals. Latency spikes are independent: an active
+    /// [`SimEvent::LatencySpike`] keeps holding until its own end event.
+    Heal,
+    /// A WAN congestion event multiplies all latencies and transfer times.
+    LatencySpike {
+        /// Multiplier on nominal network times (1.0 = nominal).
+        factor: f64,
+    },
+    /// TSR refreshes its repository from the mirror fleet.
+    Refresh,
+    /// A client fetches the signed index and every listed package,
+    /// verifying each against the repository key (the "no unsanitized
+    /// package is ever served" probe).
+    ServeAll,
+    /// The TSR enclave crashes and restarts, recovering state from the
+    /// TPM-counter-bound sealed blob.
+    CrashRestart,
+    /// A fresh integrity-enforced OS installs `packages` packages from TSR
+    /// and is then remotely attested by the monitoring system.
+    AttestedInstall {
+        /// Number of packages to install (index order).
+        packages: usize,
+    },
+}
+
+impl std::fmt::Display for SimEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimEvent::PublishUpdate { packages } => write!(f, "publish update packages={packages}"),
+            SimEvent::SetBehavior { mirror, behavior } => {
+                write!(f, "set mirror {mirror} behavior {behavior:?}")
+            }
+            SimEvent::Partition { isolated } => {
+                let names: Vec<String> = isolated.iter().map(|c| c.to_string()).collect();
+                write!(f, "partition isolated=[{}]", names.join(","))
+            }
+            SimEvent::Heal => write!(f, "partition healed"),
+            SimEvent::LatencySpike { factor } => write!(f, "latency spike factor={factor}"),
+            SimEvent::Refresh => write!(f, "refresh"),
+            SimEvent::ServeAll => write!(f, "serve all"),
+            SimEvent::CrashRestart => write!(f, "crash-restart"),
+            SimEvent::AttestedInstall { packages } => {
+                write!(f, "attested install packages={packages}")
+            }
+        }
+    }
+}
+
+/// The family of mirror misbehaviour an injector deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Replay an old snapshot forever.
+    Stale,
+    /// Serve the honest index but corrupt package bytes.
+    Corrupt,
+    /// Drop all traffic.
+    Offline,
+    /// Alternate between fresh and stale views across requests.
+    Equivocate,
+    /// Honest content, 8× slower transfers.
+    Slow,
+}
+
+impl FaultKind {
+    /// The concrete mirror behaviour this fault maps to.
+    pub fn behavior(self) -> Behavior {
+        match self {
+            FaultKind::Stale => Behavior::Stale { snapshot: 0 },
+            FaultKind::Corrupt => Behavior::CorruptPackages,
+            FaultKind::Offline => Behavior::Offline,
+            FaultKind::Equivocate => Behavior::Equivocate { stale: 0 },
+            FaultKind::Slow => Behavior::Slow { factor: 8 },
+        }
+    }
+}
+
+/// A composable fault injector: expands into scheduled [`SimEvent`]s at
+/// build time, drawing random choices from the scenario DRBG.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Injector {
+    /// Compromises `count` distinct, seed-randomly chosen mirrors with the
+    /// same fault at `at_ms`.
+    Byzantine {
+        /// Virtual time (ms) of the compromise.
+        at_ms: u64,
+        /// How many mirrors to compromise.
+        count: usize,
+        /// The fault deployed.
+        kind: FaultKind,
+    },
+    /// Partitions the listed continents between `from_ms` and `until_ms`.
+    Partition {
+        /// Start (ms).
+        from_ms: u64,
+        /// Heal time (ms).
+        until_ms: u64,
+        /// Continents isolated while the partition holds.
+        isolated: Vec<Continent>,
+    },
+    /// Applies a WAN latency spike between `from_ms` and `until_ms`.
+    LatencySpike {
+        /// Start (ms).
+        from_ms: u64,
+        /// End (ms) — latency returns to nominal.
+        until_ms: u64,
+        /// Multiplier while the spike holds.
+        factor: f64,
+    },
+    /// Crashes and restarts the TSR enclave at `at_ms`.
+    CrashRestart {
+        /// Virtual time (ms) of the crash.
+        at_ms: u64,
+    },
+    /// `rounds` publish+refresh cycles: a publish of `packages` packages
+    /// every `every_ms`, each followed by a refresh 5 ms later.
+    UpdateStorm {
+        /// First publish (ms).
+        start_ms: u64,
+        /// Cadence (ms).
+        every_ms: u64,
+        /// Number of publish+refresh rounds.
+        rounds: usize,
+        /// Packages bumped per round.
+        packages: usize,
+    },
+}
+
+/// Samples `count` distinct indices in `[0, fleet)` from the DRBG,
+/// avoiding (and extending) the shared `taken` set so that composed
+/// injectors never target the same mirror twice.
+fn pick_distinct(
+    rng: &mut HmacDrbg,
+    fleet: usize,
+    count: usize,
+    taken: &mut Vec<usize>,
+) -> Vec<usize> {
+    let available = fleet.saturating_sub(taken.len());
+    let mut picked = Vec::new();
+    while picked.len() < count.min(available) {
+        let i = rng.gen_range(fleet as u64) as usize;
+        if !picked.contains(&i) && !taken.contains(&i) {
+            picked.push(i);
+            taken.push(i);
+        }
+    }
+    picked
+}
+
+impl Injector {
+    /// Expands into scheduled events for a fleet of `fleet` mirrors.
+    ///
+    /// `compromised` is the cross-injector set of already-targeted mirror
+    /// indices: Byzantine expansions draw targets outside it and add their
+    /// picks, so a scenario composing several fault kinds deploys every
+    /// one of them on a distinct mirror (as long as the fleet is large
+    /// enough) under every seed.
+    pub fn expand(
+        &self,
+        rng: &mut HmacDrbg,
+        fleet: usize,
+        compromised: &mut Vec<usize>,
+    ) -> Vec<(Duration, SimEvent)> {
+        let ms = Duration::from_millis;
+        match self {
+            Injector::Byzantine { at_ms, count, kind } => {
+                pick_distinct(rng, fleet, *count, compromised)
+                    .into_iter()
+                    .map(|mirror| {
+                        (
+                            ms(*at_ms),
+                            SimEvent::SetBehavior {
+                                mirror,
+                                behavior: kind.behavior(),
+                            },
+                        )
+                    })
+                    .collect()
+            }
+            Injector::Partition {
+                from_ms,
+                until_ms,
+                isolated,
+            } => vec![
+                (
+                    ms(*from_ms),
+                    SimEvent::Partition {
+                        isolated: isolated.clone(),
+                    },
+                ),
+                (ms(*until_ms), SimEvent::Heal),
+            ],
+            Injector::LatencySpike {
+                from_ms,
+                until_ms,
+                factor,
+            } => vec![
+                (ms(*from_ms), SimEvent::LatencySpike { factor: *factor }),
+                (ms(*until_ms), SimEvent::LatencySpike { factor: 1.0 }),
+            ],
+            Injector::CrashRestart { at_ms } => vec![(ms(*at_ms), SimEvent::CrashRestart)],
+            Injector::UpdateStorm {
+                start_ms,
+                every_ms,
+                rounds,
+                packages,
+            } => (0..*rounds)
+                .flat_map(|r| {
+                    let t = start_ms + r as u64 * every_ms;
+                    [
+                        (
+                            ms(t),
+                            SimEvent::PublishUpdate {
+                                packages: *packages,
+                            },
+                        ),
+                        (ms(t + 5), SimEvent::Refresh),
+                    ]
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byzantine_picks_distinct_mirrors_deterministically() {
+        let mut r1 = HmacDrbg::new(b"inj");
+        let mut r2 = HmacDrbg::new(b"inj");
+        let inj = Injector::Byzantine {
+            at_ms: 10,
+            count: 3,
+            kind: FaultKind::Stale,
+        };
+        let a = inj.expand(&mut r1, 5, &mut Vec::new());
+        let b = inj.expand(&mut r2, 5, &mut Vec::new());
+        assert_eq!(a, b, "same seed, same picks");
+        assert_eq!(a.len(), 3);
+        let mut mirrors: Vec<usize> = a
+            .iter()
+            .map(|(_, e)| match e {
+                SimEvent::SetBehavior { mirror, .. } => *mirror,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        mirrors.sort_unstable();
+        mirrors.dedup();
+        assert_eq!(mirrors.len(), 3, "distinct mirrors");
+    }
+
+    #[test]
+    fn byzantine_count_clamped_to_fleet() {
+        let mut rng = HmacDrbg::new(b"clamp");
+        let inj = Injector::Byzantine {
+            at_ms: 0,
+            count: 9,
+            kind: FaultKind::Offline,
+        };
+        assert_eq!(inj.expand(&mut rng, 3, &mut Vec::new()).len(), 3);
+    }
+
+    #[test]
+    fn composed_byzantine_injectors_target_disjoint_mirrors() {
+        let mut rng = HmacDrbg::new(b"disjoint");
+        let mut compromised = Vec::new();
+        let kinds = [FaultKind::Corrupt, FaultKind::Equivocate, FaultKind::Slow];
+        let mut all: Vec<usize> = Vec::new();
+        for kind in kinds {
+            let inj = Injector::Byzantine {
+                at_ms: 1,
+                count: 1,
+                kind,
+            };
+            for (_, e) in inj.expand(&mut rng, 4, &mut compromised) {
+                match e {
+                    SimEvent::SetBehavior { mirror, .. } => all.push(mirror),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        let mut unique = all.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "no fault overwrote another: {all:?}");
+    }
+
+    #[test]
+    fn byzantine_respects_already_compromised_budget() {
+        let mut rng = HmacDrbg::new(b"budget");
+        let mut compromised = vec![0, 1];
+        let inj = Injector::Byzantine {
+            at_ms: 0,
+            count: 5,
+            kind: FaultKind::Stale,
+        };
+        let events = inj.expand(&mut rng, 3, &mut compromised);
+        assert_eq!(events.len(), 1, "only one mirror left to compromise");
+        assert!(matches!(
+            events[0].1,
+            SimEvent::SetBehavior { mirror: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn partition_expands_to_cut_and_heal() {
+        let mut rng = HmacDrbg::new(b"p");
+        let inj = Injector::Partition {
+            from_ms: 5,
+            until_ms: 25,
+            isolated: vec![Continent::Asia],
+        };
+        let events = inj.expand(&mut rng, 3, &mut Vec::new());
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0].1, SimEvent::Partition { .. }));
+        assert_eq!(events[1], (Duration::from_millis(25), SimEvent::Heal));
+    }
+
+    #[test]
+    fn update_storm_interleaves_publish_and_refresh() {
+        let mut rng = HmacDrbg::new(b"storm");
+        let inj = Injector::UpdateStorm {
+            start_ms: 10,
+            every_ms: 10,
+            rounds: 3,
+            packages: 2,
+        };
+        let events = inj.expand(&mut rng, 3, &mut Vec::new());
+        assert_eq!(events.len(), 6);
+        assert_eq!(
+            events[1],
+            (Duration::from_millis(15), SimEvent::Refresh),
+            "refresh trails each publish"
+        );
+    }
+
+    #[test]
+    fn fault_kinds_map_to_behaviors() {
+        assert_eq!(FaultKind::Corrupt.behavior(), Behavior::CorruptPackages);
+        assert_eq!(
+            FaultKind::Equivocate.behavior(),
+            Behavior::Equivocate { stale: 0 }
+        );
+        assert!(matches!(
+            FaultKind::Slow.behavior(),
+            Behavior::Slow { factor: 8 }
+        ));
+    }
+
+    #[test]
+    fn event_display_is_stable() {
+        assert_eq!(SimEvent::Refresh.to_string(), "refresh");
+        assert_eq!(
+            SimEvent::LatencySpike { factor: 20.0 }.to_string(),
+            "latency spike factor=20"
+        );
+        assert_eq!(
+            SimEvent::Partition {
+                isolated: vec![Continent::Europe, Continent::Asia]
+            }
+            .to_string(),
+            "partition isolated=[Europe,Asia]"
+        );
+    }
+}

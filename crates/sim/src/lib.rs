@@ -1,0 +1,56 @@
+//! # tsr-sim
+//!
+//! A deterministic fault-injection simulation harness for the TSR stack.
+//!
+//! The paper's core claim is that a TSR stays trustworthy while mirrors
+//! lie, lag, or equivocate. This crate turns that claim into a repeatable
+//! experiment: a **discrete-event engine** with a **virtual clock** and
+//! seeded HMAC-DRBG randomness drives the *real* multi-tenant
+//! [`TsrService`](tsr_core::TsrService) — sharded repositories, parallel
+//! refresh, quorum verification, SGX sealing, TPM counters — against a
+//! generated upstream and a mirror fleet under composable fault injectors:
+//!
+//! - **Byzantine mirror behaviours** (stale, corrupting, offline,
+//!   equivocating, slow — [`tsr_mirror::Behavior`]),
+//! - **continent-level partitions** and **latency spikes** layered on
+//!   [`tsr_net::LatencyModel`],
+//! - **enclave crash-restart** with TPM-sealed state recovery.
+//!
+//! Every run records a structured [`EventTrace`] and asserts safety
+//! invariants (snapshot monotonicity, only repository-signed packages
+//! served, unsupported packages never indexed, byte-identical state across
+//! restarts). Same scenario + same seed ⇒ byte-identical trace and signed
+//! index — the property `tests/scenarios.rs` at the workspace root pins.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsr_sim::{ScenarioBuilder, SimEvent, Injector, FaultKind};
+//!
+//! let scenario = ScenarioBuilder::new("doc", 42)
+//!     .at_ms(0, SimEvent::Refresh)
+//!     .inject(Injector::Byzantine { at_ms: 5, count: 1, kind: FaultKind::Stale })
+//!     .at_ms(10, SimEvent::PublishUpdate { packages: 1 })
+//!     .at_ms(20, SimEvent::Refresh)
+//!     .at_ms(30, SimEvent::ServeAll)
+//!     .build();
+//! let a = scenario.run().unwrap();
+//! let b = scenario.run().unwrap();
+//! assert_eq!(a.trace_digest(), b.trace_digest());
+//! assert_eq!(a.final_index, b.final_index);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod scenario;
+pub mod trace;
+
+pub use engine::{RefreshStat, SimError, SimFailure, SimReport};
+pub use event::{FaultKind, Injector, SimEvent};
+pub use scenario::{
+    canned_scenario, canned_scenarios, default_workload, env_seed, Scenario, ScenarioBuilder,
+    DEFAULT_SEED,
+};
+pub use trace::EventTrace;

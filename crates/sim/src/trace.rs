@@ -1,0 +1,98 @@
+//! The structured event trace a simulation run produces.
+//!
+//! Every state transition the engine performs is appended as one line
+//! stamped with the virtual time. The trace is the determinism witness:
+//! two runs of the same scenario with the same seed must produce
+//! byte-identical traces (asserted by the scenario test tier), and the
+//! trace is what CI surfaces as an artifact when a scenario fails.
+
+use std::time::Duration;
+
+use tsr_crypto::{hex, Sha256};
+
+/// An append-only, virtual-time-stamped log of simulation events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventTrace {
+    lines: Vec<String>,
+}
+
+impl EventTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        EventTrace::default()
+    }
+
+    /// Appends one event at virtual time `t`.
+    pub fn record(&mut self, t: Duration, msg: impl AsRef<str>) {
+        self.lines
+            .push(format!("[{:>12}us] {}", t.as_micros(), msg.as_ref()));
+    }
+
+    /// The recorded lines, in order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// True when any line contains `needle` (scenario assertions).
+    pub fn contains(&self, needle: &str) -> bool {
+        self.lines.iter().any(|l| l.contains(needle))
+    }
+
+    /// The whole trace as one newline-terminated text block.
+    pub fn to_text(&self) -> String {
+        let mut out = self.lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Hex SHA-256 over [`Self::to_text`] — the compact determinism
+    /// fingerprint scenario tests compare across reruns.
+    pub fn digest(&self) -> String {
+        hex::to_hex(&Sha256::digest(self.to_text().as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = EventTrace::new();
+        assert!(t.is_empty());
+        t.record(Duration::from_micros(42), "refresh ok");
+        t.record(Duration::from_millis(1), "serve ok");
+        assert_eq!(t.len(), 2);
+        assert!(t.contains("refresh ok"));
+        assert!(!t.contains("crash"));
+        assert!(t.lines()[0].contains("42us]"));
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let mut a = EventTrace::new();
+        let mut b = EventTrace::new();
+        a.record(Duration::ZERO, "x");
+        b.record(Duration::ZERO, "x");
+        assert_eq!(a.digest(), b.digest());
+        b.record(Duration::ZERO, "y");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn text_is_newline_terminated() {
+        let mut t = EventTrace::new();
+        t.record(Duration::ZERO, "only");
+        assert!(t.to_text().ends_with("only\n"));
+    }
+}

@@ -471,6 +471,22 @@ impl GeneratedRepo {
         updated
     }
 
+    /// Names of generated packages whose scripts the sanitizer must
+    /// reject (config-change and shell-activation profiles) — the set
+    /// fault-injection harnesses assert is never served by TSR.
+    pub fn unsupported_names(&self) -> Vec<String> {
+        self.specs
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.profile,
+                    ScriptProfile::ConfigChange | ScriptProfile::ShellActivation
+                )
+            })
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
     /// Total bytes of all package blobs (the "repository size").
     pub fn total_bytes(&self) -> usize {
         self.blobs.values().map(Vec::len).sum()
@@ -624,6 +640,24 @@ mod tests {
         assert_eq!(unsupported, 28);
         let frac = unsupported as f64 / c.total() as f64;
         assert!((frac - 0.0024).abs() < 0.0002);
+    }
+
+    #[test]
+    fn unsupported_names_lists_rejectable_packages() {
+        let repo = tiny_repo();
+        let cfg = WorkloadConfig::tiny(b"t1");
+        let names = repo.unsupported_names();
+        assert_eq!(
+            names.len(),
+            cfg.census.config_change + cfg.census.shell_activation
+        );
+        for name in &names {
+            let spec = repo.specs.iter().find(|s| &s.name == name).unwrap();
+            assert!(matches!(
+                spec.profile,
+                ScriptProfile::ConfigChange | ScriptProfile::ShellActivation
+            ));
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub use tsr_pkgmgr as pkgmgr;
 pub use tsr_quorum as quorum;
 pub use tsr_script as script;
 pub use tsr_sgx as sgx;
+pub use tsr_sim as sim;
 pub use tsr_simfs as simfs;
 pub use tsr_stats as stats;
 pub use tsr_tpm as tpm;

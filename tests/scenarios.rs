@@ -1,0 +1,200 @@
+//! Tier-2 scenario tests: the canned fault-injection scenario library run
+//! through the real `TsrService` by the `tsr-sim` discrete-event engine.
+//!
+//! Every test runs its scenario **twice with the same seed** and asserts
+//! the determinism contract — byte-identical event trace and signed-index
+//! bytes — on top of scenario-specific expectations. The seed defaults to
+//! a fixed value and can be overridden with `TSR_SCENARIO_SEED` (CI pins
+//! it so failures replay exactly).
+//!
+//! On every run the trace is written to
+//! `$CARGO_TARGET_TMPDIR/scenario-traces/<name>.trace`; CI uploads that
+//! directory as an artifact when this tier fails.
+
+use tsr::sim::{canned_scenario, canned_scenarios, env_seed as seed, Scenario, SimReport};
+
+fn write_trace_artifact(name: &str, trace_text: &str) {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("scenario-traces");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{name}.trace")), trace_text);
+    }
+}
+
+/// Runs a canned scenario twice, asserts the determinism contract, and
+/// returns the first report for scenario-specific assertions. Both green
+/// and red runs leave their event trace in the artifact directory, so CI
+/// always has the trace of the scenario that actually failed.
+fn run_deterministic(name: &str) -> SimReport {
+    let scenario: Scenario =
+        canned_scenario(name, seed()).unwrap_or_else(|| panic!("unknown canned scenario {name}"));
+    let a = scenario.run().unwrap_or_else(|failure| {
+        write_trace_artifact(name, &failure.trace.to_text());
+        panic!(
+            "scenario {name} (seed {}) failed: {failure}\ntrace:\n{}",
+            seed(),
+            failure.trace.to_text()
+        )
+    });
+    write_trace_artifact(name, &a.trace_text());
+    let b = scenario.run().unwrap();
+    assert_eq!(
+        a.trace_text(),
+        b.trace_text(),
+        "{name}: event trace must be identical across reruns of one seed"
+    );
+    assert_eq!(a.trace_digest(), b.trace_digest());
+    assert_eq!(
+        a.final_index, b.final_index,
+        "{name}: signed index bytes must be identical across reruns"
+    );
+    a
+}
+
+#[test]
+fn library_covers_at_least_eight_scenarios() {
+    assert!(canned_scenarios(seed()).len() >= 8);
+}
+
+#[test]
+fn honest_baseline() {
+    let r = run_deterministic("honest_baseline");
+    assert_eq!(r.refresh_ok, 2);
+    assert_eq!(r.refresh_err, 0);
+    assert!(r.served_packages > 0);
+    assert!(!r.final_index.is_empty());
+}
+
+#[test]
+fn byzantine_minority_masked() {
+    let r = run_deterministic("byzantine_minority");
+    assert_eq!(
+        r.refresh_err,
+        0,
+        "≤ f faults must be masked:\n{}",
+        r.trace_text()
+    );
+    assert!(r.trace.contains("behavior"));
+    assert!(r.served_packages > 0);
+}
+
+#[test]
+fn equivocating_mirrors_tolerated() {
+    let r = run_deterministic("equivocating_mirrors");
+    assert_eq!(r.refresh_err, 0, "{}", r.trace_text());
+    assert!(r.trace.contains("Equivocate"));
+}
+
+#[test]
+fn stale_majority_rollback_detected_and_served_state_preserved() {
+    let r = run_deterministic("stale_majority_rollback");
+    assert!(r.refresh_ok >= 2);
+    assert!(
+        r.refresh_err >= 1,
+        "the colluding replay must fail:\n{}",
+        r.trace_text()
+    );
+    assert!(
+        r.trace.contains("rollback") || r.trace.contains("no quorum"),
+        "failure must be the rollback/quorum guard:\n{}",
+        r.trace_text()
+    );
+    // The final serve still worked on the newer snapshot.
+    assert!(r.trace.contains("serve ok"));
+}
+
+#[test]
+fn partition_starves_quorum_then_heals() {
+    let r = run_deterministic("partition_outage");
+    assert!(
+        r.refresh_err >= 1,
+        "partitioned refresh must fail:\n{}",
+        r.trace_text()
+    );
+    assert!(
+        r.refresh_ok >= 2,
+        "pre-partition and post-heal refreshes succeed"
+    );
+    // The post-heal refresh is the last one and must have succeeded.
+    assert!(r.refreshes.last().unwrap().ok, "{}", r.trace_text());
+}
+
+#[test]
+fn latency_spike_slows_but_never_corrupts() {
+    let r = run_deterministic("latency_spike");
+    assert_eq!(r.refresh_err, 0, "{}", r.trace_text());
+    assert_eq!(r.refreshes.len(), 3);
+    let normal = r.refreshes[0].quorum;
+    let spiked = r.refreshes[1].quorum;
+    let healed = r.refreshes[2].quorum;
+    // The per-contact timeout caps how bad a spike can look, so assert a
+    // clear slowdown rather than the full 20× factor.
+    assert!(
+        spiked > normal * 2,
+        "spiked quorum {spiked:?} should dwarf nominal {normal:?}"
+    );
+    assert!(healed < spiked, "healing restores latency");
+}
+
+#[test]
+fn crash_restart_recovers_sealed_state() {
+    let r = run_deterministic("crash_restart_recovery");
+    assert!(r.trace.contains("crash-restart ok"));
+    assert!(r.trace.contains("index_identical=true"));
+    assert_eq!(r.refresh_err, 0, "{}", r.trace_text());
+}
+
+#[test]
+fn combined_chaos_byzantine_partition_crash() {
+    let r = run_deterministic("combined_chaos");
+    // The mandated composition is present…
+    assert!(r.trace.contains("behavior"), "Byzantine faults injected");
+    assert!(
+        r.trace.contains("partition isolated="),
+        "partition injected"
+    );
+    assert!(
+        r.trace.contains("crash-restart ok"),
+        "crash-restart survived"
+    );
+    // …and the service still made progress and served only valid packages.
+    assert!(r.refresh_ok >= 2, "{}", r.trace_text());
+    assert!(
+        r.refreshes.last().unwrap().ok,
+        "post-chaos refresh succeeds"
+    );
+    assert!(r.served_packages > 0);
+}
+
+#[test]
+fn update_storm_with_shifting_faults() {
+    let r = run_deterministic("update_storm_with_faults");
+    assert!(r.refresh_ok >= 3, "{}", r.trace_text());
+    assert!(r.trace.contains("publish snapshot=5"), "four storm rounds");
+    assert!(r.served_packages > 0);
+}
+
+#[test]
+fn attested_install_stays_trusted_across_updates() {
+    let r = run_deterministic("attested_install");
+    assert!(r.trace.contains("attest trusted=true"));
+    assert_eq!(
+        r.trace
+            .lines()
+            .iter()
+            .filter(|l| l.contains("attest trusted=true"))
+            .count(),
+        2,
+        "both attestation rounds green:\n{}",
+        r.trace_text()
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    let s1 = canned_scenario("honest_baseline", 1).unwrap();
+    let s2 = canned_scenario("honest_baseline", 2).unwrap();
+    let a = s1.run().unwrap();
+    let b = s2.run().unwrap();
+    assert_ne!(a.trace_digest(), b.trace_digest());
+    assert_ne!(a.final_index, b.final_index);
+}
