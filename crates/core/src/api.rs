@@ -1,0 +1,520 @@
+//! The HTTP API layer: the versioned `/v1` JSON surface, the legacy
+//! plain-text shim, per-route metrics, and the error-code mapping.
+//!
+//! Request flow (see `ARCHITECTURE.md`, "The API layer"):
+//!
+//! ```text
+//! socket → middleware chain → route table → operation → TsrService
+//!          (panic guard,       (static       (this       (domain
+//!           request-id,         Router<Op>)   module)     logic)
+//!           access log,
+//!           rate limit,
+//!           body limit)
+//! ```
+//!
+//! The route table is a process-wide [`Router`]`<Op>` built once: routes
+//! map to `Op` values rather than closures, so the table carries no
+//! per-service state and [`TsrService::handle`] stays cheap. Per-route
+//! request counters live in the service's shared state and are exposed at
+//! `GET /v1/metrics`.
+//!
+//! # Error contract
+//!
+//! Every [`CoreError`] variant maps to one stable HTTP status and one
+//! machine-readable code, in **both** the v1 and the legacy surface:
+//!
+//! | `CoreError` | status | code |
+//! |---|---|---|
+//! | `Policy` | 400 | `invalid_policy` |
+//! | `Package` | 502 | `package_error` |
+//! | `Unsupported` | 422 | `unsupported_package` |
+//! | `Quorum` | 502 | `quorum_failed` |
+//! | `RollbackDetected` | 409 | `rollback_detected` |
+//! | `SealedState` | 500 | `sealed_state_error` |
+//! | `NotFound` | 404 | `not_found` |
+//!
+//! v1 responses carry the envelope as an `application/json` body
+//! (`{"code":…,"message":…,"detail":…}`); legacy responses keep their
+//! plain-text bodies and expose the code in an `x-tsr-error-code` header.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::error::CoreError;
+use crate::repository::RefreshReport;
+use crate::service::TsrService;
+use tsr_crypto::hex;
+use tsr_crypto::Sha256;
+use tsr_http::router::{Params, Recognized, Router};
+use tsr_http::{etag_matches, Request, Response};
+use tsr_wire::dto::{
+    CreateRepositoryRequest, ErrorEnvelope, HealthDto, MetricsDto, PackageEntryDto, PackagePage,
+    PhaseTimingsDto, RefreshReportDto, RejectedPackageDto, RepositoryCreated, RepositoryInfo,
+    RepositoryList, SanitizeRecordDto, WireDto,
+};
+
+/// Default page size of `GET /v1/repositories/{id}/packages`.
+const DEFAULT_PAGE_LIMIT: u64 = 100;
+/// Hard cap on the page size.
+const MAX_PAGE_LIMIT: u64 = 1000;
+
+/// Per-route request counters (route pattern → status → count).
+#[derive(Debug, Default)]
+pub struct ApiMetrics {
+    requests: Mutex<BTreeMap<String, BTreeMap<u16, u64>>>,
+}
+
+impl ApiMetrics {
+    fn record(&self, route: &str, status: u16) {
+        let mut map = self.requests.lock().unwrap_or_else(PoisonError::into_inner);
+        *map.entry(route.to_string())
+            .or_default()
+            .entry(status)
+            .or_insert(0) += 1;
+    }
+
+    /// A snapshot of all counters as the wire DTO.
+    pub fn snapshot(&self) -> MetricsDto {
+        MetricsDto {
+            requests: self
+                .requests
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        }
+    }
+}
+
+/// Every operation the API exposes. Routes carry an `Op`, not a closure,
+/// so the route table is process-wide static data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    V1Health,
+    V1Metrics,
+    V1CreateRepository,
+    V1ListRepositories,
+    V1RepositoryInfo,
+    V1DeleteRepository,
+    V1Refresh,
+    V1Index,
+    V1Packages,
+    V1Package,
+    V1Attest,
+    LegacyCreateRepository,
+    LegacyRefresh,
+    LegacyIndex,
+    LegacyPackage,
+    LegacyAttest,
+}
+
+fn routes() -> &'static Router<Op> {
+    static ROUTES: OnceLock<Router<Op>> = OnceLock::new();
+    ROUTES.get_or_init(|| {
+        let mut r = Router::new();
+        // v1 surface.
+        r.route("GET", "/v1/healthz", Op::V1Health)
+            .route("GET", "/v1/metrics", Op::V1Metrics)
+            .route("POST", "/v1/repositories", Op::V1CreateRepository)
+            .route("GET", "/v1/repositories", Op::V1ListRepositories)
+            .route("GET", "/v1/repositories/:id", Op::V1RepositoryInfo)
+            .route("DELETE", "/v1/repositories/:id", Op::V1DeleteRepository)
+            .route("POST", "/v1/repositories/:id/refresh", Op::V1Refresh)
+            .route("GET", "/v1/repositories/:id/index", Op::V1Index)
+            .route("GET", "/v1/repositories/:id/packages", Op::V1Packages)
+            .route("GET", "/v1/repositories/:id/packages/:name", Op::V1Package)
+            .route("GET", "/v1/attestation/:nonce", Op::V1Attest);
+        // Legacy plain-text surface (byte-compatible bodies).
+        r.route("POST", "/repositories", Op::LegacyCreateRepository)
+            .route("POST", "/repositories/:id/refresh", Op::LegacyRefresh)
+            .route("GET", "/repositories/:id/APKINDEX", Op::LegacyIndex)
+            .route("GET", "/repositories/:id/packages/:name", Op::LegacyPackage)
+            .route("GET", "/attestation/:nonce", Op::LegacyAttest);
+        r
+    })
+}
+
+/// Status + machine-readable code of one [`CoreError`].
+pub fn error_status(e: &CoreError) -> (u16, &'static str) {
+    match e {
+        CoreError::Policy(_) => (400, "invalid_policy"),
+        CoreError::Package(_) => (502, "package_error"),
+        CoreError::Unsupported(_) => (422, "unsupported_package"),
+        CoreError::Quorum(_) => (502, "quorum_failed"),
+        CoreError::RollbackDetected(_) => (409, "rollback_detected"),
+        CoreError::SealedState(_) => (500, "sealed_state_error"),
+        CoreError::NotFound(_) => (404, "not_found"),
+    }
+}
+
+fn envelope(status: u16, code: &str, message: &str, detail: &str) -> Response {
+    let body = ErrorEnvelope {
+        code: code.to_string(),
+        message: message.to_string(),
+        detail: detail.to_string(),
+    }
+    .encode();
+    Response::json(status, body)
+}
+
+/// A v1 error response: the uniform JSON envelope.
+fn v1_error(e: &CoreError, detail: &str) -> Response {
+    let (status, code) = error_status(e);
+    envelope(status, code, &e.to_string(), detail)
+}
+
+/// A legacy error response: plain-text body (as before), but with the
+/// variant's stable status and the machine-readable code in a header.
+fn legacy_error(e: &CoreError) -> Response {
+    let (status, code) = error_status(e);
+    Response::text(status, &e.to_string()).with_header("x-tsr-error-code", code)
+}
+
+fn report_to_dto(report: &RefreshReport) -> RefreshReportDto {
+    RefreshReportDto {
+        quorum_elapsed_us: report.quorum_elapsed.as_micros() as u64,
+        quorum_contacted: report.quorum_contacted,
+        downloaded: report.downloaded,
+        download_elapsed_us: report.download_elapsed.as_micros() as u64,
+        sanitize_elapsed_us: report.sanitize_elapsed.as_micros() as u64,
+        sanitized: report
+            .sanitized
+            .iter()
+            .map(|r| SanitizeRecordDto {
+                name: r.name.clone(),
+                version: r.version.clone(),
+                file_count: r.file_count,
+                original_size: r.original_size,
+                sanitized_size: r.sanitized_size,
+                uncompressed_size: r.uncompressed_size,
+                touches_accounts: r.touches_accounts,
+                timings: PhaseTimingsDto {
+                    check_integrity_us: r.timings.check_integrity.as_micros() as u64,
+                    unpack_us: r.timings.unpack.as_micros() as u64,
+                    modify_scripts_us: r.timings.modify_scripts.as_micros() as u64,
+                    generate_signatures_us: r.timings.generate_signatures.as_micros() as u64,
+                    repack_us: r.timings.repack.as_micros() as u64,
+                },
+            })
+            .collect(),
+        rejected: report
+            .rejected
+            .iter()
+            .map(|(name, reason)| RejectedPackageDto {
+                name: name.clone(),
+                reason: reason.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Quoted strong ETag over a byte blob.
+fn etag_for(bytes: &[u8]) -> String {
+    format!("\"{}\"", hex::to_hex(&Sha256::digest(bytes)))
+}
+
+/// Routes one request: recognize, dispatch, count.
+pub(crate) fn handle(svc: &TsrService, req: &Request) -> Response {
+    match routes().recognize(&req.method, &req.path) {
+        Recognized::Match(m) => {
+            let resp = dispatch(svc, *m.value, &m.params, req);
+            let label = format!("{} {}", req.method.to_ascii_uppercase(), m.pattern);
+            svc.api_metrics().record(&label, resp.status);
+            resp
+        }
+        Recognized::MethodNotAllowed(allow) => {
+            if !req.path.starts_with("/v1/") {
+                // Legacy clients never saw 405s — keep the pre-router
+                // plain-text 404 shape outside /v1.
+                return Response::not_found("unknown route");
+            }
+            let allow = allow.join(", ");
+            envelope(
+                405,
+                "method_not_allowed",
+                "method not allowed for this path",
+                &format!("allowed: {allow}"),
+            )
+            .with_header("allow", &allow)
+        }
+        Recognized::NotFound => {
+            if req.path.starts_with("/v1/") {
+                envelope(404, "not_found", "unknown route", &req.path)
+            } else {
+                // Byte-compatible with the pre-router behaviour.
+                Response::not_found("unknown route")
+            }
+        }
+    }
+}
+
+fn dispatch(svc: &TsrService, op: Op, params: &Params, req: &Request) -> Response {
+    match op {
+        Op::V1Health => v1_health(svc),
+        Op::V1Metrics => Response::json(200, svc.api_metrics().snapshot().encode()),
+        Op::V1CreateRepository => v1_create_repository(svc, req),
+        Op::V1ListRepositories => v1_list_repositories(svc),
+        Op::V1RepositoryInfo => v1_repository_info(svc, param(params, "id")),
+        Op::V1DeleteRepository => v1_delete_repository(svc, param(params, "id")),
+        Op::V1Refresh => v1_refresh(svc, param(params, "id")),
+        Op::V1Index => v1_index(svc, param(params, "id"), req),
+        Op::V1Packages => v1_packages(svc, param(params, "id"), params),
+        Op::V1Package => v1_package(svc, param(params, "id"), param(params, "name"), req),
+        Op::V1Attest => v1_attest(svc, param(params, "nonce")),
+        Op::LegacyCreateRepository => legacy_create_repository(svc, req),
+        Op::LegacyRefresh => legacy_refresh(svc, param(params, "id")),
+        Op::LegacyIndex => legacy_index(svc, param(params, "id")),
+        Op::LegacyPackage => legacy_package(svc, param(params, "id"), param(params, "name")),
+        Op::LegacyAttest => legacy_attest(svc, param(params, "nonce")),
+    }
+}
+
+fn param<'p>(params: &'p Params, name: &str) -> &'p str {
+    params.get(name).unwrap_or("")
+}
+
+// ---------------------------------------------------------------------------
+// v1 operations
+// ---------------------------------------------------------------------------
+
+fn v1_health(svc: &TsrService) -> Response {
+    let dto = HealthDto {
+        status: "ok".to_string(),
+        repositories: svc.repository_ids().len() as u64,
+    };
+    Response::json(200, dto.encode())
+}
+
+fn v1_create_repository(svc: &TsrService, req: &Request) -> Response {
+    let text = String::from_utf8_lossy(&req.body);
+    let body = match CreateRepositoryRequest::decode(&text) {
+        Ok(b) => b,
+        Err(m) => {
+            return envelope(
+                400,
+                "invalid_json",
+                "request body must be {\"policy\": \"…\"}",
+                &m,
+            )
+        }
+    };
+    match svc.create_repository(&body.policy) {
+        Ok((id, pem)) => Response::json(
+            201,
+            RepositoryCreated {
+                id,
+                public_key_pem: pem,
+            }
+            .encode(),
+        ),
+        Err(e) => v1_error(&e, "create_repository"),
+    }
+}
+
+fn repository_summary(svc: &TsrService, id: &str) -> Result<RepositoryInfo, CoreError> {
+    svc.with_repository(id, |repo| RepositoryInfo {
+        id: id.to_string(),
+        refreshed: repo.sanitized_index().is_some(),
+        snapshot: repo.sanitized_index().map(|i| i.snapshot),
+        packages: repo.sanitized_index().map(|i| i.len() as u64).unwrap_or(0),
+        rejected: repo.rejected().len() as u64,
+    })
+}
+
+fn v1_list_repositories(svc: &TsrService) -> Response {
+    let mut repositories = Vec::new();
+    for id in svc.repository_ids() {
+        // A repository deleted between the listing and the summary is
+        // simply skipped.
+        if let Ok(info) = repository_summary(svc, &id) {
+            repositories.push(info);
+        }
+    }
+    Response::json(200, RepositoryList { repositories }.encode())
+}
+
+fn v1_repository_info(svc: &TsrService, id: &str) -> Response {
+    match repository_summary(svc, id) {
+        Ok(info) => Response::json(200, info.encode()),
+        Err(e) => v1_error(&e, id),
+    }
+}
+
+fn v1_delete_repository(svc: &TsrService, id: &str) -> Response {
+    match svc.delete_repository(id) {
+        Ok(()) => Response::no_content(),
+        Err(e) => v1_error(&e, id),
+    }
+}
+
+fn v1_refresh(svc: &TsrService, id: &str) -> Response {
+    match svc.refresh(id) {
+        Ok(report) => Response::json(200, report_to_dto(&report).encode()),
+        Err(e) => v1_error(&e, id),
+    }
+}
+
+fn v1_index(svc: &TsrService, id: &str, req: &Request) -> Response {
+    // The repository keeps the signed index's ETag in lockstep with the
+    // blob, so a conditional re-fetch answers 304 without cloning or
+    // hashing anything — the path a polling package manager hits most.
+    let result = svc.with_repository(id, |repo| match repo.signed_index_etag() {
+        Some(etag) if etag_matches(req, etag) => Ok(Response::not_modified(etag)),
+        _ => repo.serve_index().map(|blob| {
+            let etag = repo
+                .signed_index_etag()
+                .map(str::to_string)
+                .unwrap_or_else(|| etag_for(&blob));
+            Response::ok(blob).with_etag(&etag)
+        }),
+    });
+    match result {
+        Ok(Ok(resp)) => resp,
+        Ok(Err(e)) | Err(e) => v1_error(&e, id),
+    }
+}
+
+fn v1_packages(svc: &TsrService, id: &str, params: &Params) -> Response {
+    let offset = match parse_query_u64(params, "offset", 0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let limit = match parse_query_u64(params, "limit", DEFAULT_PAGE_LIMIT) {
+        Ok(v) => v.clamp(1, MAX_PAGE_LIMIT),
+        Err(resp) => return resp,
+    };
+    let page = svc.with_repository(id, |repo| {
+        let Some(index) = repo.sanitized_index() else {
+            return Err(CoreError::NotFound("repository not yet refreshed".into()));
+        };
+        let total = index.len() as u64;
+        let items: Vec<PackageEntryDto> = index
+            .iter()
+            .skip(offset as usize)
+            .take(limit as usize)
+            .map(|e| PackageEntryDto {
+                name: e.name.clone(),
+                version: e.version.clone(),
+                size: e.size,
+                content_hash: e.content_hash.clone(),
+                depends: e.depends.clone(),
+            })
+            .collect();
+        Ok(PackagePage {
+            total,
+            offset,
+            limit,
+            items,
+        })
+    });
+    match page {
+        Ok(Ok(page)) => Response::json(200, page.encode()),
+        Ok(Err(e)) | Err(e) => v1_error(&e, id),
+    }
+}
+
+fn parse_query_u64(params: &Params, name: &str, default: u64) -> Result<u64, Response> {
+    match params.query(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| {
+            envelope(
+                400,
+                "invalid_query",
+                &format!("query parameter {name:?} must be a non-negative integer"),
+                raw,
+            )
+        }),
+    }
+}
+
+fn v1_package(svc: &TsrService, id: &str, name: &str, req: &Request) -> Response {
+    // The index entry's content_hash IS the SHA-256 of the sanitized blob
+    // (serve_package verifies the cached bytes against it), so the ETag
+    // comes for free — no per-request full-blob hash on the hot path.
+    let result = svc.with_repository(id, |repo| {
+        let hash = repo
+            .sanitized_index()
+            .and_then(|idx| idx.get(name))
+            .map(|entry| entry.content_hash.clone());
+        repo.serve_package(name)
+            .map(|(blob, _)| (blob, format!("\"{}\"", hash.unwrap_or_default())))
+    });
+    match result {
+        Ok(Ok((blob, etag))) => {
+            if etag_matches(req, &etag) {
+                Response::not_modified(&etag)
+            } else {
+                Response::ok(blob).with_etag(&etag)
+            }
+        }
+        Ok(Err(e)) | Err(e) => v1_error(&e, &format!("{id}/{name}")),
+    }
+}
+
+fn v1_attest(svc: &TsrService, nonce_hex: &str) -> Response {
+    match hex::from_hex(nonce_hex) {
+        Some(nonce) => {
+            let (mrenclave, report_data, signature) = svc.attestation_report(&nonce);
+            Response::json(
+                200,
+                tsr_wire::dto::AttestationDto {
+                    mrenclave,
+                    report_data,
+                    signature,
+                }
+                .encode(),
+            )
+        }
+        None => envelope(400, "invalid_nonce", "nonce must be hex", nonce_hex),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy operations (thin shim; success bodies byte-compatible)
+// ---------------------------------------------------------------------------
+
+fn legacy_create_repository(svc: &TsrService, req: &Request) -> Response {
+    let text = String::from_utf8_lossy(&req.body);
+    match svc.create_repository(&text) {
+        Ok((id, pem)) => Response::ok(format!("{id}\n{pem}").into_bytes()),
+        Err(e) => legacy_error(&e),
+    }
+}
+
+fn legacy_refresh(svc: &TsrService, id: &str) -> Response {
+    match svc.refresh(id) {
+        Ok(report) => Response::ok(
+            format!(
+                "downloaded={} sanitized={} rejected={}\n",
+                report.downloaded,
+                report.sanitized.len(),
+                report.rejected.len()
+            )
+            .into_bytes(),
+        ),
+        Err(e) => legacy_error(&e),
+    }
+}
+
+fn legacy_index(svc: &TsrService, id: &str) -> Response {
+    match svc.fetch_index(id) {
+        Ok(blob) => Response::ok(blob),
+        Err(e) => legacy_error(&e),
+    }
+}
+
+fn legacy_package(svc: &TsrService, id: &str, name: &str) -> Response {
+    match svc.fetch_package(id, name) {
+        Ok(blob) => Response::ok(blob),
+        Err(e) => legacy_error(&e),
+    }
+}
+
+fn legacy_attest(svc: &TsrService, nonce_hex: &str) -> Response {
+    match hex::from_hex(nonce_hex) {
+        Some(nonce) => {
+            let (mr, data, sig) = svc.attestation_report(&nonce);
+            Response::ok(format!("{mr}\n{data}\n{sig}\n").into_bytes())
+        }
+        None => Response::bad_request("nonce must be hex"),
+    }
+}

@@ -11,7 +11,9 @@
 //! - [`cache`]: the package cache with SGX-sealing + TPM-monotonic-counter
 //!   rollback protection (§5.5),
 //! - [`repository`]: one client's repository (quorum refresh, serving),
-//! - [`service`]: the multi-tenant REST service (§5.2).
+//! - [`service`]: the multi-tenant REST service (§5.2),
+//! - [`api`]: the versioned `/v1` JSON API (router, per-route metrics,
+//!   error-code mapping) and the legacy plain-text shim.
 //!
 //! - [`parallel`]: the work-stealing pool that fans the refresh hot path
 //!   out across cores (deterministic result ordering),
@@ -27,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cache;
 pub mod error;
 pub mod parallel;
@@ -35,10 +38,11 @@ pub mod repository;
 pub mod sanitizer;
 pub mod service;
 
+pub use api::{error_status, ApiMetrics};
 pub use cache::{PackageCache, SealedState};
 pub use error::CoreError;
 pub use parallel::{default_workers, parallel_map_ordered};
 pub use policy::{InitConfigFile, MirrorRef, Policy};
 pub use repository::{RefreshReport, TsrRepository};
 pub use sanitizer::{PackageSanitizer, PhaseTimings, SanitizeRecord};
-pub use service::TsrService;
+pub use service::{ApiOptions, TsrService};

@@ -51,6 +51,10 @@ pub struct TsrRepository {
     upstream_index: Option<Index>,
     sanitized_index: Option<Index>,
     signed_sanitized_index: Vec<u8>,
+    /// Quoted SHA-256 ETag of `signed_sanitized_index`, kept in lockstep
+    /// (computed once per refresh/restore so conditional GETs never hash
+    /// the blob per request). Empty ⟺ the signed index is empty.
+    signed_index_etag: String,
     sanitizer: Option<PackageSanitizer>,
     universe_fingerprint: String,
     counter_id: u32,
@@ -92,6 +96,7 @@ impl TsrRepository {
             upstream_index: None,
             sanitized_index: None,
             signed_sanitized_index: Vec::new(),
+            signed_index_etag: String::new(),
             sanitizer: None,
             universe_fingerprint: String::new(),
             counter_id,
@@ -358,6 +363,7 @@ impl TsrRepository {
 
         // 6. Sign the sanitized index with the TSR key.
         self.signed_sanitized_index = sanitized_index.sign(&self.signing_key, &self.signer_name);
+        self.signed_index_etag = etag_of(&self.signed_sanitized_index);
         self.upstream_index = Some(new_index);
         self.sanitized_index = Some(sanitized_index);
         self.sanitizer = Some(sanitizer);
@@ -375,6 +381,16 @@ impl TsrRepository {
             return Err(CoreError::NotFound("repository not yet refreshed".into()));
         }
         Ok(self.signed_sanitized_index.clone())
+    }
+
+    /// The quoted strong ETag of the signed index (`None` before the
+    /// first refresh). Computed once per refresh, not per request.
+    pub fn signed_index_etag(&self) -> Option<&str> {
+        if self.signed_index_etag.is_empty() {
+            None
+        } else {
+            Some(&self.signed_index_etag)
+        }
     }
 
     /// Serves a sanitized package from the cache, verifying it against the
@@ -452,6 +468,7 @@ impl TsrRepository {
         self.upstream_index = None;
         self.sanitized_index = None;
         self.signed_sanitized_index.clear();
+        self.signed_index_etag.clear();
         self.sanitizer = None;
         self.universe_fingerprint.clear();
         self.touches_accounts.clear();
@@ -485,9 +502,22 @@ impl TsrRepository {
             Some(idx) => idx.sign(&self.signing_key, &self.signer_name),
             None => Vec::new(),
         };
+        self.signed_index_etag = if self.signed_sanitized_index.is_empty() {
+            String::new()
+        } else {
+            etag_of(&self.signed_sanitized_index)
+        };
         self.sanitized_index = sanitized;
         Ok(())
     }
+}
+
+/// Quoted strong ETag over a byte blob.
+fn etag_of(bytes: &[u8]) -> String {
+    format!(
+        "\"{}\"",
+        tsr_crypto::hex::to_hex(&tsr_crypto::Sha256::digest(bytes))
+    )
 }
 
 /// Re-sanitizes one package on demand — used by benchmarks reproducing the

@@ -2,28 +2,34 @@
 //!
 //! A single TSR instance, executing inside one enclave, hosts many logically
 //! separated repositories — one per deployed policy. Clients interact over
-//! HTTP:
+//! HTTP through the versioned `/v1` JSON API (see [`crate::api`] for the
+//! route table and error contract); the original plain-text routes remain
+//! available as a byte-compatible legacy shim:
 //!
-//! | Route | Effect |
-//! |---|---|
-//! | `POST /repositories` (policy text body) | create a repository; returns `id\n<public key PEM>` |
-//! | `POST /repositories/{id}/refresh` | quorum-read upstream, sanitize changes |
-//! | `GET /repositories/{id}/APKINDEX` | the signed sanitized index |
-//! | `GET /repositories/{id}/packages/{name}` | a sanitized package blob |
-//! | `GET /attestation/{hex-nonce}` | SGX attestation report over the nonce |
+//! | v1 route | Legacy shim | Effect |
+//! |---|---|---|
+//! | `POST /v1/repositories` | `POST /repositories` | create a repository |
+//! | `POST /v1/repositories/{id}/refresh` | `POST /repositories/{id}/refresh` | quorum-read upstream, sanitize changes |
+//! | `GET /v1/repositories/{id}/index` | `GET /repositories/{id}/APKINDEX` | the signed sanitized index (ETag-aware on v1) |
+//! | `GET /v1/repositories/{id}/packages/{name}` | `GET /repositories/{id}/packages/{name}` | a sanitized package blob |
+//! | `GET /v1/attestation/{hex-nonce}` | `GET /attestation/{hex-nonce}` | SGX attestation report over the nonce |
+//! | `GET /v1/repositories`, `GET/DELETE /v1/repositories/{id}`, `GET /v1/repositories/{id}/packages`, `GET /v1/healthz`, `GET /v1/metrics` | — | listing, info, delete, pagination, health, counters |
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Duration;
 
 use tsr_crypto::drbg::HmacDrbg;
 use tsr_crypto::hex;
-use tsr_http::{Request, Response, Server};
+use tsr_http::middleware::{AccessLog, BodyLimit, CatchPanic, Chain, RateLimit, RequestId};
+use tsr_http::{Request, Response, Server, ServerConfig};
 use tsr_mirror::Mirror;
 use tsr_net::LatencyModel;
 use tsr_sgx::Cpu;
 use tsr_tpm::Tpm;
 
+use crate::api::{self, ApiMetrics};
 use crate::error::CoreError;
 use crate::parallel::default_workers;
 use crate::policy::Policy;
@@ -51,6 +57,7 @@ struct SharedState {
     next_id: AtomicU64,
     key_bits: usize,
     workers: AtomicUsize,
+    metrics: ApiMetrics,
 }
 
 /// The multi-tenant TSR service.
@@ -64,7 +71,7 @@ struct SharedState {
 /// refresh of one tenant runs concurrently with index/package reads on
 /// every other tenant.
 ///
-/// Shared hardware has its own fine-grained locks (see [`SharedState`]).
+/// Shared hardware has its own fine-grained locks (see `SharedState`).
 /// The lock order is `repository → tpm`; the mirrors and RNG locks are
 /// only ever held on their own (the mirror fleet is snapshotted before a
 /// refresh starts), and no repository lock is ever taken while holding
@@ -110,6 +117,7 @@ impl TsrService {
                 next_id: AtomicU64::new(1),
                 key_bits,
                 workers: AtomicUsize::new(default_workers()),
+                metrics: ApiMetrics::default(),
             }),
             repos: Arc::new(RwLock::new(BTreeMap::new())),
         }
@@ -327,58 +335,135 @@ impl TsrService {
         )
     }
 
-    /// Routes an HTTP request (also usable without a real socket).
-    pub fn handle(&self, req: &Request) -> Response {
-        let path: Vec<&str> = req.path.trim_matches('/').split('/').collect();
-        match (req.method.as_str(), path.as_slice()) {
-            ("POST", ["repositories"]) => {
-                let text = String::from_utf8_lossy(&req.body);
-                match self.create_repository(&text) {
-                    Ok((id, pem)) => Response::ok(format!("{id}\n{pem}").into_bytes()),
-                    Err(e) => Response::bad_request(&e.to_string()),
-                }
-            }
-            ("POST", ["repositories", id, "refresh"]) => match self.refresh(id) {
-                Ok(report) => Response::ok(
-                    format!(
-                        "downloaded={} sanitized={} rejected={}\n",
-                        report.downloaded,
-                        report.sanitized.len(),
-                        report.rejected.len()
-                    )
-                    .into_bytes(),
-                ),
-                Err(CoreError::NotFound(m)) => Response::not_found(&m),
-                Err(e) => Response::server_error(&e.to_string()),
-            },
-            ("GET", ["repositories", id, "APKINDEX"]) => match self.fetch_index(id) {
-                Ok(blob) => Response::ok(blob),
-                Err(e) => Response::not_found(&e.to_string()),
-            },
-            ("GET", ["repositories", id, "packages", name]) => match self.fetch_package(id, name) {
-                Ok(blob) => Response::ok(blob),
-                Err(CoreError::RollbackDetected(m)) => Response::server_error(&m),
-                Err(e) => Response::not_found(&e.to_string()),
-            },
-            ("GET", ["attestation", nonce_hex]) => match hex::from_hex(nonce_hex) {
-                Some(nonce) => {
-                    let (mr, data, sig) = self.attestation_report(&nonce);
-                    Response::ok(format!("{mr}\n{data}\n{sig}\n").into_bytes())
-                }
-                None => Response::bad_request("nonce must be hex"),
-            },
-            _ => Response::not_found("unknown route"),
-        }
+    /// All repository ids currently hosted.
+    pub fn repository_ids(&self) -> Vec<String> {
+        self.repos
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect()
     }
 
-    /// Binds an HTTP server exposing [`Self::handle`].
+    /// Deletes a repository, dropping its shard (the TPM counter is
+    /// retired with it; a new repository under the same policy gets a
+    /// fresh id and key).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown ids.
+    pub fn delete_repository(&self, id: &str) -> Result<(), CoreError> {
+        self.repos
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))
+    }
+
+    /// Runs `f` with **mutable** access to a repository (failure
+    /// injection in tests: cache tampering, sealed-blob replacement).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown ids.
+    pub fn with_repository_mut<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&mut TsrRepository) -> R,
+    ) -> Result<R, CoreError> {
+        let shard = self.repo(id)?;
+        let mut repo = lock(&shard);
+        Ok(f(&mut repo))
+    }
+
+    /// The per-route request counters backing `GET /v1/metrics`.
+    pub fn api_metrics(&self) -> &ApiMetrics {
+        &self.shared.metrics
+    }
+
+    /// Routes an HTTP request (also usable without a real socket): the
+    /// `/v1` JSON surface plus the legacy plain-text shim. See
+    /// [`crate::api`] for routes and the error contract.
+    pub fn handle(&self, req: &Request) -> Response {
+        api::handle(self, req)
+    }
+
+    /// Binds an HTTP server exposing [`Self::handle`] behind the default
+    /// middleware stack ([`ApiOptions::default`]).
     ///
     /// # Errors
     ///
     /// [`tsr_http::HttpError`] when the address cannot be bound.
     pub fn serve(&self, addr: &str) -> Result<Server, tsr_http::HttpError> {
+        self.serve_with_options(addr, ApiOptions::default())
+    }
+
+    /// Binds an HTTP server with explicit middleware/transport tunables.
+    ///
+    /// The middleware stack, outermost first: panic containment →
+    /// request-id injection → structured access log → token-bucket rate
+    /// limit → body-size guard → router.
+    ///
+    /// Two body limits apply at different layers: requests over
+    /// [`ApiOptions::max_body`] get the middleware's JSON 413 envelope;
+    /// the transport additionally refuses to *read* bodies over four
+    /// times that (memory protection — those get the transport's plain
+    /// 413 and a closed connection).
+    ///
+    /// # Errors
+    ///
+    /// [`tsr_http::HttpError`] when the address cannot be bound.
+    pub fn serve_with_options(
+        &self,
+        addr: &str,
+        options: ApiOptions,
+    ) -> Result<Server, tsr_http::HttpError> {
         let service = self.clone();
-        Server::bind(addr, move |req| service.handle(req))
+        let mut chain = Chain::new(move |req: &mut Request| service.handle(req))
+            .wrap(BodyLimit(options.max_body));
+        if let Some((burst, per_sec)) = options.rate_limit {
+            chain = chain.wrap(RateLimit::new(burst, per_sec));
+        }
+        let chain = chain
+            .wrap(AccessLog::default())
+            .wrap(RequestId::new())
+            .wrap(CatchPanic);
+        Server::bind_with_config(
+            addr,
+            chain.into_handler(),
+            ServerConfig {
+                workers: options.workers,
+                read_deadline: options.read_deadline,
+                max_body: options.max_body.saturating_mul(4),
+            },
+        )
+    }
+}
+
+/// Tunables for [`TsrService::serve_with_options`].
+#[derive(Debug, Clone)]
+pub struct ApiOptions {
+    /// Worker-pool size of the HTTP server.
+    pub workers: usize,
+    /// Token-bucket rate limit `(burst, refill per second)`; `None`
+    /// disables limiting.
+    pub rate_limit: Option<(u32, f64)>,
+    /// Maximum request-body size (policies are small; 16 MiB default).
+    pub max_body: usize,
+    /// Slow-loris read deadline on the socket.
+    pub read_deadline: Duration,
+}
+
+impl Default for ApiOptions {
+    fn default() -> Self {
+        ApiOptions {
+            workers: tsr_http::default_pool_size(),
+            // Generous: protects against floods without throttling tests.
+            rate_limit: Some((10_000, 10_000.0)),
+            max_body: 16 << 20,
+            read_deadline: Duration::from_secs(10),
+        }
     }
 }
 

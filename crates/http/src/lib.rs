@@ -5,6 +5,17 @@
 //! (§5). Enough of the protocol for a package manager to fetch indexes and
 //! packages from TSR, and for OS owners to deploy policies.
 //!
+//! Besides the transport ([`Server`] / [`Client`]), the crate provides the
+//! building blocks of the versioned REST surface:
+//!
+//! - [`router`]: a path-pattern router with `:param` captures, static-over-
+//!   param precedence, and 405-vs-404 discrimination,
+//! - [`middleware`]: a composable middleware chain (request-id injection,
+//!   structured access logging, token-bucket rate limiting, body-size
+//!   guard, panic containment),
+//! - [`Response`] helpers that set `Content-Type` and support
+//!   ETag/`If-None-Match` conditional GETs.
+//!
 //! # Examples
 //!
 //! ```
@@ -22,15 +33,18 @@
 
 #![warn(missing_docs)]
 
+pub mod middleware;
+pub mod router;
+
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
 /// Errors produced by HTTP operations.
 #[derive(Debug)]
@@ -93,40 +107,79 @@ pub struct Response {
 }
 
 impl Response {
-    /// 200 with a binary body.
-    pub fn ok(body: Vec<u8>) -> Self {
+    /// An arbitrary-status response with an explicit `Content-Type`.
+    pub fn with_content_type(status: u16, content_type: &str, body: Vec<u8>) -> Self {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-type".to_string(), content_type.to_string());
         Response {
-            status: 200,
-            headers: BTreeMap::new(),
+            status,
+            headers,
             body,
+        }
+    }
+
+    /// 200 with a binary body (`application/octet-stream`).
+    pub fn ok(body: Vec<u8>) -> Self {
+        Response::with_content_type(200, "application/octet-stream", body)
+    }
+
+    /// An arbitrary-status `text/plain` response.
+    pub fn text(status: u16, msg: &str) -> Self {
+        Response::with_content_type(status, "text/plain; charset=utf-8", msg.as_bytes().to_vec())
+    }
+
+    /// An arbitrary-status `application/json` response from pre-encoded
+    /// JSON text.
+    pub fn json(status: u16, json: String) -> Self {
+        Response::with_content_type(status, "application/json", json.into_bytes())
+    }
+
+    /// 204 with no body.
+    pub fn no_content() -> Self {
+        Response {
+            status: 204,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// 304 carrying the entity tag that matched.
+    pub fn not_modified(etag: &str) -> Self {
+        let mut headers = BTreeMap::new();
+        headers.insert("etag".to_string(), etag.to_string());
+        Response {
+            status: 304,
+            headers,
+            body: Vec::new(),
         }
     }
 
     /// 404 with a text message.
     pub fn not_found(msg: &str) -> Self {
-        Response {
-            status: 404,
-            headers: BTreeMap::new(),
-            body: msg.as_bytes().to_vec(),
-        }
+        Response::text(404, msg)
     }
 
     /// 400 with a text message.
     pub fn bad_request(msg: &str) -> Self {
-        Response {
-            status: 400,
-            headers: BTreeMap::new(),
-            body: msg.as_bytes().to_vec(),
-        }
+        Response::text(400, msg)
     }
 
     /// 500 with a text message.
     pub fn server_error(msg: &str) -> Self {
-        Response {
-            status: 500,
-            headers: BTreeMap::new(),
-            body: msg.as_bytes().to_vec(),
-        }
+        Response::text(500, msg)
+    }
+
+    /// Adds/replaces one header (builder style). Header names are
+    /// lower-cased.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    /// Attaches an `ETag` header (builder style).
+    pub fn with_etag(self, etag: &str) -> Self {
+        self.with_header("etag", etag)
     }
 
     /// Converts non-2xx responses into [`HttpError::Status`].
@@ -135,7 +188,7 @@ impl Response {
     ///
     /// Returns the status and body for non-success responses.
     pub fn into_result(self) -> Result<Response, HttpError> {
-        if (200..300).contains(&self.status) {
+        if (200..300).contains(&self.status) || self.status == 304 {
             Ok(self)
         } else {
             Err(HttpError::Status(self.status, self.body))
@@ -143,18 +196,82 @@ impl Response {
     }
 }
 
+/// True when the request's `If-None-Match` header matches `etag` (either
+/// the wildcard `*` or a comma-separated list containing the tag).
+pub fn etag_matches(req: &Request, etag: &str) -> bool {
+    match req.headers.get("if-none-match") {
+        None => false,
+        Some(v) => {
+            v.trim() == "*"
+                || v.split(',')
+                    .any(|candidate| candidate.trim().trim_start_matches("W/") == etag)
+        }
+    }
+}
+
 fn status_text(code: u16) -> &'static str {
     match code {
         200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// The request handler type.
-pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+/// Formats a `SystemTime` as an RFC 7231 `Date` header value
+/// (`Tue, 29 Jul 2026 12:00:00 GMT`).
+pub fn http_date(t: SystemTime) -> String {
+    let secs = t
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    // Civil-from-days (Howard Hinnant's algorithm), valid for our era.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    const WEEKDAYS: [&str; 7] = ["Thu", "Fri", "Sat", "Sun", "Mon", "Tue", "Wed"];
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    format!(
+        "{}, {:02} {} {} {:02}:{:02}:{:02} GMT",
+        WEEKDAYS[days.rem_euclid(7) as usize],
+        d,
+        MONTHS[(month - 1) as usize],
+        year,
+        h,
+        m,
+        s
+    )
+}
+
+/// The request handler type. Handlers get `&mut Request` so middleware can
+/// enrich requests in flight (e.g. request-id injection).
+pub type Handler = dyn Fn(&mut Request) -> Response + Send + Sync;
 
 /// The default worker-pool size for [`Server::bind`]: twice the available
 /// cores, but at least 8 threads so small machines still overlap slow
@@ -164,6 +281,30 @@ pub fn default_pool_size() -> usize {
         .map(|n| n.get() * 2)
         .unwrap_or(8)
         .max(8)
+}
+
+/// Tunables for [`Server::bind_with_config`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker-pool size (at least 1).
+    pub workers: usize,
+    /// Total deadline for reading one request (head *and* body). A client
+    /// trickling bytes slower than this — a slow-loris — is answered with
+    /// 408 (when the head never completed) and disconnected.
+    pub read_deadline: Duration,
+    /// Maximum accepted request-body size; larger requests get 413 and the
+    /// connection is closed without reading the body.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: default_pool_size(),
+            read_deadline: Duration::from_secs(10),
+            max_body: 256 << 20,
+        }
+    }
 }
 
 /// A threaded HTTP server backed by a **bounded** worker pool.
@@ -189,17 +330,17 @@ impl fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds and starts serving with `handler` on a worker pool of
-    /// [`default_pool_size`] threads.
+    /// Binds and starts serving with `handler` using [`ServerConfig`]
+    /// defaults.
     ///
     /// # Errors
     ///
     /// Returns [`HttpError::Io`] when the address cannot be bound.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
-        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+        handler: impl Fn(&mut Request) -> Response + Send + Sync + 'static,
     ) -> Result<Self, HttpError> {
-        Self::bind_with_workers(addr, handler, default_pool_size())
+        Self::bind_with_config(addr, handler, ServerConfig::default())
     }
 
     /// Binds and starts serving with `handler` on exactly `workers`
@@ -210,14 +351,36 @@ impl Server {
     /// Returns [`HttpError::Io`] when the address cannot be bound.
     pub fn bind_with_workers<A: ToSocketAddrs>(
         addr: A,
-        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+        handler: impl Fn(&mut Request) -> Response + Send + Sync + 'static,
         workers: usize,
     ) -> Result<Self, HttpError> {
-        let workers = workers.max(1);
+        Self::bind_with_config(
+            addr,
+            handler,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Binds and starts serving with `handler` under explicit
+    /// [`ServerConfig`] tunables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Io`] when the address cannot be bound.
+    pub fn bind_with_config<A: ToSocketAddrs>(
+        addr: A,
+        handler: impl Fn(&mut Request) -> Response + Send + Sync + 'static,
+        config: ServerConfig,
+    ) -> Result<Self, HttpError> {
+        let workers = config.workers.max(1);
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let handler: Arc<Handler> = Arc::new(handler);
+        let config = Arc::new(config);
 
         // Bounded hand-off queue: accept blocks once `4 × workers`
         // connections are waiting, shedding load at the kernel backlog
@@ -230,6 +393,7 @@ impl Server {
                 let rx = rx.clone();
                 let handler = handler.clone();
                 let stop = stop.clone();
+                let config = config.clone();
                 std::thread::spawn(move || loop {
                     // Take the queue lock only to pull the next connection.
                     let conn = match rx.lock() {
@@ -241,7 +405,7 @@ impl Server {
                             // A panicking handler must not shrink the fixed
                             // pool — contain it to this one connection.
                             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                serve_connection(stream, &handler, &stop)
+                                serve_connection(stream, &handler, &stop, &config)
                             }));
                         }
                         Err(_) => break, // accept loop gone → drain done
@@ -308,13 +472,197 @@ impl Drop for Server {
     }
 }
 
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+
+/// What went wrong while reading one request off a connection.
+enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Clean EOF before any byte of a new request.
+    Closed,
+    /// The total read deadline expired (slow-loris) → 408.
+    TimedOut,
+    /// The head exceeded [`MAX_HEAD`] → 431.
+    HeadTooLarge,
+    /// Declared body larger than the configured maximum → 413. Carries the
+    /// declared length so the server can drain a bounded amount before
+    /// responding (closing with unread data risks an RST that destroys the
+    /// in-flight error response).
+    BodyTooLarge(usize),
+    /// Unparseable request → 400.
+    Malformed(String),
+    /// `Transfer-Encoding` is not supported → 501. Ignoring it and
+    /// trusting `Content-Length` would desynchronize keep-alive
+    /// connections (the classic TE/CL request-smuggling shape), so such
+    /// requests are refused outright.
+    UnsupportedTransferEncoding,
+    /// Socket error; just drop the connection.
+    Io,
+}
+
+/// Buffered connection reader enforcing a total per-request deadline even
+/// against byte-at-a-time trickling.
+struct ConnReader {
+    stream: TcpStream,
+    /// Received-but-unconsumed bytes (pipelined or split reads).
+    buf: Vec<u8>,
+}
+
+impl ConnReader {
+    /// Reads until the blank line ending the head, returning the head
+    /// bytes. `Ok(None)` means clean EOF before any byte.
+    fn read_head(&mut self, deadline: Duration) -> Result<Option<Vec<u8>>, ReadOutcome> {
+        let start = Instant::now();
+        loop {
+            if let Some(end) = find_double_crlf(&self.buf) {
+                let head: Vec<u8> = self.buf.drain(..end + 4).collect();
+                return Ok(Some(head));
+            }
+            if self.buf.len() > MAX_HEAD {
+                return Err(ReadOutcome::HeadTooLarge);
+            }
+            let nothing_received = self.buf.is_empty();
+            match self.fill(start, deadline) {
+                Ok(0) if nothing_received => return Ok(None),
+                Ok(0) => return Err(ReadOutcome::Malformed("eof in headers".into())),
+                Ok(_) => {}
+                // An idle keep-alive connection expiring is a silent close;
+                // 408 is reserved for half-received (trickled) requests.
+                Err(ReadOutcome::TimedOut) if nothing_received => return Ok(None),
+                Err(o) => return Err(o),
+            }
+        }
+    }
+
+    /// Reads exactly `n` body bytes under the same total deadline.
+    fn read_body(
+        &mut self,
+        n: usize,
+        start: Instant,
+        deadline: Duration,
+    ) -> Result<Vec<u8>, ReadOutcome> {
+        while self.buf.len() < n {
+            match self.fill(start, deadline) {
+                Ok(0) => return Err(ReadOutcome::Malformed("eof in body".into())),
+                Ok(_) => {}
+                Err(o) => return Err(o),
+            }
+        }
+        let body: Vec<u8> = self.buf.drain(..n).collect();
+        Ok(body)
+    }
+
+    /// One deadline-bounded `read` into the buffer.
+    fn fill(&mut self, start: Instant, deadline: Duration) -> Result<usize, ReadOutcome> {
+        let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
+            return Err(ReadOutcome::TimedOut);
+        };
+        if self
+            .stream
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+            .is_err()
+        {
+            return Err(ReadOutcome::Io);
+        }
+        let mut chunk = [0u8; 8192];
+        match self.stream.read(&mut chunk) {
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(n)
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(ReadOutcome::TimedOut)
+            }
+            Err(_) => Err(ReadOutcome::Io),
+        }
+    }
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the request head (request line + header lines).
+fn parse_head(head: &[u8]) -> Result<(String, String, BTreeMap<String, String>), String> {
+    let text = String::from_utf8_lossy(head);
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("missing path")?.to_string();
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        // The head splits on \r\n only; a bare LF (or any control byte)
+        // smuggled inside a header value would otherwise survive into the
+        // header map and — once echoed (e.g. x-request-id) — split the
+        // *response* head. Reject such requests outright.
+        if line.chars().any(|c| c.is_control() && c != '\t') {
+            // Deliberately not echoing the line: it is attacker-shaped.
+            return Err("control character in header line".to_string());
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("bad header line {line:?}"))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    Ok((method, path, headers))
+}
+
+/// Reads one full request off the connection, enforcing deadline and size
+/// limits.
+fn read_one_request(conn: &mut ConnReader, config: &ServerConfig) -> ReadOutcome {
+    let start = Instant::now();
+    let head = match conn.read_head(config.read_deadline) {
+        Ok(Some(h)) => h,
+        Ok(None) => return ReadOutcome::Closed,
+        Err(o) => return o,
+    };
+    let (method, path, headers) = match parse_head(&head) {
+        Ok(t) => t,
+        Err(m) => return ReadOutcome::Malformed(m),
+    };
+    if headers.contains_key("transfer-encoding") {
+        return ReadOutcome::UnsupportedTransferEncoding;
+    }
+    let len: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => return ReadOutcome::Malformed(format!("bad content-length {v:?}")),
+        },
+    };
+    if len > config.max_body {
+        return ReadOutcome::BodyTooLarge(len);
+    }
+    let body = match conn.read_body(len, start, config.read_deadline) {
+        Ok(b) => b,
+        Err(o) => return o,
+    };
+    ReadOutcome::Request(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
 fn serve_connection(
     stream: TcpStream,
     handler: &Arc<Handler>,
     stop: &AtomicBool,
+    config: &ServerConfig,
 ) -> Result<(), HttpError> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut conn = ConnReader {
+        stream,
+        buf: Vec::new(),
+    };
     loop {
         // Close keep-alive connections once shutdown starts, so joining
         // the pool is bounded by one in-flight request + read timeout
@@ -322,46 +670,60 @@ fn serve_connection(
         if stop.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let req = match read_request(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) => return Ok(()), // clean close
-            Err(_) => return Ok(()),
+        let mut req = match read_one_request(&mut conn, config) {
+            ReadOutcome::Request(r) => r,
+            ReadOutcome::Closed | ReadOutcome::Io => return Ok(()),
+            // Best-effort error response, then close the connection.
+            ReadOutcome::TimedOut => {
+                let _ = write_response(
+                    &mut &conn.stream,
+                    &Response::text(408, "request read deadline exceeded"),
+                    false,
+                );
+                return Ok(());
+            }
+            ReadOutcome::HeadTooLarge => {
+                let _ = write_response(
+                    &mut &conn.stream,
+                    &Response::text(431, "request head too large"),
+                    false,
+                );
+                return Ok(());
+            }
+            ReadOutcome::BodyTooLarge(declared) => {
+                // Drain a bounded amount so the response survives the close.
+                let _ = conn.read_body(declared.min(1 << 20), Instant::now(), config.read_deadline);
+                let _ = write_response(
+                    &mut &conn.stream,
+                    &Response::text(413, "request body too large"),
+                    false,
+                );
+                return Ok(());
+            }
+            ReadOutcome::UnsupportedTransferEncoding => {
+                let _ = write_response(
+                    &mut &conn.stream,
+                    &Response::text(501, "transfer-encoding is not supported"),
+                    false,
+                );
+                return Ok(());
+            }
+            ReadOutcome::Malformed(m) => {
+                let _ = write_response(&mut &conn.stream, &Response::bad_request(&m), false);
+                return Ok(());
+            }
         };
         let keep_alive = req
             .headers
             .get("connection")
             .map(|v| v.eq_ignore_ascii_case("keep-alive"))
             .unwrap_or(true); // HTTP/1.1 default
-        let resp = handler(&req);
-        write_response(&mut &stream, &resp, keep_alive)?;
+        let resp = handler(&mut req);
+        write_response(&mut &conn.stream, &resp, keep_alive)?;
         if !keep_alive {
             return Ok(());
         }
     }
-}
-
-fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
-    }
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| HttpError::Protocol("empty request line".into()))?
-        .to_string();
-    let path = parts
-        .next()
-        .ok_or_else(|| HttpError::Protocol("missing path".into()))?
-        .to_string();
-    let headers = read_headers(reader)?;
-    let body = read_body(reader, &headers)?;
-    Ok(Some(Request {
-        method,
-        path,
-        headers,
-        body,
-    }))
 }
 
 fn read_headers<R: BufRead>(reader: &mut R) -> Result<BTreeMap<String, String>, HttpError> {
@@ -400,14 +762,23 @@ fn read_body<R: BufRead>(
 }
 
 fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> Result<(), HttpError> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\n",
-        resp.status,
-        status_text(resp.status),
-        resp.body.len()
-    );
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, status_text(resp.status));
+    // RFC 9110 §8.6: no Content-Length on 1xx/204.
+    if resp.status != 204 && !(100..200).contains(&resp.status) {
+        head.push_str(&format!("content-length: {}\r\n", resp.body.len()));
+    }
+    // Standard response headers, set centrally so handlers never have to.
+    if !resp.headers.contains_key("date") {
+        head.push_str(&format!("date: {}\r\n", http_date(SystemTime::now())));
+    }
+    if !resp.headers.contains_key("server") {
+        head.push_str("server: tsr-http/0.1\r\n");
+    }
     for (k, v) in &resp.headers {
-        if k != "content-length" {
+        // Never emit a header that could split the head (CR/LF or other
+        // control bytes in names/values) — drop it instead.
+        let injectable = |s: &str| s.chars().any(|c| c.is_control());
+        if k != "content-length" && !injectable(k) && !injectable(v) {
             head.push_str(&format!("{k}: {v}\r\n"));
         }
     }
@@ -436,6 +807,14 @@ impl Client {
         }
     }
 
+    /// A client with an explicit per-operation timeout, applied to
+    /// connection establishment and every socket read/write.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Client {
+            timeout: Some(timeout),
+        }
+    }
+
     /// Issues a GET request to an `http://host:port/path` URL.
     ///
     /// # Errors
@@ -443,7 +822,7 @@ impl Client {
     /// [`HttpError::Protocol`] on malformed URLs, [`HttpError::Io`] on
     /// connection problems.
     pub fn get(&self, url: &str) -> Result<Response, HttpError> {
-        self.request("GET", url, &[])
+        self.request("GET", url, &[], &[])
     }
 
     /// Issues a POST request with a body.
@@ -452,24 +831,35 @@ impl Client {
     ///
     /// Same as [`Self::get`].
     pub fn post(&self, url: &str, body: &[u8]) -> Result<Response, HttpError> {
-        self.request("POST", url, body)
+        self.request("POST", url, body, &[])
     }
 
-    /// Issues an arbitrary-method request.
+    /// Issues an arbitrary-method request with extra headers
+    /// (`(name, value)` pairs).
     ///
     /// # Errors
     ///
     /// Same as [`Self::get`].
-    pub fn request(&self, method: &str, url: &str, body: &[u8]) -> Result<Response, HttpError> {
+    pub fn request(
+        &self,
+        method: &str,
+        url: &str,
+        body: &[u8],
+        extra_headers: &[(&str, &str)],
+    ) -> Result<Response, HttpError> {
         let (host, path) = parse_url(url)?;
-        let stream = TcpStream::connect(&host)?;
+        let stream = self.connect(&host)?;
         stream.set_read_timeout(self.timeout)?;
         stream.set_write_timeout(self.timeout)?;
         let mut w = &stream;
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (k, v) in extra_headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str("connection: close\r\n\r\n");
         w.write_all(head.as_bytes())?;
         w.write_all(body)?;
         w.flush()?;
@@ -489,6 +879,20 @@ impl Client {
             headers,
             body,
         })
+    }
+
+    /// Connects with the configured timeout (when one is set).
+    fn connect(&self, host: &str) -> Result<TcpStream, HttpError> {
+        match self.timeout {
+            None => Ok(TcpStream::connect(host)?),
+            Some(t) => {
+                let addr = host
+                    .to_socket_addrs()?
+                    .next()
+                    .ok_or_else(|| HttpError::Protocol(format!("unresolvable host {host:?}")))?;
+                Ok(TcpStream::connect_timeout(&addr, t)?)
+            }
+        }
     }
 }
 
@@ -572,6 +976,77 @@ mod tests {
     }
 
     #[test]
+    fn responses_carry_standard_headers() {
+        let s = echo_server();
+        let resp = Client::new()
+            .get(&format!("http://{}/h", s.local_addr()))
+            .unwrap();
+        assert_eq!(
+            resp.headers.get("content-type").unwrap(),
+            "application/octet-stream"
+        );
+        assert!(resp.headers.get("date").unwrap().ends_with("GMT"));
+        assert!(resp.headers.get("server").unwrap().starts_with("tsr-http"));
+        s.shutdown();
+    }
+
+    #[test]
+    fn content_type_helpers() {
+        assert_eq!(
+            Response::text(400, "x")
+                .headers
+                .get("content-type")
+                .unwrap(),
+            "text/plain; charset=utf-8"
+        );
+        assert_eq!(
+            Response::json(200, "{}".into())
+                .headers
+                .get("content-type")
+                .unwrap(),
+            "application/json"
+        );
+        assert_eq!(Response::no_content().status, 204);
+        assert_eq!(
+            Response::not_modified("\"abc\"")
+                .headers
+                .get("etag")
+                .unwrap(),
+            "\"abc\""
+        );
+    }
+
+    #[test]
+    fn etag_matching() {
+        let mut req = Request {
+            method: "GET".into(),
+            path: "/".into(),
+            headers: BTreeMap::new(),
+            body: vec![],
+        };
+        assert!(!etag_matches(&req, "\"a\""));
+        req.headers.insert("if-none-match".into(), "\"a\"".into());
+        assert!(etag_matches(&req, "\"a\""));
+        assert!(!etag_matches(&req, "\"b\""));
+        req.headers
+            .insert("if-none-match".into(), "\"x\", \"a\"".into());
+        assert!(etag_matches(&req, "\"a\""));
+        req.headers.insert("if-none-match".into(), "*".into());
+        assert!(etag_matches(&req, "\"anything\""));
+    }
+
+    #[test]
+    fn http_date_format() {
+        // 2026-07-29 is a Wednesday.
+        let t = SystemTime::UNIX_EPOCH + Duration::from_secs(1_785_283_200);
+        assert_eq!(http_date(t), "Wed, 29 Jul 2026 00:00:00 GMT");
+        assert_eq!(
+            http_date(SystemTime::UNIX_EPOCH),
+            "Thu, 01 Jan 1970 00:00:00 GMT"
+        );
+    }
+
+    #[test]
     fn concurrent_requests() {
         let s = echo_server();
         let addr = s.local_addr();
@@ -638,6 +1113,24 @@ mod tests {
         // …and the pool must still answer.
         let r = Client::new().get(&format!("http://{addr}/fine")).unwrap();
         assert_eq!(r.body, b"ok");
+        s.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_rejected_with_413() {
+        let s = Server::bind_with_config(
+            "127.0.0.1:0",
+            |req| Response::ok(req.body.clone()),
+            ServerConfig {
+                max_body: 1024,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let resp = Client::new()
+            .post(&format!("http://{}/big", s.local_addr()), &vec![7u8; 4096])
+            .unwrap();
+        assert_eq!(resp.status, 413);
         s.shutdown();
     }
 

@@ -1,0 +1,374 @@
+//! Path-pattern routing for the REST API.
+//!
+//! A [`Router`] maps `(method, pattern)` pairs to arbitrary payloads
+//! (typically handler enums or closures). Patterns are `/`-separated
+//! segment lists where a `:name` segment captures one path segment:
+//!
+//! ```
+//! use tsr_http::router::{Recognized, Router};
+//!
+//! let mut r = Router::new();
+//! r.route("GET", "/v1/repositories/:id/packages/:name", "package");
+//! r.route("GET", "/v1/healthz", "health");
+//!
+//! match r.recognize("GET", "/v1/repositories/repo-1/packages/curl?pretty=1") {
+//!     Recognized::Match(m) => {
+//!         assert_eq!(*m.value, "package");
+//!         assert_eq!(m.params.get("id"), Some("repo-1"));
+//!         assert_eq!(m.params.get("name"), Some("curl"));
+//!         assert_eq!(m.params.query("pretty"), Some("1"));
+//!     }
+//!     _ => unreachable!(),
+//! }
+//! ```
+//!
+//! Matching rules:
+//!
+//! - literal segments beat `:param` segments (`/a/b` wins over `/a/:x`),
+//!   position by position from the left,
+//! - a path that matches some pattern but under a different method yields
+//!   [`Recognized::MethodNotAllowed`] with the sorted `Allow` set (405,
+//!   not 404),
+//! - the query string is split off before matching and exposed through
+//!   [`Params::query`]; `%XX` decoding is applied to path segments and
+//!   query components, `+`-as-space only to query components (a literal
+//!   `+` is valid in a path).
+
+use std::fmt;
+
+/// One compiled pattern segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Segment {
+    /// Must equal the path segment exactly.
+    Literal(String),
+    /// Captures any single path segment under this name.
+    Param(String),
+}
+
+#[derive(Debug)]
+struct Route<T> {
+    method: String,
+    pattern: String,
+    segments: Vec<Segment>,
+    value: T,
+}
+
+/// Captured path parameters and parsed query string of one match.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Params {
+    path: Vec<(String, String)>,
+    query: Vec<(String, String)>,
+}
+
+impl Params {
+    /// The captured value of path parameter `:name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.path
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first value of query parameter `name`.
+    pub fn query(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A successful route match.
+#[derive(Debug)]
+pub struct RouteMatch<'r, T> {
+    /// The payload registered for the matched route.
+    pub value: &'r T,
+    /// The pattern that matched (e.g. `/v1/repositories/:id`), useful as a
+    /// stable metrics label.
+    pub pattern: &'r str,
+    /// Captured parameters.
+    pub params: Params,
+}
+
+/// The outcome of [`Router::recognize`].
+#[derive(Debug)]
+pub enum Recognized<'r, T> {
+    /// A route matched.
+    Match(RouteMatch<'r, T>),
+    /// The path exists but not under this method; carries the sorted,
+    /// deduplicated `Allow` list.
+    MethodNotAllowed(Vec<String>),
+    /// No pattern matches the path.
+    NotFound,
+}
+
+/// A method + path-pattern router carrying arbitrary payloads.
+pub struct Router<T> {
+    routes: Vec<Route<T>>,
+}
+
+impl<T> fmt::Debug for Router<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Router")
+            .field("routes", &self.routes.len())
+            .finish()
+    }
+}
+
+impl<T> Default for Router<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Router<T> {
+    /// An empty router.
+    pub fn new() -> Self {
+        Router { routes: Vec::new() }
+    }
+
+    /// Registers `pattern` under `method` (case-insensitive), carrying
+    /// `value`. Returns `&mut self` for chaining.
+    pub fn route(&mut self, method: &str, pattern: &str, value: T) -> &mut Self {
+        let segments = compile_pattern(pattern);
+        self.routes.push(Route {
+            method: method.to_ascii_uppercase(),
+            pattern: pattern.to_string(),
+            segments,
+            value,
+        });
+        self
+    }
+
+    /// Resolves `method` + `path` (query string allowed) to a route.
+    pub fn recognize(&self, method: &str, path: &str) -> Recognized<'_, T> {
+        let (path_only, query) = split_query(path);
+        let segments: Vec<String> = path_segments(path_only);
+        let method = method.to_ascii_uppercase();
+
+        let mut best: Option<&Route<T>> = None;
+        let mut allow: Vec<String> = Vec::new();
+        for route in &self.routes {
+            if !segments_match(&route.segments, &segments) {
+                continue;
+            }
+            if route.method != method {
+                if !allow.contains(&route.method) {
+                    allow.push(route.method.clone());
+                }
+                continue;
+            }
+            best = Some(match best {
+                None => route,
+                Some(current) => {
+                    if more_specific(&route.segments, &current.segments) {
+                        route
+                    } else {
+                        current
+                    }
+                }
+            });
+        }
+        match best {
+            Some(route) => {
+                let mut params = Params::default();
+                for (seg, actual) in route.segments.iter().zip(&segments) {
+                    if let Segment::Param(name) = seg {
+                        params.path.push((name.clone(), actual.clone()));
+                    }
+                }
+                if let Some(q) = query {
+                    params.query = parse_query(q);
+                }
+                Recognized::Match(RouteMatch {
+                    value: &route.value,
+                    pattern: &route.pattern,
+                    params,
+                })
+            }
+            None if !allow.is_empty() => {
+                allow.sort();
+                Recognized::MethodNotAllowed(allow)
+            }
+            None => Recognized::NotFound,
+        }
+    }
+}
+
+fn compile_pattern(pattern: &str) -> Vec<Segment> {
+    let trimmed = pattern.trim_matches('/');
+    if trimmed.is_empty() {
+        return Vec::new();
+    }
+    trimmed
+        .split('/')
+        .map(|s| match s.strip_prefix(':') {
+            Some(name) => Segment::Param(name.to_string()),
+            None => Segment::Literal(s.to_string()),
+        })
+        .collect()
+}
+
+fn path_segments(path: &str) -> Vec<String> {
+    let trimmed = path.trim_matches('/');
+    if trimmed.is_empty() {
+        return Vec::new();
+    }
+    trimmed.split('/').map(percent_decode).collect()
+}
+
+fn segments_match(pattern: &[Segment], path: &[String]) -> bool {
+    pattern.len() == path.len()
+        && pattern.iter().zip(path).all(|(seg, actual)| match seg {
+            Segment::Literal(lit) => lit == actual,
+            Segment::Param(_) => !actual.is_empty(),
+        })
+}
+
+/// True when `a` is more specific than `b`: at the first position where
+/// they differ in kind, `a` has the literal.
+fn more_specific(a: &[Segment], b: &[Segment]) -> bool {
+    for (sa, sb) in a.iter().zip(b) {
+        match (sa, sb) {
+            (Segment::Literal(_), Segment::Param(_)) => return true,
+            (Segment::Param(_), Segment::Literal(_)) => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Splits `path` into `(path_without_query, query)`.
+pub fn split_query(path: &str) -> (&str, Option<&str>) {
+    match path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (path, None),
+    }
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    let decode_component = |s: &str| percent_decode_inner(s, true);
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (decode_component(k), decode_component(v)),
+            None => (decode_component(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%XX` escapes. Invalid escapes pass through unchanged. `+` is
+/// left alone — `+`-as-space is a query-string convention only (RFC 3986
+/// allows a literal `+` in paths, e.g. a package named `g++`); query
+/// components are decoded with it internally.
+pub fn percent_decode(s: &str) -> String {
+    percent_decode_inner(s, false)
+}
+
+fn percent_decode_inner(s: &str, plus_as_space: bool) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            // Operate on raw bytes (never slice `s`): `%` followed by a
+            // multi-byte UTF-8 character must not panic on a non-char
+            // boundary.
+            b'%' if i + 2 < bytes.len() => match (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi << 4 | lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-encodes one path segment: every byte outside the RFC 3986
+/// unreserved set (`ALPHA / DIGIT / "-" / "." / "_" / "~"`) becomes
+/// `%XX`. The inverse of [`percent_decode`]; clients building URLs from
+/// untrusted names (package names are upstream-controlled) must use this
+/// so spaces, `%`, `?`, `#`, and `/` survive the round trip.
+pub fn percent_encode(segment: &str) -> String {
+    let mut out = String::with_capacity(segment.len());
+    for b in segment.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b+c", "+ is literal in paths");
+        assert_eq!(percent_decode("%2Fetc"), "/etc");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        // '%' followed by a multi-byte character must not panic.
+        assert_eq!(percent_decode("%é"), "%é");
+        assert_eq!(percent_decode("%\u{FFFD}x"), "%\u{FFFD}x");
+    }
+
+    #[test]
+    fn plus_is_space_in_queries_only() {
+        let mut r = Router::new();
+        r.route("GET", "/packages/:name", 1);
+        match r.recognize("GET", "/packages/g++?q=a+b") {
+            Recognized::Match(m) => {
+                assert_eq!(m.params.get("name"), Some("g++"));
+                assert_eq!(m.params.query("q"), Some("a b"));
+            }
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percent_encode_round_trips_through_recognition() {
+        let nasty = "a b/c%41?#+é";
+        assert_eq!(percent_decode(&percent_encode(nasty)), nasty);
+        let mut r = Router::new();
+        r.route("GET", "/packages/:name", 1);
+        match r.recognize("GET", &format!("/packages/{}", percent_encode(nasty))) {
+            Recognized::Match(m) => assert_eq!(m.params.get("name"), Some(nasty)),
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_pattern_matches_root() {
+        let mut r = Router::new();
+        r.route("GET", "/", 1);
+        assert!(matches!(r.recognize("GET", "/"), Recognized::Match(_)));
+        assert!(matches!(r.recognize("GET", ""), Recognized::Match(_)));
+    }
+}

@@ -1,0 +1,255 @@
+//! Router recognition tests (param extraction, precedence, 405 vs 404)
+//! and middleware-chain ordering tests.
+
+use std::sync::{Arc, Mutex};
+
+use tsr_http::middleware::{AccessLog, BodyLimit, Chain, Middleware, RateLimit, RequestId};
+use tsr_http::router::{Recognized, Router};
+use tsr_http::{Request, Response};
+
+fn request(method: &str, path: &str) -> Request {
+    Request {
+        method: method.into(),
+        path: path.into(),
+        headers: Default::default(),
+        body: vec![],
+    }
+}
+
+fn api_router() -> Router<&'static str> {
+    let mut r = Router::new();
+    r.route("GET", "/v1/healthz", "health")
+        .route("POST", "/v1/repositories", "create")
+        .route("GET", "/v1/repositories", "list")
+        .route("GET", "/v1/repositories/:id", "info")
+        .route("DELETE", "/v1/repositories/:id", "delete")
+        .route("POST", "/v1/repositories/:id/refresh", "refresh")
+        .route("GET", "/v1/repositories/:id/packages", "packages")
+        .route("GET", "/v1/repositories/:id/packages/:name", "package")
+        .route("GET", "/v1/repositories/self", "self-route");
+    r
+}
+
+#[test]
+fn param_extraction() {
+    let r = api_router();
+    match r.recognize("GET", "/v1/repositories/repo-7/packages/openssl") {
+        Recognized::Match(m) => {
+            assert_eq!(*m.value, "package");
+            assert_eq!(m.pattern, "/v1/repositories/:id/packages/:name");
+            assert_eq!(m.params.get("id"), Some("repo-7"));
+            assert_eq!(m.params.get("name"), Some("openssl"));
+            assert_eq!(m.params.get("missing"), None);
+        }
+        other => panic!("expected match, got {other:?}"),
+    }
+}
+
+#[test]
+fn percent_encoded_segments_are_decoded() {
+    let r = api_router();
+    match r.recognize("GET", "/v1/repositories/repo%2D1/packages/lib%20z") {
+        Recognized::Match(m) => {
+            assert_eq!(m.params.get("id"), Some("repo-1"));
+            assert_eq!(m.params.get("name"), Some("lib z"));
+        }
+        other => panic!("expected match, got {other:?}"),
+    }
+}
+
+#[test]
+fn query_string_split_and_parsed() {
+    let r = api_router();
+    match r.recognize("GET", "/v1/repositories/r/packages?offset=20&limit=5&flag") {
+        Recognized::Match(m) => {
+            assert_eq!(*m.value, "packages");
+            assert_eq!(m.params.query("offset"), Some("20"));
+            assert_eq!(m.params.query("limit"), Some("5"));
+            assert_eq!(m.params.query("flag"), Some(""));
+            assert_eq!(m.params.query("nope"), None);
+        }
+        other => panic!("expected match, got {other:?}"),
+    }
+}
+
+#[test]
+fn static_beats_param() {
+    let r = api_router();
+    // "/v1/repositories/self" matches both ":id" and the literal route;
+    // the literal one must win regardless of registration order.
+    match r.recognize("GET", "/v1/repositories/self") {
+        Recognized::Match(m) => assert_eq!(*m.value, "self-route"),
+        other => panic!("expected match, got {other:?}"),
+    }
+    match r.recognize("GET", "/v1/repositories/other") {
+        Recognized::Match(m) => assert_eq!(*m.value, "info"),
+        other => panic!("expected match, got {other:?}"),
+    }
+}
+
+#[test]
+fn static_beats_param_registered_first() {
+    let mut r = Router::new();
+    r.route("GET", "/a/b", "literal")
+        .route("GET", "/a/:x", "param");
+    match r.recognize("GET", "/a/b") {
+        Recognized::Match(m) => assert_eq!(*m.value, "literal"),
+        other => panic!("expected match, got {other:?}"),
+    }
+    let mut r = Router::new();
+    r.route("GET", "/a/:x", "param")
+        .route("GET", "/a/b", "literal");
+    match r.recognize("GET", "/a/b") {
+        Recognized::Match(m) => assert_eq!(*m.value, "literal"),
+        other => panic!("expected match, got {other:?}"),
+    }
+}
+
+#[test]
+fn method_not_allowed_vs_not_found() {
+    let r = api_router();
+    // Known path, wrong method → 405 with the allowed set.
+    match r.recognize("PUT", "/v1/repositories/x") {
+        Recognized::MethodNotAllowed(allow) => {
+            assert_eq!(allow, vec!["DELETE".to_string(), "GET".to_string()]);
+        }
+        other => panic!("expected 405, got {other:?}"),
+    }
+    match r.recognize("GET", "/v1/repositories/x/refresh") {
+        Recognized::MethodNotAllowed(allow) => {
+            assert_eq!(allow, vec!["POST".to_string()]);
+        }
+        other => panic!("expected 405, got {other:?}"),
+    }
+    // Unknown path → 404.
+    assert!(matches!(
+        r.recognize("GET", "/v1/unknown"),
+        Recognized::NotFound
+    ));
+    assert!(matches!(
+        r.recognize("GET", "/v1/repositories/x/packages/y/z"),
+        Recognized::NotFound
+    ));
+}
+
+#[test]
+fn methods_are_case_insensitive() {
+    let r = api_router();
+    assert!(matches!(
+        r.recognize("get", "/v1/healthz"),
+        Recognized::Match(_)
+    ));
+}
+
+#[test]
+fn trailing_slash_tolerated() {
+    let r = api_router();
+    assert!(matches!(
+        r.recognize("GET", "/v1/healthz/"),
+        Recognized::Match(_)
+    ));
+}
+
+/// A middleware that records when it enters and exits.
+struct Tracer {
+    name: &'static str,
+    log: Arc<Mutex<Vec<String>>>,
+}
+
+impl Middleware for Tracer {
+    fn handle(&self, req: &mut Request, next: &dyn Fn(&mut Request) -> Response) -> Response {
+        self.log
+            .lock()
+            .unwrap()
+            .push(format!("enter {}", self.name));
+        let resp = next(req);
+        self.log.lock().unwrap().push(format!("exit {}", self.name));
+        resp
+    }
+}
+
+#[test]
+fn middleware_wraps_in_onion_order() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let chain = Chain::new({
+        let log = log.clone();
+        move |_: &mut Request| {
+            log.lock().unwrap().push("terminal".to_string());
+            Response::ok(vec![])
+        }
+    })
+    .wrap(Tracer {
+        name: "inner",
+        log: log.clone(),
+    })
+    .wrap(Tracer {
+        name: "outer",
+        log: log.clone(),
+    });
+    chain.handle(&mut request("GET", "/"));
+    assert_eq!(
+        *log.lock().unwrap(),
+        vec![
+            "enter outer",
+            "enter inner",
+            "terminal",
+            "exit inner",
+            "exit outer"
+        ]
+    );
+}
+
+#[test]
+fn access_log_sees_request_id_from_inner_layer() {
+    // Stack order matters: RequestId must run inside AccessLog for the log
+    // line to carry the id. This wires the stack the way the service does.
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let sink = {
+        let lines = lines.clone();
+        move |line: &str| lines.lock().unwrap().push(line.to_string())
+    };
+    let chain = Chain::new(|_: &mut Request| Response::ok(b"body".to_vec()))
+        .wrap(RequestId::new())
+        .wrap(AccessLog::new(sink));
+    chain.handle(&mut request("GET", "/metrics-path"));
+    let lines = lines.lock().unwrap();
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].contains("method=GET"));
+    assert!(lines[0].contains("path=/metrics-path"));
+    assert!(lines[0].contains("status=200"));
+    assert!(lines[0].contains("bytes=4"));
+    assert!(lines[0].contains("request_id=req-"));
+}
+
+#[test]
+fn rate_limit_short_circuits_inner_layers() {
+    let entered = Arc::new(Mutex::new(0));
+    let chain = Chain::new({
+        let entered = entered.clone();
+        move |_: &mut Request| {
+            *entered.lock().unwrap() += 1;
+            Response::ok(vec![])
+        }
+    })
+    .wrap(RateLimit::new(1, 0.0));
+    assert_eq!(chain.handle(&mut request("GET", "/")).status, 200);
+    assert_eq!(chain.handle(&mut request("GET", "/")).status, 429);
+    assert_eq!(
+        *entered.lock().unwrap(),
+        1,
+        "denied request never reaches the handler"
+    );
+}
+
+#[test]
+fn body_limit_and_request_id_compose() {
+    let chain = Chain::new(|_: &mut Request| Response::ok(vec![]))
+        .wrap(BodyLimit(2))
+        .wrap(RequestId::new());
+    let mut req = request("POST", "/");
+    req.body = vec![0; 3];
+    let resp = chain.handle(&mut req);
+    assert_eq!(resp.status, 413);
+    // RequestId is outermost, so even the rejection carries the id.
+    assert!(resp.headers.contains_key("x-request-id"));
+}

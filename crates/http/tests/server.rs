@@ -10,7 +10,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use tsr_http::{Response, Server};
+use tsr_http::{Response, Server, ServerConfig};
 
 /// Sends one request over `stream`, optionally asking to keep the
 /// connection alive.
@@ -209,6 +209,139 @@ fn panic_mid_keep_alive_does_not_affect_other_connections() {
     let (status, body) = read_response(&mut healthy_reader).unwrap();
     assert_eq!(status, 200);
     assert_eq!(body, b"/b");
+    s.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_with_408() {
+    // A client trickling header bytes slower than the read deadline must
+    // be answered with 408 and disconnected — not allowed to pin a worker.
+    let s = Server::bind_with_config(
+        "127.0.0.1:0",
+        |_req| Response::ok(b"never".to_vec()),
+        ServerConfig {
+            workers: 1,
+            read_deadline: Duration::from_millis(400),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = s.local_addr();
+
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Send a partial head, then trickle one byte at a time, never
+    // finishing the blank line.
+    stream
+        .write_all(b"GET /slow HTTP/1.1\r\nhost: t\r\n")
+        .unwrap();
+    let trickler = {
+        let mut clone = stream.try_clone().unwrap();
+        std::thread::spawn(move || {
+            for _ in 0..40 {
+                if clone.write_all(b"x").is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    };
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let resp = read_response(&mut reader);
+    let elapsed = start.elapsed();
+    // The 408 write may race the client's trickle and get reset; a clean
+    // close within the bound is also a successful cut-off.
+    if let Some((status, _)) = resp {
+        assert_eq!(status, 408);
+    }
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "slow-loris connection must be cut off promptly, took {elapsed:?}"
+    );
+
+    // The single worker must be free again for honest clients.
+    let mut honest = TcpStream::connect(addr).unwrap();
+    honest
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut honest_reader = BufReader::new(honest.try_clone().unwrap());
+    send_request(&mut honest, "/fine", false);
+    let (status, body) = read_response(&mut honest_reader).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, b"never");
+    trickler.join().unwrap();
+    s.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connection_closed_silently_after_deadline() {
+    // An idle keep-alive connection (no pending bytes) is closed without a
+    // 408 when the read deadline passes.
+    let s = Server::bind_with_config(
+        "127.0.0.1:0",
+        |req| Response::ok(req.path.as_bytes().to_vec()),
+        ServerConfig {
+            workers: 1,
+            read_deadline: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    send_request(&mut stream, "/a", true);
+    assert_eq!(read_response(&mut reader).unwrap().0, 200);
+    // Stay idle past the deadline: the server must close, not 408.
+    assert!(
+        read_response(&mut reader).is_none(),
+        "idle keep-alive connections close without an error response"
+    );
+    s.shutdown();
+}
+
+#[test]
+fn bare_lf_in_header_value_rejected_not_echoed() {
+    // A bare LF smuggled inside a header value must be rejected with 400
+    // — if it survived into the header map, any layer echoing the value
+    // (e.g. a request-id middleware) would split the response head.
+    let s = Server::bind_with_workers(
+        "127.0.0.1:0",
+        |req| {
+            let mut resp = Response::ok(b"ok".to_vec());
+            if let Some(id) = req.headers.get("x-request-id") {
+                resp.headers.insert("x-request-id".into(), id.clone());
+            }
+            resp
+        },
+        1,
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(
+            b"GET /v1/healthz HTTP/1.1\r\nhost: t\r\nx-request-id: a\nset-cookie: pwned=1\r\ncontent-length: 0\r\n\r\n",
+        )
+        .unwrap();
+    let mut raw = String::new();
+    let mut reader = BufReader::new(stream);
+    std::io::Read::read_to_string(&mut reader, &mut raw).ok();
+    assert!(
+        raw.starts_with("HTTP/1.1 400"),
+        "smuggled LF must be rejected, got: {raw:?}"
+    );
+    assert!(
+        !raw.contains("set-cookie"),
+        "injected header must never appear in the response: {raw:?}"
+    );
     s.shutdown();
 }
 

@@ -59,7 +59,7 @@ impl Error for MirrorError {}
 pub struct RepoSnapshot {
     /// Monotone snapshot number (set by the original repository).
     pub snapshot_id: u64,
-    /// The signed metadata index blob ([`tsr_apk::Index::sign`] output).
+    /// The signed metadata index blob (`tsr_apk::Index::sign` output).
     pub signed_index: Vec<u8>,
     /// Package name → package blob.
     pub packages: BTreeMap<String, Vec<u8>>,

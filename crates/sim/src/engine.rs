@@ -1,4 +1,4 @@
-//! The discrete-event engine: executes a [`Scenario`](crate::Scenario)'s
+//! The discrete-event engine: executes a [`Scenario`]'s
 //! schedule against a *real* [`TsrService`] under a virtual clock.
 //!
 //! The engine owns the whole world — the generated upstream, the mirror

@@ -4,7 +4,7 @@
 //! tolerance `f`, and a virtual-time schedule of [`SimEvent`]s. Running it
 //! ([`Scenario::run`]) builds a fresh world from the seed and interprets
 //! the schedule — so the same scenario value always produces the same
-//! [`SimReport`](crate::SimReport).
+//! [`SimReport`].
 //!
 //! [`canned_scenarios`] is the library the `scenarios` test tier and the
 //! `scenario_throughput` bench iterate: eight-plus fleets covering every

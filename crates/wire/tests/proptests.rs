@@ -1,0 +1,260 @@
+//! JSON round-trip property tests for every v1 DTO, plus the raw [`Json`]
+//! value type, on the workspace's deterministic proptest shim.
+//!
+//! The invariant under test is the wire contract itself:
+//! `decode(encode(dto)) == dto` for all field values, including strings
+//! that need escaping (quotes, backslashes, control characters, non-ASCII)
+//! and integers up to `u64::MAX`.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use tsr_wire::dto::{
+    AttestationDto, CreateRepositoryRequest, ErrorEnvelope, HealthDto, MetricsDto, PackageEntryDto,
+    PackagePage, PhaseTimingsDto, RefreshReportDto, RejectedPackageDto, RepositoryCreated,
+    RepositoryInfo, RepositoryList, SanitizeRecordDto, WireDto,
+};
+use tsr_wire::json::Json;
+
+/// Printable-ASCII strings spiked with characters that exercise the
+/// escaper: quotes, backslashes, newlines, tabs, control chars, and
+/// non-ASCII codepoints.
+fn wild_string() -> impl Strategy<Value = String> {
+    "\\PC{0,24}".prop_perturb(|mut s, mut rng: TestRng| {
+        const SPIKES: [char; 8] = ['"', '\\', '\n', '\t', '\r', '\u{0001}', 'é', '\u{1F600}'];
+        for _ in 0..rng.below(4) {
+            let spike = SPIKES[rng.below(SPIKES.len() as u64) as usize];
+            let pos = rng.below(s.len() as u64 + 1) as usize;
+            // Insert at a char boundary at or before `pos`.
+            let at = (0..=pos).rev().find(|i| s.is_char_boundary(*i)).unwrap();
+            s.insert(at, spike);
+        }
+        s
+    })
+}
+
+fn roundtrip<T: WireDto + PartialEq + std::fmt::Debug>(dto: &T) -> Result<(), TestCaseError> {
+    let text = dto.encode();
+    let back = T::decode(&text).map_err(TestCaseError::fail)?;
+    prop_assert_eq!(&back, dto, "wire text was: {}", text);
+    // Encoding is canonical: a second round produces identical text.
+    prop_assert_eq!(back.encode(), text);
+    Ok(())
+}
+
+/// Builds a random JSON value tree of bounded depth.
+fn gen_json(rng: &mut TestRng, depth: usize) -> Json {
+    let kind = rng.below(if depth == 0 { 5 } else { 7 });
+    match kind {
+        0 => Json::Null,
+        1 => Json::Bool(rng.below(2) == 0),
+        2 => Json::Int(rng.next_u64() as i128 - (rng.next_u64() as i128)),
+        3 => Json::Float((rng.below(1_000_000) as f64) / 64.0),
+        4 => Json::Str(Strategy::sample(&"\\PC{0,12}", rng)),
+        5 => Json::Arr(
+            (0..rng.below(4))
+                .map(|_| gen_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.below(4))
+                .map(|_| {
+                    (
+                        Strategy::sample(&"[a-z]{1,8}", rng),
+                        gen_json(rng, depth - 1),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn timings() -> impl Strategy<Value = PhaseTimingsDto> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(a, b, (c, d, e))| PhaseTimingsDto {
+            check_integrity_us: a,
+            unpack_us: b,
+            modify_scripts_us: c,
+            generate_signatures_us: d,
+            repack_us: e,
+        })
+}
+
+fn sanitize_record() -> impl Strategy<Value = SanitizeRecordDto> {
+    (
+        (wild_string(), wild_string()),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        any::<bool>(),
+        timings(),
+    )
+        .prop_map(
+            |((name, version), (fc, os, ss, us), touches, timings)| SanitizeRecordDto {
+                name,
+                version,
+                file_count: fc as usize,
+                original_size: os as usize,
+                sanitized_size: ss as usize,
+                uncompressed_size: us as usize,
+                touches_accounts: touches,
+                timings,
+            },
+        )
+}
+
+fn package_entry() -> impl Strategy<Value = PackageEntryDto> {
+    (
+        (wild_string(), wild_string()),
+        any::<u64>(),
+        "[0-9a-f]{64}",
+        proptest::collection::vec("[a-z][a-z0-9-]{0,10}", 0..4),
+    )
+        .prop_map(
+            |((name, version), size, content_hash, depends)| PackageEntryDto {
+                name,
+                version,
+                size,
+                content_hash,
+                depends,
+            },
+        )
+}
+
+fn repository_info() -> impl Strategy<Value = RepositoryInfo> {
+    (
+        "repo-[0-9]{1,6}",
+        (any::<bool>(), any::<u64>(), any::<bool>()),
+        (any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(id, (refreshed, snap, has_snap), (packages, rejected))| RepositoryInfo {
+                id,
+                refreshed,
+                snapshot: if has_snap { Some(snap) } else { None },
+                packages,
+                rejected,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn json_value_roundtrip(seed in any::<u64>()) {
+        let mut rng = TestRng::from_name(&format!("json-tree-{seed}"));
+        let v = gen_json(&mut rng, 4);
+        let text = v.encode();
+        let back = Json::parse(&text).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(&back, &v, "text was: {}", text);
+        prop_assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn error_envelope_roundtrip(code in "[a-z_]{1,20}", message in wild_string(), detail in wild_string()) {
+        roundtrip(&ErrorEnvelope { code, message, detail })?;
+    }
+
+    #[test]
+    fn repository_created_roundtrip(id in "repo-[0-9]{1,6}", pem in wild_string()) {
+        roundtrip(&RepositoryCreated { id, public_key_pem: pem })?;
+    }
+
+    #[test]
+    fn repository_info_roundtrip(info in repository_info()) {
+        roundtrip(&info)?;
+    }
+
+    #[test]
+    fn repository_list_roundtrip(repositories in proptest::collection::vec(repository_info(), 0..5)) {
+        roundtrip(&RepositoryList { repositories })?;
+    }
+
+    #[test]
+    fn phase_timings_roundtrip(t in timings()) {
+        roundtrip(&t)?;
+    }
+
+    #[test]
+    fn sanitize_record_roundtrip(r in sanitize_record()) {
+        roundtrip(&r)?;
+    }
+
+    #[test]
+    fn refresh_report_roundtrip(
+        quorum in (any::<u64>(), any::<u32>(), any::<u32>()),
+        elapsed in (any::<u64>(), any::<u64>()),
+        sanitized in proptest::collection::vec(sanitize_record(), 0..4),
+        rejected in proptest::collection::vec((wild_string(), wild_string()), 0..4),
+    ) {
+        roundtrip(&RefreshReportDto {
+            quorum_elapsed_us: quorum.0,
+            quorum_contacted: quorum.1 as usize,
+            downloaded: quorum.2 as usize,
+            download_elapsed_us: elapsed.0,
+            sanitize_elapsed_us: elapsed.1,
+            sanitized,
+            rejected: rejected
+                .into_iter()
+                .map(|(name, reason)| RejectedPackageDto { name, reason })
+                .collect(),
+        })?;
+    }
+
+    #[test]
+    fn package_entry_roundtrip(e in package_entry()) {
+        roundtrip(&e)?;
+    }
+
+    #[test]
+    fn package_page_roundtrip(
+        bounds in (any::<u64>(), any::<u64>(), any::<u64>()),
+        items in proptest::collection::vec(package_entry(), 0..5),
+    ) {
+        roundtrip(&PackagePage { total: bounds.0, offset: bounds.1, limit: bounds.2, items })?;
+    }
+
+    #[test]
+    fn attestation_roundtrip(mr in "[0-9a-f]{64}", data in "[0-9a-f]{0,128}", sig in "[0-9a-f]{0,128}") {
+        roundtrip(&AttestationDto { mrenclave: mr, report_data: data, signature: sig })?;
+    }
+
+    #[test]
+    fn health_roundtrip(n in any::<u64>()) {
+        roundtrip(&HealthDto { status: "ok".into(), repositories: n })?;
+    }
+
+    #[test]
+    fn metrics_roundtrip(
+        routes in proptest::collection::btree_map(
+            "(GET|POST|DELETE) /v1/[a-z/:]{1,20}",
+            proptest::collection::btree_map(200u16..600, any::<u64>(), 0..4),
+            0..5,
+        ),
+    ) {
+        roundtrip(&MetricsDto { requests: routes })?;
+    }
+
+    #[test]
+    fn create_repository_request_roundtrip(policy in wild_string()) {
+        roundtrip(&CreateRepositoryRequest { policy })?;
+    }
+
+    #[test]
+    fn malformed_wire_text_never_panics(seed in any::<u64>()) {
+        // Mutate valid wire text at a random byte: decode must error or
+        // succeed, never panic.
+        let mut rng = TestRng::from_name(&format!("mutate-{seed}"));
+        let dto = ErrorEnvelope {
+            code: "not_found".into(),
+            message: "package ghost".into(),
+            detail: "repo-1".into(),
+        };
+        let mut bytes = dto.encode().into_bytes();
+        let pos = rng.below(bytes.len() as u64) as usize;
+        bytes[pos] = (rng.next_u64() % 256) as u8;
+        let _ = ErrorEnvelope::decode(&String::from_utf8_lossy(&bytes));
+    }
+}

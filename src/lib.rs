@@ -45,4 +45,5 @@ pub use tsr_sim as sim;
 pub use tsr_simfs as simfs;
 pub use tsr_stats as stats;
 pub use tsr_tpm as tpm;
+pub use tsr_wire as wire;
 pub use tsr_workload as workload;

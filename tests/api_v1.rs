@@ -1,0 +1,476 @@
+//! Integration tier for the versioned REST API: v1-vs-legacy parity over
+//! real loopback HTTP, the stable error-status contract, the typed
+//! [`TsrClient`] SDK flow, and the middleware stack (rate limiting,
+//! request ids) as mounted by the service.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use tsr::apk::{Index, PackageBuilder};
+use tsr::archive::Entry;
+use tsr::core::{ApiOptions, TsrService};
+use tsr::crypto::drbg::HmacDrbg;
+use tsr::crypto::{RsaPrivateKey, RsaPublicKey};
+use tsr::mirror::{publish_to_all, Behavior, Mirror, RepoSnapshot};
+use tsr::net::{Continent, LatencyModel};
+use tsr::wire::{ErrorEnvelope, IndexFetch, TsrClient, WireDto, WireError};
+
+fn upstream_key() -> &'static RsaPrivateKey {
+    static K: OnceLock<RsaPrivateKey> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut rng = HmacDrbg::new(b"api-v1-upstream");
+        RsaPrivateKey::generate(1024, &mut rng)
+    })
+}
+
+fn policy_text() -> String {
+    let pem: String = upstream_key()
+        .public_key()
+        .to_pem()
+        .lines()
+        .map(|l| format!("      {l}\n"))
+        .collect();
+    format!(
+        "mirrors:\n\
+         \x20 - hostname: m0\n\
+         \x20   continent: europe\n\
+         \x20 - hostname: m1\n\
+         \x20   continent: europe\n\
+         \x20 - hostname: m2\n\
+         \x20   continent: europe\n\
+         signers_keys:\n\
+         \x20 - |-\n{pem}\
+         f: 1\n"
+    )
+}
+
+fn snapshot(id: u64, names: &[&str]) -> RepoSnapshot {
+    let mut index = Index::new();
+    index.snapshot = id;
+    let mut packages = BTreeMap::new();
+    for name in names {
+        let mut b = PackageBuilder::new(*name, "1.0");
+        b.file(Entry::file(
+            format!("usr/bin/{name}"),
+            name.as_bytes().to_vec(),
+        ));
+        let blob = b.build(upstream_key(), "builder");
+        index.upsert(Index::entry_for_blob(name, "1.0", &[], &blob));
+        packages.insert(name.to_string(), blob);
+    }
+    RepoSnapshot {
+        snapshot_id: id,
+        signed_index: index.sign(upstream_key(), "builder"),
+        packages,
+    }
+}
+
+fn mirrors(names: &[&str]) -> Vec<Mirror> {
+    let mut ms: Vec<Mirror> = (0..3)
+        .map(|i| Mirror::new(format!("m{i}"), Continent::Europe))
+        .collect();
+    publish_to_all(&mut ms, &snapshot(1, names));
+    ms
+}
+
+fn service(seed: &[u8], names: &[&str]) -> TsrService {
+    TsrService::new(seed, mirrors(names), LatencyModel::default(), 1024)
+}
+
+/// All five legacy routes answer byte-compatibly while the same
+/// operations under `/v1` return JSON DTOs.
+#[test]
+fn v1_and_legacy_parity() {
+    let svc = service(b"parity", &["tool"]);
+    let server = svc.serve("127.0.0.1:0").unwrap();
+    let base = format!("http://{}", server.local_addr());
+    let http = tsr::http::Client::new();
+    let sdk = TsrClient::new(&base);
+
+    // create — legacy returns "id\npem" text; v1 returns the DTO.
+    let legacy_create = http
+        .post(&format!("{base}/repositories"), policy_text().as_bytes())
+        .unwrap();
+    assert_eq!(legacy_create.status, 200);
+    let text = String::from_utf8(legacy_create.body).unwrap();
+    let legacy_id = text.lines().next().unwrap().to_string();
+    let legacy_pem = text[legacy_id.len() + 1..].to_string();
+    assert!(legacy_pem.contains("BEGIN"), "legacy body carries the PEM");
+
+    let created = sdk.create_repository(&policy_text()).unwrap();
+    assert_ne!(created.id, legacy_id);
+    assert!(created.public_key_pem.contains("BEGIN"));
+
+    // refresh — the legacy one-liner must agree with the v1 DTO counts.
+    let report = sdk.refresh(&created.id).unwrap();
+    let legacy_refresh = http
+        .post(&format!("{base}/repositories/{legacy_id}/refresh"), &[])
+        .unwrap();
+    assert_eq!(legacy_refresh.status, 200);
+    assert_eq!(
+        String::from_utf8(legacy_refresh.body).unwrap(),
+        format!(
+            "downloaded={} sanitized={} rejected={}\n",
+            report.downloaded,
+            report.sanitized.len(),
+            report.rejected.len()
+        ),
+        "identical policies against identical mirrors refresh identically"
+    );
+
+    // index — same repository through both surfaces: identical bytes.
+    let legacy_index = http
+        .get(&format!("{base}/repositories/{legacy_id}/APKINDEX"))
+        .unwrap();
+    assert_eq!(legacy_index.status, 200);
+    let (v1_index, etag) = sdk.index(&legacy_id).unwrap();
+    assert_eq!(legacy_index.body, v1_index);
+    assert!(etag.is_some(), "v1 index carries an ETag");
+
+    // package — identical bytes through both surfaces.
+    let legacy_pkg = http
+        .get(&format!("{base}/repositories/{legacy_id}/packages/tool"))
+        .unwrap();
+    assert_eq!(legacy_pkg.status, 200);
+    assert_eq!(legacy_pkg.body, sdk.package(&legacy_id, "tool").unwrap());
+
+    // attestation — the legacy three hex lines equal the v1 DTO fields.
+    let legacy_att = http.get(&format!("{base}/attestation/6e6f6e6365")).unwrap();
+    assert_eq!(legacy_att.status, 200);
+    let legacy_lines: Vec<String> = String::from_utf8(legacy_att.body)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    let platform = RsaPublicKey::from_pem(&svc.platform_key_pem()).unwrap();
+    let att = sdk
+        .attest(b"nonce", &platform, tsr::core::service::ENCLAVE_CODE)
+        .unwrap();
+    assert_eq!(
+        legacy_lines,
+        vec![att.mrenclave, att.report_data, att.signature]
+    );
+
+    server.shutdown();
+}
+
+/// Legacy behaviours older clients depend on keep answering identically.
+#[test]
+fn legacy_surface_byte_compatibility() {
+    let svc = service(b"legacy-compat", &["tool"]);
+
+    // Bad policy → 400, plain text.
+    let resp = svc.handle(&request("POST", "/repositories", b"not a policy"));
+    assert_eq!(resp.status, 400);
+
+    // Unknown route → 404 with the historical body.
+    let resp = svc.handle(&request("GET", "/bogus", b""));
+    assert_eq!(resp.status, 404);
+    assert_eq!(resp.body, b"unknown route");
+
+    // Unknown repository → 404 on refresh/index/package.
+    for (method, path) in [
+        ("POST", "/repositories/nope/refresh"),
+        ("GET", "/repositories/nope/APKINDEX"),
+        ("GET", "/repositories/nope/packages/x"),
+    ] {
+        let resp = svc.handle(&request(method, path, b""));
+        assert_eq!(resp.status, 404, "{method} {path}");
+        assert_eq!(
+            resp.headers.get("x-tsr-error-code").map(String::as_str),
+            Some("not_found")
+        );
+    }
+
+    // Ghost package after refresh → 404.
+    let (id, _) = svc.create_repository(&policy_text()).unwrap();
+    svc.refresh(&id).unwrap();
+    let resp = svc.handle(&request(
+        "GET",
+        &format!("/repositories/{id}/packages/ghost"),
+        b"",
+    ));
+    assert_eq!(resp.status, 404);
+
+    // Bad attestation nonce → 400 with the historical message.
+    let resp = svc.handle(&request("GET", "/attestation/zz", b""));
+    assert_eq!(resp.status, 400);
+    assert_eq!(resp.body, b"nonce must be hex");
+
+    // Wrong method on a legacy path keeps the historical plain-text 404
+    // (405 + JSON is a /v1-only shape).
+    let resp = svc.handle(&request("GET", "/repositories", b""));
+    assert_eq!(resp.status, 404);
+    assert_eq!(resp.body, b"unknown route");
+}
+
+fn request(method: &str, path: &str, body: &[u8]) -> tsr::http::Request {
+    tsr::http::Request {
+        method: method.into(),
+        path: path.into(),
+        headers: Default::default(),
+        body: body.to_vec(),
+    }
+}
+
+/// Every `CoreError` variant surfaces with its stable status and
+/// machine-readable code on both surfaces — most importantly
+/// `RollbackDetected` → 409 (previously a 500/404 soup).
+#[test]
+fn error_statuses_are_stable_and_distinct() {
+    let svc = service(b"errors", &["tool"]);
+    let (id, _) = svc.create_repository(&policy_text()).unwrap();
+    svc.refresh(&id).unwrap();
+
+    // Tamper the sanitized cache: serving must yield rollback_detected.
+    svc.with_repository_mut(&id, |repo| {
+        repo.cache_mut().tamper_sanitized("tool", vec![0u8; 16]);
+    })
+    .unwrap();
+
+    // v1: 409 with the JSON envelope.
+    let resp = svc.handle(&request(
+        "GET",
+        &format!("/v1/repositories/{id}/packages/tool"),
+        b"",
+    ));
+    assert_eq!(resp.status, 409);
+    let env = ErrorEnvelope::decode(&String::from_utf8_lossy(&resp.body)).unwrap();
+    assert_eq!(env.code, "rollback_detected");
+    assert!(env.message.contains("rollback"));
+
+    // legacy: same status, code in the header, plain-text body.
+    let resp = svc.handle(&request(
+        "GET",
+        &format!("/repositories/{id}/packages/tool"),
+        b"",
+    ));
+    assert_eq!(resp.status, 409);
+    assert_eq!(
+        resp.headers.get("x-tsr-error-code").map(String::as_str),
+        Some("rollback_detected")
+    );
+
+    // Refresh rollback (stale mirror majority) → 409 as well: advance to
+    // snapshot 2 first, then have every mirror replay snapshot 1.
+    svc.with_mirrors(|ms| publish_to_all(ms, &snapshot(2, &["tool"])));
+    svc.with_repository_mut(&id, |repo| {
+        // Heal the cache tampering above so the refresh reaches the
+        // quorum-read phase.
+        repo.cache_mut().invalidate_sanitized("tool");
+    })
+    .unwrap();
+    svc.refresh(&id).unwrap();
+    svc.with_mirrors(|ms| {
+        for m in ms.iter_mut() {
+            m.set_behavior(Behavior::Stale { snapshot: 0 });
+        }
+    });
+    let resp = svc.handle(&request(
+        "POST",
+        &format!("/v1/repositories/{id}/refresh"),
+        b"",
+    ));
+    assert_eq!(resp.status, 409);
+    let env = ErrorEnvelope::decode(&String::from_utf8_lossy(&resp.body)).unwrap();
+    assert_eq!(env.code, "rollback_detected");
+
+    // Unknown repo → 404 not_found envelope.
+    let resp = svc.handle(&request("GET", "/v1/repositories/nope", b""));
+    assert_eq!(resp.status, 404);
+    let env = ErrorEnvelope::decode(&String::from_utf8_lossy(&resp.body)).unwrap();
+    assert_eq!(env.code, "not_found");
+
+    // Bad JSON body on create → 400 invalid_json.
+    let resp = svc.handle(&request("POST", "/v1/repositories", b"raw policy text"));
+    assert_eq!(resp.status, 400);
+    let env = ErrorEnvelope::decode(&String::from_utf8_lossy(&resp.body)).unwrap();
+    assert_eq!(env.code, "invalid_json");
+
+    // Wrong method on a known path → 405 with Allow, not 404.
+    let resp = svc.handle(&request(
+        "POST",
+        &format!("/v1/repositories/{id}/index"),
+        b"",
+    ));
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.headers.get("allow").map(String::as_str), Some("GET"));
+}
+
+/// The full typed-SDK flow against a live server: CRUD + list + info,
+/// pagination, conditional index fetches, verified attestation, metrics.
+#[test]
+fn typed_client_full_flow() {
+    let svc = service(b"sdk-flow", &["alpha", "beta", "gamma"]);
+    let server = svc.serve("127.0.0.1:0").unwrap();
+    let sdk = TsrClient::new(format!("http://{}", server.local_addr()));
+
+    let health = sdk.health().unwrap();
+    assert_eq!(health.status, "ok");
+    assert_eq!(health.repositories, 0);
+
+    let created = sdk.create_repository(&policy_text()).unwrap();
+    let info = sdk.repository(&created.id).unwrap();
+    assert!(!info.refreshed);
+    assert_eq!(info.packages, 0);
+    assert_eq!(info.snapshot, None);
+
+    let report = sdk.refresh(&created.id).unwrap();
+    assert_eq!(report.downloaded, 3);
+    assert_eq!(report.sanitized.len(), 3);
+    assert!(report.quorum_contacted >= 2);
+
+    let info = sdk.repository(&created.id).unwrap();
+    assert!(info.refreshed);
+    assert_eq!(info.packages, 3);
+    assert_eq!(info.snapshot, Some(1));
+
+    // Pagination: pages of 2 then 1, in index order.
+    let page1 = sdk.packages(&created.id, 0, 2).unwrap();
+    assert_eq!((page1.total, page1.items.len()), (3, 2));
+    let page2 = sdk.packages(&created.id, 2, 2).unwrap();
+    assert_eq!(page2.items.len(), 1);
+    let names: Vec<&str> = page1
+        .items
+        .iter()
+        .chain(&page2.items)
+        .map(|i| i.name.as_str())
+        .collect();
+    assert_eq!(names, vec!["alpha", "beta", "gamma"]);
+
+    // The package blob verifies under the repository key from create.
+    let blob = sdk.package(&created.id, "beta").unwrap();
+    let key = RsaPublicKey::from_pem(&created.public_key_pem).unwrap();
+    tsr::apk::Package::parse(&blob)
+        .unwrap()
+        .verify(&key)
+        .unwrap();
+
+    // Conditional index fetch: 304 on match, fresh bytes after change.
+    let (bytes, etag) = sdk.index(&created.id).unwrap();
+    let etag = etag.unwrap();
+    assert!(!bytes.is_empty());
+    assert_eq!(
+        sdk.index_if_none_match(&created.id, &etag).unwrap(),
+        IndexFetch::NotModified
+    );
+    assert!(matches!(
+        sdk.index_if_none_match(&created.id, "\"different\"")
+            .unwrap(),
+        IndexFetch::Fresh { .. }
+    ));
+
+    // Client-side verified attestation; a wrong expected code must fail.
+    let platform = RsaPublicKey::from_pem(&svc.platform_key_pem()).unwrap();
+    sdk.attest(b"fresh-nonce", &platform, tsr::core::service::ENCLAVE_CODE)
+        .unwrap();
+    assert!(matches!(
+        sdk.attest(b"fresh-nonce", &platform, b"evil-enclave"),
+        Err(WireError::Attestation(_))
+    ));
+
+    // list + delete.
+    let listed = sdk.list_repositories().unwrap();
+    assert_eq!(listed.len(), 1);
+    sdk.delete_repository(&created.id).unwrap();
+    assert!(matches!(
+        sdk.repository(&created.id),
+        Err(WireError::Api { status: 404, .. })
+    ));
+    assert!(sdk.list_repositories().unwrap().is_empty());
+
+    // Metrics counted every route we touched, keyed by pattern.
+    let metrics = sdk.metrics().unwrap();
+    let refresh_counts = metrics
+        .requests
+        .get("POST /v1/repositories/:id/refresh")
+        .expect("refresh route counted");
+    assert_eq!(refresh_counts.get(&200), Some(&1));
+    assert!(metrics.requests.contains_key("GET /v1/healthz"));
+
+    server.shutdown();
+}
+
+/// The mounted middleware stack enforces rate limits and tags responses
+/// with request ids.
+#[test]
+fn middleware_stack_rate_limits_and_tags_requests() {
+    let svc = service(b"mw", &["tool"]);
+    let server = svc
+        .serve_with_options(
+            "127.0.0.1:0",
+            ApiOptions {
+                rate_limit: Some((3, 0.0)), // 3 requests, no refill
+                ..ApiOptions::default()
+            },
+        )
+        .unwrap();
+    let base = format!("http://{}", server.local_addr());
+    let http = tsr::http::Client::new();
+
+    for i in 0..3 {
+        let resp = http.get(&format!("{base}/v1/healthz")).unwrap();
+        assert_eq!(resp.status, 200, "request {i} within burst");
+        assert!(
+            resp.headers.contains_key("x-request-id"),
+            "responses carry request ids"
+        );
+    }
+    let resp = http.get(&format!("{base}/v1/healthz")).unwrap();
+    assert_eq!(resp.status, 429);
+    let env = ErrorEnvelope::decode(&String::from_utf8_lossy(&resp.body)).unwrap();
+    assert_eq!(env.code, "rate_limited");
+    assert!(resp.headers.contains_key("retry-after"));
+
+    server.shutdown();
+}
+
+/// Both 413 layers fire at their own thresholds: the middleware's JSON
+/// envelope above `max_body`, the transport's plain cut-off above 4×.
+#[test]
+fn body_limits_apply_at_both_layers() {
+    let svc = service(b"body-limits", &["tool"]);
+    let server = svc
+        .serve_with_options(
+            "127.0.0.1:0",
+            ApiOptions {
+                max_body: 1024,
+                ..ApiOptions::default()
+            },
+        )
+        .unwrap();
+    let base = format!("http://{}", server.local_addr());
+    let http = tsr::http::Client::new();
+
+    // Between max_body and 4×: read fully, rejected by the middleware
+    // with the JSON envelope.
+    let resp = http
+        .post(&format!("{base}/v1/repositories"), &vec![b'x'; 2048])
+        .unwrap();
+    assert_eq!(resp.status, 413);
+    let env = ErrorEnvelope::decode(&String::from_utf8_lossy(&resp.body)).unwrap();
+    assert_eq!(env.code, "payload_too_large");
+
+    // Above 4×: the transport refuses to read the body at all.
+    let resp = http
+        .post(&format!("{base}/v1/repositories"), &vec![b'x'; 8192])
+        .unwrap();
+    assert_eq!(resp.status, 413);
+
+    // Percent-escapes that decode to non-UTF-8, and literal '+', must be
+    // handled without panicking or mangling package names (router fixes).
+    let resp = http
+        .get(&format!("{base}/v1/repositories/x/packages/g%FF%2Bplus"))
+        .unwrap();
+    assert_eq!(resp.status, 404, "decoded garbage name is just not found");
+    let resp = http.get(&format!("{base}/v1/repositories/a+b")).unwrap();
+    let env = ErrorEnvelope::decode(&String::from_utf8_lossy(&resp.body)).unwrap();
+    assert_eq!(env.code, "not_found");
+    assert!(
+        env.message.contains("a+b"),
+        "'+' stays literal in path segments: {}",
+        env.message
+    );
+
+    server.shutdown();
+}
