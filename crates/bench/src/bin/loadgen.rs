@@ -1,0 +1,163 @@
+//! Bench — trace-driven open-loop load harness over real sockets.
+//!
+//! Generates seeded request schedules (steady-state, update storm,
+//! mirror churn, optional soak), replays them against a live `/v1`
+//! server over loopback TCP using pooled `TsrClient` workers, and emits
+//! the machine-readable perf baseline (`BENCH_PR6.json` envelope) plus
+//! a summary table. See `ARCHITECTURE.md` ("Load harness") for the
+//! pipeline and `README.md` ("Perf trajectory") for the report fields.
+//!
+//! ```text
+//! loadgen [--smoke] [--strict] [--seed N] [--out PATH] [--speed F]
+//!         [--clients N] [--scenario steady|update_storm|mirror_churn|soak]
+//! ```
+//!
+//! `--smoke` shrinks every scenario to CI size (a few seconds total,
+//! bounded concurrency — honours a 1-CPU container). `--strict` exits
+//! non-zero when any *non-injected* error occurred. Scale knobs are the
+//! usual `TSR_SCALE` / `TSR_KEY_BITS` environment variables.
+
+use std::time::Duration;
+
+use tsr_bench::loadrun::{run, LoadReport, LoadWorld, RunOptions};
+use tsr_bench::report::{bench_envelope, table, write_json};
+use tsr_bench::{banner, key_bits, scale};
+use tsr_workload::loadgen::ScenarioSpec;
+
+/// Pinned default seed — CI and the checked-in `BENCH_PR6.json` use it.
+const DEFAULT_SEED: u64 = 3_237_998_146;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let strict = args.iter().any(|a| a == "--strict");
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let speed: f64 = arg_value(&args, "--speed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let clients: usize = arg_value(&args, "--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 4 } else { 6 });
+
+    banner(
+        "Load harness — open-loop trace replay over TCP sockets",
+        "per-op latency quantiles, RPS, and error budget under seeded load",
+    );
+
+    let mut specs: Vec<ScenarioSpec> = match arg_value(&args, "--scenario").as_deref() {
+        Some("steady") => vec![ScenarioSpec::steady(seed)],
+        Some("update_storm") => vec![ScenarioSpec::update_storm(seed)],
+        Some("mirror_churn") => vec![ScenarioSpec::mirror_churn(seed)],
+        Some("soak") => vec![ScenarioSpec::soak(seed)],
+        Some(other) => {
+            eprintln!("unknown scenario {other:?}");
+            std::process::exit(2);
+        }
+        None => vec![
+            ScenarioSpec::steady(seed),
+            ScenarioSpec::update_storm(seed),
+            ScenarioSpec::mirror_churn(seed),
+        ],
+    };
+    if smoke {
+        // ≤ ~7 s of virtual time total across the default three
+        // scenarios; rates low enough for a single-core container.
+        specs = specs.into_iter().map(|s| s.scaled(0.2)).collect();
+    }
+
+    println!(
+        "building world (scale {}, {} key bits)…",
+        scale(),
+        key_bits()
+    );
+    let world = LoadWorld::start(seed, scale(), key_bits(), clients.max(2));
+    println!(
+        "server {} serving {} packages; {} client workers, speed {speed}×\n",
+        world.base,
+        world.package_names.len(),
+        clients
+    );
+
+    let opts = RunOptions {
+        clients,
+        speed,
+        timeout: Duration::from_secs(10),
+    };
+    let mut reports: Vec<LoadReport> = Vec::new();
+    for spec in &specs {
+        let schedule = spec.generate();
+        println!(
+            "replaying {:<14} ({} events, {:.1} s virtual)…",
+            schedule.scenario,
+            schedule.ops.len(),
+            schedule.duration_us as f64 / 1e6
+        );
+        reports.push(run(&world, &schedule, opts));
+    }
+
+    let mut rows = Vec::new();
+    for r in &reports {
+        let all_ops = {
+            let mut h = tsr_stats::Histogram::new();
+            for s in r.ops.values() {
+                h.merge(&s.hist);
+            }
+            h
+        };
+        rows.push(vec![
+            r.scenario.clone(),
+            r.requests.to_string(),
+            format!("{:.1}", r.requests as f64 / r.wall.as_secs_f64().max(1e-9)),
+            format!("{:.1}", all_ops.quantile(0.50) as f64 / 1e3),
+            format!("{:.1}", all_ops.quantile(0.99) as f64 / 1e3),
+            format!("{:.1}", all_ops.quantile(0.999) as f64 / 1e3),
+            format!("{:.0}%", r.cond_hit_ratio() * 100.0),
+            r.in_flight_high_water.to_string(),
+            r.injected_errors().to_string(),
+            r.unexpected_errors().to_string(),
+        ]);
+    }
+    println!(
+        "\n{}",
+        table(
+            &[
+                "scenario",
+                "reqs",
+                "rps",
+                "p50_ms",
+                "p99_ms",
+                "p999_ms",
+                "304s",
+                "inflight",
+                "inj_err",
+                "unexp_err",
+            ],
+            &rows,
+        )
+    );
+
+    let envelope = bench_envelope(
+        "loadgen",
+        seed,
+        reports.iter().map(LoadReport::to_json).collect(),
+    );
+    write_json(&out, &envelope).expect("write report");
+    println!("report written to {out}");
+
+    let unexpected: u64 = reports.iter().map(LoadReport::unexpected_errors).sum();
+    world.stop();
+    if strict && unexpected > 0 {
+        eprintln!("FAIL: {unexpected} non-injected errors under load");
+        std::process::exit(1);
+    }
+}

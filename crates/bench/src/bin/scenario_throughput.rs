@@ -3,12 +3,15 @@
 //! Runs the canned `tsr-sim` scenario library once per listed seed and
 //! reports wall-clock cost, events per second, and the virtual-time to
 //! wall-time ratio — the figure of merit for how much fault-schedule
-//! coverage a CI minute buys.
+//! coverage a CI minute buys. With `--out PATH`, also writes the shared
+//! machine-readable JSON envelope (same writer as `loadgen`).
 
 use std::time::Instant;
 
 use tsr_bench::banner;
+use tsr_bench::report::{bench_envelope, table, write_json};
 use tsr_sim::{canned_scenarios, env_seed};
+use tsr_wire::Json;
 
 fn main() {
     banner(
@@ -16,11 +19,15 @@ fn main() {
         "events/s and virtual:wall ratio per canned scenario",
     );
     let seed = env_seed();
-    println!(
-        "{:<28} {:>7} {:>9} {:>10} {:>11} {:>9}",
-        "scenario", "events", "wall_ms", "events/s", "virtual_ms", "v:w"
-    );
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
+    let mut rows = Vec::new();
+    let mut scenarios_json = Vec::new();
     let mut total_events = 0usize;
     let mut total_wall = 0.0f64;
     for scenario in canned_scenarios(seed) {
@@ -31,22 +38,48 @@ fn main() {
         let wall = start.elapsed();
         let wall_s = wall.as_secs_f64();
         let virt_ms = report.virtual_elapsed.as_secs_f64() * 1e3;
-        println!(
-            "{:<28} {:>7} {:>9.1} {:>10.1} {:>11.1} {:>9.3}",
-            report.scenario,
-            report.events,
-            wall_s * 1e3,
-            report.events as f64 / wall_s,
-            virt_ms,
-            virt_ms / (wall_s * 1e3),
-        );
+        rows.push(vec![
+            report.scenario.clone(),
+            report.events.to_string(),
+            format!("{:.1}", wall_s * 1e3),
+            format!("{:.1}", report.events as f64 / wall_s),
+            format!("{virt_ms:.1}"),
+            format!("{:.3}", virt_ms / (wall_s * 1e3)),
+        ]);
+        scenarios_json.push(Json::obj([
+            ("scenario", Json::str(&report.scenario)),
+            ("events", Json::Int(report.events as i128)),
+            ("wall_ms", Json::Float(wall_s * 1e3)),
+            ("events_per_s", Json::Float(report.events as f64 / wall_s)),
+            ("virtual_ms", Json::Float(virt_ms)),
+        ]));
         total_events += report.events;
         total_wall += wall_s;
     }
     println!(
-        "\ntotal: {} events in {:.1} ms ({:.1} events/s), seed {seed}",
+        "{}",
+        table(
+            &[
+                "scenario",
+                "events",
+                "wall_ms",
+                "events/s",
+                "virtual_ms",
+                "v:w"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "total: {} events in {:.1} ms ({:.1} events/s), seed {seed}",
         total_events,
         total_wall * 1e3,
         total_events as f64 / total_wall
     );
+
+    if let Some(path) = out {
+        let envelope = bench_envelope("scenario_throughput", seed, scenarios_json);
+        write_json(&path, &envelope).expect("write report");
+        println!("report written to {path}");
+    }
 }

@@ -1,0 +1,526 @@
+//! Socket drivers for the trace-driven load harness.
+//!
+//! [`LoadWorld`] boots a real [`TsrService`] behind a real `tsr_http`
+//! server on a loopback TCP port; [`run`] replays a
+//! [`tsr_workload::loadgen::Schedule`] against it **open-loop**: a
+//! dispatcher thread walks the virtual timeline and hands each op to a
+//! worker pool at its scheduled instant, never waiting for earlier ops
+//! to finish. Latency is measured from the *scheduled* dispatch time,
+//! so queueing delay when the server falls behind is part of the number
+//! (no coordinated omission).
+//!
+//! Workers use one pooled keep-alive [`TsrClient`] each
+//! (connection-per-worker); per-op latencies land in worker-local
+//! [`Histogram`]s that are merged at the end — the merge-associativity
+//! property the stats proptests pin is what makes that sound.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tsr_core::{ApiOptions, MirrorRef, Policy, TsrService};
+use tsr_mirror::{publish_to_all, Behavior, Mirror};
+use tsr_net::{Continent, LatencyModel};
+use tsr_stats::Histogram;
+use tsr_wire::{IndexFetch, Json, TsrClient, WireError};
+use tsr_workload::loadgen::{FaultOp, LoadOp, Schedule};
+use tsr_workload::GeneratedRepo;
+
+use crate::{initial_configs, workload_config};
+
+/// A live server + upstream world a schedule can be replayed against.
+pub struct LoadWorld {
+    /// The service, for fault injection and metrics assertions.
+    pub svc: TsrService,
+    /// The bound HTTP server (shut down on drop via [`LoadWorld::stop`]).
+    pub server: tsr_http::Server,
+    /// `http://host:port` of the server.
+    pub base: String,
+    /// The tenant repository id.
+    pub repo_id: String,
+    /// The policy text used (repo-churn ops re-deploy it).
+    pub policy_text: String,
+    /// Sorted sanitized package names (PackageGet targets).
+    pub package_names: Vec<String>,
+    /// The synthetic upstream, for `PublishUpdate` faults.
+    pub upstream: Mutex<GeneratedRepo>,
+}
+
+impl LoadWorld {
+    /// Builds the world: generated upstream → 3 honest mirrors → policy
+    /// → service → first refresh → HTTP server (rate limiting off; the
+    /// harness is the flood).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the world cannot be built — load runs need a healthy
+    /// server.
+    pub fn start(seed: u64, scale: f64, key_bits: usize, http_workers: usize) -> Self {
+        let seed_bytes = format!("loadworld-{seed}");
+        let upstream = GeneratedRepo::generate(workload_config(scale, seed_bytes.as_bytes()));
+        let mut mirrors: Vec<Mirror> = (0..3)
+            .map(|i| Mirror::new(format!("mirror-{i}"), Continent::Europe))
+            .collect();
+        publish_to_all(&mut mirrors, &upstream.snapshot());
+
+        let policy = Policy {
+            mirrors: mirrors
+                .iter()
+                .map(|m| MirrorRef {
+                    hostname: m.name.clone(),
+                    continent: m.continent,
+                })
+                .collect(),
+            signers_keys: vec![upstream.signing_key.public_key().clone()],
+            init_config_files: initial_configs(),
+            f: 1,
+            package_whitelist: Vec::new(),
+            package_blacklist: Vec::new(),
+        };
+        let policy_text = policy.to_text();
+
+        let svc = TsrService::new(
+            seed_bytes.as_bytes(),
+            mirrors,
+            LatencyModel::default(),
+            key_bits,
+        );
+        let (repo_id, _pem) = svc.create_repository(&policy_text).expect("create repo");
+        svc.refresh(&repo_id).expect("initial refresh");
+        let package_names: Vec<String> = svc
+            .with_repository(&repo_id, |repo| {
+                repo.sanitized_index()
+                    .map(|index| index.iter().map(|e| e.name.clone()).collect())
+                    .unwrap_or_default()
+            })
+            .expect("repo exists");
+        assert!(
+            !package_names.is_empty(),
+            "refresh produced an empty sanitized index"
+        );
+
+        let server = svc
+            .serve_with_options(
+                "127.0.0.1:0",
+                ApiOptions {
+                    workers: http_workers,
+                    rate_limit: None,
+                    ..ApiOptions::default()
+                },
+            )
+            .expect("bind load server");
+        let base = format!("http://{}", server.local_addr());
+        LoadWorld {
+            svc,
+            server,
+            base,
+            repo_id,
+            policy_text,
+            package_names,
+            upstream: Mutex::new(upstream),
+        }
+    }
+
+    /// Shuts the HTTP server down (drains in-flight requests).
+    pub fn stop(self) {
+        self.server.shutdown();
+    }
+
+    /// Applies one fault op to the live world.
+    fn apply_fault(&self, fault: FaultOp) {
+        match fault {
+            FaultOp::MirrorStale { mirror } => self.svc.with_mirrors(|ms| {
+                let i = mirror as usize % ms.len().max(1);
+                if let Some(m) = ms.get_mut(i) {
+                    m.set_behavior(Behavior::Stale { snapshot: 0 });
+                }
+            }),
+            FaultOp::MirrorRestore { mirror } => self.svc.with_mirrors(|ms| {
+                let i = mirror as usize % ms.len().max(1);
+                if let Some(m) = ms.get_mut(i) {
+                    m.set_behavior(Behavior::Honest);
+                }
+            }),
+            FaultOp::PublishUpdate { packages } => {
+                let snapshot = {
+                    let mut upstream = self
+                        .upstream
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    upstream.publish_update(packages as usize);
+                    upstream.snapshot()
+                };
+                self.svc.with_mirrors(|ms| publish_to_all(ms, &snapshot));
+            }
+        }
+    }
+}
+
+/// Knobs for one replay.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Worker (connection) count. Keep small on small machines; the
+    /// dispatcher is open-loop either way.
+    pub clients: usize,
+    /// Virtual-to-wall speed factor (2.0 = replay twice as fast).
+    pub speed: f64,
+    /// Per-request client timeout.
+    pub timeout: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            clients: 4,
+            speed: 1.0,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Latency + error tallies for one op kind.
+#[derive(Debug, Default, Clone)]
+pub struct OpStats {
+    /// Latency from scheduled dispatch to completion, microseconds.
+    pub hist: Histogram,
+    /// Errors attributed to injected faults (API errors while the
+    /// schedule carries fault ops).
+    pub injected_errors: u64,
+    /// Errors with no injected cause — must be zero under steady load.
+    pub unexpected_errors: u64,
+}
+
+impl OpStats {
+    fn merge(&mut self, other: &OpStats) {
+        self.hist.merge(&other.hist);
+        self.injected_errors += other.injected_errors;
+        self.unexpected_errors += other.unexpected_errors;
+    }
+}
+
+/// The result of replaying one schedule.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Scenario name (from the schedule).
+    pub scenario: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Virtual duration of the schedule, microseconds.
+    pub virtual_duration_us: u64,
+    /// Wall-clock time of the replay.
+    pub wall: Duration,
+    /// All schedule events (measured ops + faults).
+    pub events: u64,
+    /// Measured requests dispatched.
+    pub requests: u64,
+    /// High-water mark of concurrently in-flight requests.
+    pub in_flight_high_water: u64,
+    /// Per-op-kind latency histograms and error tallies.
+    pub ops: BTreeMap<String, OpStats>,
+    /// Conditional index GETs answered 304.
+    pub cond_hits: u64,
+    /// Conditional index GETs that transferred a fresh index.
+    pub cond_misses: u64,
+}
+
+impl LoadReport {
+    /// Total unexpected (non-injected) errors across all op kinds.
+    pub fn unexpected_errors(&self) -> u64 {
+        self.ops.values().map(|s| s.unexpected_errors).sum()
+    }
+
+    /// Total injected-fault errors across all op kinds.
+    pub fn injected_errors(&self) -> u64 {
+        self.ops.values().map(|s| s.injected_errors).sum()
+    }
+
+    /// Conditional-GET hit ratio (`NaN`-free: 0 when none were sent).
+    pub fn cond_hit_ratio(&self) -> f64 {
+        let total = self.cond_hits + self.cond_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cond_hits as f64 / total as f64
+        }
+    }
+
+    /// The per-scenario JSON object for the bench envelope.
+    pub fn to_json(&self) -> Json {
+        let wall_s = self.wall.as_secs_f64().max(1e-9);
+        let ops = self
+            .ops
+            .iter()
+            .map(|(key, stats)| {
+                (
+                    key.clone(),
+                    Json::obj([
+                        ("count", Json::Int(i128::from(stats.hist.count()))),
+                        ("p50_us", Json::Int(i128::from(stats.hist.quantile(0.50)))),
+                        ("p90_us", Json::Int(i128::from(stats.hist.quantile(0.90)))),
+                        ("p99_us", Json::Int(i128::from(stats.hist.quantile(0.99)))),
+                        ("p999_us", Json::Int(i128::from(stats.hist.quantile(0.999)))),
+                        ("max_us", Json::Int(i128::from(stats.hist.max()))),
+                        ("mean_us", Json::Float(stats.hist.mean())),
+                        (
+                            "injected_errors",
+                            Json::Int(i128::from(stats.injected_errors)),
+                        ),
+                        (
+                            "unexpected_errors",
+                            Json::Int(i128::from(stats.unexpected_errors)),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj([
+            ("scenario", Json::str(&self.scenario)),
+            ("seed", Json::Int(i128::from(self.seed))),
+            (
+                "virtual_duration_us",
+                Json::Int(i128::from(self.virtual_duration_us)),
+            ),
+            ("wall_ms", Json::Float(self.wall.as_secs_f64() * 1e3)),
+            ("events", Json::Int(i128::from(self.events))),
+            ("requests", Json::Int(i128::from(self.requests))),
+            ("rps", Json::Float(self.requests as f64 / wall_s)),
+            ("events_per_s", Json::Float(self.events as f64 / wall_s)),
+            (
+                "in_flight_high_water",
+                Json::Int(i128::from(self.in_flight_high_water)),
+            ),
+            ("cond_hits", Json::Int(i128::from(self.cond_hits))),
+            ("cond_misses", Json::Int(i128::from(self.cond_misses))),
+            ("cond_hit_ratio", Json::Float(self.cond_hit_ratio())),
+            (
+                "injected_errors",
+                Json::Int(i128::from(self.injected_errors())),
+            ),
+            (
+                "unexpected_errors",
+                Json::Int(i128::from(self.unexpected_errors())),
+            ),
+            ("ops", Json::Obj(ops)),
+        ])
+    }
+}
+
+/// One dispatched unit of work.
+struct Dispatch {
+    op: LoadOp,
+    /// The instant the op was (virtually) scheduled — latency baseline.
+    sched_at: Instant,
+}
+
+/// Worker-local tallies, merged after the join.
+#[derive(Default)]
+struct WorkerStats {
+    ops: BTreeMap<&'static str, OpStats>,
+    cond_hits: u64,
+    cond_misses: u64,
+}
+
+/// Replays `schedule` against `world` and collects the report.
+///
+/// # Panics
+///
+/// Panics on harness-internal failures (channel breakage, join errors) —
+/// never on server-side errors, which are tallied instead.
+pub fn run(world: &LoadWorld, schedule: &Schedule, opts: RunOptions) -> LoadReport {
+    let faults_injected = schedule.has_faults();
+    let in_flight = Arc::new(AtomicI64::new(0));
+    let high_water = Arc::new(AtomicU64::new(0));
+
+    let (tx, rx) = mpsc::channel::<Dispatch>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::new();
+    for _ in 0..opts.clients.max(1) {
+        let rx = rx.clone();
+        let in_flight = in_flight.clone();
+        let base = world.base.clone();
+        let repo_id = world.repo_id.clone();
+        let policy_text = world.policy_text.clone();
+        let names = world.package_names.clone();
+        let timeout = opts.timeout;
+        workers.push(std::thread::spawn(move || {
+            let client = TsrClient::pooled(&base, timeout);
+            let mut stats = WorkerStats::default();
+            let mut etag: Option<String> = None;
+            loop {
+                let dispatch = {
+                    let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.recv()
+                };
+                let Ok(Dispatch { op, sched_at }) = dispatch else {
+                    break; // channel closed: dispatcher is done
+                };
+                let key = op.metric_key().expect("workers only get measured ops");
+                let outcome = execute(&client, &repo_id, &policy_text, &names, &mut etag, op);
+                let latency_us = u64::try_from(sched_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                in_flight.fetch_sub(1, Ordering::Relaxed);
+                let entry = stats.ops.entry(key).or_default();
+                match outcome {
+                    Outcome::Ok => entry.hist.record(latency_us),
+                    Outcome::CondHit => {
+                        entry.hist.record(latency_us);
+                        stats.cond_hits += 1;
+                    }
+                    Outcome::CondMiss => {
+                        entry.hist.record(latency_us);
+                        stats.cond_misses += 1;
+                    }
+                    Outcome::ApiError => {
+                        if faults_injected {
+                            entry.injected_errors += 1;
+                        } else {
+                            entry.unexpected_errors += 1;
+                        }
+                    }
+                    Outcome::TransportError => entry.unexpected_errors += 1,
+                }
+            }
+            stats
+        }));
+    }
+
+    // The dispatcher: walk the virtual timeline, sleeping to each op's
+    // wall instant, applying faults inline and fanning measured ops to
+    // the workers. Open loop: no completion is ever awaited here.
+    let start = Instant::now();
+    let mut requests = 0u64;
+    for scheduled in &schedule.ops {
+        let wall_at =
+            Duration::from_micros((scheduled.at_us as f64 / opts.speed.max(0.0001)) as u64);
+        if let Some(wait) = wall_at.checked_sub(start.elapsed()) {
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+        match scheduled.op {
+            LoadOp::Fault(fault) => world.apply_fault(fault),
+            op => {
+                let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                high_water.fetch_max(now.max(0) as u64, Ordering::Relaxed);
+                requests += 1;
+                tx.send(Dispatch {
+                    op,
+                    sched_at: start + wall_at,
+                })
+                .expect("worker pool alive");
+            }
+        }
+    }
+    drop(tx); // signals workers to finish after draining the queue
+
+    let mut ops: BTreeMap<String, OpStats> = BTreeMap::new();
+    let mut cond_hits = 0u64;
+    let mut cond_misses = 0u64;
+    for worker in workers {
+        let stats = worker.join().expect("load worker panicked");
+        for (key, s) in stats.ops {
+            ops.entry(key.to_string()).or_default().merge(&s);
+        }
+        cond_hits += stats.cond_hits;
+        cond_misses += stats.cond_misses;
+    }
+    let wall = start.elapsed();
+
+    LoadReport {
+        scenario: schedule.scenario.clone(),
+        seed: schedule.seed,
+        virtual_duration_us: schedule.duration_us,
+        wall,
+        events: schedule.ops.len() as u64,
+        requests,
+        in_flight_high_water: high_water.load(Ordering::Relaxed),
+        ops,
+        cond_hits,
+        cond_misses,
+    }
+}
+
+/// How one executed op went.
+enum Outcome {
+    Ok,
+    CondHit,
+    CondMiss,
+    ApiError,
+    TransportError,
+}
+
+fn classify(e: &WireError) -> Outcome {
+    match e {
+        WireError::Api { .. } => Outcome::ApiError,
+        _ => Outcome::TransportError,
+    }
+}
+
+/// Executes one measured op via the typed client.
+fn execute(
+    client: &TsrClient,
+    repo_id: &str,
+    policy_text: &str,
+    names: &[String],
+    etag: &mut Option<String>,
+    op: LoadOp,
+) -> Outcome {
+    match op {
+        LoadOp::Health => match client.health() {
+            Ok(_) => Outcome::Ok,
+            Err(e) => classify(&e),
+        },
+        LoadOp::IndexGet => match client.index(repo_id) {
+            Ok((_bytes, tag)) => {
+                *etag = tag;
+                Outcome::Ok
+            }
+            Err(e) => classify(&e),
+        },
+        LoadOp::IndexCondGet => match etag.clone() {
+            // No ETag yet: fetch fresh and prime it (counted as a miss).
+            None => match client.index(repo_id) {
+                Ok((_bytes, tag)) => {
+                    *etag = tag;
+                    Outcome::CondMiss
+                }
+                Err(e) => classify(&e),
+            },
+            Some(tag) => match client.index_if_none_match(repo_id, &tag) {
+                Ok(IndexFetch::NotModified) => Outcome::CondHit,
+                Ok(IndexFetch::Fresh { etag: fresh, .. }) => {
+                    *etag = fresh;
+                    Outcome::CondMiss
+                }
+                Err(e) => classify(&e),
+            },
+        },
+        LoadOp::PackageGet { pkg } => {
+            let name = &names[pkg as usize % names.len()];
+            match client.package(repo_id, name) {
+                Ok(_) => Outcome::Ok,
+                Err(e) => classify(&e),
+            }
+        }
+        LoadOp::PackagesPage { offset, limit } => {
+            match client.packages(repo_id, u64::from(offset), u64::from(limit)) {
+                Ok(_) => Outcome::Ok,
+                Err(e) => classify(&e),
+            }
+        }
+        LoadOp::Refresh => match client.refresh(repo_id) {
+            Ok(_) => Outcome::Ok,
+            Err(e) => classify(&e),
+        },
+        LoadOp::RepoChurn => match client.create_repository(policy_text) {
+            Ok(created) => match client.delete_repository(&created.id) {
+                Ok(()) => Outcome::Ok,
+                Err(e) => classify(&e),
+            },
+            Err(e) => classify(&e),
+        },
+        LoadOp::Fault(_) => unreachable!("faults are applied by the dispatcher"),
+    }
+}

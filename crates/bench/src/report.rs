@@ -1,0 +1,115 @@
+//! Shared machine-readable bench reporting.
+//!
+//! Every bench binary that emits numbers worth tracking across PRs goes
+//! through this module: one canonical-JSON envelope (via [`Json`], the
+//! strict `tsr-wire` encoder, so every report re-parses under the strict
+//! parser) plus one plain-text table formatter. `BENCH_PR{N}.json` files
+//! at the repo root are snapshots of these envelopes — the perf
+//! trajectory the README documents.
+
+use std::io::Write as _;
+
+use tsr_wire::Json;
+
+use crate::{key_bits, scale};
+
+/// Wraps per-scenario result objects in the standard envelope:
+/// `{bench, seed, scale, key_bits, scenarios: [...]}`.
+pub fn bench_envelope(bench: &str, seed: u64, scenarios: Vec<Json>) -> Json {
+    Json::obj([
+        ("bench", Json::str(bench)),
+        ("seed", Json::Int(i128::from(seed))),
+        ("scale", Json::Float(scale())),
+        ("key_bits", Json::Int(key_bits() as i128)),
+        ("scenarios", Json::Arr(scenarios)),
+    ])
+}
+
+/// Writes a report as canonical JSON (with a trailing newline) to `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn write_json(path: &str, report: &Json) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(report.encode().as_bytes())?;
+    f.write_all(b"\n")?;
+    f.flush()
+}
+
+/// Formats rows as a right-aligned plain-text table (first column
+/// left-aligned), matching the layout the bench binaries print.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                line.push(' ');
+            }
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}", w = widths[i]));
+            } else {
+                line.push_str(&format!("{cell:>w$}", w = widths[i]));
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let mut out = fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrips_through_strict_parser() {
+        let scenarios = vec![
+            Json::obj([
+                ("scenario", Json::str("steady")),
+                ("events", Json::Int(1234)),
+                ("rps", Json::Float(315.25)),
+            ]),
+            Json::obj([
+                ("scenario", Json::str("update_storm")),
+                ("events", Json::Int(9)),
+            ]),
+        ];
+        let report = bench_envelope("loadgen", 42, scenarios);
+        let encoded = report.encode();
+        let parsed = Json::parse(&encoded).expect("strict parse");
+        assert_eq!(parsed, report);
+        // Canonical: encoding is a fixed point.
+        assert_eq!(parsed.encode(), encoded);
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["scenario", "events", "rps"],
+            &[
+                vec!["steady".into(), "1234".into(), "315.2".into()],
+                vec!["update_storm".into(), "99".into(), "8.0".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("scenario"));
+        // Numeric columns right-aligned: same end offset for every row.
+        let end0 = lines[1].len();
+        let end1 = lines[2].len();
+        assert_eq!(end0, end1);
+    }
+}

@@ -58,10 +58,14 @@ const DEFAULT_PAGE_LIMIT: u64 = 100;
 /// Hard cap on the page size.
 const MAX_PAGE_LIMIT: u64 = 1000;
 
-/// Per-route request counters (route pattern → status → count).
+/// Per-route request counters (route pattern → status → count) plus
+/// named event counters for paths the load-contract tests must observe
+/// (e.g. how many 304s were answered without touching a repository
+/// shard lock).
 #[derive(Debug, Default)]
 pub struct ApiMetrics {
     requests: Mutex<BTreeMap<String, BTreeMap<u16, u64>>>,
+    counters: Mutex<BTreeMap<String, u64>>,
 }
 
 impl ApiMetrics {
@@ -73,11 +77,32 @@ impl ApiMetrics {
             .or_insert(0) += 1;
     }
 
+    /// Increments the named event counter.
+    pub fn bump(&self, name: &str) {
+        let mut map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+        *map.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    /// The current value of a named event counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// A snapshot of all counters as the wire DTO.
     pub fn snapshot(&self) -> MetricsDto {
         MetricsDto {
             requests: self
                 .requests
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+            counters: self
+                .counters
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .clone(),
@@ -354,9 +379,22 @@ fn v1_refresh(svc: &TsrService, id: &str) -> Response {
 }
 
 fn v1_index(svc: &TsrService, id: &str, req: &Request) -> Response {
-    // The repository keeps the signed index's ETag in lockstep with the
-    // blob, so a conditional re-fetch answers 304 without cloning or
-    // hashing anything — the path a polling package manager hits most.
+    // Lock-bypass fast path: the service mirrors each repository's
+    // current index ETag into a side cache that is kept in lockstep
+    // under the shard lock at every mutation point. A conditional
+    // re-fetch — the request a polling package manager sends most —
+    // can therefore answer 304 from the cache alone, never queueing
+    // behind a tenant's long refresh.
+    if let Some(etag) = svc.cached_index_etag(id) {
+        if etag_matches(req, &etag) {
+            svc.api_metrics().bump("index_not_modified_lock_free");
+            return Response::not_modified(&etag);
+        }
+    }
+    svc.api_metrics().bump("index_locked_reads");
+    // Slow path takes the shard lock; the repository keeps the signed
+    // index's ETag in lockstep with the blob, so even here a 304 costs
+    // no cloning or hashing.
     let result = svc.with_repository(id, |repo| match repo.signed_index_etag() {
         Some(etag) if etag_matches(req, etag) => Ok(Response::not_modified(etag)),
         _ => repo.serve_index().map(|blob| {
@@ -368,7 +406,11 @@ fn v1_index(svc: &TsrService, id: &str, req: &Request) -> Response {
         }),
     });
     match result {
-        Ok(Ok(resp)) => resp,
+        Ok(Ok(resp)) => {
+            // Warm the cache with whatever ETag was just served.
+            svc.store_index_etag(id, resp.headers.get("etag").map(String::as_str));
+            resp
+        }
         Ok(Err(e)) | Err(e) => v1_error(&e, id),
     }
 }

@@ -58,6 +58,13 @@ struct SharedState {
     key_bits: usize,
     workers: AtomicUsize,
     metrics: ApiMetrics,
+    /// Repository id → current signed-index ETag, mirrored out of the
+    /// shards so conditional index GETs can answer 304 without queueing
+    /// on a shard lock. Kept in lockstep at every mutation point
+    /// (refresh, restart, test mutation, delete) *while the shard lock
+    /// is held*; a leaf lock in the hierarchy (never taken around any
+    /// other lock acquisition).
+    index_etags: RwLock<BTreeMap<String, String>>,
 }
 
 /// The multi-tenant TSR service.
@@ -118,6 +125,7 @@ impl TsrService {
                 key_bits,
                 workers: AtomicUsize::new(default_workers()),
                 metrics: ApiMetrics::default(),
+                index_etags: RwLock::new(BTreeMap::new()),
             }),
             repos: Arc::new(RwLock::new(BTreeMap::new())),
         }
@@ -245,6 +253,8 @@ impl TsrService {
         let report = repo.refresh_unsealed(&mirrors, &model, &mut rng, workers)?;
         let mut tpm = lock(&self.shared.tpm);
         repo.persist(&enclave, &mut tpm)?;
+        drop(tpm);
+        self.sync_index_etag(id, &repo);
         Ok(report)
     }
 
@@ -276,6 +286,8 @@ impl TsrService {
                 // Lock order `repository → tpm` (see the struct docs).
                 let tpm = lock(&self.shared.tpm);
                 let outcome = repo.restore(&enclave, &tpm);
+                drop(tpm);
+                self.sync_index_etag(&id, &repo);
                 (id, outcome)
             })
             .collect()
@@ -357,7 +369,7 @@ impl TsrService {
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .remove(id)
-            .map(|_| ())
+            .map(|_| self.store_index_etag(id, None))
             .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))
     }
 
@@ -374,12 +386,51 @@ impl TsrService {
     ) -> Result<R, CoreError> {
         let shard = self.repo(id)?;
         let mut repo = lock(&shard);
-        Ok(f(&mut repo))
+        let r = f(&mut repo);
+        // `f` may have changed the index (fault injection); re-sync the
+        // conditional-GET cache before the shard lock is released.
+        self.sync_index_etag(id, &repo);
+        Ok(r)
     }
 
     /// The per-route request counters backing `GET /v1/metrics`.
     pub fn api_metrics(&self) -> &ApiMetrics {
         &self.shared.metrics
+    }
+
+    /// The cached signed-index ETag for `id`, read without touching the
+    /// repository shard lock (the `/v1` conditional-GET fast path).
+    pub fn cached_index_etag(&self, id: &str) -> Option<String> {
+        self.shared
+            .index_etags
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(id)
+            .cloned()
+    }
+
+    /// Stores (or clears) the cached index ETag for `id`.
+    pub(crate) fn store_index_etag(&self, id: &str, etag: Option<&str>) {
+        let mut map = self
+            .shared
+            .index_etags
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        match etag {
+            Some(e) => {
+                map.insert(id.to_string(), e.to_string());
+            }
+            None => {
+                map.remove(id);
+            }
+        }
+    }
+
+    /// Re-reads `repo`'s current index ETag into the cache. Call with
+    /// the shard lock held so the cache can never outlive the state it
+    /// mirrors by more than the in-flight readers.
+    fn sync_index_etag(&self, id: &str, repo: &TsrRepository) {
+        self.store_index_etag(id, repo.signed_index_etag());
     }
 
     /// Routes an HTTP request (also usable without a real socket): the

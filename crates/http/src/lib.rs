@@ -42,7 +42,7 @@ use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
@@ -793,17 +793,32 @@ fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> Resu
     Ok(())
 }
 
-/// A simple HTTP client (one connection per request).
+/// A simple HTTP client.
+///
+/// By default each request opens a fresh connection and sends
+/// `connection: close`. [`Client::with_keep_alive`] instead pools one
+/// connection and reuses it across sequential requests — the load
+/// harness gives each worker thread its own pooled client, so a worker
+/// pays the TCP handshake once instead of per request.
 #[derive(Debug, Clone, Default)]
 pub struct Client {
     timeout: Option<Duration>,
+    /// One cached `(host, connection)`; clones share it, so keep a
+    /// pooled client on a single thread (one request in flight at a
+    /// time) and give each worker its own.
+    pool: Option<ConnPool>,
 }
+
+/// The single-slot keep-alive connection cache shared by clones of a
+/// pooled [`Client`].
+type ConnPool = Arc<Mutex<Option<(String, TcpStream)>>>;
 
 impl Client {
     /// A client with a 10-second default timeout.
     pub fn new() -> Self {
         Client {
             timeout: Some(Duration::from_secs(10)),
+            pool: None,
         }
     }
 
@@ -812,6 +827,22 @@ impl Client {
     pub fn with_timeout(timeout: Duration) -> Self {
         Client {
             timeout: Some(timeout),
+            pool: None,
+        }
+    }
+
+    /// A keep-alive client: caches one connection and reuses it while
+    /// the server keeps it open.
+    ///
+    /// When a *reused* connection fails mid-request the request is
+    /// retried once on a fresh connection — the dominant cause is the
+    /// server having idled out the cached connection, which is
+    /// indistinguishable from it never existing. Callers for whom a
+    /// non-idempotent retry is unacceptable should use [`Client::new`].
+    pub fn with_keep_alive(timeout: Duration) -> Self {
+        Client {
+            timeout: Some(timeout),
+            pool: Some(Arc::new(Mutex::new(None))),
         }
     }
 
@@ -848,10 +879,72 @@ impl Client {
         extra_headers: &[(&str, &str)],
     ) -> Result<Response, HttpError> {
         let (host, path) = parse_url(url)?;
-        let stream = self.connect(&host)?;
-        stream.set_read_timeout(self.timeout)?;
-        stream.set_write_timeout(self.timeout)?;
-        let mut w = &stream;
+        let Some(pool) = &self.pool else {
+            let stream = self.fresh_conn(&host)?;
+            return Self::exchange(&stream, method, &host, &path, body, extra_headers, false);
+        };
+
+        // Keep-alive mode: reuse the cached connection when the host
+        // matches, retrying once on a fresh one if the reuse fails (the
+        // server may have idled the cached connection out).
+        let cached = {
+            let mut slot = pool
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match slot.take() {
+                Some((h, s)) if h == host => Some(s),
+                _ => None,
+            }
+        };
+        let (stream, reused) = match cached {
+            Some(s) => (s, true),
+            None => (self.fresh_conn(&host)?, false),
+        };
+        let resp = Self::exchange(&stream, method, &host, &path, body, extra_headers, true);
+        let resp = match resp {
+            Err(HttpError::Io(_)) if reused => {
+                let stream2 = self.fresh_conn(&host)?;
+                let r = Self::exchange(&stream2, method, &host, &path, body, extra_headers, true)?;
+                Self::pool_back(pool, &host, stream2, &r);
+                return Ok(r);
+            }
+            other => other?,
+        };
+        Self::pool_back(pool, &host, stream, &resp);
+        Ok(resp)
+    }
+
+    /// Returns a connection to the pool unless the server asked to close.
+    fn pool_back(
+        pool: &ConnPool,
+        host: &str,
+        stream: TcpStream,
+        resp: &Response,
+    ) {
+        let closing = resp
+            .headers
+            .get("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false);
+        if !closing {
+            let mut slot = pool
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *slot = Some((host.to_string(), stream));
+        }
+    }
+
+    /// One request/response exchange on an established connection.
+    fn exchange(
+        stream: &TcpStream,
+        method: &str,
+        host: &str,
+        path: &str,
+        body: &[u8],
+        extra_headers: &[(&str, &str)],
+        keep_alive: bool,
+    ) -> Result<Response, HttpError> {
+        let mut w = stream;
         let mut head = format!(
             "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-length: {}\r\n",
             body.len()
@@ -859,11 +952,18 @@ impl Client {
         for (k, v) in extra_headers {
             head.push_str(&format!("{k}: {v}\r\n"));
         }
-        head.push_str("connection: close\r\n\r\n");
+        head.push_str(if keep_alive {
+            "connection: keep-alive\r\n\r\n"
+        } else {
+            "connection: close\r\n\r\n"
+        });
         w.write_all(head.as_bytes())?;
         w.write_all(body)?;
         w.flush()?;
 
+        // A fresh BufReader per exchange is safe here: this client has
+        // exactly one response outstanding, so the buffer never holds
+        // bytes of a later response when it is dropped.
         let mut reader = BufReader::new(stream);
         let mut status_line = String::new();
         reader.read_line(&mut status_line)?;
@@ -879,6 +979,14 @@ impl Client {
             headers,
             body,
         })
+    }
+
+    /// Opens a new connection with timeouts applied.
+    fn fresh_conn(&self, host: &str) -> Result<TcpStream, HttpError> {
+        let stream = self.connect(host)?;
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        Ok(stream)
     }
 
     /// Connects with the configured timeout (when one is set).

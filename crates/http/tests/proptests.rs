@@ -1,0 +1,166 @@
+//! Property-based tests for the router's percent-coding and query
+//! parsing: `percent_encode` → `percent_decode` must be the identity on
+//! arbitrary strings, query components must round-trip through a full
+//! router recognition, and `+` must mean "space" only in query
+//! components (a literal `+` is valid in a path segment).
+//!
+//! Each property is a plain function of a `u64` seed (expanded through an
+//! `HmacDrbg`), called both from `proptest!` with random seeds and from
+//! plain tests replaying [`REGRESSION_SEEDS`].
+
+use proptest::prelude::*;
+use tsr_crypto::drbg::HmacDrbg;
+use tsr_http::router::{percent_decode, percent_encode, Recognized, Router};
+
+/// Seeds pinning previously interesting cases: empty strings, all-ASCII,
+/// multi-byte UTF-8, strings full of `%`/`+`/`&`/`=` metacharacters.
+const REGRESSION_SEEDS: &[u64] = &[
+    0,
+    1,
+    7,
+    42,
+    0xdead_beef,
+    0x5eed_0006,
+    0x25_2b_26_3d, // '%' '+' '&' '='
+    9_876_543_210,
+];
+
+/// An arbitrary Unicode string biased toward URL metacharacters.
+fn string_from(rng: &mut HmacDrbg, max_len: u64) -> String {
+    const SPICY: &[char] = &[
+        '%', '+', '&', '=', '?', '/', '#', ' ', '~', '.', '-', '_', 'ü', 'é', '雪', '🦀', '\u{7f}',
+    ];
+    let len = rng.gen_range(max_len) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.gen_range(3) == 0 {
+                SPICY[rng.gen_range(SPICY.len() as u64) as usize]
+            } else {
+                // Any scalar value in the BMP below the surrogate range.
+                char::from_u32(u32::try_from(1 + rng.gen_range(0xd7ff)).unwrap()).unwrap()
+            }
+        })
+        .collect()
+}
+
+/// Property 1: decode(encode(s)) == s for arbitrary strings, and the
+/// encoded form contains only unreserved characters and `%XX` escapes.
+fn encode_decode_identity_case(seed: u64) {
+    let mut rng = HmacDrbg::new(&seed.to_be_bytes());
+    for _ in 0..16 {
+        let s = string_from(&mut rng, 40);
+        let enc = percent_encode(&s);
+        assert!(
+            enc.bytes().all(|b| matches!(
+                b,
+                b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' | b'%'
+            )),
+            "seed {seed}: encoded form has reserved bytes: {enc:?}"
+        );
+        assert_eq!(percent_decode(&enc), s, "seed {seed}: {s:?}");
+    }
+}
+
+/// Property 2: arbitrary key/value pairs survive a full router
+/// recognition when encoded as query components.
+fn query_roundtrip_case(seed: u64) {
+    let mut rng = HmacDrbg::new(&seed.to_be_bytes());
+    let mut router = Router::new();
+    router.route("GET", "/q", ());
+    for _ in 0..8 {
+        // Distinct non-empty keys so `Params::query` lookups are unambiguous.
+        let k = format!("k{}x{}", rng.gen_range(1000), string_from(&mut rng, 6));
+        let v = string_from(&mut rng, 24);
+        let path = format!("/q?{}={}&other=1", percent_encode(&k), percent_encode(&v));
+        match router.recognize("GET", &path) {
+            Recognized::Match(m) => {
+                assert_eq!(
+                    m.params.query(&k),
+                    Some(v.as_str()),
+                    "seed {seed}: key {k:?} value {v:?}"
+                );
+                assert_eq!(m.params.query("other"), Some("1"), "seed {seed}");
+            }
+            other => panic!("seed {seed}: no match for {path:?}: {other:?}"),
+        }
+    }
+}
+
+/// Property 3: `+` decodes to space in query components only; in path
+/// segments it stays a literal plus.
+fn plus_handling_case(seed: u64) {
+    let mut rng = HmacDrbg::new(&seed.to_be_bytes());
+    let mut router = Router::new();
+    router.route("GET", "/seg/:name", ());
+    for _ in 0..8 {
+        let n = rng.gen_range(1000);
+        // Path: literal '+' must survive.
+        let path = format!("/seg/a+b{n}?q=a+b{n}");
+        match router.recognize("GET", &path) {
+            Recognized::Match(m) => {
+                assert_eq!(
+                    m.params.get("name"),
+                    Some(format!("a+b{n}").as_str()),
+                    "seed {seed}: path plus must stay literal"
+                );
+                assert_eq!(
+                    m.params.query("q"),
+                    Some(format!("a b{n}").as_str()),
+                    "seed {seed}: query plus must become space"
+                );
+            }
+            other => panic!("seed {seed}: no match: {other:?}"),
+        }
+        // An encoded %2B in a query component is still a literal plus.
+        match router.recognize("GET", &format!("/seg/x?p=%2B{n}")) {
+            Recognized::Match(m) => {
+                assert_eq!(
+                    m.params.query("p"),
+                    Some(format!("+{n}").as_str()),
+                    "seed {seed}: %2B must decode to literal plus"
+                );
+            }
+            other => panic!("seed {seed}: no match: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encode_decode_identity(seed in any::<u64>()) {
+        encode_decode_identity_case(seed);
+    }
+
+    #[test]
+    fn query_roundtrip(seed in any::<u64>()) {
+        query_roundtrip_case(seed);
+    }
+
+    #[test]
+    fn plus_handling(seed in any::<u64>()) {
+        plus_handling_case(seed);
+    }
+}
+
+#[test]
+fn encode_decode_identity_regressions() {
+    for &seed in REGRESSION_SEEDS {
+        encode_decode_identity_case(seed);
+    }
+}
+
+#[test]
+fn query_roundtrip_regressions() {
+    for &seed in REGRESSION_SEEDS {
+        query_roundtrip_case(seed);
+    }
+}
+
+#[test]
+fn plus_handling_regressions() {
+    for &seed in REGRESSION_SEEDS {
+        plus_handling_case(seed);
+    }
+}

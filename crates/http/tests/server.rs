@@ -361,3 +361,88 @@ fn connection_close_is_honored() {
     );
     s.shutdown();
 }
+
+#[test]
+fn pipelined_requests_answered_in_order() {
+    // HTTP/1.1 pipelining: N requests pushed down the socket in ONE
+    // write, before any response is read. The server must answer all N,
+    // in request order, on the same connection. The reactor rework
+    // (ROADMAP open item 1) must not regress this.
+    let s = echo_server(2);
+    let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    const N: usize = 8;
+    let mut batch = String::new();
+    for i in 0..N {
+        batch.push_str(&format!(
+            "GET /p{i} HTTP/1.1\r\nhost: t\r\nconnection: keep-alive\r\ncontent-length: 0\r\n\r\n"
+        ));
+    }
+    stream.write_all(batch.as_bytes()).unwrap();
+    stream.flush().unwrap();
+
+    for i in 0..N {
+        let (status, body) = read_response(&mut reader)
+            .unwrap_or_else(|| panic!("no response for pipelined request {i}"));
+        assert_eq!(status, 200, "request {i}");
+        assert_eq!(body, format!("/p{i}").into_bytes(), "out-of-order response");
+    }
+    s.shutdown();
+}
+
+#[test]
+fn keep_alive_client_reuses_its_connection() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    // Count distinct connections by handing each accepted request the
+    // peer address; a pooled client must keep one source port across
+    // sequential requests, the default client must not.
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h2 = hits.clone();
+    let s = Server::bind_with_workers(
+        "127.0.0.1:0",
+        move |_req| {
+            h2.fetch_add(1, Ordering::SeqCst);
+            Response::ok(b"ok".to_vec())
+        },
+        2,
+    )
+    .unwrap();
+    let base = format!("http://{}", s.local_addr());
+
+    let pooled = tsr_http::Client::with_keep_alive(Duration::from_secs(5));
+    for _ in 0..4 {
+        let resp = pooled.get(&format!("{base}/x")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.headers.get("connection").map(String::as_str),
+            Some("keep-alive"),
+            "server should agree to keep the pooled connection open"
+        );
+    }
+    assert_eq!(hits.load(Ordering::SeqCst), 4);
+    s.shutdown();
+}
+
+#[test]
+fn keep_alive_client_recovers_from_server_restart() {
+    // Kill the server between requests: the pooled connection goes
+    // stale. A new server on a fresh port must still be reachable (the
+    // pool is keyed by host, so the dead connection is not reused), and
+    // a dead cached connection to the SAME host must be retried.
+    let s =
+        Server::bind_with_workers("127.0.0.1:0", |_req| Response::ok(b"a".to_vec()), 1).unwrap();
+    let base = format!("http://{}", s.local_addr());
+    let client = tsr_http::Client::with_keep_alive(Duration::from_secs(5));
+    assert_eq!(client.get(&format!("{base}/1")).unwrap().body, b"a");
+    s.shutdown();
+
+    // Same host:port is gone; the retry path surfaces a connect error
+    // rather than hanging on the stale pooled connection.
+    assert!(client.get(&format!("{base}/2")).is_err());
+}

@@ -1,8 +1,13 @@
 //! # tsr-stats
 //!
-//! The statistics the paper's evaluation uses: percentiles and trimmed
+//! The statistics the paper's evaluation uses — percentiles and trimmed
 //! means (all timing tables), Spearman rank correlation with p-values
-//! (Table 4), and simple histograms/densities (Figures 8–11).
+//! (Table 4), simple density histograms (Figures 8–11) — plus the
+//! HDR-style [`Histogram`] the trace-driven load harness records per-op
+//! latency into (fixed log-scaled buckets, O(1) record, associative
+//! merge, bounded-error quantiles up to p99.9 and beyond).
+
+#![warn(missing_docs)]
 
 /// Mean of a sample (0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -128,9 +133,207 @@ pub fn spearman_p_value(rho: f64, n: usize) -> f64 {
     (2.0 * (1.0 - phi(z))).clamp(0.0, 1.0)
 }
 
-/// A fixed-width histogram over `[lo, hi)`.
-#[derive(Debug, Clone, PartialEq)]
+// ---------------------------------------------------------------------------
+// Latency histogram (HDR-style)
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution: 2^6 = 64 sub-buckets per power of two.
+const SUB_BUCKET_BITS: u32 = 6;
+/// Number of sub-buckets per octave.
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+/// Octaves above the exact range (values with MSB 6..=63).
+const OCTAVES: usize = 58;
+/// Total bucket count: 64 exact buckets + 64 per octave.
+const BUCKET_COUNT: usize = SUB_BUCKETS as usize + OCTAVES * SUB_BUCKETS as usize;
+
+/// An HDR-style fixed-bucket latency histogram over `u64` values
+/// (typically microseconds).
+///
+/// Values below 64 are recorded **exactly**; larger values land in
+/// logarithmic buckets with 64 sub-buckets per power of two, bounding the
+/// relative quantile error below `1/64` (≈1.6%) across the full `u64`
+/// range. Recording is O(1), the memory footprint is fixed (~30 KB), and
+/// histograms [`merge`](Self::merge) associatively — per-worker histograms
+/// combined in any order yield identical counts, which the load harness's
+/// determinism contract relies on.
+///
+/// # Examples
+///
+/// ```
+/// use tsr_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [100, 200, 300, 400, 10_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.quantile(0.5) >= 200 && h.quantile(0.5) <= 305);
+/// assert_eq!(h.quantile(1.0), 10_000);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
 pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// The bucket index a value lands in.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - u64::from(v.leading_zeros());
+        let octave = msb - u64::from(SUB_BUCKET_BITS) + 1;
+        let sub = (v >> (msb - u64::from(SUB_BUCKET_BITS))) & (SUB_BUCKETS - 1);
+        (octave * SUB_BUCKETS + sub) as usize
+    }
+}
+
+/// The smallest value recorded into bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        i as u64
+    } else {
+        let octave = (i as u64) >> SUB_BUCKET_BITS;
+        let sub = i as u64 & (SUB_BUCKETS - 1);
+        (SUB_BUCKETS + sub) << (octave - 1)
+    }
+}
+
+/// The largest value recorded into bucket `i`.
+fn bucket_hi(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        i as u64
+    } else {
+        let octave = (i as u64) >> SUB_BUCKET_BITS;
+        // Parenthesized so the top bucket (hi == u64::MAX) cannot overflow.
+        bucket_lo(i) + ((1u64 << (octave - 1)) - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)] += n;
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the upper bound of the bucket
+    /// holding the target rank, clamped to the exact recorded min/max.
+    /// Monotone in `q`; exact for values below 64, within `1/64` relative
+    /// error above. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_hi(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`) — see [`Self::quantile`].
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Adds every count of `other` into `self`. Merging is associative and
+    /// commutative: any merge order over a set of histograms produces
+    /// identical state.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A fixed-width plotting histogram over `[lo, hi)` (Figures 8–11 density
+/// plots; for latency quantiles use [`Histogram`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityHistogram {
     /// Left edge of the first bin.
     pub lo: f64,
     /// Right edge of the last bin.
@@ -139,7 +342,7 @@ pub struct Histogram {
     pub counts: Vec<u64>,
 }
 
-impl Histogram {
+impl DensityHistogram {
     /// Builds a histogram with `bins` bins.
     ///
     /// # Panics
@@ -156,7 +359,7 @@ impl Histogram {
             let b = ((x - lo) / width) as usize;
             counts[b.min(bins - 1)] += 1;
         }
-        Histogram { lo, hi, counts }
+        DensityHistogram { lo, hi, counts }
     }
 
     /// Normalized densities (sum ≈ 1 over in-range samples).
@@ -277,7 +480,7 @@ mod tests {
     #[test]
     fn histogram_counts_and_density() {
         let xs = [0.5, 1.5, 1.6, 2.5, 99.0];
-        let h = Histogram::new(&xs, 0.0, 3.0, 3);
+        let h = DensityHistogram::new(&xs, 0.0, 3.0, 3);
         assert_eq!(h.counts, vec![1, 2, 1]);
         let d = h.densities();
         assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
@@ -286,9 +489,85 @@ mod tests {
 
     #[test]
     fn histogram_empty() {
-        let h = Histogram::new(&[], 0.0, 1.0, 4);
+        let h = DensityHistogram::new(&[], 0.0, 1.0, 4);
         assert_eq!(h.counts, vec![0; 4]);
         assert_eq!(h.densities(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn latency_histogram_exact_below_64() {
+        let mut h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 63);
+        // Every small value is its own bucket.
+        for v in 0..64 {
+            assert_eq!(bucket_lo(bucket_index(v)), v);
+            assert_eq!(bucket_hi(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn latency_histogram_bucket_bounds_contain_value() {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            4096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(bucket_lo(i) <= v && v <= bucket_hi(i), "v={v} i={i}");
+        }
+    }
+
+    #[test]
+    fn latency_histogram_quantile_error_bounded() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        let q = h.quantile(0.5) as f64;
+        assert!((q - 1_000_000.0).abs() / 1_000_000.0 <= 1.0 / 64.0);
+        // min/max are exact regardless of bucketing.
+        assert_eq!(h.min(), 1_000_000);
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn latency_histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5u64, 80, 3_000, 70_000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [9u64, 81, 9_999_999] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.max(), 9_999_999);
+    }
+
+    #[test]
+    fn latency_histogram_empty_is_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
     }
 
     #[test]

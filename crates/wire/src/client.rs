@@ -109,6 +109,20 @@ impl TsrClient {
         }
     }
 
+    /// A client that keeps its TCP connection alive across sequential
+    /// requests (one pooled connection; see
+    /// [`Client::with_keep_alive`]).
+    ///
+    /// Clones share the pooled connection, so give each worker thread
+    /// its **own** `pooled` client rather than cloning one — that is the
+    /// connection-per-worker pattern the load harness uses.
+    pub fn pooled(base: impl Into<String>, timeout: Duration) -> Self {
+        TsrClient {
+            http: Client::with_keep_alive(timeout),
+            ..TsrClient::new(base)
+        }
+    }
+
     fn url(&self, path: &str) -> String {
         format!("{}{path}", self.base)
     }

@@ -526,36 +526,51 @@ impl WireDto for HealthDto {
     }
 }
 
-/// Response of `GET /v1/metrics`: route → status → request count.
+/// Response of `GET /v1/metrics`: route → status → request count, plus
+/// named event counters (cache hits, lock-free fast paths, …).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsDto {
     /// Counter map keyed by `"METHOD /pattern"`, then by status code.
     pub requests: BTreeMap<String, BTreeMap<u16, u64>>,
+    /// Named monotonic event counters (e.g.
+    /// `index_not_modified_lock_free`).
+    pub counters: BTreeMap<String, u64>,
 }
 
 impl WireDto for MetricsDto {
     fn to_json(&self) -> Json {
-        Json::obj([(
-            "requests",
-            Json::Obj(
-                self.requests
-                    .iter()
-                    .map(|(route, by_status)| {
-                        (
-                            route.clone(),
-                            Json::Obj(
-                                by_status
-                                    .iter()
-                                    .map(|(status, count)| {
-                                        (status.to_string(), Json::Int(i128::from(*count)))
-                                    })
-                                    .collect(),
-                            ),
-                        )
-                    })
-                    .collect(),
+        Json::obj([
+            (
+                "requests",
+                Json::Obj(
+                    self.requests
+                        .iter()
+                        .map(|(route, by_status)| {
+                            (
+                                route.clone(),
+                                Json::Obj(
+                                    by_status
+                                        .iter()
+                                        .map(|(status, count)| {
+                                            (status.to_string(), Json::Int(i128::from(*count)))
+                                        })
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
             ),
-        )])
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(name, count)| (name.clone(), Json::Int(i128::from(*count))))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 
     fn from_json(v: &Json) -> Result<Self, String> {
@@ -579,7 +594,20 @@ impl WireDto for MetricsDto {
             }
             requests.insert(route.clone(), counts);
         }
-        Ok(MetricsDto { requests })
+        // `counters` is optional so pre-existing captures still decode.
+        let mut counters = BTreeMap::new();
+        if let Some(obj) = v.get("counters") {
+            let map = obj
+                .as_obj()
+                .ok_or_else(|| "field \"counters\" must be an object".to_string())?;
+            for (name, count) in map {
+                let n = count
+                    .as_u64()
+                    .ok_or_else(|| format!("counter {name:?} must be an integer"))?;
+                counters.insert(name.clone(), n);
+            }
+        }
+        Ok(MetricsDto { requests, counters })
     }
 }
 

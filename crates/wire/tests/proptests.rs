@@ -233,8 +233,13 @@ proptest! {
             proptest::collection::btree_map(200u16..600, any::<u64>(), 0..4),
             0..5,
         ),
+        counters in proptest::collection::btree_map(
+            "[a-z_]{1,24}",
+            any::<u64>(),
+            0..4,
+        ),
     ) {
-        roundtrip(&MetricsDto { requests: routes })?;
+        roundtrip(&MetricsDto { requests: routes, counters })?;
     }
 
     #[test]

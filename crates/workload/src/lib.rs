@@ -20,6 +20,8 @@
 //! Scale is configurable: proportions are preserved while package counts
 //! and byte sizes shrink to laptop-friendly values.
 
+pub mod loadgen;
+
 use std::collections::BTreeMap;
 
 use tsr_apk::{Index, PackageBuilder};

@@ -1,0 +1,492 @@
+//! Trace-driven open-loop load schedules.
+//!
+//! A [`ScenarioSpec`] deterministically expands (seed → [`Schedule`]) into
+//! a list of [`ScheduledOp`]s on a **virtual timeline**: each op carries
+//! the microsecond at which it must be *dispatched*, independent of when
+//! earlier ops complete. That is the open-loop discipline — the generator
+//! never waits for responses, so measured latency includes queueing delay
+//! when the server falls behind (the coordinated-omission-free number the
+//! paper's end-to-end claims need).
+//!
+//! Schedules are pure data: this module knows nothing about sockets. The
+//! socket drivers live in `tsr-bench` (`loadrun`), which replays a
+//! schedule against a real `/v1` server. Determinism is a contract:
+//! the same spec must produce a byte-identical [`Schedule::canonical_bytes`]
+//! forever, which `tests/load_contract.rs` pins.
+//!
+//! Four arrival processes cover the evaluation space:
+//!
+//! - **steady** — Poisson arrivals at a constant rate with a read-heavy
+//!   mix (conditional index GETs dominate, as fleet clients poll).
+//! - **update-storm** — a flash crowd: an 8× rate spike in the middle
+//!   fifth of the run, index-fetch-heavy, with upstream publishes
+//!   injected mid-spike.
+//! - **mirror-churn** — steady traffic while mirrors flap between honest
+//!   and stale, exercising quorum paths under load.
+//! - **soak** — a long, low-rate run for leak/latency-drift hunting.
+
+use tsr_crypto::drbg::HmacDrbg;
+
+/// A fault-injection action woven into a schedule (never measured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Flip mirror `mirror` to serving a stale snapshot.
+    MirrorStale {
+        /// Mirror index (into the harness's mirror set).
+        mirror: u32,
+    },
+    /// Restore mirror `mirror` to honest behavior.
+    MirrorRestore {
+        /// Mirror index (into the harness's mirror set).
+        mirror: u32,
+    },
+    /// Publish an upstream update bumping `packages` packages.
+    PublishUpdate {
+        /// How many packages the update bumps.
+        packages: u32,
+    },
+}
+
+/// One operation in the mixed load profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOp {
+    /// `GET /v1/healthz`.
+    Health,
+    /// Unconditional `GET …/index` (cold client).
+    IndexGet,
+    /// Conditional `GET …/index` with `If-None-Match` (polling client).
+    IndexCondGet,
+    /// `GET …/packages/{name}` — `pkg` indexes the sorted package list.
+    PackageGet {
+        /// Index into the repository's sorted package-name list.
+        pkg: u32,
+    },
+    /// Paginated `GET …/packages?offset=&limit=`.
+    PackagesPage {
+        /// Page offset.
+        offset: u32,
+        /// Page size.
+        limit: u32,
+    },
+    /// `POST …/refresh`.
+    Refresh,
+    /// Create-then-delete of an ephemeral repository (CRUD churn).
+    RepoChurn,
+    /// A fault injection (not dispatched to a worker, not measured).
+    Fault(FaultOp),
+}
+
+impl LoadOp {
+    /// The histogram key this op's latency is recorded under, or `None`
+    /// for fault ops (which are injected, not measured).
+    pub fn metric_key(&self) -> Option<&'static str> {
+        match self {
+            LoadOp::Health => Some("health"),
+            LoadOp::IndexGet => Some("index"),
+            LoadOp::IndexCondGet => Some("index_cond"),
+            LoadOp::PackageGet { .. } => Some("package"),
+            LoadOp::PackagesPage { .. } => Some("page"),
+            LoadOp::Refresh => Some("refresh"),
+            LoadOp::RepoChurn => Some("repo_churn"),
+            LoadOp::Fault(_) => None,
+        }
+    }
+
+    /// One canonical text token per op, used by
+    /// [`Schedule::canonical_bytes`].
+    fn canonical(&self) -> String {
+        match self {
+            LoadOp::Health => "health".to_string(),
+            LoadOp::IndexGet => "index".to_string(),
+            LoadOp::IndexCondGet => "index_cond".to_string(),
+            LoadOp::PackageGet { pkg } => format!("package {pkg}"),
+            LoadOp::PackagesPage { offset, limit } => format!("page {offset} {limit}"),
+            LoadOp::Refresh => "refresh".to_string(),
+            LoadOp::RepoChurn => "repo_churn".to_string(),
+            LoadOp::Fault(FaultOp::MirrorStale { mirror }) => {
+                format!("fault mirror_stale {mirror}")
+            }
+            LoadOp::Fault(FaultOp::MirrorRestore { mirror }) => {
+                format!("fault mirror_restore {mirror}")
+            }
+            LoadOp::Fault(FaultOp::PublishUpdate { packages }) => {
+                format!("fault publish_update {packages}")
+            }
+        }
+    }
+}
+
+/// An op pinned to a dispatch instant on the virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Virtual dispatch time, microseconds from run start.
+    pub at_us: u64,
+    /// The operation to dispatch.
+    pub op: LoadOp,
+}
+
+/// A fully expanded, deterministic request trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// The scenario name (`steady`, `update_storm`, `mirror_churn`, `soak`).
+    pub scenario: String,
+    /// The seed that generated this trace.
+    pub seed: u64,
+    /// Virtual duration of the run in microseconds.
+    pub duration_us: u64,
+    /// Ops sorted by [`ScheduledOp::at_us`] (faults first on ties).
+    pub ops: Vec<ScheduledOp>,
+}
+
+impl Schedule {
+    /// A canonical text rendering of the whole trace — one line per op —
+    /// so "same seed → same schedule" is checkable by byte equality.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "schedule scenario={} seed={} duration_us={}\n",
+            self.scenario, self.seed, self.duration_us
+        );
+        for s in &self.ops {
+            out.push_str(&format!("{} {}\n", s.at_us, s.op.canonical()));
+        }
+        out.into_bytes()
+    }
+
+    /// Number of measured (non-fault) ops.
+    pub fn measured_len(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|s| !matches!(s.op, LoadOp::Fault(_)))
+            .count()
+    }
+
+    /// Whether the trace injects any faults (stale mirrors, upstream
+    /// publishes). Runs of fault-free schedules must see zero errors.
+    pub fn has_faults(&self) -> bool {
+        self.ops.iter().any(|s| matches!(s.op, LoadOp::Fault(_)))
+    }
+}
+
+/// Which arrival process a spec expands to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Constant-rate Poisson arrivals, read-heavy mix.
+    Steady,
+    /// Flash crowd: 8× rate in the middle fifth, index-fetch-heavy,
+    /// with upstream publishes injected during the spike.
+    UpdateStorm,
+    /// Steady traffic while mirrors flap stale/honest.
+    MirrorChurn,
+    /// Long low-rate run (steady mix).
+    Soak,
+}
+
+impl ScenarioKind {
+    /// Stable scenario name used in reports and schedule headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Steady => "steady",
+            ScenarioKind::UpdateStorm => "update_storm",
+            ScenarioKind::MirrorChurn => "mirror_churn",
+            ScenarioKind::Soak => "soak",
+        }
+    }
+}
+
+/// Parameters that expand into a [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    /// The arrival process.
+    pub kind: ScenarioKind,
+    /// DRBG seed; same spec + same seed → byte-identical schedule.
+    pub seed: u64,
+    /// Virtual run length, microseconds.
+    pub duration_us: u64,
+    /// Base arrival rate, requests per virtual second.
+    pub rate_per_sec: f64,
+    /// Size of the target repo's package list (bounds `PackageGet`).
+    pub package_count: u32,
+    /// Number of mirrors behind the repo (bounds churn faults).
+    pub mirrors: u32,
+}
+
+impl ScenarioSpec {
+    /// Steady-state polling traffic: 10 virtual seconds at 120 req/s.
+    ///
+    /// The rate is sized so a single-core runner sits near 40%
+    /// utilization: the mix's 1% refresh + 1% repo churn cost ~230 ms /
+    /// ~100 ms of real crypto each, which dominates the CPU budget.
+    /// Steady state must be *sustainable* — only the storm is allowed
+    /// to outrun the server.
+    pub fn steady(seed: u64) -> Self {
+        ScenarioSpec {
+            kind: ScenarioKind::Steady,
+            seed,
+            duration_us: 10_000_000,
+            rate_per_sec: 120.0,
+            package_count: 8,
+            mirrors: 3,
+        }
+    }
+
+    /// Flash-crowd update storm: base 100 req/s with an 8× middle spike
+    /// (a transient overload by design — the open-loop queueing during
+    /// and after the spike is the measurement).
+    pub fn update_storm(seed: u64) -> Self {
+        ScenarioSpec {
+            kind: ScenarioKind::UpdateStorm,
+            rate_per_sec: 100.0,
+            ..ScenarioSpec::steady(seed)
+        }
+    }
+
+    /// Mirror churn: steady 120 req/s while mirrors flap every 1.5 s.
+    pub fn mirror_churn(seed: u64) -> Self {
+        ScenarioSpec {
+            kind: ScenarioKind::MirrorChurn,
+            rate_per_sec: 120.0,
+            duration_us: 12_000_000,
+            ..ScenarioSpec::steady(seed)
+        }
+    }
+
+    /// Long-haul soak: 60 virtual seconds at 100 req/s.
+    pub fn soak(seed: u64) -> Self {
+        ScenarioSpec {
+            kind: ScenarioKind::Soak,
+            rate_per_sec: 100.0,
+            duration_us: 60_000_000,
+            ..ScenarioSpec::steady(seed)
+        }
+    }
+
+    /// Shrink duration and rate by `factor` (for `--smoke` / CI runs).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let f = factor.clamp(0.0001, 1.0);
+        self.duration_us = ((self.duration_us as f64) * f).max(100_000.0) as u64;
+        self.rate_per_sec = (self.rate_per_sec * f).max(20.0);
+        self
+    }
+
+    /// Override the virtual duration (milliseconds).
+    pub fn with_duration_ms(mut self, ms: u64) -> Self {
+        self.duration_us = ms * 1000;
+        self
+    }
+
+    /// Override the base arrival rate.
+    pub fn with_rate(mut self, rate_per_sec: f64) -> Self {
+        self.rate_per_sec = rate_per_sec;
+        self
+    }
+
+    /// Override the target package count.
+    pub fn with_packages(mut self, n: u32) -> Self {
+        self.package_count = n.max(1);
+        self
+    }
+
+    /// Expand this spec into its deterministic schedule.
+    pub fn generate(&self) -> Schedule {
+        let mut rng =
+            HmacDrbg::new(format!("loadgen:{}:{}", self.kind.name(), self.seed).as_bytes());
+        let mut measured = Vec::new();
+        let mut t_us = 0.0f64;
+        let (spike_lo, spike_hi) = (self.duration_us as f64 * 0.4, self.duration_us as f64 * 0.6);
+        loop {
+            let in_spike =
+                self.kind == ScenarioKind::UpdateStorm && t_us >= spike_lo && t_us < spike_hi;
+            let rate = if in_spike {
+                self.rate_per_sec * 8.0
+            } else {
+                self.rate_per_sec
+            };
+            // Poisson arrivals: exponential inter-arrival times from a
+            // uniform in (0, 1] (the +1 keeps ln's argument nonzero).
+            let u = ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+            t_us += -u.ln() / rate * 1_000_000.0;
+            if t_us >= self.duration_us as f64 {
+                break;
+            }
+            let op = if in_spike {
+                self.storm_op(&mut rng)
+            } else {
+                self.steady_op(&mut rng)
+            };
+            measured.push(ScheduledOp {
+                at_us: t_us as u64,
+                op,
+            });
+        }
+
+        let faults = self.fault_ops(&mut rng);
+        // Merge the two at_us-sorted streams; faults win ties so a
+        // publish lands before requests scheduled at the same tick.
+        let mut ops = Vec::with_capacity(measured.len() + faults.len());
+        let (mut i, mut j) = (0, 0);
+        while i < faults.len() || j < measured.len() {
+            let take_fault = match (faults.get(i), measured.get(j)) {
+                (Some(f), Some(m)) => f.at_us <= m.at_us,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_fault {
+                ops.push(faults[i]);
+                i += 1;
+            } else {
+                ops.push(measured[j]);
+                j += 1;
+            }
+        }
+
+        Schedule {
+            scenario: self.kind.name().to_string(),
+            seed: self.seed,
+            duration_us: self.duration_us,
+            ops,
+        }
+    }
+
+    /// Read-heavy steady mix: polling clients dominate. Refresh and
+    /// repo churn are rare (0.5% each) — they are admin operations, and
+    /// each costs hundreds of milliseconds of real crypto, so their
+    /// share is what bounds queueing on a single-core runner.
+    fn steady_op(&self, rng: &mut HmacDrbg) -> LoadOp {
+        match rng.gen_range(200) {
+            0..=79 => LoadOp::IndexCondGet,
+            80..=99 => LoadOp::IndexGet,
+            100..=155 => LoadOp::PackageGet {
+                pkg: rng.gen_range(u64::from(self.package_count)) as u32,
+            },
+            156..=179 => self.page_op(rng),
+            180..=197 => LoadOp::Health,
+            198 => LoadOp::Refresh,
+            _ => LoadOp::RepoChurn,
+        }
+    }
+
+    /// Storm mix: everyone re-fetches the index *now*. Refresh stays at
+    /// 1% — each one costs ~230 ms of real crypto and serializes on the
+    /// tenant's shard lock, and at 8× the base rate even that sliver is
+    /// what the spike's queue is made of.
+    fn storm_op(&self, rng: &mut HmacDrbg) -> LoadOp {
+        match rng.gen_range(100) {
+            0..=44 => LoadOp::IndexCondGet,
+            45..=59 => LoadOp::IndexGet,
+            60..=79 => LoadOp::PackageGet {
+                pkg: rng.gen_range(u64::from(self.package_count)) as u32,
+            },
+            80..=98 => self.page_op(rng),
+            _ => LoadOp::Refresh,
+        }
+    }
+
+    fn page_op(&self, rng: &mut HmacDrbg) -> LoadOp {
+        let limit = 1 + rng.gen_range(8) as u32;
+        let offset = rng.gen_range(u64::from(self.package_count.max(1))) as u32;
+        LoadOp::PackagesPage { offset, limit }
+    }
+
+    /// The scenario's injected faults, sorted by time.
+    fn fault_ops(&self, rng: &mut HmacDrbg) -> Vec<ScheduledOp> {
+        let mut faults = Vec::new();
+        match self.kind {
+            ScenarioKind::Steady | ScenarioKind::Soak => {}
+            ScenarioKind::UpdateStorm => {
+                // A few upstream publishes inside the spike window.
+                let (lo, hi) = (
+                    (self.duration_us as f64 * 0.4) as u64,
+                    (self.duration_us as f64 * 0.6) as u64,
+                );
+                let n = 3;
+                for k in 0..n {
+                    let at_us = lo + (hi - lo) * k / n;
+                    faults.push(ScheduledOp {
+                        at_us,
+                        op: LoadOp::Fault(FaultOp::PublishUpdate {
+                            packages: 1 + rng.gen_range(2) as u32,
+                        }),
+                    });
+                }
+            }
+            ScenarioKind::MirrorChurn => {
+                // Flap one mirror at a time: stale for one period, then
+                // restored as the next mirror goes stale. With f=1 and 3
+                // mirrors the 2f+1 quorum still holds throughout.
+                let period_us = 1_500_000u64.min(self.duration_us / 4).max(1);
+                let mut at_us = period_us;
+                let mut k = 0u32;
+                while at_us + period_us < self.duration_us {
+                    let mirror = k % self.mirrors.max(1);
+                    faults.push(ScheduledOp {
+                        at_us,
+                        op: LoadOp::Fault(FaultOp::MirrorStale { mirror }),
+                    });
+                    faults.push(ScheduledOp {
+                        at_us: at_us + period_us,
+                        op: LoadOp::Fault(FaultOp::MirrorRestore { mirror }),
+                    });
+                    at_us += period_us;
+                    k += 1;
+                }
+            }
+        }
+        faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ScenarioSpec::steady(7).generate();
+        let b = ScenarioSpec::steady(7).generate();
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ScenarioSpec::steady(1).generate();
+        let b = ScenarioSpec::steady(2).generate();
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn schedule_is_time_sorted_and_bounded() {
+        for spec in [
+            ScenarioSpec::steady(3),
+            ScenarioSpec::update_storm(3),
+            ScenarioSpec::mirror_churn(3),
+            ScenarioSpec::soak(3).scaled(0.05),
+        ] {
+            let s = spec.generate();
+            assert!(!s.ops.is_empty(), "{}", s.scenario);
+            let mut prev = 0;
+            for op in &s.ops {
+                assert!(op.at_us >= prev, "{} not sorted", s.scenario);
+                assert!(op.at_us < s.duration_us, "{} op beyond end", s.scenario);
+                prev = op.at_us;
+            }
+        }
+    }
+
+    #[test]
+    fn steady_has_no_faults_storm_and_churn_do() {
+        assert!(!ScenarioSpec::steady(5).generate().has_faults());
+        assert!(ScenarioSpec::update_storm(5).generate().has_faults());
+        assert!(ScenarioSpec::mirror_churn(5).generate().has_faults());
+    }
+
+    #[test]
+    fn package_indices_stay_in_range() {
+        let spec = ScenarioSpec::steady(11).with_packages(4);
+        for s in spec.generate().ops {
+            if let LoadOp::PackageGet { pkg } = s.op {
+                assert!(pkg < 4);
+            }
+        }
+    }
+}
