@@ -1,0 +1,227 @@
+//! Bench — conn_scale: concurrent keep-alive connection capacity.
+//!
+//! The old transport was a bounded pool of blocking threads: 16 workers
+//! meant 16 concurrently-held connections, and idle keep-alive clients
+//! pinned workers. The epoll reactor decouples the two — this bench
+//! proves it by holding N keep-alive connections open *simultaneously*
+//! on a server with far fewer handler workers and driving request
+//! rounds across all of them with zero drops.
+//!
+//! ```text
+//! conn_scale [--smoke] [--conns N] [--workers N] [--rounds N] [--out PATH]
+//! ```
+//!
+//! Two measurements per run:
+//!
+//! - **burst sweep** — every connection sends one request, then every
+//!   response is collected: N requests in flight across N sockets at
+//!   once (throughput of the event loop).
+//! - **ping-pong** — one request/response at a time on each connection
+//!   while the other N−1 connections sit idle and open: the latency
+//!   cost of *holding* thousands of idle sockets (which used to be
+//!   "infinite" — connection N+1 starved until a worker freed up).
+//!
+//! Exit is non-zero when any request drops or when the held-connection
+//! count fails the ≥10× worker-count bar, so CI can gate on it.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tsr_bench::banner;
+use tsr_bench::report::{bench_envelope, table, write_json};
+use tsr_http::{Response, Server, ServerConfig};
+use tsr_stats::Histogram;
+use tsr_wire::Json;
+
+/// Same pinned seed as `loadgen`, for envelope consistency (the bench
+/// itself is deterministic modulo wall-clock latency).
+const DEFAULT_SEED: u64 = 3_237_998_146;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Reads one response (head + content-length body) off a raw socket.
+/// Returns false on any framing problem (counted as a drop).
+fn read_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> bool {
+    scratch.clear();
+    let mut byte = [0u8; 1];
+    while !scratch.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => scratch.push(byte[0]),
+            _ => return false,
+        }
+        if scratch.len() > 64 * 1024 {
+            return false;
+        }
+    }
+    let head = String::from_utf8_lossy(scratch);
+    if !head.starts_with("HTTP/1.1 200") {
+        return false;
+    }
+    let len: usize = match head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .and_then(|v| v.trim().parse().ok())
+    {
+        Some(n) => n,
+        None => return false,
+    };
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).is_ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let conns: usize = arg_value(&args, "--conns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 400 } else { 1000 });
+    let workers: usize = arg_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let rounds: usize = arg_value(&args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 2 } else { 3 });
+    let pingpong_sample: usize = conns.min(if smoke { 100 } else { 250 });
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_CONN_SCALE.json".to_string());
+
+    banner(
+        "conn_scale — keep-alive connection capacity of the epoll reactor",
+        "connections held ≫ worker threads; zero dropped requests",
+    );
+
+    // A hot-blob-shaped payload: one shared allocation served to every
+    // connection, the same way `/v1` index GETs are served.
+    let blob: Arc<[u8]> = Arc::from(vec![0x5au8; 1024].into_boxed_slice());
+    let server = Server::bind_with_config(
+        "127.0.0.1:0",
+        move |_req| Response::shared(Arc::clone(&blob)),
+        ServerConfig {
+            workers,
+            read_deadline: Duration::from_secs(60),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    println!("server {addr}: {workers} handler workers; opening {conns} keep-alive connections…");
+
+    let t_open = Instant::now();
+    let mut sockets: Vec<TcpStream> = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        s.set_nodelay(true).ok();
+        sockets.push(s);
+    }
+    let open_ms = t_open.elapsed().as_millis();
+    println!("all {conns} connections open and held ({open_ms} ms)\n");
+
+    let mut dropped: u64 = 0;
+    let mut requests: u64 = 0;
+    let mut scratch = Vec::with_capacity(4096);
+
+    // Burst sweeps: every connection has one request in flight, then
+    // all responses are collected. Round 2+ proves every connection
+    // survived the previous round still open.
+    let mut burst_rows = Vec::new();
+    let mut burst_rps_worst = f64::INFINITY;
+    for round in 0..rounds {
+        let t = Instant::now();
+        for (i, s) in sockets.iter_mut().enumerate() {
+            let req = format!("GET /blob/{round}/{i} HTTP/1.1\r\nconnection: keep-alive\r\n\r\n");
+            if s.write_all(req.as_bytes()).is_err() {
+                dropped += 1;
+            }
+            requests += 1;
+        }
+        for s in sockets.iter_mut() {
+            if !read_response(s, &mut scratch) {
+                dropped += 1;
+            }
+        }
+        let el = t.elapsed();
+        let rps = conns as f64 / el.as_secs_f64().max(1e-9);
+        burst_rps_worst = burst_rps_worst.min(rps);
+        burst_rows.push(vec![
+            format!("burst {round}"),
+            conns.to_string(),
+            format!("{:.0}", el.as_secs_f64() * 1e3),
+            format!("{rps:.0}"),
+        ]);
+    }
+
+    // Ping-pong on a sample of connections while every other socket
+    // stays open and idle: per-request latency under full fd load.
+    let mut hist = Histogram::new();
+    for (i, s) in sockets.iter_mut().enumerate().take(pingpong_sample) {
+        let t = Instant::now();
+        let req = format!("GET /ping/{i} HTTP/1.1\r\nconnection: keep-alive\r\n\r\n");
+        let ok = s.write_all(req.as_bytes()).is_ok() && read_response(s, &mut scratch);
+        requests += 1;
+        if ok {
+            hist.record(t.elapsed().as_micros() as u64);
+        } else {
+            dropped += 1;
+        }
+    }
+
+    println!(
+        "{}",
+        table(&["phase", "reqs", "sweep_ms", "rps"], &burst_rows)
+    );
+    println!(
+        "\nping-pong over {pingpong_sample} conns (while {} idle): p50 {} µs  p99 {} µs",
+        conns - 1,
+        hist.quantile(0.50),
+        hist.quantile(0.99)
+    );
+    let ratio = conns as f64 / workers as f64;
+    println!(
+        "held {conns} keep-alive connections on {workers} workers ({ratio:.0}×); \
+         {requests} requests, {dropped} dropped"
+    );
+
+    let scenario = Json::obj([
+        ("scenario", Json::str("conn_scale")),
+        ("connections", Json::Int(conns as i128)),
+        ("workers", Json::Int(workers as i128)),
+        ("conn_worker_ratio", Json::Float(ratio)),
+        ("rounds", Json::Int(rounds as i128)),
+        ("requests", Json::Int(i128::from(requests))),
+        ("dropped", Json::Int(i128::from(dropped))),
+        ("open_ms", Json::Int(open_ms as i128)),
+        ("burst_rps_worst", Json::Float(burst_rps_worst)),
+        (
+            "pingpong_p50_us",
+            Json::Int(i128::from(hist.quantile(0.50))),
+        ),
+        (
+            "pingpong_p99_us",
+            Json::Int(i128::from(hist.quantile(0.99))),
+        ),
+    ]);
+    let envelope = bench_envelope("conn_scale", DEFAULT_SEED, vec![scenario]);
+    write_json(&out, &envelope).expect("write report");
+    println!("report written to {out}");
+
+    drop(sockets);
+    server.shutdown();
+
+    if dropped > 0 {
+        eprintln!("FAIL: {dropped} dropped requests");
+        std::process::exit(1);
+    }
+    if ratio < 10.0 {
+        eprintln!("FAIL: {conns} connections on {workers} workers is below the 10× bar");
+        std::process::exit(1);
+    }
+    println!("PASS: zero drops at {ratio:.0}× worker count");
+}

@@ -38,7 +38,7 @@
 //! plain-text bodies and expose the code in an `x-tsr-error-code` header.
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::error::CoreError;
 use crate::repository::RefreshReport;
@@ -379,16 +379,22 @@ fn v1_refresh(svc: &TsrService, id: &str) -> Response {
 }
 
 fn v1_index(svc: &TsrService, id: &str, req: &Request) -> Response {
-    // Lock-bypass fast path: the service mirrors each repository's
+    // Lock-bypass fast paths: the service mirrors each repository's
     // current index ETag into a side cache that is kept in lockstep
-    // under the shard lock at every mutation point. A conditional
-    // re-fetch — the request a polling package manager sends most —
-    // can therefore answer 304 from the cache alone, never queueing
-    // behind a tenant's long refresh.
+    // under the shard lock at every mutation point — and, since the
+    // reactor rewrite, the signed index *bytes* themselves as a shared
+    // allocation. A conditional re-fetch — the request a polling package
+    // manager sends most — answers 304 from the cache alone, and a full
+    // GET of an unchanged index serves `Body::Shared` bytes: no shard
+    // lock, no clone, straight into the reactor's vectored writer.
     if let Some(etag) = svc.cached_index_etag(id) {
         if etag_matches(req, &etag) {
             svc.api_metrics().bump("index_not_modified_lock_free");
             return Response::not_modified(&etag);
+        }
+        if let Some((etag, blob)) = svc.cached_hot_index(id) {
+            svc.api_metrics().bump("index_hot_blob_hits");
+            return Response::shared(blob).with_etag(&etag);
         }
     }
     svc.api_metrics().bump("index_locked_reads");
@@ -402,13 +408,22 @@ fn v1_index(svc: &TsrService, id: &str, req: &Request) -> Response {
                 .signed_index_etag()
                 .map(str::to_string)
                 .unwrap_or_else(|| etag_for(&blob));
-            Response::ok(blob).with_etag(&etag)
+            let shared: Arc<[u8]> = Arc::from(blob.into_boxed_slice());
+            Response::shared(shared).with_etag(&etag)
         }),
     });
     match result {
         Ok(Ok(resp)) => {
-            // Warm the cache with whatever ETag was just served.
+            // Warm the caches with what was just served: the ETag always,
+            // the shared bytes when this was a full 200.
             svc.store_index_etag(id, resp.headers.get("etag").map(String::as_str));
+            if resp.status == 200 {
+                if let (Some(etag), tsr_http::Body::Shared(blob)) =
+                    (resp.headers.get("etag"), &resp.body)
+                {
+                    svc.store_hot_index(id, etag, Arc::clone(blob));
+                }
+            }
             resp
         }
         Ok(Err(e)) | Err(e) => v1_error(&e, id),
@@ -469,6 +484,17 @@ fn parse_query_u64(params: &Params, name: &str, default: u64) -> Result<u64, Res
 }
 
 fn v1_package(svc: &TsrService, id: &str, name: &str, req: &Request) -> Response {
+    // Zero-copy fast path: a blob already served under the *current*
+    // index version answers straight from the hot cache — no shard
+    // lock, no re-verification, no clone.
+    if let Some((etag, blob)) = svc.cached_hot_package(id, name) {
+        svc.api_metrics().bump("package_hot_blob_hits");
+        return if etag_matches(req, &etag) {
+            Response::not_modified(&etag)
+        } else {
+            Response::shared(blob).with_etag(&etag)
+        };
+    }
     // The index entry's content_hash IS the SHA-256 of the sanitized blob
     // (serve_package verifies the cached bytes against it), so the ETag
     // comes for free — no per-request full-blob hash on the hot path.
@@ -477,15 +503,27 @@ fn v1_package(svc: &TsrService, id: &str, name: &str, req: &Request) -> Response
             .sanitized_index()
             .and_then(|idx| idx.get(name))
             .map(|entry| entry.content_hash.clone());
-        repo.serve_package(name)
-            .map(|(blob, _)| (blob, format!("\"{}\"", hash.unwrap_or_default())))
+        let index_etag = repo.signed_index_etag().map(str::to_string);
+        repo.serve_package(name).map(|(blob, _)| {
+            let shared: Arc<[u8]> = Arc::from(blob.into_boxed_slice());
+            (
+                shared,
+                format!("\"{}\"", hash.unwrap_or_default()),
+                index_etag,
+            )
+        })
     });
     match result {
-        Ok(Ok((blob, etag))) => {
+        Ok(Ok((blob, etag, index_etag))) => {
+            // Warm the hot cache, versioned by the index ETag current at
+            // read time (stale stores are validated away on read).
+            if let Some(index_etag) = index_etag {
+                svc.store_hot_package(id, &index_etag, name, &etag, Arc::clone(&blob));
+            }
             if etag_matches(req, &etag) {
                 Response::not_modified(&etag)
             } else {
-                Response::ok(blob).with_etag(&etag)
+                Response::shared(blob).with_etag(&etag)
             }
         }
         Ok(Err(e)) | Err(e) => v1_error(&e, &format!("{id}/{name}")),

@@ -65,6 +65,27 @@ struct SharedState {
     /// is held*; a leaf lock in the hierarchy (never taken around any
     /// other lock acquisition).
     index_etags: RwLock<BTreeMap<String, String>>,
+    /// Repository id → zero-copy hot blobs (the signed index and served
+    /// package bytes as `Arc<[u8]>`), versioned by the index ETag that
+    /// was current when they were cached. Entries are validated against
+    /// [`SharedState::index_etags`] on every read and pruned at the
+    /// same shard-locked mutation points, so a stale blob can be
+    /// *stored* (a benign race) but never *served*. Like `index_etags`,
+    /// a leaf lock: never held while acquiring any other lock.
+    hot_blobs: RwLock<BTreeMap<String, HotBlobs>>,
+}
+
+/// The zero-copy blob cache for one repository: shared allocations the
+/// HTTP layer serves via [`tsr_http::Body::Shared`] without cloning and
+/// without the shard lock. Valid only while `index_etag` still matches
+/// the live index ETag.
+struct HotBlobs {
+    /// The index ETag these blobs belong to.
+    index_etag: String,
+    /// The signed index bytes.
+    index: Option<Arc<[u8]>>,
+    /// Package name → (package ETag, sanitized blob).
+    packages: BTreeMap<String, (String, Arc<[u8]>)>,
 }
 
 /// The multi-tenant TSR service.
@@ -126,6 +147,7 @@ impl TsrService {
                 workers: AtomicUsize::new(default_workers()),
                 metrics: ApiMetrics::default(),
                 index_etags: RwLock::new(BTreeMap::new()),
+                hot_blobs: RwLock::new(BTreeMap::new()),
             }),
             repos: Arc::new(RwLock::new(BTreeMap::new())),
         }
@@ -409,21 +431,134 @@ impl TsrService {
             .cloned()
     }
 
-    /// Stores (or clears) the cached index ETag for `id`.
+    /// Stores (or clears) the cached index ETag for `id`, pruning any
+    /// hot blobs cached under a different (now stale) index version.
     pub(crate) fn store_index_etag(&self, id: &str, etag: Option<&str>) {
-        let mut map = self
-            .shared
-            .index_etags
-            .write()
-            .unwrap_or_else(PoisonError::into_inner);
-        match etag {
-            Some(e) => {
-                map.insert(id.to_string(), e.to_string());
-            }
-            None => {
-                map.remove(id);
+        {
+            let mut map = self
+                .shared
+                .index_etags
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            match etag {
+                Some(e) => {
+                    map.insert(id.to_string(), e.to_string());
+                }
+                None => {
+                    map.remove(id);
+                }
             }
         }
+        let mut blobs = self
+            .shared
+            .hot_blobs
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let stale = match etag {
+            None => blobs.contains_key(id),
+            Some(e) => blobs.get(id).is_some_and(|h| h.index_etag != e),
+        };
+        if stale {
+            blobs.remove(id);
+        }
+    }
+
+    /// The cached signed-index blob for `id`, returned as a shared
+    /// allocation iff it matches the *current* index ETag — the
+    /// zero-copy, lock-free path for full index GETs.
+    pub fn cached_hot_index(&self, id: &str) -> Option<(String, Arc<[u8]>)> {
+        let current = self.cached_index_etag(id)?;
+        let blobs = self
+            .shared
+            .hot_blobs
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let entry = blobs.get(id)?;
+        if entry.index_etag != current {
+            return None;
+        }
+        entry.index.as_ref().map(|b| (current, Arc::clone(b)))
+    }
+
+    /// The cached blob + ETag for one package, valid only under the
+    /// current index version.
+    pub fn cached_hot_package(&self, id: &str, name: &str) -> Option<(String, Arc<[u8]>)> {
+        let current = self.cached_index_etag(id)?;
+        let blobs = self
+            .shared
+            .hot_blobs
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let entry = blobs.get(id)?;
+        if entry.index_etag != current {
+            return None;
+        }
+        entry
+            .packages
+            .get(name)
+            .map(|(etag, blob)| (etag.clone(), Arc::clone(blob)))
+    }
+
+    /// Caches the signed index blob under `index_etag`. Skipped when the
+    /// live ETag has already moved on (the blob was read under a shard
+    /// lock that has since been released); a racing store after a prune
+    /// is harmless because reads validate the version again.
+    pub(crate) fn store_hot_index(&self, id: &str, index_etag: &str, blob: Arc<[u8]>) {
+        if self.cached_index_etag(id).as_deref() != Some(index_etag) {
+            return;
+        }
+        let mut blobs = self
+            .shared
+            .hot_blobs
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let entry = Self::hot_entry(&mut blobs, id, index_etag);
+        entry.index = Some(blob);
+    }
+
+    /// Caches one package blob (with its own ETag) under `index_etag`.
+    pub(crate) fn store_hot_package(
+        &self,
+        id: &str,
+        index_etag: &str,
+        name: &str,
+        pkg_etag: &str,
+        blob: Arc<[u8]>,
+    ) {
+        if self.cached_index_etag(id).as_deref() != Some(index_etag) {
+            return;
+        }
+        let mut blobs = self
+            .shared
+            .hot_blobs
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let entry = Self::hot_entry(&mut blobs, id, index_etag);
+        entry
+            .packages
+            .insert(name.to_string(), (pkg_etag.to_string(), blob));
+    }
+
+    /// The hot-blob entry for `id` at version `index_etag`, resetting it
+    /// when it belongs to an older index.
+    fn hot_entry<'m>(
+        blobs: &'m mut BTreeMap<String, HotBlobs>,
+        id: &str,
+        index_etag: &str,
+    ) -> &'m mut HotBlobs {
+        let entry = blobs.entry(id.to_string()).or_insert_with(|| HotBlobs {
+            index_etag: index_etag.to_string(),
+            index: None,
+            packages: BTreeMap::new(),
+        });
+        if entry.index_etag != index_etag {
+            *entry = HotBlobs {
+                index_etag: index_etag.to_string(),
+                index: None,
+                packages: BTreeMap::new(),
+            };
+        }
+        entry
     }
 
     /// Re-reads `repo`'s current index ETag into the cache. Call with
@@ -600,6 +735,57 @@ mod tests {
     }
 
     #[test]
+    fn hot_blob_cache_shares_bytes_and_invalidates_with_the_index() {
+        let svc = service();
+        let (id, _pem) = svc.create_repository(&policy_text()).unwrap();
+        svc.refresh(&id).unwrap();
+        let get = |path: &str| {
+            svc.handle(&Request {
+                method: "GET".into(),
+                path: path.to_string(),
+                headers: Map::new(),
+                body: vec![],
+            })
+        };
+
+        // First GET takes the locked path and warms the cache; the second
+        // must serve the very same shared allocation (zero-copy).
+        let index_path = format!("/v1/repositories/{id}/index");
+        let r1 = get(&index_path);
+        let r2 = get(&index_path);
+        assert_eq!((r1.status, r2.status), (200, 200));
+        let (tsr_http::Body::Shared(a), tsr_http::Body::Shared(b)) = (&r1.body, &r2.body) else {
+            panic!(
+                "index GETs must serve shared bodies: {:?} / {:?}",
+                r1.body, r2.body
+            );
+        };
+        assert!(Arc::ptr_eq(a, b), "cache hit must reuse the allocation");
+        assert!(svc.api_metrics().counter("index_hot_blob_hits") >= 1);
+
+        // Same for package blobs.
+        let pkg_path = format!("/v1/repositories/{id}/packages/tool");
+        let p1 = get(&pkg_path);
+        let p2 = get(&pkg_path);
+        assert_eq!((p1.status, p2.status), (200, 200));
+        let (tsr_http::Body::Shared(pa), tsr_http::Body::Shared(pb)) = (&p1.body, &p2.body) else {
+            panic!("package GETs must serve shared bodies");
+        };
+        assert!(Arc::ptr_eq(pa, pb));
+
+        // A store under a stale index version is validated away on read.
+        let current = svc.cached_hot_index(&id).expect("warm").1;
+        svc.store_hot_index(&id, "\"bogus\"", Arc::from(vec![9u8].into_boxed_slice()));
+        let still = svc.cached_hot_index(&id).expect("still warm").1;
+        assert!(Arc::ptr_eq(&current, &still), "stale store must be ignored");
+
+        // Deleting the repository prunes its blobs with the ETag.
+        svc.delete_repository(&id).unwrap();
+        assert!(svc.cached_hot_index(&id).is_none());
+        assert!(svc.cached_hot_package(&id, "tool").is_none());
+    }
+
+    #[test]
     fn tenants_are_isolated() {
         let svc = service();
         let (id1, pem1) = svc.create_repository(&policy_text()).unwrap();
@@ -627,7 +813,7 @@ mod tests {
             .post(&format!("{base}/repositories"), policy_text().as_bytes())
             .unwrap();
         assert_eq!(resp.status, 200);
-        let text = String::from_utf8(resp.body).unwrap();
+        let text = String::from_utf8(resp.body.into_vec()).unwrap();
         let id = text.lines().next().unwrap().to_string();
 
         let resp = client

@@ -8,13 +8,17 @@
 //! Besides the transport ([`Server`] / [`Client`]), the crate provides the
 //! building blocks of the versioned REST surface:
 //!
+//! - [`reactor`]: the epoll-backed non-blocking event loop behind
+//!   [`Server`] — per-connection readiness state machines, a deadline
+//!   wheel for slow-loris/idle timeouts, and vectored response writes,
 //! - [`router`]: a path-pattern router with `:param` captures, static-over-
 //!   param precedence, and 405-vs-404 discrimination,
 //! - [`middleware`]: a composable middleware chain (request-id injection,
 //!   structured access logging, token-bucket rate limiting, body-size
 //!   guard, panic containment),
 //! - [`Response`] helpers that set `Content-Type` and support
-//!   ETag/`If-None-Match` conditional GETs.
+//!   ETag/`If-None-Match` conditional GETs, plus [`Body::Shared`] for
+//!   serving one `Arc<[u8]>` blob to many connections without cloning.
 //!
 //! # Examples
 //!
@@ -34,17 +38,19 @@
 #![warn(missing_docs)]
 
 pub mod middleware;
+pub mod reactor;
 pub mod router;
+
+pub use reactor::Server;
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::Deref;
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant, SystemTime};
+use std::time::{Duration, SystemTime};
 
 /// Errors produced by HTTP operations.
 #[derive(Debug)]
@@ -95,6 +101,122 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
+/// A response body: either bytes owned by this response, or a reference
+/// into a shared immutable blob.
+///
+/// [`Body::Shared`] is the zero-copy hot path: one `Arc<[u8]>` (a signed
+/// index, a package blob) is served to any number of concurrent
+/// connections without per-response cloning — the reactor's vectored
+/// writer reads straight out of the shared allocation.
+#[derive(Clone)]
+pub enum Body {
+    /// Bytes owned by this response.
+    Owned(Vec<u8>),
+    /// A shared immutable blob (served without copying).
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    /// The empty body.
+    pub fn empty() -> Self {
+        Body::Owned(Vec::new())
+    }
+
+    /// The body bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a,
+        }
+    }
+
+    /// Converts into owned bytes (copies only for a [`Body::Shared`]).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a.to_vec(),
+        }
+    }
+}
+
+impl Default for Body {
+    fn default() -> Self {
+        Body::empty()
+    }
+}
+
+impl Deref for Body {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Body::Owned(v) => write!(f, "Owned({} bytes)", v.len()),
+            Body::Shared(a) => write!(f, "Shared({} bytes)", a.len()),
+        }
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Body {}
+
+impl PartialEq<Vec<u8>> for Body {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for Body {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Body {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Body {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Body {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Self {
+        Body::Owned(v)
+    }
+}
+
+impl From<Arc<[u8]>> for Body {
+    fn from(a: Arc<[u8]>) -> Self {
+        Body::Shared(a)
+    }
+}
+
+impl From<&[u8]> for Body {
+    fn from(b: &[u8]) -> Self {
+        Body::Owned(b.to_vec())
+    }
+}
+
 /// An HTTP response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
@@ -103,7 +225,7 @@ pub struct Response {
     /// Lower-cased header map.
     pub headers: BTreeMap<String, String>,
     /// Response body.
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Response {
@@ -114,13 +236,28 @@ impl Response {
         Response {
             status,
             headers,
-            body,
+            body: Body::Owned(body),
         }
     }
 
     /// 200 with a binary body (`application/octet-stream`).
     pub fn ok(body: Vec<u8>) -> Self {
         Response::with_content_type(200, "application/octet-stream", body)
+    }
+
+    /// 200 serving a shared blob (`application/octet-stream`) without
+    /// copying — the zero-copy hot path for index/package GETs.
+    pub fn shared(body: Arc<[u8]>) -> Self {
+        let mut headers = BTreeMap::new();
+        headers.insert(
+            "content-type".to_string(),
+            "application/octet-stream".to_string(),
+        );
+        Response {
+            status: 200,
+            headers,
+            body: Body::Shared(body),
+        }
     }
 
     /// An arbitrary-status `text/plain` response.
@@ -139,7 +276,7 @@ impl Response {
         Response {
             status: 204,
             headers: BTreeMap::new(),
-            body: Vec::new(),
+            body: Body::empty(),
         }
     }
 
@@ -150,7 +287,7 @@ impl Response {
         Response {
             status: 304,
             headers,
-            body: Vec::new(),
+            body: Body::empty(),
         }
     }
 
@@ -191,7 +328,7 @@ impl Response {
         if (200..300).contains(&self.status) || self.status == 304 {
             Ok(self)
         } else {
-            Err(HttpError::Status(self.status, self.body))
+            Err(HttpError::Status(self.status, self.body.into_vec()))
         }
     }
 }
@@ -273,9 +410,11 @@ pub fn http_date(t: SystemTime) -> String {
 /// enrich requests in flight (e.g. request-id injection).
 pub type Handler = dyn Fn(&mut Request) -> Response + Send + Sync;
 
-/// The default worker-pool size for [`Server::bind`]: twice the available
+/// The default handler-pool size for [`Server::bind`]: twice the available
 /// cores, but at least 8 threads so small machines still overlap slow
-/// clients.
+/// handlers. (Connections are no longer bounded by this — the reactor
+/// multiplexes any number of sockets; the pool only bounds concurrently
+/// *executing* handlers.)
 pub fn default_pool_size() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get() * 2)
@@ -286,11 +425,14 @@ pub fn default_pool_size() -> usize {
 /// Tunables for [`Server::bind_with_config`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker-pool size (at least 1).
+    /// Handler worker-pool size (at least 1). Bounds how many handlers
+    /// execute concurrently — NOT how many connections the server holds.
     pub workers: usize,
     /// Total deadline for reading one request (head *and* body). A client
     /// trickling bytes slower than this — a slow-loris — is answered with
-    /// 408 (when the head never completed) and disconnected.
+    /// 408 (when the head never completed) and disconnected; an idle
+    /// keep-alive connection is closed silently. The same budget guards
+    /// response writes against stalled readers.
     pub read_deadline: Duration,
     /// Maximum accepted request-body size; larger requests get 413 and the
     /// connection is closed without reading the body.
@@ -307,287 +449,29 @@ impl Default for ServerConfig {
     }
 }
 
-/// A threaded HTTP server backed by a **bounded** worker pool.
-///
-/// Accepted connections are pushed onto a bounded queue and served by a
-/// fixed number of worker threads, so a flood of clients degrades into
-/// queueing delay instead of unbounded thread creation (the previous
-/// thread-per-connection design).
-pub struct Server {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl fmt::Debug for Server {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Server")
-            .field("addr", &self.addr)
-            .field("workers", &self.workers.len())
-            .finish()
-    }
-}
-
-impl Server {
-    /// Binds and starts serving with `handler` using [`ServerConfig`]
-    /// defaults.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`HttpError::Io`] when the address cannot be bound.
-    pub fn bind<A: ToSocketAddrs>(
-        addr: A,
-        handler: impl Fn(&mut Request) -> Response + Send + Sync + 'static,
-    ) -> Result<Self, HttpError> {
-        Self::bind_with_config(addr, handler, ServerConfig::default())
-    }
-
-    /// Binds and starts serving with `handler` on exactly `workers`
-    /// threads (at least one).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`HttpError::Io`] when the address cannot be bound.
-    pub fn bind_with_workers<A: ToSocketAddrs>(
-        addr: A,
-        handler: impl Fn(&mut Request) -> Response + Send + Sync + 'static,
-        workers: usize,
-    ) -> Result<Self, HttpError> {
-        Self::bind_with_config(
-            addr,
-            handler,
-            ServerConfig {
-                workers,
-                ..ServerConfig::default()
-            },
-        )
-    }
-
-    /// Binds and starts serving with `handler` under explicit
-    /// [`ServerConfig`] tunables.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`HttpError::Io`] when the address cannot be bound.
-    pub fn bind_with_config<A: ToSocketAddrs>(
-        addr: A,
-        handler: impl Fn(&mut Request) -> Response + Send + Sync + 'static,
-        config: ServerConfig,
-    ) -> Result<Self, HttpError> {
-        let workers = config.workers.max(1);
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let handler: Arc<Handler> = Arc::new(handler);
-        let config = Arc::new(config);
-
-        // Bounded hand-off queue: accept blocks once `4 × workers`
-        // connections are waiting, shedding load at the kernel backlog
-        // instead of buffering without limit.
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 4);
-        let rx = Arc::new(std::sync::Mutex::new(rx));
-
-        let pool: Vec<JoinHandle<()>> = (0..workers)
-            .map(|_| {
-                let rx = rx.clone();
-                let handler = handler.clone();
-                let stop = stop.clone();
-                let config = config.clone();
-                std::thread::spawn(move || loop {
-                    // Take the queue lock only to pull the next connection.
-                    let conn = match rx.lock() {
-                        Ok(guard) => guard.recv(),
-                        Err(_) => break,
-                    };
-                    match conn {
-                        Ok(stream) => {
-                            // A panicking handler must not shrink the fixed
-                            // pool — contain it to this one connection.
-                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                serve_connection(stream, &handler, &stop, &config)
-                            }));
-                        }
-                        Err(_) => break, // accept loop gone → drain done
-                    }
-                })
-            })
-            .collect();
-
-        let stop2 = stop.clone();
-        let accept_handle = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop2.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                if tx.send(stream).is_err() {
-                    break;
-                }
-            }
-            // `tx` drops here; idle workers see the disconnect and exit.
-        });
-        Ok(Server {
-            addr: local,
-            stop,
-            accept_handle: Some(accept_handle),
-            workers: pool,
-        })
-    }
-
-    /// The bound address (useful with port 0).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// The number of worker threads serving connections.
-    pub fn worker_count(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Stops accepting connections, drains queued ones, and joins the
-    /// accept thread and the worker pool.
-    pub fn shutdown(mut self) {
-        self.stop_inner();
-    }
-
-    fn stop_inner(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Kick the accept loop; the kicked connection is dropped unserved.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
-        }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for Server {
-    fn drop(&mut self) {
-        if self.accept_handle.is_some() {
-            self.stop_inner();
-        }
-    }
-}
-
 /// Largest accepted request head (request line + headers).
-const MAX_HEAD: usize = 64 * 1024;
+pub(crate) const MAX_HEAD: usize = 64 * 1024;
 
-/// What went wrong while reading one request off a connection.
-enum ReadOutcome {
-    /// A complete request.
-    Request(Request),
-    /// Clean EOF before any byte of a new request.
-    Closed,
-    /// The total read deadline expired (slow-loris) → 408.
-    TimedOut,
-    /// The head exceeded [`MAX_HEAD`] → 431.
-    HeadTooLarge,
-    /// Declared body larger than the configured maximum → 413. Carries the
-    /// declared length so the server can drain a bounded amount before
-    /// responding (closing with unread data risks an RST that destroys the
-    /// in-flight error response).
-    BodyTooLarge(usize),
-    /// Unparseable request → 400.
-    Malformed(String),
-    /// `Transfer-Encoding` is not supported → 501. Ignoring it and
-    /// trusting `Content-Length` would desynchronize keep-alive
-    /// connections (the classic TE/CL request-smuggling shape), so such
-    /// requests are refused outright.
-    UnsupportedTransferEncoding,
-    /// Socket error; just drop the connection.
-    Io,
-}
-
-/// Buffered connection reader enforcing a total per-request deadline even
-/// against byte-at-a-time trickling.
-struct ConnReader {
-    stream: TcpStream,
-    /// Received-but-unconsumed bytes (pipelined or split reads).
-    buf: Vec<u8>,
-}
-
-impl ConnReader {
-    /// Reads until the blank line ending the head, returning the head
-    /// bytes. `Ok(None)` means clean EOF before any byte.
-    fn read_head(&mut self, deadline: Duration) -> Result<Option<Vec<u8>>, ReadOutcome> {
-        let start = Instant::now();
-        loop {
-            if let Some(end) = find_double_crlf(&self.buf) {
-                let head: Vec<u8> = self.buf.drain(..end + 4).collect();
-                return Ok(Some(head));
-            }
-            if self.buf.len() > MAX_HEAD {
-                return Err(ReadOutcome::HeadTooLarge);
-            }
-            let nothing_received = self.buf.is_empty();
-            match self.fill(start, deadline) {
-                Ok(0) if nothing_received => return Ok(None),
-                Ok(0) => return Err(ReadOutcome::Malformed("eof in headers".into())),
-                Ok(_) => {}
-                // An idle keep-alive connection expiring is a silent close;
-                // 408 is reserved for half-received (trickled) requests.
-                Err(ReadOutcome::TimedOut) if nothing_received => return Ok(None),
-                Err(o) => return Err(o),
-            }
-        }
-    }
-
-    /// Reads exactly `n` body bytes under the same total deadline.
-    fn read_body(
-        &mut self,
-        n: usize,
-        start: Instant,
-        deadline: Duration,
-    ) -> Result<Vec<u8>, ReadOutcome> {
-        while self.buf.len() < n {
-            match self.fill(start, deadline) {
-                Ok(0) => return Err(ReadOutcome::Malformed("eof in body".into())),
-                Ok(_) => {}
-                Err(o) => return Err(o),
-            }
-        }
-        let body: Vec<u8> = self.buf.drain(..n).collect();
-        Ok(body)
-    }
-
-    /// One deadline-bounded `read` into the buffer.
-    fn fill(&mut self, start: Instant, deadline: Duration) -> Result<usize, ReadOutcome> {
-        let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
-            return Err(ReadOutcome::TimedOut);
-        };
-        if self
-            .stream
-            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
-            .is_err()
-        {
-            return Err(ReadOutcome::Io);
-        }
-        let mut chunk = [0u8; 8192];
-        match self.stream.read(&mut chunk) {
-            Ok(n) => {
-                self.buf.extend_from_slice(&chunk[..n]);
-                Ok(n)
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Err(ReadOutcome::TimedOut)
-            }
-            Err(_) => Err(ReadOutcome::Io),
-        }
-    }
-}
-
-fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+pub(crate) fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// Strict RFC 9112 `Content-Length` parse: a non-empty run of ASCII
+/// digits, nothing else. Rust's `usize::from_str` accepts a leading `+`
+/// (`"+10"` parses as 10), which is exactly the kind of lenient parse
+/// that request-smuggling shapes exploit — so both the server and the
+/// client reject it here.
+pub(crate) fn parse_content_length(v: &str) -> Option<usize> {
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    v.parse().ok()
+}
+
 /// Parses the request head (request line + header lines).
-fn parse_head(head: &[u8]) -> Result<(String, String, BTreeMap<String, String>), String> {
+pub(crate) fn parse_head(
+    head: &[u8],
+) -> Result<(String, String, BTreeMap<String, String>), String> {
     let text = String::from_utf8_lossy(head);
     let mut lines = text.split("\r\n");
     let request_line = lines.next().unwrap_or("");
@@ -615,115 +499,120 @@ fn parse_head(head: &[u8]) -> Result<(String, String, BTreeMap<String, String>),
     Ok((method, path, headers))
 }
 
-/// Reads one full request off the connection, enforcing deadline and size
-/// limits.
-fn read_one_request(conn: &mut ConnReader, config: &ServerConfig) -> ReadOutcome {
-    let start = Instant::now();
-    let head = match conn.read_head(config.read_deadline) {
-        Ok(Some(h)) => h,
-        Ok(None) => return ReadOutcome::Closed,
-        Err(o) => return o,
+/// The result of attempting to parse one request out of a connection's
+/// receive buffer (the reactor calls this after every read).
+pub(crate) enum ParseOutcome {
+    /// Not enough bytes yet — keep the buffer, wait for more.
+    Incomplete,
+    /// One complete request; `consumed` bytes must be drained from the
+    /// buffer (pipelined successors stay behind).
+    Request {
+        /// The parsed request.
+        req: Request,
+        /// Bytes of the buffer this request occupied.
+        consumed: usize,
+    },
+    /// The head exceeded [`MAX_HEAD`] → 431.
+    HeadTooLarge,
+    /// Declared body larger than the configured maximum → 413. Carries the
+    /// declared length (so a bounded drain can avoid an RST destroying the
+    /// in-flight error response) and the head length to discard.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// Length of the (parsed, now useless) head in the buffer.
+        head_len: usize,
+    },
+    /// Unparseable request → 400.
+    Malformed(String),
+    /// `Transfer-Encoding` is not supported → 501. Ignoring it and
+    /// trusting `Content-Length` would desynchronize keep-alive
+    /// connections (the classic TE/CL request-smuggling shape), so such
+    /// requests are refused outright.
+    UnsupportedTransferEncoding,
+}
+
+/// Tries to parse one complete request from `buf` without consuming it.
+pub(crate) fn try_parse_request(buf: &[u8], max_body: usize) -> ParseOutcome {
+    let Some(end) = find_double_crlf(buf) else {
+        return if buf.len() > MAX_HEAD {
+            ParseOutcome::HeadTooLarge
+        } else {
+            ParseOutcome::Incomplete
+        };
     };
-    let (method, path, headers) = match parse_head(&head) {
+    let head_len = end + 4;
+    if head_len > MAX_HEAD {
+        return ParseOutcome::HeadTooLarge;
+    }
+    let (method, path, headers) = match parse_head(&buf[..head_len]) {
         Ok(t) => t,
-        Err(m) => return ReadOutcome::Malformed(m),
+        Err(m) => return ParseOutcome::Malformed(m),
     };
     if headers.contains_key("transfer-encoding") {
-        return ReadOutcome::UnsupportedTransferEncoding;
+        return ParseOutcome::UnsupportedTransferEncoding;
     }
     let len: usize = match headers.get("content-length") {
         None => 0,
-        Some(v) => match v.parse() {
-            Ok(n) => n,
-            Err(_) => return ReadOutcome::Malformed(format!("bad content-length {v:?}")),
+        Some(v) => match parse_content_length(v) {
+            Some(n) => n,
+            None => return ParseOutcome::Malformed(format!("bad content-length {v:?}")),
         },
     };
-    if len > config.max_body {
-        return ReadOutcome::BodyTooLarge(len);
+    if len > max_body {
+        return ParseOutcome::BodyTooLarge {
+            declared: len,
+            head_len,
+        };
     }
-    let body = match conn.read_body(len, start, config.read_deadline) {
-        Ok(b) => b,
-        Err(o) => return o,
-    };
-    ReadOutcome::Request(Request {
-        method,
-        path,
-        headers,
-        body,
-    })
+    if buf.len() < head_len + len {
+        return ParseOutcome::Incomplete;
+    }
+    let body = buf[head_len..head_len + len].to_vec();
+    ParseOutcome::Request {
+        req: Request {
+            method,
+            path,
+            headers,
+            body,
+        },
+        consumed: head_len + len,
+    }
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    handler: &Arc<Handler>,
-    stop: &AtomicBool,
-    config: &ServerConfig,
-) -> Result<(), HttpError> {
-    let mut conn = ConnReader {
-        stream,
-        buf: Vec::new(),
-    };
-    loop {
-        // Close keep-alive connections once shutdown starts, so joining
-        // the pool is bounded by one in-flight request + read timeout
-        // instead of the client's goodwill.
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        let mut req = match read_one_request(&mut conn, config) {
-            ReadOutcome::Request(r) => r,
-            ReadOutcome::Closed | ReadOutcome::Io => return Ok(()),
-            // Best-effort error response, then close the connection.
-            ReadOutcome::TimedOut => {
-                let _ = write_response(
-                    &mut &conn.stream,
-                    &Response::text(408, "request read deadline exceeded"),
-                    false,
-                );
-                return Ok(());
-            }
-            ReadOutcome::HeadTooLarge => {
-                let _ = write_response(
-                    &mut &conn.stream,
-                    &Response::text(431, "request head too large"),
-                    false,
-                );
-                return Ok(());
-            }
-            ReadOutcome::BodyTooLarge(declared) => {
-                // Drain a bounded amount so the response survives the close.
-                let _ = conn.read_body(declared.min(1 << 20), Instant::now(), config.read_deadline);
-                let _ = write_response(
-                    &mut &conn.stream,
-                    &Response::text(413, "request body too large"),
-                    false,
-                );
-                return Ok(());
-            }
-            ReadOutcome::UnsupportedTransferEncoding => {
-                let _ = write_response(
-                    &mut &conn.stream,
-                    &Response::text(501, "transfer-encoding is not supported"),
-                    false,
-                );
-                return Ok(());
-            }
-            ReadOutcome::Malformed(m) => {
-                let _ = write_response(&mut &conn.stream, &Response::bad_request(&m), false);
-                return Ok(());
-            }
-        };
-        let keep_alive = req
-            .headers
-            .get("connection")
-            .map(|v| v.eq_ignore_ascii_case("keep-alive"))
-            .unwrap_or(true); // HTTP/1.1 default
-        let resp = handler(&mut req);
-        write_response(&mut &conn.stream, &resp, keep_alive)?;
-        if !keep_alive {
-            return Ok(());
+/// Serializes a response head. `Content-Length` is omitted on 1xx/204
+/// (RFC 9110 §8.6) **and on 304**: a 304 carries no body, and a
+/// `Content-Length` on it would have to describe the selected
+/// representation — emitting `0` (as we once did) tells a compliant
+/// cache the resource is empty.
+pub(crate) fn encode_response_head(resp: &Response, keep_alive: bool) -> Vec<u8> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, status_text(resp.status));
+    let bodyless_status =
+        resp.status == 204 || resp.status == 304 || (100..200).contains(&resp.status);
+    if !bodyless_status {
+        head.push_str(&format!("content-length: {}\r\n", resp.body.len()));
+    }
+    // Standard response headers, set centrally so handlers never have to.
+    if !resp.headers.contains_key("date") {
+        head.push_str(&format!("date: {}\r\n", http_date(SystemTime::now())));
+    }
+    if !resp.headers.contains_key("server") {
+        head.push_str("server: tsr-http/0.1\r\n");
+    }
+    for (k, v) in &resp.headers {
+        // Never emit a header that could split the head (CR/LF or other
+        // control bytes in names/values) — drop it instead.
+        let injectable = |s: &str| s.chars().any(|c| c.is_control());
+        if k != "content-length" && !injectable(k) && !injectable(v) {
+            head.push_str(&format!("{k}: {v}\r\n"));
         }
     }
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n\r\n"
+    } else {
+        "connection: close\r\n\r\n"
+    });
+    head.into_bytes()
 }
 
 fn read_headers<R: BufRead>(reader: &mut R) -> Result<BTreeMap<String, String>, HttpError> {
@@ -748,49 +637,14 @@ fn read_body<R: BufRead>(
     reader: &mut R,
     headers: &BTreeMap<String, String>,
 ) -> Result<Vec<u8>, HttpError> {
-    let len: usize = headers
-        .get("content-length")
-        .map(|v| {
-            v.parse()
-                .map_err(|_| HttpError::Protocol(format!("bad content-length {v:?}")))
-        })
-        .transpose()?
-        .unwrap_or(0);
+    let len: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => parse_content_length(v)
+            .ok_or_else(|| HttpError::Protocol(format!("bad content-length {v:?}")))?,
+    };
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
     Ok(body)
-}
-
-fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> Result<(), HttpError> {
-    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, status_text(resp.status));
-    // RFC 9110 §8.6: no Content-Length on 1xx/204.
-    if resp.status != 204 && !(100..200).contains(&resp.status) {
-        head.push_str(&format!("content-length: {}\r\n", resp.body.len()));
-    }
-    // Standard response headers, set centrally so handlers never have to.
-    if !resp.headers.contains_key("date") {
-        head.push_str(&format!("date: {}\r\n", http_date(SystemTime::now())));
-    }
-    if !resp.headers.contains_key("server") {
-        head.push_str("server: tsr-http/0.1\r\n");
-    }
-    for (k, v) in &resp.headers {
-        // Never emit a header that could split the head (CR/LF or other
-        // control bytes in names/values) — drop it instead.
-        let injectable = |s: &str| s.chars().any(|c| c.is_control());
-        if k != "content-length" && !injectable(k) && !injectable(v) {
-            head.push_str(&format!("{k}: {v}\r\n"));
-        }
-    }
-    head.push_str(if keep_alive {
-        "connection: keep-alive\r\n\r\n"
-    } else {
-        "connection: close\r\n\r\n"
-    });
-    w.write_all(head.as_bytes())?;
-    w.write_all(&resp.body)?;
-    w.flush()?;
-    Ok(())
 }
 
 /// A simple HTTP client.
@@ -834,11 +688,12 @@ impl Client {
     /// A keep-alive client: caches one connection and reuses it while
     /// the server keeps it open.
     ///
-    /// When a *reused* connection fails mid-request the request is
-    /// retried once on a fresh connection — the dominant cause is the
-    /// server having idled out the cached connection, which is
-    /// indistinguishable from it never existing. Callers for whom a
-    /// non-idempotent retry is unacceptable should use [`Client::new`].
+    /// When a *reused* connection fails mid-request — an I/O error, or a
+    /// clean EOF before any status-line byte — the request is retried
+    /// once on a fresh connection. The dominant cause is the server
+    /// having idled out the cached connection, which is indistinguishable
+    /// from it never existing. Callers for whom a non-idempotent retry is
+    /// unacceptable should use [`Client::new`].
     pub fn with_keep_alive(timeout: Duration) -> Self {
         Client {
             timeout: Some(timeout),
@@ -902,6 +757,10 @@ impl Client {
         };
         let resp = Self::exchange(&stream, method, &host, &path, body, extra_headers, true);
         let resp = match resp {
+            // A dead reused connection surfaces as an I/O error — which
+            // includes the EOF-before-status-line shape a server's idle
+            // timeout produces (a FIN race the old code misclassified as
+            // a protocol error, so the documented retry never fired).
             Err(HttpError::Io(_)) if reused => {
                 let stream2 = self.fresh_conn(&host)?;
                 let r = Self::exchange(&stream2, method, &host, &path, body, extra_headers, true)?;
@@ -915,12 +774,7 @@ impl Client {
     }
 
     /// Returns a connection to the pool unless the server asked to close.
-    fn pool_back(
-        pool: &ConnPool,
-        host: &str,
-        stream: TcpStream,
-        resp: &Response,
-    ) {
+    fn pool_back(pool: &ConnPool, host: &str, stream: TcpStream, resp: &Response) {
         let closing = resp
             .headers
             .get("connection")
@@ -935,6 +789,7 @@ impl Client {
     }
 
     /// One request/response exchange on an established connection.
+    #[allow(clippy::too_many_arguments)]
     fn exchange(
         stream: &TcpStream,
         method: &str,
@@ -966,18 +821,37 @@ impl Client {
         // bytes of a later response when it is dropped.
         let mut reader = BufReader::new(stream);
         let mut status_line = String::new();
-        reader.read_line(&mut status_line)?;
+        if reader.read_line(&mut status_line)? == 0 {
+            // EOF before any status byte: the peer closed the connection
+            // under us. Surfaced as Io (not Protocol) so pooled reuse of
+            // an idled-out connection takes the retry path.
+            return Err(HttpError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before status line",
+            )));
+        }
         let status: u16 = status_line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| HttpError::Protocol(format!("bad status line {status_line:?}")))?;
         let headers = read_headers(&mut reader)?;
-        let body = read_body(&mut reader, &headers)?;
+        // HEAD and 304/204/1xx exchanges carry no body regardless of any
+        // Content-Length (which, for HEAD and 304, describes the selected
+        // representation rather than this message).
+        let bodyless = method.eq_ignore_ascii_case("HEAD")
+            || status == 304
+            || status == 204
+            || (100..200).contains(&status);
+        let body = if bodyless {
+            Vec::new()
+        } else {
+            read_body(&mut reader, &headers)?
+        };
         Ok(Response {
             status,
             headers,
-            body,
+            body: Body::Owned(body),
         })
     }
 
@@ -1008,19 +882,25 @@ fn parse_url(url: &str) -> Result<(String, String), HttpError> {
     let rest = url
         .strip_prefix("http://")
         .ok_or_else(|| HttpError::Protocol(format!("unsupported url {url:?}")))?;
-    let (host, path) = match rest.find('/') {
-        Some(i) => (&rest[..i], &rest[i..]),
-        None => (rest, "/"),
+    // The authority ends at the first `/` OR `?` — `http://host?q=1` has
+    // an empty path and an immediate query, not a host named `host?q=1`.
+    let (host, path) = match rest.find(['/', '?']) {
+        Some(i) if rest.as_bytes()[i] == b'/' => (&rest[..i], rest[i..].to_string()),
+        Some(i) => (&rest[..i], format!("/{}", &rest[i..])),
+        None => (rest, "/".to_string()),
     };
     if host.is_empty() {
         return Err(HttpError::Protocol("empty host".into()));
     }
-    Ok((host.to_string(), path.to_string()))
+    Ok((host.to_string(), path))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::time::Instant;
 
     fn echo_server() -> Server {
         Server::bind("127.0.0.1:0", |req| {
@@ -1125,6 +1005,43 @@ mod tests {
     }
 
     #[test]
+    fn shared_body_serves_without_cloning() {
+        let blob: Arc<[u8]> = Arc::from(vec![7u8; 64].into_boxed_slice());
+        let resp = Response::shared(blob.clone());
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, vec![7u8; 64]);
+        // Still the same allocation: two strong refs (ours + response's).
+        assert_eq!(Arc::strong_count(&blob), 2);
+    }
+
+    #[test]
+    fn body_equality_and_debug() {
+        let owned = Body::Owned(b"abc".to_vec());
+        let shared = Body::Shared(Arc::from(b"abc".to_vec().into_boxed_slice()));
+        assert_eq!(owned, shared);
+        assert_eq!(owned, b"abc");
+        assert_eq!(shared, b"abc".to_vec());
+        assert_eq!(format!("{owned:?}"), "Owned(3 bytes)");
+        assert_eq!(format!("{shared:?}"), "Shared(3 bytes)");
+        assert_eq!(shared.clone().into_vec(), b"abc");
+    }
+
+    #[test]
+    fn content_length_must_be_pure_digits() {
+        assert_eq!(parse_content_length("0"), Some(0));
+        assert_eq!(parse_content_length("123"), Some(123));
+        // Rust's usize::parse accepts these; RFC 9112 does not.
+        assert_eq!(parse_content_length("+10"), None);
+        assert_eq!(parse_content_length("-1"), None);
+        assert_eq!(parse_content_length(" 5"), None);
+        assert_eq!(parse_content_length("5 "), None);
+        assert_eq!(parse_content_length(""), None);
+        assert_eq!(parse_content_length("0x10"), None);
+        // Overflow is malformed, not truncated.
+        assert_eq!(parse_content_length("99999999999999999999999999"), None);
+    }
+
+    #[test]
     fn etag_matching() {
         let mut req = Request {
             method: "GET".into(),
@@ -1177,8 +1094,9 @@ mod tests {
 
     #[test]
     fn bounded_pool_serves_more_clients_than_workers() {
-        // 2 workers, 12 concurrent clients: every request must still be
-        // answered (queueing, not dropping).
+        // 2 handler workers, 12 concurrent clients: every request must
+        // still be answered (the reactor holds all the connections; the
+        // pool only bounds concurrently-executing handlers).
         let s = Server::bind_with_workers("127.0.0.1:0", |req| Response::ok(req.body.clone()), 2)
             .unwrap();
         assert_eq!(s.worker_count(), 2);
@@ -1250,6 +1168,7 @@ mod tests {
             Err(HttpError::Protocol(_))
         ));
         assert!(matches!(c.get("http:///x"), Err(HttpError::Protocol(_))));
+        assert!(matches!(c.get("http://?q=1"), Err(HttpError::Protocol(_))));
     }
 
     #[test]
@@ -1259,6 +1178,15 @@ mod tests {
             ("h:1".into(), "/p".into())
         );
         assert_eq!(parse_url("http://h:1").unwrap(), ("h:1".into(), "/".into()));
+        // `?` ends the authority too: empty path, immediate query.
+        assert_eq!(
+            parse_url("http://h:1?q=1").unwrap(),
+            ("h:1".into(), "/?q=1".into())
+        );
+        assert_eq!(
+            parse_url("http://h:1/p?q=1").unwrap(),
+            ("h:1".into(), "/p?q=1".into())
+        );
     }
 
     #[test]
@@ -1277,5 +1205,39 @@ mod tests {
     fn error_display() {
         assert!(HttpError::Protocol("x".into()).to_string().contains("x"));
         assert!(HttpError::Status(404, vec![]).to_string().contains("404"));
+    }
+
+    #[test]
+    fn slow_loris_cut_off_timing() {
+        // Deadline precision of the wheel: a 300 ms deadline must fire
+        // well within a second.
+        let s = Server::bind_with_config(
+            "127.0.0.1:0",
+            |_req| Response::ok(vec![]),
+            ServerConfig {
+                workers: 1,
+                read_deadline: Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let start = Instant::now();
+        let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(b"GET /x HTTP/1.1\r\n").unwrap();
+        let mut out = Vec::new();
+        let _ = stream.read_to_end(&mut out);
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "partial request must be cut off promptly"
+        );
+        assert!(
+            out.starts_with(b"HTTP/1.1 408"),
+            "trickled request gets 408, got {:?}",
+            String::from_utf8_lossy(&out)
+        );
+        s.shutdown();
     }
 }

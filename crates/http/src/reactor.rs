@@ -1,0 +1,990 @@
+//! The epoll-backed non-blocking reactor behind [`Server`].
+//!
+//! One I/O thread multiplexes every connection through `epoll` (raw FFI
+//! to the three syscall wrappers libc already exports — no crates):
+//!
+//! ```text
+//!             ┌──────────────── epoll_wait ────────────────┐
+//!             ▼                                            │
+//!   accept → Reading ──complete request──▶ Handling ──▶ Writing ──┐
+//!             ▲   │                        (worker pool)          │
+//!             │   └─▶ Draining(413) ─▶ Writing(error, close)      │
+//!             │                                                   │
+//!             └──────────── keep-alive (back to Reading) ◀────────┘
+//! ```
+//!
+//! - **Reading** — bytes accumulate in a per-connection buffer until
+//!   `try_parse_request` yields a complete
+//!   request (or an error response). A read deadline is armed on a
+//!   hashed **deadline wheel** (25 ms granularity, 512 slots): expiring
+//!   with an empty buffer means an idle keep-alive connection (closed
+//!   silently), with a partial request a slow-loris (answered 408).
+//! - **Handling** — the request is executed on a separate handler worker
+//!   pool (so slow handlers never stall the event loop); epoll interest
+//!   drops to zero, the deadline is disarmed. Completions come back over
+//!   a queue plus a self-wakeup pipe. A handler panic closes the
+//!   connection without a response (the middleware `CatchPanic` layer
+//!   normally converts panics to 500s before they reach here).
+//! - **Writing** — head + body go out with vectored writes
+//!   (`write_vectored`), so a [`Body::Shared`]
+//!   blob is written straight from the shared allocation — zero copies
+//!   per response. `EPOLLOUT` interest only exists while a write is
+//!   blocked; the read deadline doubles as a stalled-reader guard.
+//! - Pipelined requests already sitting in the buffer are parsed
+//!   immediately after each response completes, preserving arrival
+//!   order (one request outstanding per connection at a time).
+//!
+//! Shutdown closes the listener and all idle connections, then drains
+//! in-flight handlers/writes within a grace period before forcing the
+//! rest closed.
+
+use std::collections::HashMap;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::{
+    encode_response_head, try_parse_request, Body, HttpError, ParseOutcome, Request, Response,
+    ServerConfig,
+};
+
+/// Minimal FFI surface for epoll. These are libc symbols the binary
+/// already links through std; declaring them here avoids any crate
+/// dependency.
+mod sys {
+    use std::os::raw::c_int;
+
+    /// Mirror of `struct epoll_event`. On x86-64 the kernel ABI packs it
+    /// (no padding between `events` and `data`); elsewhere natural C
+    /// layout matches.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+}
+
+/// RAII epoll instance.
+struct Epoll {
+    fd: std::os::fd::OwnedFd,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // Safety: epoll_create1 returned a fresh fd we now own.
+        Ok(Epoll {
+            fd: unsafe { std::os::fd::FromRawFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: std::os::raw::c_int, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn add(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// `epoll_wait`, retrying on EINTR. `timeout_ms < 0` blocks forever.
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let rc = unsafe {
+                sys::epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.len() as std::os::raw::c_int,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Wheel granularity: deadlines fire at most one tick late, never early.
+const WHEEL_TICK_MS: u64 = 25;
+const WHEEL_SLOTS: usize = 512;
+
+struct WheelEntry {
+    tick: u64,
+    token: u64,
+    generation: u64,
+}
+
+/// A hashed timer wheel: O(1) arm, expiry amortized over ticks. Entries
+/// are never removed eagerly — cancellation is by generation counter
+/// (each re-arm/disarm bumps the connection's generation, orphaning any
+/// entry still queued with the old one).
+struct DeadlineWheel {
+    slots: Vec<Vec<WheelEntry>>,
+    origin: Instant,
+    /// Next tick not yet expired.
+    cursor: u64,
+    armed: usize,
+}
+
+impl DeadlineWheel {
+    fn new(origin: Instant) -> DeadlineWheel {
+        DeadlineWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            origin,
+            cursor: 0,
+            armed: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        // +1 rounds up: the entry's slot time is >= the deadline, so the
+        // wheel never fires early (it may fire up to one tick late).
+        (t.saturating_duration_since(self.origin).as_millis() as u64) / WHEEL_TICK_MS + 1
+    }
+
+    fn arm(&mut self, deadline: Instant, token: u64, generation: u64) {
+        let tick = self.tick_of(deadline).max(self.cursor);
+        self.slots[(tick % WHEEL_SLOTS as u64) as usize].push(WheelEntry {
+            tick,
+            token,
+            generation,
+        });
+        self.armed += 1;
+    }
+
+    fn has_armed(&self) -> bool {
+        self.armed > 0
+    }
+
+    /// Expires every entry whose deadline has passed, invoking `due` with
+    /// `(token, generation)`. Entries parked for a future lap of the
+    /// wheel are re-queued.
+    fn expire(&mut self, now: Instant, mut due: impl FnMut(u64, u64)) {
+        let now_tick =
+            (now.saturating_duration_since(self.origin).as_millis() as u64) / WHEEL_TICK_MS;
+        while self.cursor <= now_tick {
+            let slot = (self.cursor % WHEEL_SLOTS as u64) as usize;
+            let entries = std::mem::take(&mut self.slots[slot]);
+            for e in entries {
+                if e.tick > self.cursor {
+                    self.slots[slot].push(e);
+                } else {
+                    self.armed -= 1;
+                    due(e.token, e.generation);
+                }
+            }
+            self.cursor += 1;
+        }
+    }
+}
+
+/// Per-connection state machine.
+enum ConnState {
+    /// Accumulating request bytes.
+    Reading,
+    /// Request handed to the worker pool; no epoll interest.
+    Handling { head_only: bool, keep_alive: bool },
+    /// Response going out (vectored head+body writes).
+    Writing {
+        head: Vec<u8>,
+        head_off: usize,
+        body: Body,
+        body_off: usize,
+        head_only: bool,
+        close_after: bool,
+    },
+    /// Discarding a bounded amount of an oversized request body so the
+    /// 413 isn't destroyed by a connection reset.
+    Draining { remaining: usize },
+}
+
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    state: ConnState,
+    /// Events currently registered with epoll for this fd.
+    interest: u32,
+    deadline: Option<Instant>,
+    /// Bumped on every deadline (re)arm/disarm; wheel entries carrying a
+    /// stale generation are ignored on expiry.
+    generation: u64,
+}
+
+struct Job {
+    token: u64,
+    req: Request,
+}
+
+const TOK_LISTENER: u64 = u64::MAX;
+const TOK_WAKEUP: u64 = u64::MAX - 1;
+
+/// How long an in-flight handler/write may run after `shutdown()` before
+/// its connection is forced closed. Mirrors the old pool's drain grace.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// Cap on how much of an oversized declared body is drained before the
+/// 413 goes out; beyond this the connection is closed mid-body.
+const MAX_413_DRAIN: usize = 1 << 20;
+
+/// Finished handler results waiting for the I/O thread: `(token, response)`,
+/// where `None` marks a panicked handler (connection gets closed).
+type CompletionQueue = Mutex<Vec<(u64, Option<Response>)>>;
+
+struct Reactor {
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    wheel: DeadlineWheel,
+    next_token: u64,
+    job_tx: Sender<Job>,
+    completions: Arc<CompletionQueue>,
+    stop: Arc<AtomicBool>,
+    config: ServerConfig,
+    stop_seen: Option<Instant>,
+}
+
+/// The HTTP server: an epoll event loop on one I/O thread plus a
+/// bounded pool of handler workers. The worker count bounds only
+/// concurrently *executing* handlers — idle keep-alive connections cost
+/// a file descriptor and a buffer, not a thread, so one node holds
+/// thousands of them.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    wake_tx: UnixStream,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"`) and serves requests with
+    /// default settings until [`Server::shutdown`] or drop.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener or creating the epoll
+    /// instance.
+    pub fn bind<A, F>(addr: A, handler: F) -> Result<Server, HttpError>
+    where
+        A: ToSocketAddrs,
+        F: Fn(&mut Request) -> Response + Send + Sync + 'static,
+    {
+        Self::bind_with_config(addr, handler, ServerConfig::default())
+    }
+
+    /// Binds with an explicit handler worker-pool size.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::bind`].
+    pub fn bind_with_workers<A, F>(addr: A, handler: F, workers: usize) -> Result<Server, HttpError>
+    where
+        A: ToSocketAddrs,
+        F: Fn(&mut Request) -> Response + Send + Sync + 'static,
+    {
+        Self::bind_with_config(
+            addr,
+            handler,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Binds with full [`ServerConfig`] control.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::bind`].
+    pub fn bind_with_config<A, F>(
+        addr: A,
+        handler: F,
+        config: ServerConfig,
+    ) -> Result<Server, HttpError>
+    where
+        A: ToSocketAddrs,
+        F: Fn(&mut Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let completions: Arc<CompletionQueue> = Arc::new(Mutex::new(Vec::new()));
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let handler: Arc<crate::Handler> = Arc::new(handler);
+
+        let worker_count = config.workers.max(1);
+        let mut workers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let job_rx = Arc::clone(&job_rx);
+            let handler = Arc::clone(&handler);
+            let completions = Arc::clone(&completions);
+            let wake = wake_tx.try_clone()?;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&job_rx, handler.as_ref(), &completions, &wake);
+            }));
+        }
+
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOK_LISTENER)?;
+        epoll.add(wake_rx.as_raw_fd(), sys::EPOLLIN, TOK_WAKEUP)?;
+
+        let reactor = Reactor {
+            epoll,
+            listener: Some(listener),
+            wake_rx,
+            conns: HashMap::new(),
+            wheel: DeadlineWheel::new(Instant::now()),
+            next_token: 0,
+            job_tx,
+            completions,
+            stop: Arc::clone(&stop),
+            config,
+            stop_seen: None,
+        };
+        let reactor_handle = std::thread::spawn(move || reactor.run());
+
+        Ok(Server {
+            addr: local,
+            stop,
+            wake_tx,
+            reactor: Some(reactor_handle),
+            workers,
+        })
+    }
+
+    /// The actual bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of handler worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops accepting, drains in-flight requests (bounded grace), joins
+    /// all threads.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = (&self.wake_tx).write(&[1]);
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn worker_loop(
+    job_rx: &Mutex<Receiver<Job>>,
+    handler: &crate::Handler,
+    completions: &CompletionQueue,
+    wake: &UnixStream,
+) {
+    loop {
+        // Hold the lock only while receiving; handler runs unlocked.
+        let job = match job_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(Job { token, mut req }) = job else {
+            return; // channel closed: reactor is gone
+        };
+        let resp = std::panic::catch_unwind(AssertUnwindSafe(|| handler(&mut req))).ok();
+        completions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((token, resp));
+        // Wake the event loop; a full pipe is fine (a wake is pending).
+        let _ = { wake }.write(&[1]);
+    }
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 256];
+        loop {
+            if self.stop.load(Ordering::SeqCst) && self.stop_seen.is_none() {
+                self.begin_shutdown();
+            }
+            if let Some(t0) = self.stop_seen {
+                if self.conns.is_empty() || t0.elapsed() > SHUTDOWN_GRACE {
+                    break; // drained, or grace expired: force-close the rest
+                }
+            }
+            let timeout_ms: i32 = if self.stop_seen.is_some() || self.wheel.has_armed() {
+                WHEEL_TICK_MS as i32
+            } else {
+                -1 // fully idle: block until a socket or wakeup fires
+            };
+            let n = match self.epoll.wait(&mut events, timeout_ms) {
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            for ev in events.iter().take(n) {
+                let token = ev.data;
+                let bits = ev.events;
+                match token {
+                    TOK_LISTENER => self.on_accept(),
+                    TOK_WAKEUP => self.drain_wakeups(),
+                    t => self.on_conn_event(t, bits),
+                }
+            }
+            self.drain_completions();
+            let now = Instant::now();
+            let mut due = Vec::new();
+            self.wheel.expire(now, |token, generation| {
+                due.push((token, generation));
+            });
+            for (token, generation) in due {
+                self.on_deadline(token, generation, now);
+            }
+        }
+        // Dropping the reactor closes the epoll fd, the listener, and
+        // every remaining connection; dropping job_tx stops the workers.
+    }
+
+    fn begin_shutdown(&mut self) {
+        self.stop_seen = Some(Instant::now());
+        self.listener = None; // close: refuse new connections immediately
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.state, ConnState::Reading | ConnState::Draining { .. }))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            self.close(token);
+        }
+    }
+
+    fn on_accept(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.stop_seen.is_some() {
+                        continue; // accepted during shutdown: close immediately
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+                    if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+                        continue;
+                    }
+                    let mut conn = Conn {
+                        stream,
+                        buf: Vec::new(),
+                        state: ConnState::Reading,
+                        interest,
+                        deadline: None,
+                        generation: 0,
+                    };
+                    let deadline = Instant::now() + self.config.read_deadline;
+                    conn.generation += 1;
+                    conn.deadline = Some(deadline);
+                    self.wheel.arm(deadline, token, conn.generation);
+                    self.conns.insert(token, conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return, // transient accept failure; retry on next event
+            }
+        }
+    }
+
+    fn drain_wakeups(&mut self) {
+        let mut sink = [0u8; 256];
+        loop {
+            match (&self.wake_rx).read(&mut sink) {
+                Ok(0) => return, // all writers gone
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn on_conn_event(&mut self, token: u64, bits: u32) {
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        match conn.state {
+            ConnState::Reading | ConnState::Draining { .. } => {
+                if bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+                    self.on_readable(token);
+                }
+            }
+            ConnState::Writing { .. } => {
+                if bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+                    self.advance_write(token);
+                }
+            }
+            // Interest is zero while Handling; EPOLLERR/HUP are still
+            // reported but the failure will surface when we write.
+            ConnState::Handling { .. } => {}
+        }
+    }
+
+    fn on_readable(&mut self, token: u64) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer sent FIN.
+                    match conn.state {
+                        ConnState::Reading if conn.buf.is_empty() => self.close(token),
+                        ConnState::Reading => self.start_error_write(
+                            token,
+                            Response::bad_request("unexpected eof in request"),
+                        ),
+                        ConnState::Draining { .. } => self.finish_drain(token),
+                        _ => self.close(token),
+                    }
+                    return;
+                }
+                Ok(n) => match &mut conn.state {
+                    ConnState::Draining { remaining } => {
+                        *remaining = remaining.saturating_sub(n);
+                        if *remaining == 0 {
+                            self.finish_drain(token);
+                            return;
+                        }
+                    }
+                    ConnState::Reading => {
+                        conn.buf.extend_from_slice(&chunk[..n]);
+                        if !self.advance_reading(token) {
+                            return; // dispatched, answered, or closed
+                        }
+                    }
+                    _ => return,
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Tries to parse/dispatch from the connection's buffer. Returns
+    /// `true` when the connection is still consuming request bytes
+    /// (keep reading), `false` when it changed state or closed.
+    fn advance_reading(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        match try_parse_request(&conn.buf, self.config.max_body) {
+            ParseOutcome::Incomplete => true,
+            ParseOutcome::Request { req, consumed } => {
+                conn.buf.drain(..consumed);
+                let keep_alive = req
+                    .headers
+                    .get("connection")
+                    .map(|v| v.eq_ignore_ascii_case("keep-alive"))
+                    .unwrap_or(true);
+                let head_only = req.method == "HEAD";
+                // Disarm the read deadline while the handler runs.
+                conn.generation += 1;
+                conn.deadline = None;
+                conn.state = ConnState::Handling {
+                    head_only,
+                    keep_alive,
+                };
+                self.set_interest(token, 0);
+                let _ = self.job_tx.send(Job { token, req });
+                false
+            }
+            ParseOutcome::HeadTooLarge => {
+                self.start_error_write(token, Response::text(431, "request head too large"));
+                false
+            }
+            ParseOutcome::Malformed(msg) => {
+                self.start_error_write(token, Response::bad_request(&msg));
+                false
+            }
+            ParseOutcome::UnsupportedTransferEncoding => {
+                self.start_error_write(
+                    token,
+                    Response::text(501, "transfer-encoding is not supported"),
+                );
+                false
+            }
+            ParseOutcome::BodyTooLarge { declared, head_len } => {
+                // Discard the head and whatever body bytes arrived, then
+                // drain a bounded amount more so the client is likely to
+                // see the 413 instead of a reset.
+                let already = conn.buf.len() - head_len;
+                conn.buf = Vec::new();
+                let target = declared.min(MAX_413_DRAIN);
+                if already >= target {
+                    self.finish_drain(token);
+                    false
+                } else {
+                    conn.state = ConnState::Draining {
+                        remaining: target - already,
+                    };
+                    true // keep reading (draining) under the same deadline
+                }
+            }
+        }
+    }
+
+    fn finish_drain(&mut self, token: u64) {
+        self.start_error_write(token, Response::text(413, "request body too large"));
+    }
+
+    /// Starts writing an error response; the connection always closes
+    /// after it.
+    fn start_error_write(&mut self, token: u64, resp: Response) {
+        self.start_write(token, resp, false, false, true);
+    }
+
+    fn start_write(
+        &mut self,
+        token: u64,
+        resp: Response,
+        keep_alive: bool,
+        head_only: bool,
+        close_after: bool,
+    ) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let head = encode_response_head(&resp, keep_alive);
+        conn.state = ConnState::Writing {
+            head,
+            head_off: 0,
+            body: resp.body,
+            body_off: 0,
+            head_only,
+            close_after,
+        };
+        // The read deadline budget doubles as a stalled-reader guard.
+        let deadline = Instant::now() + self.config.read_deadline;
+        conn.generation += 1;
+        conn.deadline = Some(deadline);
+        let generation = conn.generation;
+        self.wheel.arm(deadline, token, generation);
+        self.advance_write(token);
+    }
+
+    fn advance_write(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let ConnState::Writing {
+                head,
+                head_off,
+                body,
+                body_off,
+                head_only,
+                close_after,
+            } = &mut conn.state
+            else {
+                return;
+            };
+            let head_rest = &head[*head_off..];
+            // HEAD responses advertise the true Content-Length but never
+            // send the body bytes themselves.
+            let body_rest: &[u8] = if *head_only { &[] } else { &body[*body_off..] };
+            if head_rest.is_empty() && body_rest.is_empty() {
+                let close = *close_after;
+                self.finish_write(token, close);
+                return;
+            }
+            let iov = [IoSlice::new(head_rest), IoSlice::new(body_rest)];
+            match conn.stream.write_vectored(&iov) {
+                Ok(0) => {
+                    self.close(token);
+                    return;
+                }
+                Ok(n) => {
+                    let head_left = head.len() - *head_off;
+                    if n <= head_left {
+                        *head_off += n;
+                    } else {
+                        *head_off = head.len();
+                        *body_off += n - head_left;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.set_interest(token, sys::EPOLLOUT);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn finish_write(&mut self, token: u64, close: bool) {
+        if close || self.stop_seen.is_some() {
+            self.close(token);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.state = ConnState::Reading;
+        let deadline = Instant::now() + self.config.read_deadline;
+        conn.generation += 1;
+        conn.deadline = Some(deadline);
+        let generation = conn.generation;
+        self.wheel.arm(deadline, token, generation);
+        self.set_interest(token, sys::EPOLLIN | sys::EPOLLRDHUP);
+        // A pipelined successor may already be buffered; level-triggered
+        // epoll won't re-fire for bytes we've already read, so parse now.
+        self.advance_reading(token);
+    }
+
+    fn drain_completions(&mut self) {
+        let done: Vec<(u64, Option<Response>)> = {
+            let mut q = self
+                .completions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *q)
+        };
+        for (token, resp) in done {
+            let Some(conn) = self.conns.get(&token) else {
+                continue;
+            };
+            let ConnState::Handling {
+                head_only,
+                keep_alive,
+            } = conn.state
+            else {
+                continue;
+            };
+            match resp {
+                // Handler panicked: no trustworthy response; drop the
+                // connection rather than desynchronize it.
+                None => self.close(token),
+                Some(resp) => {
+                    let ka = keep_alive && self.stop_seen.is_none();
+                    self.start_write(token, resp, ka, head_only, !ka);
+                }
+            }
+        }
+    }
+
+    fn on_deadline(&mut self, token: u64, generation: u64, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.generation != generation {
+            return; // stale wheel entry (re-armed or disarmed since)
+        }
+        match conn.deadline {
+            None => {}
+            Some(dl) if dl > now => {
+                // Same generation but not due yet (wheel rounding):
+                // re-queue for the real deadline.
+                self.wheel.arm(dl, token, generation);
+            }
+            Some(_) => match conn.state {
+                // Idle keep-alive connection: close silently.
+                ConnState::Reading if conn.buf.is_empty() => self.close(token),
+                // Slow-loris: a partial request trickled in — answer 408.
+                ConnState::Reading => {
+                    self.start_error_write(token, Response::text(408, "request read timed out"));
+                }
+                ConnState::Draining { .. } => self.finish_drain(token),
+                // Stalled reader on the write side: give up.
+                ConnState::Writing { .. } => self.close(token),
+                ConnState::Handling { .. } => {} // deadline is disarmed while handling
+            },
+        }
+    }
+
+    fn set_interest(&mut self, token: u64, events: u32) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.interest == events {
+            return;
+        }
+        if self
+            .epoll
+            .modify(conn.stream.as_raw_fd(), events, token)
+            .is_ok()
+        {
+            conn.interest = events;
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            // conn drops here: fd closes, kernel removes it from epoll.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_never_fires_early_and_fires_within_a_tick() {
+        let origin = Instant::now();
+        let mut wheel = DeadlineWheel::new(origin);
+        let deadline = origin + Duration::from_millis(100);
+        wheel.arm(deadline, 7, 1);
+        assert!(wheel.has_armed());
+
+        // Just before the deadline: nothing fires.
+        let mut fired = Vec::new();
+        wheel.expire(origin + Duration::from_millis(60), |t, g| {
+            fired.push((t, g))
+        });
+        assert!(fired.is_empty(), "deadline must not fire early");
+
+        // One tick past the deadline: it must have fired.
+        wheel.expire(
+            origin + Duration::from_millis(100 + 2 * WHEEL_TICK_MS),
+            |t, g| fired.push((t, g)),
+        );
+        assert_eq!(fired, vec![(7, 1)]);
+        assert!(!wheel.has_armed());
+    }
+
+    #[test]
+    fn wheel_handles_entries_many_laps_ahead() {
+        let origin = Instant::now();
+        let mut wheel = DeadlineWheel::new(origin);
+        let lap = WHEEL_TICK_MS * WHEEL_SLOTS as u64; // 12.8 s per lap
+        let far = origin + Duration::from_millis(2 * lap + 40);
+        wheel.arm(far, 1, 1);
+        wheel.arm(origin + Duration::from_millis(40), 2, 1);
+
+        let mut fired = Vec::new();
+        wheel.expire(origin + Duration::from_millis(200), |t, _| fired.push(t));
+        assert_eq!(fired, vec![2], "far-future entry must survive the lap");
+        assert!(wheel.has_armed());
+
+        fired.clear();
+        wheel.expire(far + Duration::from_millis(2 * WHEEL_TICK_MS), |t, _| {
+            fired.push(t)
+        });
+        assert_eq!(fired, vec![1]);
+    }
+
+    #[test]
+    fn epoll_smoke() {
+        // The FFI layer itself: a pipe becomes readable.
+        let epoll = Epoll::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        epoll.add(a.as_raw_fd(), sys::EPOLLIN, 42).unwrap();
+
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 8];
+        // Nothing readable yet.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        (&b).write_all(&[1]).unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 42);
+        let bits = events[0].events;
+        assert_ne!(bits & sys::EPOLLIN, 0);
+    }
+}

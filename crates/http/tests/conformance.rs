@@ -1,0 +1,289 @@
+//! HTTP/1.1 conformance regression tests — one per PR-7 bugfix — plus
+//! the reactor torture test. Raw sockets throughout: each test pins the
+//! bytes on the wire, not just the client library's interpretation.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::Duration;
+
+use tsr_http::{Client, HttpError, Response, Server, ServerConfig};
+
+/// Reads one response: returns (status, raw head text, body bytes).
+fn read_response(stream: &mut TcpStream) -> (u16, String, Vec<u8>) {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).unwrap(), 1, "eof inside head");
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8(buf).unwrap();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .map(|v| v.trim().parse().unwrap())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).unwrap();
+    (status, head, body)
+}
+
+/// Reads one request head off a fake-server socket (GETs only: no body).
+fn read_request_head(stream: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).unwrap(), 1, "eof inside request");
+        buf.push(byte[0]);
+    }
+    String::from_utf8(buf).unwrap()
+}
+
+fn echo_path_server() -> Server {
+    Server::bind("127.0.0.1:0", |req| {
+        Response::ok(format!("path={}", req.path).into_bytes())
+    })
+    .unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Fix 1: a reused pooled connection that gets clean EOF before the
+// status line must be retried once on a fresh connection (it used to
+// surface as HttpError::Protocol("bad status line"), defeating the
+// retry).
+// ---------------------------------------------------------------------
+#[test]
+fn stale_pooled_connection_eof_is_retried_on_a_fresh_one() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        // Connection 1: answer once with keep-alive, then half-close
+        // (FIN) while HOLDING the socket — the client's next request
+        // sees clean EOF, not a reset, exactly like a server-side idle
+        // timeout firing between two requests.
+        let (mut s1, _) = listener.accept().unwrap();
+        read_request_head(&mut s1);
+        s1.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 3\r\nconnection: keep-alive\r\n\r\none")
+            .unwrap();
+        s1.shutdown(Shutdown::Write).unwrap();
+        // Connection 2: the retry must land here.
+        let (mut s2, _) = listener.accept().unwrap();
+        let head = read_request_head(&mut s2);
+        assert!(head.starts_with("GET /second"), "retry replays the request");
+        s2.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 3\r\nconnection: keep-alive\r\n\r\ntwo")
+            .unwrap();
+        drop(s1);
+    });
+
+    let client = Client::with_keep_alive(Duration::from_secs(5));
+    let r1 = client.get(&format!("http://{addr}/first")).unwrap();
+    assert_eq!(r1.body, b"one");
+    // The pooled connection is now dead on the server side; this request
+    // must transparently retry instead of failing with a protocol error.
+    let r2 = client.get(&format!("http://{addr}/second")).unwrap();
+    assert_eq!(r2.body, b"two");
+    fake.join().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Fix 2: Content-Length must be pure digits (RFC 9112). Rust's
+// usize::parse accepts "+10"; the server must reject it with 400 and
+// the client must refuse such a response.
+// ---------------------------------------------------------------------
+#[test]
+fn server_rejects_signed_content_length_with_400() {
+    let s = echo_path_server();
+    let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"POST /x HTTP/1.1\r\ncontent-length: +10\r\n\r\n0123456789")
+        .unwrap();
+    let (status, head, _body) = read_response(&mut stream);
+    assert_eq!(status, 400, "lenient CL parse must be rejected: {head}");
+    s.shutdown();
+}
+
+#[test]
+fn client_rejects_signed_content_length_in_responses() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        read_request_head(&mut s);
+        s.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: +5\r\n\r\nhello")
+            .unwrap();
+    });
+    let err = Client::new().get(&format!("http://{addr}/x")).unwrap_err();
+    assert!(
+        matches!(&err, HttpError::Protocol(m) if m.contains("content-length")),
+        "client must reject +CL, got {err:?}"
+    );
+    fake.join().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Fix 3: HEAD responses advertise the true Content-Length but must not
+// write the body bytes — otherwise the next pipelined response on a
+// keep-alive connection is desynchronized.
+// ---------------------------------------------------------------------
+#[test]
+fn head_suppresses_body_but_keeps_true_content_length() {
+    let s = Server::bind("127.0.0.1:0", |_req| Response::ok(b"0123456789".to_vec())).unwrap();
+    let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // HEAD then GET, pipelined in one write on one keep-alive connection.
+    stream
+        .write_all(
+            b"HEAD /a HTTP/1.1\r\nconnection: keep-alive\r\n\r\n\
+              GET /b HTTP/1.1\r\nconnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut all = Vec::new();
+    stream.read_to_end(&mut all).unwrap();
+    let text = String::from_utf8_lossy(&all);
+
+    // First head: 200 with the REAL length…
+    assert!(
+        text.starts_with("HTTP/1.1 200"),
+        "head response first: {text}"
+    );
+    let first_head_end = text.find("\r\n\r\n").unwrap() + 4;
+    assert!(
+        text[..first_head_end].contains("content-length: 10"),
+        "HEAD keeps the true Content-Length: {text}"
+    );
+    // …and the bytes immediately after it are the SECOND response's
+    // status line, not the suppressed body.
+    assert!(
+        text[first_head_end..].starts_with("HTTP/1.1 200"),
+        "no body bytes may follow a HEAD response: {:?}",
+        &text[first_head_end..]
+    );
+    // The GET's body arrives intact at the very end.
+    assert!(text.ends_with("0123456789"), "GET body intact: {text}");
+    s.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Fix 4: parse_url must split the authority on the first of '/' or '?' —
+// `http://host:port?q=1` is an empty path plus query, not a hostname
+// containing '?'.
+// ---------------------------------------------------------------------
+#[test]
+fn url_with_query_and_no_path_connects_and_defaults_path() {
+    let s = echo_path_server();
+    let resp = Client::new()
+        .get(&format!("http://{}?probe=1", s.local_addr()))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"path=/?probe=1");
+    s.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Fix 5: 304 responses must omit Content-Length entirely (RFC 9110
+// §8.6) — `content-length: 0` claims the selected representation is
+// empty, which corrupts caches.
+// ---------------------------------------------------------------------
+#[test]
+fn not_modified_omits_content_length() {
+    let s = Server::bind("127.0.0.1:0", |_req| Response::not_modified("\"tag-1\"")).unwrap();
+    let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // Two pipelined conditional GETs: proves the bodyless 304 doesn't
+    // desynchronize the keep-alive framing either.
+    stream
+        .write_all(
+            b"GET /i HTTP/1.1\r\nif-none-match: \"tag-1\"\r\nconnection: keep-alive\r\n\r\n\
+              GET /i HTTP/1.1\r\nif-none-match: \"tag-1\"\r\nconnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut all = Vec::new();
+    stream.read_to_end(&mut all).unwrap();
+    let text = String::from_utf8_lossy(&all);
+    let first_head_end = text.find("\r\n\r\n").unwrap() + 4;
+    assert!(text.starts_with("HTTP/1.1 304"), "{text}");
+    assert!(
+        !text[..first_head_end].contains("content-length"),
+        "304 must not carry Content-Length: {text}"
+    );
+    assert!(text[..first_head_end].contains("etag: \"tag-1\""));
+    assert!(
+        text[first_head_end..].starts_with("HTTP/1.1 304"),
+        "second pipelined 304 follows immediately: {text}"
+    );
+    // And the pooled client accepts a 304 without waiting for a body.
+    let client = Client::with_keep_alive(Duration::from_secs(5));
+    let resp = client
+        .request(
+            "GET",
+            &format!("http://{}/i", s.local_addr()),
+            &[],
+            &[("if-none-match", "\"tag-1\"")],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 304);
+    assert!(resp.body.is_empty());
+    s.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: the reactor holds orders of magnitude more concurrent
+// keep-alive connections than it has worker threads. With the old
+// blocking pool, 2 workers meant 2 concurrently-held connections —
+// number 3 would starve until one closed.
+// ---------------------------------------------------------------------
+#[test]
+fn reactor_serves_hundreds_of_idle_keep_alive_connections_on_two_workers() {
+    let s = Server::bind_with_config(
+        "127.0.0.1:0",
+        |req| Response::ok(format!("path={}", req.path).into_bytes()),
+        ServerConfig {
+            workers: 2,
+            read_deadline: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(s.worker_count(), 2);
+    const N: usize = 300;
+
+    // Open all N connections first — every one is now held open and idle
+    // simultaneously.
+    let mut conns: Vec<TcpStream> = (0..N)
+        .map(|_| {
+            let c = TcpStream::connect(s.local_addr()).unwrap();
+            c.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+            c
+        })
+        .collect();
+
+    // Two full request/response rounds across every connection: round 2
+    // proves each connection survived round 1 still open (keep-alive),
+    // i.e. all 300 were genuinely concurrent, not sequentially recycled.
+    for round in 0..2 {
+        for (i, c) in conns.iter_mut().enumerate() {
+            c.write_all(
+                format!("GET /{round}/{i} HTTP/1.1\r\nconnection: keep-alive\r\n\r\n").as_bytes(),
+            )
+            .unwrap();
+        }
+        for (i, c) in conns.iter_mut().enumerate() {
+            let (status, _head, body) = read_response(c);
+            assert_eq!(status, 200, "round {round} conn {i}");
+            assert_eq!(body, format!("path=/{round}/{i}").into_bytes());
+        }
+    }
+    drop(conns);
+    s.shutdown();
+}

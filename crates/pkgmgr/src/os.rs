@@ -298,7 +298,7 @@ impl PackageManager {
             .map_err(|e| PkgError::NotFound(format!("package fetch: {e}")))?
             .into_result()
             .map_err(|e| PkgError::NotFound(format!("package fetch: {e}")))?;
-        let blob = resp.body;
+        let blob = resp.body.into_vec();
         if blob.len() as u64 != entry.size
             || hex::to_hex(&Sha256::digest(&blob)) != entry.content_hash
         {

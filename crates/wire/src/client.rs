@@ -250,7 +250,7 @@ impl TsrClient {
                 .get(&self.url(&format!("/v1/repositories/{}/index", percent_encode(id))))?,
         )?;
         let etag = resp.headers.get("etag").cloned();
-        Ok((resp.body, etag))
+        Ok((resp.body.into_vec(), etag))
     }
 
     /// Conditional `GET /v1/repositories/{id}/index` with `If-None-Match`.
@@ -270,7 +270,7 @@ impl TsrClient {
         }
         let etag = resp.headers.get("etag").cloned();
         Ok(IndexFetch::Fresh {
-            bytes: resp.body,
+            bytes: resp.body.into_vec(),
             etag,
         })
     }
@@ -300,7 +300,7 @@ impl TsrClient {
             percent_encode(id),
             percent_encode(name)
         )))?)?;
-        Ok(resp.body)
+        Ok(resp.body.into_vec())
     }
 
     /// `GET /v1/attestation/{hex-nonce}` with **client-side verification**:

@@ -92,7 +92,7 @@ fn v1_and_legacy_parity() {
         .post(&format!("{base}/repositories"), policy_text().as_bytes())
         .unwrap();
     assert_eq!(legacy_create.status, 200);
-    let text = String::from_utf8(legacy_create.body).unwrap();
+    let text = String::from_utf8(legacy_create.body.into_vec()).unwrap();
     let legacy_id = text.lines().next().unwrap().to_string();
     let legacy_pem = text[legacy_id.len() + 1..].to_string();
     assert!(legacy_pem.contains("BEGIN"), "legacy body carries the PEM");
@@ -108,7 +108,7 @@ fn v1_and_legacy_parity() {
         .unwrap();
     assert_eq!(legacy_refresh.status, 200);
     assert_eq!(
-        String::from_utf8(legacy_refresh.body).unwrap(),
+        String::from_utf8(legacy_refresh.body.into_vec()).unwrap(),
         format!(
             "downloaded={} sanitized={} rejected={}\n",
             report.downloaded,
@@ -137,7 +137,7 @@ fn v1_and_legacy_parity() {
     // attestation — the legacy three hex lines equal the v1 DTO fields.
     let legacy_att = http.get(&format!("{base}/attestation/6e6f6e6365")).unwrap();
     assert_eq!(legacy_att.status, 200);
-    let legacy_lines: Vec<String> = String::from_utf8(legacy_att.body)
+    let legacy_lines: Vec<String> = String::from_utf8(legacy_att.body.into_vec())
         .unwrap()
         .lines()
         .map(str::to_string)
