@@ -10,19 +10,102 @@
 //! ```text
 //! loadgen [--smoke] [--strict] [--seed N] [--out PATH] [--speed F]
 //!         [--clients N] [--scenario steady|update_storm|mirror_churn|soak]
+//!         [--store DIR] [--baseline PATH]
 //! ```
 //!
 //! `--smoke` shrinks every scenario to CI size (a few seconds total,
 //! bounded concurrency — honours a 1-CPU container). `--strict` exits
 //! non-zero when any *non-injected* error occurred. Scale knobs are the
 //! usual `TSR_SCALE` / `TSR_KEY_BITS` environment variables.
+//!
+//! `--store DIR` enables the durable storage engine (content-addressed
+//! blobs + WAL in `DIR`, wiped first): the replay then measures serving
+//! latency *with* durability on the steady path, and afterwards the
+//! world is dropped (the simulated kill) and a cold-start recovery from
+//! `DIR` is timed and appended to the report as the `recovery` entry.
+//! `--baseline PATH` compares the steady-scenario serving p50s against
+//! a previous report; with `--strict`, any serving op whose p50
+//! regresses more than 20% fails the run.
 
 use std::time::Duration;
 
-use tsr_bench::loadrun::{run, LoadReport, LoadWorld, RunOptions};
+use tsr_bench::loadrun::{measure_recovery, run, LoadReport, LoadWorld, RunOptions};
 use tsr_bench::report::{bench_envelope, table, write_json};
 use tsr_bench::{banner, key_bits, scale};
+use tsr_wire::Json;
 use tsr_workload::loadgen::ScenarioSpec;
+
+/// Steady-path serving ops gated by `--baseline`: the latency-sensitive
+/// read surface. CPU-bound admin ops (refresh, repo churn) are excluded
+/// — they ride the bulk lane and their quantiles are dominated by a
+/// handful of samples.
+const BASELINE_GATED_OPS: &[&str] = &["health", "index", "index_cond", "package", "page"];
+
+/// Maximum tolerated steady-path p50 regression vs the baseline report.
+const MAX_P50_REGRESSION: f64 = 0.20;
+
+/// Extracts `ops.<op>.p50_us` for the steady scenario of a report file.
+fn steady_p50s(report: &Json) -> Vec<(String, u64)> {
+    let Some(scenarios) = report.get("scenarios").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let Some(steady) = scenarios
+        .iter()
+        .find(|s| s.get("scenario").and_then(Json::as_str) == Some("steady"))
+    else {
+        return Vec::new();
+    };
+    let Some(ops) = steady.get("ops").and_then(Json::as_obj) else {
+        return Vec::new();
+    };
+    ops.iter()
+        .filter_map(|(key, stats)| {
+            stats
+                .get("p50_us")
+                .and_then(Json::as_u64)
+                .map(|p50| (key.clone(), p50))
+        })
+        .collect()
+}
+
+/// Compares steady serving p50s against `baseline_path`; returns the
+/// number of gated ops regressing beyond [`MAX_P50_REGRESSION`].
+fn check_baseline(baseline_path: &str, current: &Json) -> usize {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("baseline {baseline_path} unreadable: {e}");
+            return 0;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("baseline {baseline_path} unparsable: {e}");
+            return 0;
+        }
+    };
+    let old: std::collections::BTreeMap<String, u64> = steady_p50s(&baseline).into_iter().collect();
+    let mut regressions = 0usize;
+    println!("\nsteady p50 vs baseline {baseline_path}:");
+    for (op, new_p50) in steady_p50s(current) {
+        if !BASELINE_GATED_OPS.contains(&op.as_str()) {
+            continue;
+        }
+        let Some(&old_p50) = old.get(&op) else {
+            continue;
+        };
+        let ratio = new_p50 as f64 / (old_p50 as f64).max(1.0);
+        let flag = if ratio > 1.0 + MAX_P50_REGRESSION {
+            regressions += 1;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        println!("  {op:<12} {old_p50:>9} us -> {new_p50:>9} us ({ratio:.2}x){flag}");
+    }
+    regressions
+}
 
 /// Pinned default seed — CI and the checked-in `BENCH_PR6.json` use it.
 const DEFAULT_SEED: u64 = 3_237_998_146;
@@ -48,6 +131,8 @@ fn main() {
     let clients: usize = arg_value(&args, "--clients")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 4 } else { 6 });
+    let store_dir = arg_value(&args, "--store").map(std::path::PathBuf::from);
+    let baseline = arg_value(&args, "--baseline");
 
     banner(
         "Load harness — open-loop trace replay over TCP sockets",
@@ -80,7 +165,19 @@ fn main() {
         scale(),
         key_bits()
     );
-    let world = LoadWorld::start(seed, scale(), key_bits(), clients.max(2));
+    let world = match &store_dir {
+        Some(dir) => {
+            // Fresh store directory: this run *creates* the durable
+            // state the post-run recovery measurement reopens.
+            if dir.exists() {
+                std::fs::remove_dir_all(dir).expect("wipe store dir");
+            }
+            std::fs::create_dir_all(dir).expect("create store dir");
+            println!("durable store enabled at {}", dir.display());
+            LoadWorld::start_with_store(seed, scale(), key_bits(), clients.max(2), dir)
+        }
+        None => LoadWorld::start(seed, scale(), key_bits(), clients.max(2)),
+    };
     println!(
         "server {} serving {} packages; {} client workers, speed {speed}×\n",
         world.base,
@@ -146,18 +243,46 @@ fn main() {
         )
     );
 
-    let envelope = bench_envelope(
-        "loadgen",
-        seed,
-        reports.iter().map(LoadReport::to_json).collect(),
-    );
+    let mut scenario_jsons: Vec<Json> = reports.iter().map(LoadReport::to_json).collect();
+
+    let unexpected: u64 = reports.iter().map(LoadReport::unexpected_errors).sum();
+    // Tear the world down *before* the recovery measurement: the dropped
+    // server is the simulated kill, and the reopen must stand alone.
+    world.stop();
+
+    if let Some(dir) = &store_dir {
+        let timing = measure_recovery(seed, key_bits(), dir);
+        println!(
+            "\ncold-start recovery from {}: {:.1} ms ({} WAL records replayed, snapshot {}, {} torn bytes discarded, {} repos / {} packages restored)",
+            dir.display(),
+            timing.elapsed.as_secs_f64() * 1e3,
+            timing.replayed_records,
+            if timing.snapshot_loaded { "loaded" } else { "absent" },
+            timing.torn_bytes_discarded,
+            timing.repos,
+            timing.packages,
+        );
+        scenario_jsons.push(timing.to_json(seed));
+    }
+
+    let envelope = bench_envelope("loadgen", seed, scenario_jsons);
     write_json(&out, &envelope).expect("write report");
     println!("report written to {out}");
 
-    let unexpected: u64 = reports.iter().map(LoadReport::unexpected_errors).sum();
-    world.stop();
+    let regressions = match &baseline {
+        Some(path) => check_baseline(path, &envelope),
+        None => 0,
+    };
+
     if strict && unexpected > 0 {
         eprintln!("FAIL: {unexpected} non-injected errors under load");
+        std::process::exit(1);
+    }
+    if strict && regressions > 0 {
+        eprintln!(
+            "FAIL: {regressions} steady serving op(s) regressed p50 by more than {:.0}% vs baseline",
+            MAX_P50_REGRESSION * 100.0
+        );
         std::process::exit(1);
     }
 }

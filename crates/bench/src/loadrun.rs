@@ -24,6 +24,7 @@ use tsr_core::{ApiOptions, MirrorRef, Policy, TsrService};
 use tsr_mirror::{publish_to_all, Behavior, Mirror};
 use tsr_net::{Continent, LatencyModel};
 use tsr_stats::Histogram;
+use tsr_store::{DirBackend, StoreBackend};
 use tsr_wire::{IndexFetch, Json, TsrClient, WireError};
 use tsr_workload::loadgen::{FaultOp, LoadOp, Schedule};
 use tsr_workload::GeneratedRepo;
@@ -58,6 +59,37 @@ impl LoadWorld {
     /// Panics when the world cannot be built — load runs need a healthy
     /// server.
     pub fn start(seed: u64, scale: f64, key_bits: usize, http_workers: usize) -> Self {
+        Self::start_inner(seed, scale, key_bits, http_workers, None)
+    }
+
+    /// Like [`LoadWorld::start`] but with the durable storage engine
+    /// enabled: every state mutation (repo churn, refreshes) is WAL'd to
+    /// `store_dir` on the steady path, so the replay measures serving
+    /// latency *with* durability costs included, and
+    /// [`measure_recovery`] can reopen the directory afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store directory cannot be opened.
+    pub fn start_with_store(
+        seed: u64,
+        scale: f64,
+        key_bits: usize,
+        http_workers: usize,
+        store_dir: &std::path::Path,
+    ) -> Self {
+        let backend: Box<dyn StoreBackend> =
+            Box::new(DirBackend::new(store_dir).expect("open store dir"));
+        Self::start_inner(seed, scale, key_bits, http_workers, Some(backend))
+    }
+
+    fn start_inner(
+        seed: u64,
+        scale: f64,
+        key_bits: usize,
+        http_workers: usize,
+        backend: Option<Box<dyn StoreBackend>>,
+    ) -> Self {
         let seed_bytes = format!("loadworld-{seed}");
         let upstream = GeneratedRepo::generate(workload_config(scale, seed_bytes.as_bytes()));
         let mut mirrors: Vec<Mirror> = (0..3)
@@ -81,12 +113,25 @@ impl LoadWorld {
         };
         let policy_text = policy.to_text();
 
-        let svc = TsrService::new(
-            seed_bytes.as_bytes(),
-            mirrors,
-            LatencyModel::default(),
-            key_bits,
-        );
+        let svc = match backend {
+            Some(backend) => {
+                let (svc, _recovery) = TsrService::with_store(
+                    seed_bytes.as_bytes(),
+                    mirrors,
+                    LatencyModel::default(),
+                    key_bits,
+                    backend,
+                )
+                .expect("store-backed service");
+                svc
+            }
+            None => TsrService::new(
+                seed_bytes.as_bytes(),
+                mirrors,
+                LatencyModel::default(),
+                key_bits,
+            ),
+        };
         let (repo_id, _pem) = svc.create_repository(&policy_text).expect("create repo");
         svc.refresh(&repo_id).expect("initial refresh");
         let package_names: Vec<String> = svc
@@ -155,6 +200,102 @@ impl LoadWorld {
                 self.svc.with_mirrors(|ms| publish_to_all(ms, &snapshot));
             }
         }
+    }
+}
+
+/// The timing of one cold-start crash recovery from a store directory.
+#[derive(Debug, Clone)]
+pub struct RecoveryTiming {
+    /// Wall-clock time of `TsrService::with_store` — snapshot load, WAL
+    /// replay, repository re-init (key derivation), seal restore, and
+    /// blob-cache repopulation.
+    pub elapsed: Duration,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Whether a snapshot was found and loaded.
+    pub snapshot_loaded: bool,
+    /// Bytes of torn WAL tail discarded (nonzero only after a real
+    /// mid-write kill).
+    pub torn_bytes_discarded: u64,
+    /// Tenant repositories restored.
+    pub repos: usize,
+    /// Packages served by the first restored tenant after recovery (a
+    /// liveness witness: recovery must yield a serving index).
+    pub packages: usize,
+}
+
+impl RecoveryTiming {
+    /// The per-scenario JSON object for the bench envelope (rides in the
+    /// `scenarios` array under `"scenario": "recovery"`).
+    pub fn to_json(&self, seed: u64) -> Json {
+        Json::obj([
+            ("scenario", Json::str("recovery")),
+            ("seed", Json::Int(i128::from(seed))),
+            (
+                "recovery_us",
+                Json::Int(i128::from(
+                    u64::try_from(self.elapsed.as_micros()).unwrap_or(u64::MAX),
+                )),
+            ),
+            (
+                "replayed_records",
+                Json::Int(i128::from(self.replayed_records)),
+            ),
+            ("snapshot_loaded", Json::Bool(self.snapshot_loaded)),
+            (
+                "torn_bytes_discarded",
+                Json::Int(i128::from(self.torn_bytes_discarded)),
+            ),
+            ("repos", Json::Int(self.repos as i128)),
+            ("packages", Json::Int(self.packages as i128)),
+        ])
+    }
+}
+
+/// Measures a cold-start recovery: reopens `store_dir` (written by a
+/// [`LoadWorld::start_with_store`] world that has since been dropped —
+/// the simulated kill) into a fresh service with the same seed, and
+/// verifies the restored tenants serve a signed index again.
+///
+/// # Panics
+///
+/// Panics when recovery fails or restores no serving tenant — the bench
+/// contract is that a killed store-backed world always comes back.
+pub fn measure_recovery(seed: u64, key_bits: usize, store_dir: &std::path::Path) -> RecoveryTiming {
+    let seed_bytes = format!("loadworld-{seed}");
+    let mirrors: Vec<Mirror> = (0..3)
+        .map(|i| Mirror::new(format!("mirror-{i}"), Continent::Europe))
+        .collect();
+    let backend: Box<dyn StoreBackend> =
+        Box::new(DirBackend::new(store_dir).expect("open store dir"));
+    let t0 = Instant::now();
+    let (svc, report) = TsrService::with_store(
+        seed_bytes.as_bytes(),
+        mirrors,
+        LatencyModel::default(),
+        key_bits,
+        backend,
+    )
+    .expect("recovery from store dir");
+    let elapsed = t0.elapsed();
+    let ids = svc.repository_ids();
+    assert!(!ids.is_empty(), "recovery restored no tenants");
+    let signed = svc
+        .fetch_index(&ids[0])
+        .expect("restored tenant serves no signed index");
+    let packages = svc
+        .with_repository(&ids[0], |repo| {
+            repo.sanitized_index().map(|i| i.len()).unwrap_or_default()
+        })
+        .expect("restored repo exists");
+    assert!(!signed.is_empty());
+    RecoveryTiming {
+        elapsed,
+        replayed_records: report.replayed_records,
+        snapshot_loaded: report.snapshot_loaded,
+        torn_bytes_discarded: report.torn_bytes_discarded,
+        repos: ids.len(),
+        packages,
     }
 }
 

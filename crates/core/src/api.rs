@@ -83,6 +83,14 @@ impl ApiMetrics {
         *map.entry(name.to_string()).or_insert(0) += 1;
     }
 
+    /// Sets a named counter to an absolute value — used to mirror
+    /// cumulative counters owned elsewhere (the storage engine's WAL and
+    /// snapshot counters) into the `/v1/metrics` snapshot.
+    pub fn set_counter(&self, name: &str, value: u64) {
+        let mut map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+        map.insert(name.to_string(), value);
+    }
+
     /// The current value of a named event counter (0 if never bumped).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
@@ -504,8 +512,7 @@ fn v1_package(svc: &TsrService, id: &str, name: &str, req: &Request) -> Response
             .and_then(|idx| idx.get(name))
             .map(|entry| entry.content_hash.clone());
         let index_etag = repo.signed_index_etag().map(str::to_string);
-        repo.serve_package(name).map(|(blob, _)| {
-            let shared: Arc<[u8]> = Arc::from(blob.into_boxed_slice());
+        repo.serve_package_shared(name).map(|(shared, _)| {
             (
                 shared,
                 format!("\"{}\"", hash.unwrap_or_default()),

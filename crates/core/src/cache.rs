@@ -12,6 +12,7 @@
 //!   hardware counter.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use tsr_crypto::{hex, Sha256};
@@ -22,10 +23,15 @@ use tsr_tpm::Tpm;
 use crate::error::CoreError;
 
 /// In-memory model of TSR's on-disk package cache.
+///
+/// Blobs are held as `Arc<[u8]>` shared allocations: the HTTP layer
+/// serves them zero-copy via [`tsr_http::Body::Shared`], and the durable
+/// storage engine stores the same allocation under its content hash
+/// without copying.
 #[derive(Debug, Clone, Default)]
 pub struct PackageCache {
-    originals: BTreeMap<String, Vec<u8>>,
-    sanitized: BTreeMap<String, Vec<u8>>,
+    originals: BTreeMap<String, Arc<[u8]>>,
+    sanitized: BTreeMap<String, Arc<[u8]>>,
 }
 
 impl PackageCache {
@@ -35,27 +41,41 @@ impl PackageCache {
     }
 
     /// Stores the original upstream blob for `name`.
-    pub fn store_original(&mut self, name: &str, blob: Vec<u8>) {
-        self.originals.insert(name.to_string(), blob);
+    pub fn store_original(&mut self, name: &str, blob: impl Into<Arc<[u8]>>) {
+        self.originals.insert(name.to_string(), blob.into());
     }
 
     /// Stores the sanitized blob for `name`.
-    pub fn store_sanitized(&mut self, name: &str, blob: Vec<u8>) {
-        self.sanitized.insert(name.to_string(), blob);
+    pub fn store_sanitized(&mut self, name: &str, blob: impl Into<Arc<[u8]>>) {
+        self.sanitized.insert(name.to_string(), blob.into());
     }
 
     /// Reads the original blob, with the simulated disk latency.
     pub fn read_original(&self, name: &str) -> Option<(&[u8], Duration)> {
         self.originals
             .get(name)
-            .map(|b| (b.as_slice(), disk_read_time(b.len())))
+            .map(|b| (&b[..], disk_read_time(b.len())))
+    }
+
+    /// Reads the original blob as a shared allocation (no copy).
+    pub fn read_original_shared(&self, name: &str) -> Option<(Arc<[u8]>, Duration)> {
+        self.originals
+            .get(name)
+            .map(|b| (Arc::clone(b), disk_read_time(b.len())))
     }
 
     /// Reads the sanitized blob, with the simulated disk latency.
     pub fn read_sanitized(&self, name: &str) -> Option<(&[u8], Duration)> {
         self.sanitized
             .get(name)
-            .map(|b| (b.as_slice(), disk_read_time(b.len())))
+            .map(|b| (&b[..], disk_read_time(b.len())))
+    }
+
+    /// Reads the sanitized blob as a shared allocation (no copy).
+    pub fn read_sanitized_shared(&self, name: &str) -> Option<(Arc<[u8]>, Duration)> {
+        self.sanitized
+            .get(name)
+            .map(|b| (Arc::clone(b), disk_read_time(b.len())))
     }
 
     /// Reads the sanitized blob and verifies it against `expected_hash`
@@ -81,6 +101,23 @@ impl PackageCache {
             )));
         }
         Ok((blob, lat))
+    }
+
+    /// [`Self::read_sanitized_verified`] returning the shared allocation,
+    /// for the zero-copy serving path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::read_sanitized_verified`].
+    pub fn read_sanitized_verified_shared(
+        &self,
+        name: &str,
+        expected_hash: &str,
+    ) -> Result<(Arc<[u8]>, Duration), CoreError> {
+        self.read_sanitized_verified(name, expected_hash)?;
+        Ok(self
+            .read_sanitized_shared(name)
+            .expect("verified read implies presence"))
     }
 
     /// Whether the original of `name` is cached with exactly `hash`.
@@ -109,18 +146,18 @@ impl PackageCache {
 
     /// Total bytes of all sanitized blobs (repository size, Figure 9).
     pub fn sanitized_total_bytes(&self) -> usize {
-        self.sanitized.values().map(Vec::len).sum()
+        self.sanitized.values().map(|b| b.len()).sum()
     }
 
     /// Total bytes of all original blobs.
     pub fn original_total_bytes(&self) -> usize {
-        self.originals.values().map(Vec::len).sum()
+        self.originals.values().map(|b| b.len()).sum()
     }
 
     /// **Failure injection:** overwrite a sanitized entry, simulating an
     /// adversary tampering with the untrusted disk.
-    pub fn tamper_sanitized(&mut self, name: &str, blob: Vec<u8>) {
-        self.sanitized.insert(name.to_string(), blob);
+    pub fn tamper_sanitized(&mut self, name: &str, blob: impl Into<Arc<[u8]>>) {
+        self.sanitized.insert(name.to_string(), blob.into());
     }
 }
 

@@ -402,6 +402,21 @@ impl TsrRepository {
     /// [`CoreError::NotFound`] for unknown packages,
     /// [`CoreError::RollbackDetected`] when the cached bytes were tampered.
     pub fn serve_package(&self, name: &str) -> Result<(Vec<u8>, Duration), CoreError> {
+        self.serve_package_shared(name)
+            .map(|(blob, lat)| (blob.to_vec(), lat))
+    }
+
+    /// [`Self::serve_package`] returning the cache's shared allocation —
+    /// the zero-copy serving path (no clone between the verified cache
+    /// read and the reactor's vectored writer).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::serve_package`].
+    pub fn serve_package_shared(
+        &self,
+        name: &str,
+    ) -> Result<(std::sync::Arc<[u8]>, Duration), CoreError> {
         let idx = self
             .sanitized_index
             .as_ref()
@@ -409,10 +424,8 @@ impl TsrRepository {
         let entry = idx
             .get(name)
             .ok_or_else(|| CoreError::NotFound(format!("package {name}")))?;
-        let (blob, lat) = self
-            .cache
-            .read_sanitized_verified(name, &entry.content_hash)?;
-        Ok((blob.to_vec(), lat))
+        self.cache
+            .read_sanitized_verified_shared(name, &entry.content_hash)
     }
 
     /// The sanitized index (after a refresh).
@@ -452,6 +465,13 @@ impl TsrRepository {
     /// The sealed blob as stored on the untrusted disk.
     pub fn sealed_disk(&self) -> Option<&[u8]> {
         self.sealed_disk.as_deref()
+    }
+
+    /// The TPM monotonic-counter id protecting this repository's sealed
+    /// state. Recovery replays the counter up to the durably recorded
+    /// seal value before unsealing.
+    pub fn counter_id(&self) -> u32 {
+        self.counter_id
     }
 
     /// **Failure injection:** replace the sealed disk blob (adversary).

@@ -27,6 +27,7 @@ use tsr_http::{Request, Response, Server, ServerConfig};
 use tsr_mirror::Mirror;
 use tsr_net::LatencyModel;
 use tsr_sgx::Cpu;
+use tsr_store::{RecoveryReport, StoreBackend, StoreCounters, StoreEngine, WalRecord};
 use tsr_tpm::Tpm;
 
 use crate::api::{self, ApiMetrics};
@@ -42,6 +43,16 @@ pub const ENCLAVE_CODE: &[u8] = b"tsr-enclave-v1";
 /// request handler must not take the whole multi-tenant service down).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Maps a storage-engine failure onto the durable-state error class.
+fn store_err(e: tsr_store::StoreError) -> CoreError {
+    CoreError::SealedState(format!("store: {e}"))
+}
+
+/// Maps a TPM failure during counter replay onto the same class.
+fn seal_err(e: impl std::fmt::Display) -> CoreError {
+    CoreError::SealedState(e.to_string())
 }
 
 /// Hardware and fleet state shared by every repository: the simulated SGX
@@ -73,6 +84,12 @@ struct SharedState {
     /// *stored* (a benign race) but never *served*. Like `index_etags`,
     /// a leaf lock: never held while acquiring any other lock.
     hot_blobs: RwLock<BTreeMap<String, HotBlobs>>,
+    /// The durable storage engine (WAL + content-addressed blobs), when
+    /// the service was opened over one ([`TsrService::with_store`]).
+    /// A leaf lock in the hierarchy, like `tpm`: taken while holding a
+    /// repository shard lock (`repository → store`) but never while the
+    /// TPM lock is held, and no other lock is ever acquired under it.
+    store: Option<Mutex<StoreEngine>>,
 }
 
 /// The zero-copy blob cache for one repository: shared allocations the
@@ -100,10 +117,12 @@ struct HotBlobs {
 /// every other tenant.
 ///
 /// Shared hardware has its own fine-grained locks (see `SharedState`).
-/// The lock order is `repository → tpm`; the mirrors and RNG locks are
-/// only ever held on their own (the mirror fleet is snapshotted before a
-/// refresh starts), and no repository lock is ever taken while holding
-/// another repository's — which makes the hierarchy deadlock-free.
+/// The lock order is `repository → tpm` and `repository → store` (the
+/// TPM and storage-engine locks are leaves, never held together); the
+/// mirrors and RNG locks are only ever held on their own (the mirror
+/// fleet is snapshotted before a refresh starts), and no repository lock
+/// is ever taken while holding another repository's — which makes the
+/// hierarchy deadlock-free.
 #[derive(Clone)]
 pub struct TsrService {
     shared: Arc<SharedState>,
@@ -132,6 +151,16 @@ impl TsrService {
     /// 1024 = fast tests). The refresh worker count defaults to
     /// [`default_workers`]; tune it with [`Self::set_workers`].
     pub fn new(seed: &[u8], mirrors: Vec<Mirror>, model: LatencyModel, key_bits: usize) -> Self {
+        Self::build(seed, mirrors, model, key_bits, None)
+    }
+
+    fn build(
+        seed: &[u8],
+        mirrors: Vec<Mirror>,
+        model: LatencyModel,
+        key_bits: usize,
+        store: Option<Mutex<StoreEngine>>,
+    ) -> Self {
         let cpu = Cpu::new(seed);
         let tpm = Tpm::new(seed);
         let rng = HmacDrbg::new(&[b"tsr-service:", seed].concat());
@@ -148,9 +177,110 @@ impl TsrService {
                 metrics: ApiMetrics::default(),
                 index_etags: RwLock::new(BTreeMap::new()),
                 hot_blobs: RwLock::new(BTreeMap::new()),
+                store,
             }),
             repos: Arc::new(RwLock::new(BTreeMap::new())),
         }
+    }
+
+    /// Opens a service over a durable storage engine, running crash
+    /// recovery: the engine replays its snapshot + write-ahead log, and
+    /// every recovered repository is rebuilt — signing key re-derived
+    /// inside the enclave, TPM monotonic counter replayed up to the
+    /// durably recorded seal value, metadata indexes unsealed, and the
+    /// package cache repopulated from the content-addressed blob store
+    /// (hash-verified on load). The recovered signed index is
+    /// byte-identical to what was served before the crash.
+    ///
+    /// An empty store yields a fresh service, so this is also the normal
+    /// way to start a durable service. `seed` must match the seed of the
+    /// service that wrote the store: the sealed blobs are bound to the
+    /// (deterministic) CPU sealing key.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SealedState`] when the store cannot be opened or a
+    /// recovered repository fails to unseal; [`CoreError::Policy`] when
+    /// a durably recorded policy no longer parses.
+    pub fn with_store(
+        seed: &[u8],
+        mirrors: Vec<Mirror>,
+        model: LatencyModel,
+        key_bits: usize,
+        backend: Box<dyn StoreBackend>,
+    ) -> Result<(Self, RecoveryReport), CoreError> {
+        let (engine, report) = StoreEngine::open(backend).map_err(store_err)?;
+        let state = engine.state().clone();
+        let svc = Self::build(seed, mirrors, model, key_bits, Some(Mutex::new(engine)));
+        svc.shared
+            .next_id
+            .store(state.next_id.max(1), Ordering::Relaxed);
+        let enclave = svc.shared.cpu.load_enclave(ENCLAVE_CODE);
+        for (id, durable) in &state.repos {
+            let policy = Policy::parse(&durable.policy_text)?;
+            let mut repo = {
+                let mut tpm = lock(&svc.shared.tpm);
+                TsrRepository::init(id.clone(), policy, &enclave, &mut tpm, key_bits)
+            };
+            if !durable.sealed.is_empty() {
+                repo.set_sealed_disk(durable.sealed.clone());
+                let tpm = {
+                    // Replay the monotonic counter to the sealed value: the
+                    // fresh TPM counter starts at 0 and the unseal check
+                    // requires hardware == sealed.
+                    let mut tpm = lock(&svc.shared.tpm);
+                    let cid = repo.counter_id();
+                    while tpm.read_counter(cid).map_err(seal_err)? < durable.seal_counter {
+                        tpm.increment_counter(cid).map_err(seal_err)?;
+                    }
+                    tpm
+                };
+                repo.restore(&enclave, &tpm)?;
+                drop(tpm);
+                // Repopulate the on-disk package cache from the blob
+                // store, keyed by the content hashes pinned in the
+                // *restored* indexes — so a WAL torn between the refresh
+                // and seal records still recovers the exact state the
+                // seal describes (older blobs are never deleted).
+                let wanted: Vec<(String, String, bool)> = repo
+                    .upstream_index()
+                    .into_iter()
+                    .flat_map(|idx| idx.iter())
+                    .map(|e| (e.name.clone(), e.content_hash.clone(), false))
+                    .chain(
+                        repo.sanitized_index()
+                            .into_iter()
+                            .flat_map(|idx| idx.iter())
+                            .map(|e| (e.name.clone(), e.content_hash.clone(), true)),
+                    )
+                    .collect();
+                let store = svc.shared.store.as_ref().expect("built with a store");
+                let mut eng = lock(store);
+                for (name, hash, is_sanitized) in wanted {
+                    // Policy-excluded upstream entries were never
+                    // downloaded, so their blobs are legitimately absent.
+                    if !eng.has_blob(&hash) {
+                        continue;
+                    }
+                    let blob = eng.get_blob(&hash).map_err(store_err)?;
+                    if is_sanitized {
+                        repo.cache_mut().store_sanitized(&name, blob);
+                    } else {
+                        repo.cache_mut().store_original(&name, blob);
+                    }
+                }
+            }
+            svc.sync_index_etag(id, &repo);
+            svc.repos
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(id.clone(), Arc::new(Mutex::new(repo)));
+        }
+        if let Some(store) = &svc.shared.store {
+            let counters = lock(store).counters();
+            svc.mirror_store_counters(counters);
+        }
+        Ok((svc, report))
     }
 
     /// Sets the worker count used for the parallel phases of
@@ -205,6 +335,88 @@ impl TsrService {
             .clone()
     }
 
+    /// Mirrors the storage engine's cumulative counters into the named
+    /// counters served at `GET /v1/metrics`.
+    fn mirror_store_counters(&self, c: StoreCounters) {
+        let m = &self.shared.metrics;
+        m.set_counter("wal_appends", c.wal_appends);
+        m.set_counter("wal_bytes", c.wal_bytes);
+        m.set_counter("snapshot_writes", c.snapshot_writes);
+        m.set_counter("recovery_replayed_records", c.recovery_replayed_records);
+    }
+
+    /// Appends one record to the write-ahead log (no-op without a
+    /// store). Called before the mutation becomes observable to clients.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SealedState`] when the durable append fails — the
+    /// mutation must not be published in that case.
+    fn store_append(&self, record: &WalRecord) -> Result<(), CoreError> {
+        let Some(store) = &self.shared.store else {
+            return Ok(());
+        };
+        let mut eng = lock(store);
+        eng.append(record).map_err(store_err)?;
+        let counters = eng.counters();
+        drop(eng);
+        self.mirror_store_counters(counters);
+        Ok(())
+    }
+
+    /// Makes a completed refresh durable: writes the new original and
+    /// sanitized blobs into the content-addressed store (deduplicated by
+    /// the hashes already pinned in the indexes — unchanged packages cost
+    /// nothing), then logs the refresh and the seal update. Runs under
+    /// the repository shard lock, before the new state is observable.
+    fn store_refresh(&self, repo: &TsrRepository, seal_counter: u64) -> Result<(), CoreError> {
+        let Some(store) = &self.shared.store else {
+            return Ok(());
+        };
+        let upstream = repo.upstream_index();
+        let sanitized = repo.sanitized_index();
+        let mut eng = lock(store);
+        let mut packages = Vec::new();
+        if let Some(up) = upstream {
+            for entry in up.iter() {
+                // Policy-excluded packages were never downloaded.
+                let Some((orig, _)) = repo.cache().read_original_shared(&entry.name) else {
+                    continue;
+                };
+                if !eng.has_blob(&entry.content_hash) {
+                    eng.put_blob_shared(&orig).map_err(store_err)?;
+                }
+                let shash = sanitized
+                    .and_then(|idx| idx.get(&entry.name))
+                    .map(|e| e.content_hash.clone())
+                    .unwrap_or_default();
+                if !shash.is_empty() && !eng.has_blob(&shash) {
+                    if let Some((san, _)) = repo.cache().read_sanitized_shared(&entry.name) {
+                        eng.put_blob_shared(&san).map_err(store_err)?;
+                    }
+                }
+                packages.push((entry.name.clone(), entry.content_hash.clone(), shash));
+            }
+        }
+        eng.append(&WalRecord::RefreshApplied {
+            id: repo.id.clone(),
+            upstream_index: upstream.map(|i| i.to_text()).unwrap_or_default(),
+            sanitized_index: sanitized.map(|i| i.to_text()).unwrap_or_default(),
+            packages,
+        })
+        .map_err(store_err)?;
+        eng.append(&WalRecord::SealUpdated {
+            id: repo.id.clone(),
+            sealed: repo.sealed_disk().map(<[u8]>::to_vec).unwrap_or_default(),
+            counter: seal_counter,
+        })
+        .map_err(store_err)?;
+        let counters = eng.counters();
+        drop(eng);
+        self.mirror_store_counters(counters);
+        Ok(())
+    }
+
     /// Looks up one repository shard.
     fn repo(&self, id: &str) -> Result<Arc<Mutex<TsrRepository>>, CoreError> {
         self.repos
@@ -241,6 +453,12 @@ impl TsrService {
             TsrRepository::init(id.clone(), policy, &enclave, &mut tpm, self.shared.key_bits)
         };
         let pem = repo.public_key().to_pem();
+        // Durable before observable: the creation is logged before the
+        // shard is published to the repository map.
+        self.store_append(&WalRecord::RepoCreated {
+            id: id.clone(),
+            policy_text: policy_text.to_string(),
+        })?;
         self.repos
             .write()
             .unwrap_or_else(PoisonError::into_inner)
@@ -275,7 +493,15 @@ impl TsrService {
         let report = repo.refresh_unsealed(&mirrors, &model, &mut rng, workers)?;
         let mut tpm = lock(&self.shared.tpm);
         repo.persist(&enclave, &mut tpm)?;
+        let seal_counter = if self.shared.store.is_some() {
+            tpm.read_counter(repo.counter_id()).map_err(seal_err)?
+        } else {
+            0
+        };
         drop(tpm);
+        // Lock order `repository → store` (the TPM lock is already
+        // released; the two leaf locks are never held together).
+        self.store_refresh(&repo, seal_counter)?;
         self.sync_index_etag(id, &repo);
         Ok(report)
     }
@@ -387,12 +613,17 @@ impl TsrService {
     ///
     /// [`CoreError::NotFound`] for unknown ids.
     pub fn delete_repository(&self, id: &str) -> Result<(), CoreError> {
-        self.repos
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .remove(id)
-            .map(|_| self.store_index_etag(id, None))
-            .ok_or_else(|| CoreError::NotFound(format!("repository {id}")))
+        let mut repos = self.repos.write().unwrap_or_else(PoisonError::into_inner);
+        if !repos.contains_key(id) {
+            return Err(CoreError::NotFound(format!("repository {id}")));
+        }
+        // Durable before observable, under the map's write lock so a
+        // racing create/delete cannot interleave between log and map.
+        self.store_append(&WalRecord::RepoDeleted { id: id.to_string() })?;
+        repos.remove(id);
+        drop(repos);
+        self.store_index_etag(id, None);
+        Ok(())
     }
 
     /// Runs `f` with **mutable** access to a repository (failure
@@ -622,8 +853,24 @@ impl TsrService {
                 workers: options.workers,
                 read_deadline: options.read_deadline,
                 max_body: options.max_body.saturating_mul(4),
+                // A refresh burns hundreds of CPU-bound milliseconds in
+                // quorum verification + re-signing; classing it as Bulk
+                // keeps index/package reads off its tail on small pools.
+                classify: Some(std::sync::Arc::new(classify_request)),
             },
         )
+    }
+}
+
+/// Transport-level scheduling class for one API request: CPU-bound
+/// administrative mutations (`POST …/refresh`) go to the bulk lane so the
+/// serving path never queues behind them (see [`tsr_http::JobClass`]).
+fn classify_request(req: &Request) -> tsr_http::JobClass {
+    let path = req.path.split('?').next().unwrap_or("");
+    if req.method == "POST" && path.trim_end_matches('/').ends_with("/refresh") {
+        tsr_http::JobClass::Bulk
+    } else {
+        tsr_http::JobClass::Serve
     }
 }
 
@@ -716,6 +963,92 @@ mod tests {
 
     fn service() -> TsrService {
         TsrService::new(b"svc-test", mirrors(), LatencyModel::default(), 1024)
+    }
+
+    fn sim_backend(fs: &Arc<Mutex<tsr_simfs::SimFs>>) -> Box<dyn StoreBackend> {
+        Box::new(tsr_simfs::SimFsBackend::new(Arc::clone(fs), "/store"))
+    }
+
+    #[test]
+    fn store_recovery_reproduces_identical_signed_index() {
+        let fs = Arc::new(Mutex::new(tsr_simfs::SimFs::new()));
+        let (svc, report) = TsrService::with_store(
+            b"svc-store",
+            mirrors(),
+            LatencyModel::default(),
+            1024,
+            sim_backend(&fs),
+        )
+        .unwrap();
+        assert_eq!(report.replayed_records, 0);
+        let (id, _) = svc.create_repository(&policy_text()).unwrap();
+        svc.refresh(&id).unwrap();
+        let index = svc.fetch_index(&id).unwrap();
+        let pkg = svc.fetch_package(&id, "tool").unwrap();
+        assert!(svc.api_metrics().counter("wal_appends") >= 3);
+        drop(svc); // enclave crash: everything volatile is gone
+
+        let (svc2, report2) = TsrService::with_store(
+            b"svc-store",
+            mirrors(),
+            LatencyModel::default(),
+            1024,
+            sim_backend(&fs),
+        )
+        .unwrap();
+        assert_eq!(report2.replayed_records, 3, "create + refresh + seal");
+        assert_eq!(svc2.fetch_index(&id).unwrap(), index, "byte-identical");
+        assert_eq!(svc2.fetch_package(&id, "tool").unwrap(), pkg);
+        assert_eq!(svc2.api_metrics().counter("recovery_replayed_records"), 3);
+
+        // Recovered services keep allocating fresh ids.
+        let (id2, _) = svc2.create_repository(&policy_text()).unwrap();
+        assert_ne!(id2, id);
+    }
+
+    #[test]
+    fn store_recovery_discards_torn_wal_tail() {
+        let fs = Arc::new(Mutex::new(tsr_simfs::SimFs::new()));
+        let (svc, _) = TsrService::with_store(
+            b"svc-torn",
+            mirrors(),
+            LatencyModel::default(),
+            1024,
+            sim_backend(&fs),
+        )
+        .unwrap();
+        let (id, _) = svc.create_repository(&policy_text()).unwrap();
+        svc.refresh(&id).unwrap();
+        let index = svc.fetch_index(&id).unwrap();
+        drop(svc);
+
+        // Crash mid-append: tear the last WAL record (a second delete
+        // would start with these bytes; here we just chop the tail).
+        {
+            let mut disk = fs.lock().unwrap();
+            let wal = disk.read_file("/store/wal.log").unwrap().to_vec();
+            disk.write_file("/store/wal.log", wal[..wal.len() - 7].to_vec())
+                .unwrap();
+        }
+        let (svc2, report) = TsrService::with_store(
+            b"svc-torn",
+            mirrors(),
+            LatencyModel::default(),
+            1024,
+            sim_backend(&fs),
+        )
+        .unwrap();
+        assert!(report.torn_bytes_discarded > 0);
+        assert_eq!(report.replayed_records, 2, "seal record torn away whole");
+        // The torn seal record leaves the previous consistent state: the
+        // repository exists but cannot unseal-restore... unless the
+        // refresh's sealed blob was in the torn record, in which case the
+        // repo recovers unrefreshed. Either way the service starts and
+        // the surviving records are intact.
+        assert!(svc2.repository_ids().contains(&id));
+        // A fresh refresh converges back to the same served bytes.
+        svc2.refresh(&id).unwrap();
+        assert_eq!(svc2.fetch_index(&id).unwrap(), index);
     }
 
     #[test]

@@ -422,8 +422,27 @@ pub fn default_pool_size() -> usize {
         .max(8)
 }
 
+/// The scheduling class of one handler job (see [`ServerConfig::classify`]).
+///
+/// Workers always drain `Serve` jobs before touching `Bulk` ones, so a
+/// CPU-bound administrative request (a repository refresh chews through
+/// quorum verification and re-signing for hundreds of milliseconds) queued
+/// ahead of cheap read traffic cannot add head-of-line latency to that
+/// traffic on small worker pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobClass {
+    /// Latency-sensitive work: served strictly before any `Bulk` job.
+    Serve,
+    /// Throughput work that tolerates queueing behind the serving path.
+    Bulk,
+}
+
+/// A request classifier: assigns each parsed request a [`JobClass`]
+/// before it is queued for the worker pool.
+pub type ClassifyFn = Arc<dyn Fn(&Request) -> JobClass + Send + Sync>;
+
 /// Tunables for [`Server::bind_with_config`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Handler worker-pool size (at least 1). Bounds how many handlers
     /// execute concurrently — NOT how many connections the server holds.
@@ -437,6 +456,21 @@ pub struct ServerConfig {
     /// Maximum accepted request-body size; larger requests get 413 and the
     /// connection is closed without reading the body.
     pub max_body: usize,
+    /// Assigns each parsed request a [`JobClass`] before it is queued for
+    /// the worker pool. `None` treats every request as [`JobClass::Serve`]
+    /// (a single FIFO, the pre-priority behavior).
+    pub classify: Option<ClassifyFn>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("workers", &self.workers)
+            .field("read_deadline", &self.read_deadline)
+            .field("max_body", &self.max_body)
+            .field("classify", &self.classify.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -445,6 +479,7 @@ impl Default for ServerConfig {
             workers: default_pool_size(),
             read_deadline: Duration::from_secs(10),
             max_body: 256 << 20,
+            classify: None,
         }
     }
 }

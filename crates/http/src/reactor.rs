@@ -38,21 +38,20 @@
 //! in-flight handlers/writes within a grace period before forcing the
 //! rest closed.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::{
-    encode_response_head, try_parse_request, Body, HttpError, ParseOutcome, Request, Response,
-    ServerConfig,
+    encode_response_head, try_parse_request, Body, HttpError, JobClass, ParseOutcome, Request,
+    Response, ServerConfig,
 };
 
 /// Minimal FFI surface for epoll. These are libc symbols the binary
@@ -277,6 +276,87 @@ struct Job {
     req: Request,
 }
 
+#[derive(Default)]
+struct JobQueueInner {
+    serve: VecDeque<Job>,
+    bulk: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The handler-pool job queue: two FIFOs, one per [`JobClass`]. Workers
+/// drain `serve` strictly before `bulk`, so a long CPU-bound job (a
+/// repository refresh) parked in the bulk lane never adds head-of-line
+/// latency to the serving path — the regression this replaces showed up
+/// on single-core nodes where one refresh froze all index/package reads
+/// for its full duration. Within a class, FIFO order is preserved.
+struct JobQueue {
+    inner: Mutex<JobQueueInner>,
+    cond: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Arc<JobQueue> {
+        Arc::new(JobQueue {
+            inner: Mutex::new(JobQueueInner::default()),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobQueueInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues a job; pushes after `close()` are dropped (the pool is
+    /// already shutting down, the connection dies with the reactor).
+    fn push(&self, job: Job, class: JobClass) {
+        let mut inner = self.lock();
+        if inner.closed {
+            return;
+        }
+        match class {
+            JobClass::Serve => inner.serve.push_back(job),
+            JobClass::Bulk => inner.bulk.push_back(job),
+        }
+        drop(inner);
+        self.cond.notify_one();
+    }
+
+    /// Blocks for the next job, serve-class first; `None` once the queue
+    /// is closed and fully drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(job) = inner.serve.pop_front() {
+                return Some(job);
+            }
+            if let Some(job) = inner.bulk.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Marks the queue closed and wakes every worker. Idempotent.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Current backlog `(serve, bulk)` — jobs waiting, not executing.
+    fn depths(&self) -> (usize, usize) {
+        let inner = self.lock();
+        (inner.serve.len(), inner.bulk.len())
+    }
+}
+
 const TOK_LISTENER: u64 = u64::MAX;
 const TOK_WAKEUP: u64 = u64::MAX - 1;
 
@@ -299,7 +379,7 @@ struct Reactor {
     conns: HashMap<u64, Conn>,
     wheel: DeadlineWheel,
     next_token: u64,
-    job_tx: Sender<Job>,
+    jobs: Arc<JobQueue>,
     completions: Arc<CompletionQueue>,
     stop: Arc<AtomicBool>,
     config: ServerConfig,
@@ -317,6 +397,7 @@ pub struct Server {
     wake_tx: UnixStream,
     reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    jobs: Arc<JobQueue>,
 }
 
 impl Server {
@@ -379,19 +460,18 @@ impl Server {
 
         let stop = Arc::new(AtomicBool::new(false));
         let completions: Arc<CompletionQueue> = Arc::new(Mutex::new(Vec::new()));
-        let (job_tx, job_rx) = mpsc::channel::<Job>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let jobs = JobQueue::new();
         let handler: Arc<crate::Handler> = Arc::new(handler);
 
         let worker_count = config.workers.max(1);
         let mut workers = Vec::with_capacity(worker_count);
         for _ in 0..worker_count {
-            let job_rx = Arc::clone(&job_rx);
+            let jobs = Arc::clone(&jobs);
             let handler = Arc::clone(&handler);
             let completions = Arc::clone(&completions);
             let wake = wake_tx.try_clone()?;
             workers.push(std::thread::spawn(move || {
-                worker_loop(&job_rx, handler.as_ref(), &completions, &wake);
+                worker_loop(&jobs, handler.as_ref(), &completions, &wake);
             }));
         }
 
@@ -406,7 +486,7 @@ impl Server {
             conns: HashMap::new(),
             wheel: DeadlineWheel::new(Instant::now()),
             next_token: 0,
-            job_tx,
+            jobs: Arc::clone(&jobs),
             completions,
             stop: Arc::clone(&stop),
             config,
@@ -420,6 +500,7 @@ impl Server {
             wake_tx,
             reactor: Some(reactor_handle),
             workers,
+            jobs,
         })
     }
 
@@ -431,6 +512,12 @@ impl Server {
     /// Number of handler worker threads.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Current handler-queue backlog as `(serve, bulk)` — jobs waiting
+    /// for a worker, not counting the ones already executing.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        self.jobs.depths()
     }
 
     /// Stops accepting, drains in-flight requests (bounded grace), joins
@@ -445,6 +532,10 @@ impl Server {
         if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
+        // Normally `run()` closed the queue on exit; closing again here is
+        // an idempotent backstop so workers can't hang if the reactor
+        // thread panicked before reaching its close.
+        self.jobs.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -458,19 +549,16 @@ impl Drop for Server {
 }
 
 fn worker_loop(
-    job_rx: &Mutex<Receiver<Job>>,
+    jobs: &JobQueue,
     handler: &crate::Handler,
     completions: &CompletionQueue,
     wake: &UnixStream,
 ) {
     loop {
-        // Hold the lock only while receiving; handler runs unlocked.
-        let job = match job_rx.lock() {
-            Ok(rx) => rx.recv(),
-            Err(_) => return,
-        };
-        let Ok(Job { token, mut req }) = job else {
-            return; // channel closed: reactor is gone
+        // `pop` holds the queue lock only while dequeueing; the handler
+        // runs unlocked.
+        let Some(Job { token, mut req }) = jobs.pop() else {
+            return; // queue closed and drained: reactor is gone
         };
         let resp = std::panic::catch_unwind(AssertUnwindSafe(|| handler(&mut req))).ok();
         completions
@@ -522,8 +610,10 @@ impl Reactor {
                 self.on_deadline(token, generation, now);
             }
         }
-        // Dropping the reactor closes the epoll fd, the listener, and
-        // every remaining connection; dropping job_tx stops the workers.
+        // Closing the job queue stops the workers once the backlog drains;
+        // dropping the reactor closes the epoll fd, the listener, and
+        // every remaining connection.
+        self.jobs.close();
     }
 
     fn begin_shutdown(&mut self) {
@@ -684,7 +774,11 @@ impl Reactor {
                     keep_alive,
                 };
                 self.set_interest(token, 0);
-                let _ = self.job_tx.send(Job { token, req });
+                let class = match &self.config.classify {
+                    Some(classify) => classify(&req),
+                    None => JobClass::Serve,
+                };
+                self.jobs.push(Job { token, req }, class);
                 false
             }
             ParseOutcome::HeadTooLarge => {

@@ -42,11 +42,16 @@
 
 #![warn(missing_docs)]
 
+pub mod durability;
 pub mod engine;
 pub mod event;
 pub mod scenario;
 pub mod trace;
 
+pub use durability::{
+    durability_scenario, durability_scenarios, DurabilityEvent, DurabilityReport,
+    DurabilityScenario,
+};
 pub use engine::{RefreshStat, SimError, SimFailure, SimReport};
 pub use event::{FaultKind, Injector, SimEvent};
 pub use scenario::{

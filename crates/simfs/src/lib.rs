@@ -27,6 +27,10 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+mod store_backend;
+
+pub use store_backend::SimFsBackend;
+
 /// Errors produced by filesystem operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FsError {

@@ -1,0 +1,121 @@
+//! [`tsr_store::StoreBackend`] over a shared [`SimFs`] — the durable
+//! "disk" of the deterministic simulation.
+//!
+//! The filesystem is held behind `Arc<Mutex<…>>` so it outlives any one
+//! service process: a crash-recovery scenario drops the service (and its
+//! engine) while the harness keeps the disk handle, then opens a fresh
+//! engine on the same bytes. Cloning the `SimFs` inside the mutex
+//! snapshots the disk at a crash point.
+
+use std::sync::{Arc, Mutex};
+
+use tsr_store::{StoreBackend, StoreError};
+
+use crate::SimFs;
+
+/// A store backend writing into a shared simulated filesystem under a
+/// fixed root directory.
+#[derive(Debug, Clone)]
+pub struct SimFsBackend {
+    fs: Arc<Mutex<SimFs>>,
+    root: String,
+}
+
+impl SimFsBackend {
+    /// Wraps a shared filesystem, rooting all engine paths under `root`
+    /// (an absolute SimFs path such as `"/store"`).
+    pub fn new(fs: Arc<Mutex<SimFs>>, root: &str) -> Self {
+        SimFsBackend {
+            fs,
+            root: root.trim_end_matches('/').to_string(),
+        }
+    }
+
+    /// The shared filesystem handle (harnesses keep one to snapshot or
+    /// tamper with the disk between service lifetimes).
+    pub fn fs(&self) -> Arc<Mutex<SimFs>> {
+        Arc::clone(&self.fs)
+    }
+
+    fn abs(&self, path: &str) -> String {
+        format!("{}/{}", self.root, path)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimFs> {
+        self.fs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl StoreBackend for SimFsBackend {
+    fn read(&self, path: &str) -> Result<Vec<u8>, StoreError> {
+        self.lock()
+            .read_file(&self.abs(path))
+            .map(<[u8]>::to_vec)
+            .map_err(|e| StoreError::Backend(e.to_string()))
+    }
+
+    fn write(&mut self, path: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.lock()
+            .write_file(&self.abs(path), bytes.to_vec())
+            .map_err(|e| StoreError::Backend(e.to_string()))
+    }
+
+    fn append(&mut self, path: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.lock()
+            .append_file(&self.abs(path), bytes)
+            .map_err(|e| StoreError::Backend(e.to_string()))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        self.lock()
+            .rename(&self.abs(from), &self.abs(to))
+            .map_err(|e| StoreError::Backend(e.to_string()))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.lock().exists(&self.abs(path))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsr_store::{StoreEngine, WalRecord};
+
+    #[test]
+    fn disk_survives_the_engine() {
+        let fs = Arc::new(Mutex::new(SimFs::new()));
+        {
+            let backend = SimFsBackend::new(Arc::clone(&fs), "/store");
+            let (mut engine, _) = StoreEngine::open(Box::new(backend)).unwrap();
+            engine
+                .append(&WalRecord::RepoCreated {
+                    id: "repo-1".into(),
+                    policy_text: "f: 1\n".into(),
+                })
+                .unwrap();
+            engine.put_blob(b"apk bytes").unwrap();
+        } // service crash: engine dropped, disk handle kept
+
+        assert!(fs.lock().unwrap().exists("/store/wal.log"));
+        let backend = SimFsBackend::new(Arc::clone(&fs), "/store");
+        let (mut engine, report) = StoreEngine::open(Box::new(backend)).unwrap();
+        assert_eq!(report.replayed_records, 1);
+        assert!(engine.state().repos.contains_key("repo-1"));
+        let hash = engine.put_blob(b"apk bytes").unwrap();
+        assert_eq!(&engine.get_blob(&hash).unwrap()[..], b"apk bytes");
+    }
+
+    #[test]
+    fn two_backends_share_one_disk() {
+        let fs = Arc::new(Mutex::new(SimFs::new()));
+        let mut a = SimFsBackend::new(Arc::clone(&fs), "/store");
+        let b = SimFsBackend::new(fs, "/store");
+        a.write("wal.log", b"shared").unwrap();
+        assert_eq!(b.read("wal.log").unwrap(), b"shared");
+    }
+}
