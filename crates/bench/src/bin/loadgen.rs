@@ -10,13 +10,21 @@
 //! ```text
 //! loadgen [--smoke] [--strict] [--seed N] [--out PATH] [--speed F]
 //!         [--clients N] [--scenario steady|update_storm|mirror_churn|soak]
-//!         [--store DIR] [--baseline PATH]
+//!         [--store DIR] [--baseline PATH] [--nodes N]
 //! ```
 //!
 //! `--smoke` shrinks every scenario to CI size (a few seconds total,
 //! bounded concurrency — honours a 1-CPU container). `--strict` exits
 //! non-zero when any *non-injected* error occurred. Scale knobs are the
 //! usual `TSR_SCALE` / `TSR_KEY_BITS` environment variables.
+//!
+//! `--nodes N` (N ≥ 2) replays against an in-process loopback
+//! **cluster** instead of a single server: N `tsr-cluster` nodes on
+//! their own TCP ports, replicating over HTTP, with one fully
+//! replicated tenant. Reads round-robin across all nodes, refreshes go
+//! through the ring primary's quorum-replicated commit, and the report
+//! carries per-node quantiles next to the merged ones (checked in as
+//! `BENCH_PR9.json`). Incompatible with `--store`.
 //!
 //! `--store DIR` enables the durable storage engine (content-addressed
 //! blobs + WAL in `DIR`, wiped first): the replay then measures serving
@@ -29,6 +37,7 @@
 
 use std::time::Duration;
 
+use tsr_bench::clusterrun::{run_cluster, ClusterLoadReport, ClusterWorld};
 use tsr_bench::loadrun::{measure_recovery, run, LoadReport, LoadWorld, RunOptions};
 use tsr_bench::report::{bench_envelope, table, write_json};
 use tsr_bench::{banner, key_bits, scale};
@@ -43,6 +52,13 @@ const BASELINE_GATED_OPS: &[&str] = &["health", "index", "index_cond", "package"
 
 /// Maximum tolerated steady-path p50 regression vs the baseline report.
 const MAX_P50_REGRESSION: f64 = 0.20;
+
+/// Absolute p50 slack: a regression only counts when it exceeds the
+/// ratio gate *and* this many microseconds. Smoke-sized runs put p50s
+/// in the hundreds of microseconds on ~tens of samples, where scheduler
+/// jitter alone moves the ratio past 20%; a real regression (a lock on
+/// the serve path, an accidental copy) shows up in milliseconds.
+const MIN_P50_DELTA_US: u64 = 300;
 
 /// Extracts `ops.<op>.p50_us` for the steady scenario of a report file.
 fn steady_p50s(report: &Json) -> Vec<(String, u64)> {
@@ -96,7 +112,9 @@ fn check_baseline(baseline_path: &str, current: &Json) -> usize {
             continue;
         };
         let ratio = new_p50 as f64 / (old_p50 as f64).max(1.0);
-        let flag = if ratio > 1.0 + MAX_P50_REGRESSION {
+        let flag = if ratio > 1.0 + MAX_P50_REGRESSION
+            && new_p50.saturating_sub(old_p50) > MIN_P50_DELTA_US
+        {
             regressions += 1;
             "  REGRESSION"
         } else {
@@ -133,6 +151,13 @@ fn main() {
         .unwrap_or(if smoke { 4 } else { 6 });
     let store_dir = arg_value(&args, "--store").map(std::path::PathBuf::from);
     let baseline = arg_value(&args, "--baseline");
+    let nodes: usize = arg_value(&args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    if nodes >= 2 && store_dir.is_some() {
+        eprintln!("--nodes and --store are mutually exclusive");
+        std::process::exit(2);
+    }
 
     banner(
         "Load harness — open-loop trace replay over TCP sockets",
@@ -160,6 +185,50 @@ fn main() {
         specs = specs.into_iter().map(|s| s.scaled(0.2)).collect();
     }
 
+    let opts = RunOptions {
+        clients,
+        speed,
+        timeout: Duration::from_secs(10),
+    };
+
+    let (scenario_jsons, unexpected) = if nodes >= 2 {
+        run_cluster_mode(nodes, seed, clients, speed, opts, &specs)
+    } else {
+        run_single_node(seed, clients, speed, opts, &specs, &store_dir)
+    };
+
+    let envelope = bench_envelope("loadgen", seed, scenario_jsons);
+    write_json(&out, &envelope).expect("write report");
+    println!("report written to {out}");
+
+    let regressions = match &baseline {
+        Some(path) => check_baseline(path, &envelope),
+        None => 0,
+    };
+
+    if strict && unexpected > 0 {
+        eprintln!("FAIL: {unexpected} non-injected errors under load");
+        std::process::exit(1);
+    }
+    if strict && regressions > 0 {
+        eprintln!(
+            "FAIL: {regressions} steady serving op(s) regressed p50 by more than {:.0}% vs baseline",
+            MAX_P50_REGRESSION * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The original single-server flow (optionally store-backed, with the
+/// post-run cold-start recovery measurement).
+fn run_single_node(
+    seed: u64,
+    clients: usize,
+    speed: f64,
+    opts: RunOptions,
+    specs: &[ScenarioSpec],
+    store_dir: &Option<std::path::PathBuf>,
+) -> (Vec<Json>, u64) {
     println!(
         "building world (scale {}, {} key bits)…",
         scale(),
@@ -185,13 +254,8 @@ fn main() {
         clients
     );
 
-    let opts = RunOptions {
-        clients,
-        speed,
-        timeout: Duration::from_secs(10),
-    };
     let mut reports: Vec<LoadReport> = Vec::new();
-    for spec in &specs {
+    for spec in specs {
         let schedule = spec.generate();
         println!(
             "replaying {:<14} ({} events, {:.1} s virtual)…",
@@ -265,24 +329,81 @@ fn main() {
         scenario_jsons.push(timing.to_json(seed));
     }
 
-    let envelope = bench_envelope("loadgen", seed, scenario_jsons);
-    write_json(&out, &envelope).expect("write report");
-    println!("report written to {out}");
+    (scenario_jsons, unexpected)
+}
 
-    let regressions = match &baseline {
-        Some(path) => check_baseline(path, &envelope),
-        None => 0,
-    };
+/// The `--nodes N` flow: an in-process loopback cluster, per-node and
+/// merged quantiles.
+fn run_cluster_mode(
+    nodes: usize,
+    seed: u64,
+    clients: usize,
+    speed: f64,
+    opts: RunOptions,
+    specs: &[ScenarioSpec],
+) -> (Vec<Json>, u64) {
+    println!(
+        "building {nodes}-node cluster (scale {}, {} key bits)…",
+        scale(),
+        key_bits()
+    );
+    let world = ClusterWorld::start(seed, scale(), key_bits(), nodes);
+    println!(
+        "cluster {:?} serving {} packages (primary {}, allocator {}); {} client workers, speed {speed}×\n",
+        world.bases,
+        world.package_names.len(),
+        world.node_ids[world.primary],
+        world.node_ids[world.allocator],
+        clients
+    );
 
-    if strict && unexpected > 0 {
-        eprintln!("FAIL: {unexpected} non-injected errors under load");
-        std::process::exit(1);
-    }
-    if strict && regressions > 0 {
-        eprintln!(
-            "FAIL: {regressions} steady serving op(s) regressed p50 by more than {:.0}% vs baseline",
-            MAX_P50_REGRESSION * 100.0
+    let mut reports: Vec<ClusterLoadReport> = Vec::new();
+    for spec in specs {
+        let schedule = spec.generate();
+        println!(
+            "replaying {:<14} ({} events, {:.1} s virtual)…",
+            schedule.scenario,
+            schedule.ops.len(),
+            schedule.duration_us as f64 / 1e6
         );
-        std::process::exit(1);
+        reports.push(run_cluster(&world, &schedule, opts));
     }
+
+    // One row per node per scenario, then the merged "all" row.
+    let mut rows = Vec::new();
+    for r in &reports {
+        for (i, (id, _)) in r.per_node.iter().enumerate() {
+            let h = r.node_histogram(i);
+            rows.push(vec![
+                format!("{}/{id}", r.merged.scenario),
+                h.count().to_string(),
+                format!("{:.1}", h.quantile(0.50) as f64 / 1e3),
+                format!("{:.1}", h.quantile(0.99) as f64 / 1e3),
+                format!("{:.1}", h.quantile(0.999) as f64 / 1e3),
+            ]);
+        }
+        let mut all = tsr_stats::Histogram::new();
+        for s in r.merged.ops.values() {
+            all.merge(&s.hist);
+        }
+        rows.push(vec![
+            format!("{}/all", r.merged.scenario),
+            all.count().to_string(),
+            format!("{:.1}", all.quantile(0.50) as f64 / 1e3),
+            format!("{:.1}", all.quantile(0.99) as f64 / 1e3),
+            format!("{:.1}", all.quantile(0.999) as f64 / 1e3),
+        ]);
+    }
+    println!(
+        "\n{}",
+        table(
+            &["scenario/node", "ops", "p50_ms", "p99_ms", "p999_ms"],
+            &rows
+        )
+    );
+
+    let scenario_jsons: Vec<Json> = reports.iter().map(ClusterLoadReport::to_json).collect();
+    let unexpected: u64 = reports.iter().map(|r| r.merged.unexpected_errors()).sum();
+    world.stop();
+    (scenario_jsons, unexpected)
 }

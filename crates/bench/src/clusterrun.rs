@@ -1,0 +1,518 @@
+//! Cluster drivers for the load harness: `loadgen --nodes N`.
+//!
+//! [`ClusterWorld`] boots N [`ClusterNode`]s — each a full
+//! [`TsrService`] on its own loopback TCP socket — wired to each other
+//! over [`HttpTransport`], so node-to-node replication rides real
+//! sockets exactly like client traffic does. One tenant repository is
+//! fully replicated (every node owns it); refreshes go to the ring
+//! primary and commit through the quorum-replicated push, while reads
+//! round-robin across all nodes — the cluster's read scale-out is the
+//! thing being measured.
+//!
+//! [`run_cluster`] replays the same open-loop schedules as the
+//! single-node [`run`](crate::loadrun::run), but tallies latencies
+//! **per node** as well as merged, so the report answers both "what
+//! does a client see" and "is one replica dragging the fleet".
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tsr_cluster::{ClusterNode, HttpTransport, Ring};
+use tsr_core::{MirrorRef, Policy, TsrService};
+use tsr_mirror::{publish_to_all, Behavior, Mirror};
+use tsr_net::{Continent, LatencyModel};
+use tsr_stats::Histogram;
+use tsr_wire::{ClusterConfigDto, Json, NodeInfoDto, TsrClient};
+use tsr_workload::loadgen::{FaultOp, LoadOp, Schedule};
+use tsr_workload::GeneratedRepo;
+
+use crate::loadrun::{classify, execute, ops_json, Outcome, RunOptions};
+use crate::loadrun::{LoadReport, OpStats};
+use crate::{initial_configs, workload_config};
+
+/// A live N-node cluster a schedule can be replayed against.
+pub struct ClusterWorld {
+    nodes: Vec<ClusterNode>,
+    servers: Vec<tsr_http::Server>,
+    /// `http://host:port` per node, index-aligned with node ids.
+    pub bases: Vec<String>,
+    /// Node ids (`node-0`…), index-aligned with [`ClusterWorld::bases`].
+    pub node_ids: Vec<String>,
+    /// Index of the tenant shard's ring primary.
+    pub primary: usize,
+    /// Index of the allocator node (`POST /v1/repositories` target).
+    pub allocator: usize,
+    /// The replicated tenant repository id.
+    pub repo_id: String,
+    /// The policy text used (repo-churn ops re-deploy it).
+    pub policy_text: String,
+    /// Sorted sanitized package names (PackageGet targets).
+    pub package_names: Vec<String>,
+    /// The synthetic upstream, for `PublishUpdate` faults.
+    pub upstream: Mutex<GeneratedRepo>,
+}
+
+impl ClusterWorld {
+    /// Builds the cluster: one generated upstream published to every
+    /// node's mirror set, N store-less services sharing a platform seed
+    /// (so sealed state replicates across nodes), each bound on its own
+    /// loopback socket, gossiped into one epoch-2 config carrying the
+    /// real addresses. The tenant is created on the allocator,
+    /// bootstrapped to its owners, and refreshed once through the
+    /// primary's quorum-replicated path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the world cannot be built — load runs need a healthy
+    /// cluster.
+    pub fn start(seed: u64, scale: f64, key_bits: usize, nodes: usize) -> Self {
+        assert!(nodes >= 2, "--nodes wants at least 2 nodes");
+        let seed_bytes = format!("loadworld-{seed}");
+        let upstream = GeneratedRepo::generate(workload_config(scale, seed_bytes.as_bytes()));
+        let snapshot = upstream.snapshot();
+        let make_mirrors = || {
+            let mut ms: Vec<Mirror> = (0..3)
+                .map(|i| Mirror::new(format!("mirror-{i}"), Continent::Europe))
+                .collect();
+            publish_to_all(&mut ms, &snapshot);
+            ms
+        };
+        let policy = Policy {
+            mirrors: make_mirrors()
+                .iter()
+                .map(|m| MirrorRef {
+                    hostname: m.name.clone(),
+                    continent: m.continent,
+                })
+                .collect(),
+            signers_keys: vec![upstream.signing_key.public_key().clone()],
+            init_config_files: initial_configs(),
+            f: 1,
+            package_whitelist: Vec::new(),
+            package_blacklist: Vec::new(),
+        };
+        let policy_text = policy.to_text();
+
+        // Addresses are unknown until each server binds, so nodes start
+        // from an epoch-1 config with placeholder URLs and adopt the
+        // real ones through the epoch-2 gossip below. Full replication
+        // (R = N-1): every node owns the tenant and serves reads.
+        let placeholder: Vec<NodeInfoDto> = (0..nodes)
+            .map(|i| NodeInfoDto {
+                id: format!("node-{i}"),
+                base_url: "http://127.0.0.1:0".into(),
+                continent: "Europe".into(),
+            })
+            .collect();
+        let config_v1 = ClusterConfigDto {
+            epoch: 1,
+            replication: nodes - 1,
+            nodes: placeholder.clone(),
+        };
+        let transport = Arc::new(HttpTransport::new(Duration::from_secs(10)));
+        let mut cluster_nodes = Vec::new();
+        let mut servers = Vec::new();
+        let mut bases = Vec::new();
+        for info in &placeholder {
+            let svc = TsrService::new(
+                seed_bytes.as_bytes(),
+                make_mirrors(),
+                LatencyModel::default(),
+                key_bits,
+            );
+            let node = ClusterNode::new(info.clone(), svc, config_v1.clone(), transport.clone());
+            let server = node.serve("127.0.0.1:0").expect("bind cluster node");
+            bases.push(format!("http://{}", server.local_addr()));
+            cluster_nodes.push(node);
+            servers.push(server);
+        }
+        let config_v2 = ClusterConfigDto {
+            epoch: 2,
+            replication: nodes - 1,
+            nodes: placeholder
+                .iter()
+                .zip(&bases)
+                .map(|(info, base)| NodeInfoDto {
+                    id: info.id.clone(),
+                    base_url: base.clone(),
+                    continent: info.continent.clone(),
+                })
+                .collect(),
+        };
+        for node in &cluster_nodes {
+            node.join(&config_v2);
+        }
+
+        let ring = Ring::new(config_v2);
+        let node_ids: Vec<String> = placeholder.iter().map(|i| i.id.clone()).collect();
+        let index_of = |id: &str| node_ids.iter().position(|n| n == id).expect("known node");
+        let allocator = index_of(&ring.allocator().expect("non-empty ring").id);
+        let (repo_id, _pem) = cluster_nodes[allocator]
+            .service()
+            .create_repository(&policy_text)
+            .expect("create repo");
+        cluster_nodes[allocator].bootstrap(&repo_id);
+        let primary = index_of(&ring.owners(&repo_id)[0].id);
+
+        // First refresh through the primary's replicated-write path:
+        // the commit needs acks from every owner, which proves the
+        // whole loopback mesh before any load is offered.
+        let mut refresh = tsr_http::Request {
+            method: "POST".into(),
+            path: format!("/v1/repositories/{repo_id}/refresh"),
+            headers: Default::default(),
+            body: Vec::new(),
+        };
+        let resp = cluster_nodes[primary].handle(&mut refresh);
+        assert_eq!(resp.status, 200, "initial cluster refresh failed");
+        assert_eq!(
+            resp.headers.get("x-tsr-cluster-acks").map(String::as_str),
+            Some(nodes.to_string().as_str()),
+            "initial refresh must be acked by every owner"
+        );
+
+        let package_names: Vec<String> = cluster_nodes[primary]
+            .service()
+            .with_repository(&repo_id, |repo| {
+                repo.sanitized_index()
+                    .map(|index| index.iter().map(|e| e.name.clone()).collect())
+                    .unwrap_or_default()
+            })
+            .expect("repo exists");
+        assert!(!package_names.is_empty());
+
+        ClusterWorld {
+            nodes: cluster_nodes,
+            servers,
+            bases,
+            node_ids,
+            primary,
+            allocator,
+            repo_id,
+            policy_text,
+            package_names,
+            upstream: Mutex::new(upstream),
+        }
+    }
+
+    /// Shuts every node's HTTP server down.
+    pub fn stop(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+    }
+
+    /// Applies one fault op to the live cluster. Mirror faults and
+    /// upstream publishes hit **every** node's mirror set — the mirrors
+    /// model the shared outside world, not per-node state.
+    fn apply_fault(&self, fault: FaultOp) {
+        match fault {
+            FaultOp::MirrorStale { mirror } => {
+                for node in &self.nodes {
+                    node.service().with_mirrors(|ms| {
+                        let i = mirror as usize % ms.len().max(1);
+                        if let Some(m) = ms.get_mut(i) {
+                            m.set_behavior(Behavior::Stale { snapshot: 0 });
+                        }
+                    });
+                }
+            }
+            FaultOp::MirrorRestore { mirror } => {
+                for node in &self.nodes {
+                    node.service().with_mirrors(|ms| {
+                        let i = mirror as usize % ms.len().max(1);
+                        if let Some(m) = ms.get_mut(i) {
+                            m.set_behavior(Behavior::Honest);
+                        }
+                    });
+                }
+            }
+            FaultOp::PublishUpdate { packages } => {
+                let snapshot = {
+                    let mut upstream = self
+                        .upstream
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    upstream.publish_update(packages as usize);
+                    upstream.snapshot()
+                };
+                for node in &self.nodes {
+                    node.service()
+                        .with_mirrors(|ms| publish_to_all(ms, &snapshot));
+                }
+            }
+        }
+    }
+}
+
+/// The result of replaying one schedule against a cluster: the merged
+/// client-side view plus per-node latency breakdowns.
+#[derive(Debug)]
+pub struct ClusterLoadReport {
+    /// The merged (all-nodes) report — same shape as a single-node run.
+    pub merged: LoadReport,
+    /// Node count.
+    pub nodes: usize,
+    /// Per-node op tallies, index-aligned with the world's node ids.
+    pub per_node: Vec<(String, BTreeMap<String, OpStats>)>,
+}
+
+impl ClusterLoadReport {
+    /// All ops of one node merged into a single histogram.
+    pub fn node_histogram(&self, node: usize) -> Histogram {
+        let mut h = Histogram::new();
+        for s in self.per_node[node].1.values() {
+            h.merge(&s.hist);
+        }
+        h
+    }
+
+    /// The per-scenario JSON object: the merged report's fields (so
+    /// `--baseline` gating reads cluster reports unchanged) plus
+    /// `nodes` and a `per_node` breakdown.
+    pub fn to_json(&self) -> Json {
+        let mut json = self.merged.to_json();
+        if let Json::Obj(map) = &mut json {
+            map.insert("nodes".into(), Json::Int(self.nodes as i128));
+            map.insert(
+                "per_node".into(),
+                Json::Obj(
+                    self.per_node
+                        .iter()
+                        .map(|(id, ops)| (id.clone(), Json::obj([("ops", ops_json(ops))])))
+                        .collect(),
+                ),
+            );
+        }
+        json
+    }
+}
+
+/// One dispatched unit of work.
+struct Dispatch {
+    op: LoadOp,
+    sched_at: Instant,
+}
+
+/// Worker-local tallies: one op map per node, merged after the join.
+struct WorkerStats {
+    per_node: Vec<BTreeMap<&'static str, OpStats>>,
+    cond_hits: u64,
+    cond_misses: u64,
+}
+
+/// Replays `schedule` against the cluster.
+///
+/// Routing mirrors what a production front would do: refreshes go to
+/// the ring primary (whose handler runs the quorum-replicated commit),
+/// repo churn goes to the allocator (with the delete fanned to every
+/// node, since bootstrap replicated the create), and reads round-robin
+/// across all nodes. Each measured latency is attributed to the node
+/// that served it.
+///
+/// # Panics
+///
+/// Panics on harness-internal failures (channel breakage, join errors) —
+/// never on server-side errors, which are tallied instead.
+pub fn run_cluster(
+    world: &ClusterWorld,
+    schedule: &Schedule,
+    opts: RunOptions,
+) -> ClusterLoadReport {
+    let faults_injected = schedule.has_faults();
+    let node_count = world.bases.len();
+    let in_flight = Arc::new(AtomicI64::new(0));
+    let high_water = Arc::new(AtomicU64::new(0));
+
+    let (tx, rx) = mpsc::channel::<Dispatch>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::new();
+    for worker_index in 0..opts.clients.max(1) {
+        let rx = rx.clone();
+        let in_flight = in_flight.clone();
+        let bases = world.bases.clone();
+        let repo_id = world.repo_id.clone();
+        let policy_text = world.policy_text.clone();
+        let names = world.package_names.clone();
+        let (primary, allocator) = (world.primary, world.allocator);
+        let timeout = opts.timeout;
+        workers.push(std::thread::spawn(move || {
+            let clients: Vec<TsrClient> = bases
+                .iter()
+                .map(|base| TsrClient::pooled(base, timeout))
+                .collect();
+            let mut stats = WorkerStats {
+                per_node: vec![BTreeMap::new(); clients.len()],
+                cond_hits: 0,
+                cond_misses: 0,
+            };
+            let mut etag: Option<String> = None;
+            // Stagger the round-robin start so workers don't convoy on
+            // the same node.
+            let mut rr = worker_index;
+            loop {
+                let dispatch = {
+                    let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.recv()
+                };
+                let Ok(Dispatch { op, sched_at }) = dispatch else {
+                    break;
+                };
+                let key = op.metric_key().expect("workers only get measured ops");
+                let (node, outcome) = match op {
+                    LoadOp::Refresh => (
+                        primary,
+                        execute(
+                            &clients[primary],
+                            &repo_id,
+                            &policy_text,
+                            &names,
+                            &mut etag,
+                            op,
+                        ),
+                    ),
+                    LoadOp::RepoChurn => (allocator, churn(&clients, allocator, &policy_text)),
+                    op => {
+                        let node = rr % clients.len();
+                        rr += 1;
+                        (
+                            node,
+                            execute(
+                                &clients[node],
+                                &repo_id,
+                                &policy_text,
+                                &names,
+                                &mut etag,
+                                op,
+                            ),
+                        )
+                    }
+                };
+                let latency_us = u64::try_from(sched_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                in_flight.fetch_sub(1, Ordering::Relaxed);
+                let entry = stats.per_node[node].entry(key).or_default();
+                match outcome {
+                    Outcome::Ok => entry.hist.record(latency_us),
+                    Outcome::CondHit => {
+                        entry.hist.record(latency_us);
+                        stats.cond_hits += 1;
+                    }
+                    Outcome::CondMiss => {
+                        entry.hist.record(latency_us);
+                        stats.cond_misses += 1;
+                    }
+                    Outcome::ApiError => {
+                        if faults_injected {
+                            entry.injected_errors += 1;
+                        } else {
+                            entry.unexpected_errors += 1;
+                        }
+                    }
+                    Outcome::TransportError => entry.unexpected_errors += 1,
+                }
+            }
+            stats
+        }));
+    }
+
+    // Open-loop dispatcher, identical to the single-node one.
+    let start = Instant::now();
+    let mut requests = 0u64;
+    for scheduled in &schedule.ops {
+        let wall_at =
+            Duration::from_micros((scheduled.at_us as f64 / opts.speed.max(0.0001)) as u64);
+        if let Some(wait) = wall_at.checked_sub(start.elapsed()) {
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+        match scheduled.op {
+            LoadOp::Fault(fault) => world.apply_fault(fault),
+            op => {
+                let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                high_water.fetch_max(now.max(0) as u64, Ordering::Relaxed);
+                requests += 1;
+                tx.send(Dispatch {
+                    op,
+                    sched_at: start + wall_at,
+                })
+                .expect("worker pool alive");
+            }
+        }
+    }
+    drop(tx);
+
+    let mut per_node: Vec<(String, BTreeMap<String, OpStats>)> = world
+        .node_ids
+        .iter()
+        .map(|id| (id.clone(), BTreeMap::new()))
+        .collect();
+    let mut cond_hits = 0u64;
+    let mut cond_misses = 0u64;
+    for worker in workers {
+        let stats = worker.join().expect("cluster load worker panicked");
+        for (node, ops) in stats.per_node.into_iter().enumerate() {
+            for (key, s) in ops {
+                per_node[node]
+                    .1
+                    .entry(key.to_string())
+                    .or_default()
+                    .merge(&s);
+            }
+        }
+        cond_hits += stats.cond_hits;
+        cond_misses += stats.cond_misses;
+    }
+    let wall = start.elapsed();
+
+    let mut merged_ops: BTreeMap<String, OpStats> = BTreeMap::new();
+    for (_, ops) in &per_node {
+        for (key, s) in ops {
+            merged_ops.entry(key.clone()).or_default().merge(s);
+        }
+    }
+    ClusterLoadReport {
+        merged: LoadReport {
+            scenario: schedule.scenario.clone(),
+            seed: schedule.seed,
+            virtual_duration_us: schedule.duration_us,
+            wall,
+            events: schedule.ops.len() as u64,
+            requests,
+            in_flight_high_water: high_water.load(Ordering::Relaxed),
+            ops: merged_ops,
+            cond_hits,
+            cond_misses,
+        },
+        nodes: node_count,
+        per_node,
+    }
+}
+
+/// One churn op in cluster terms: create through the allocator (whose
+/// bootstrap pushes the new tenant to its owners), then delete from
+/// every node so nothing leaks between churn cycles.
+fn churn(clients: &[TsrClient], allocator: usize, policy_text: &str) -> Outcome {
+    let created = match clients[allocator].create_repository(policy_text) {
+        Ok(c) => c,
+        Err(e) => return classify(&e),
+    };
+    let mut last_err = None;
+    for (i, client) in clients.iter().enumerate() {
+        if let Err(e) = client.delete_repository(&created.id) {
+            // Non-owner nodes never held the repo; a missing-tenant
+            // error from them is the expected shape, not a failure.
+            if i == allocator {
+                last_err = Some(e);
+            }
+        }
+    }
+    match last_err {
+        None => Outcome::Ok,
+        Some(e) => classify(&e),
+    }
+}

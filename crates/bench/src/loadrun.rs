@@ -334,7 +334,7 @@ pub struct OpStats {
 }
 
 impl OpStats {
-    fn merge(&mut self, other: &OpStats) {
+    pub(crate) fn merge(&mut self, other: &OpStats) {
         self.hist.merge(&other.hist);
         self.injected_errors += other.injected_errors;
         self.unexpected_errors += other.unexpected_errors;
@@ -390,32 +390,6 @@ impl LoadReport {
     /// The per-scenario JSON object for the bench envelope.
     pub fn to_json(&self) -> Json {
         let wall_s = self.wall.as_secs_f64().max(1e-9);
-        let ops = self
-            .ops
-            .iter()
-            .map(|(key, stats)| {
-                (
-                    key.clone(),
-                    Json::obj([
-                        ("count", Json::Int(i128::from(stats.hist.count()))),
-                        ("p50_us", Json::Int(i128::from(stats.hist.quantile(0.50)))),
-                        ("p90_us", Json::Int(i128::from(stats.hist.quantile(0.90)))),
-                        ("p99_us", Json::Int(i128::from(stats.hist.quantile(0.99)))),
-                        ("p999_us", Json::Int(i128::from(stats.hist.quantile(0.999)))),
-                        ("max_us", Json::Int(i128::from(stats.hist.max()))),
-                        ("mean_us", Json::Float(stats.hist.mean())),
-                        (
-                            "injected_errors",
-                            Json::Int(i128::from(stats.injected_errors)),
-                        ),
-                        (
-                            "unexpected_errors",
-                            Json::Int(i128::from(stats.unexpected_errors)),
-                        ),
-                    ]),
-                )
-            })
-            .collect();
         Json::obj([
             ("scenario", Json::str(&self.scenario)),
             ("seed", Json::Int(i128::from(self.seed))),
@@ -443,9 +417,40 @@ impl LoadReport {
                 "unexpected_errors",
                 Json::Int(i128::from(self.unexpected_errors())),
             ),
-            ("ops", Json::Obj(ops)),
+            ("ops", ops_json(&self.ops)),
         ])
     }
+}
+
+/// The `ops` JSON object — per-op latency quantiles and error tallies —
+/// shared by the single-node and cluster report shapes.
+pub(crate) fn ops_json(ops: &BTreeMap<String, OpStats>) -> Json {
+    Json::Obj(
+        ops.iter()
+            .map(|(key, stats)| {
+                (
+                    key.clone(),
+                    Json::obj([
+                        ("count", Json::Int(i128::from(stats.hist.count()))),
+                        ("p50_us", Json::Int(i128::from(stats.hist.quantile(0.50)))),
+                        ("p90_us", Json::Int(i128::from(stats.hist.quantile(0.90)))),
+                        ("p99_us", Json::Int(i128::from(stats.hist.quantile(0.99)))),
+                        ("p999_us", Json::Int(i128::from(stats.hist.quantile(0.999)))),
+                        ("max_us", Json::Int(i128::from(stats.hist.max()))),
+                        ("mean_us", Json::Float(stats.hist.mean())),
+                        (
+                            "injected_errors",
+                            Json::Int(i128::from(stats.injected_errors)),
+                        ),
+                        (
+                            "unexpected_errors",
+                            Json::Int(i128::from(stats.unexpected_errors)),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    )
 }
 
 /// One dispatched unit of work.
@@ -584,7 +589,7 @@ pub fn run(world: &LoadWorld, schedule: &Schedule, opts: RunOptions) -> LoadRepo
 }
 
 /// How one executed op went.
-enum Outcome {
+pub(crate) enum Outcome {
     Ok,
     CondHit,
     CondMiss,
@@ -592,7 +597,7 @@ enum Outcome {
     TransportError,
 }
 
-fn classify(e: &WireError) -> Outcome {
+pub(crate) fn classify(e: &WireError) -> Outcome {
     match e {
         WireError::Api { .. } => Outcome::ApiError,
         _ => Outcome::TransportError,
@@ -600,7 +605,7 @@ fn classify(e: &WireError) -> Outcome {
 }
 
 /// Executes one measured op via the typed client.
-fn execute(
+pub(crate) fn execute(
     client: &TsrClient,
     repo_id: &str,
     policy_text: &str,

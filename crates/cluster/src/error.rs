@@ -1,0 +1,48 @@
+//! The cluster-layer error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by cluster operations (transport, replication,
+/// quorum).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The target node could not be reached (connect failure, crash,
+    /// partition). Reads fail over to replicas on this variant.
+    Unreachable(String),
+    /// The target node answered with an API error envelope.
+    Api {
+        /// HTTP status code.
+        status: u16,
+        /// Stable machine-readable code plus message.
+        detail: String,
+    },
+    /// A protocol-level failure: undecodable payload, epoch mismatch,
+    /// or a reply that violates the replication contract.
+    Protocol(String),
+    /// A replicated refresh did not gather a quorum of matching acks.
+    NoQuorum {
+        /// Best agreement reached on any single index ETag.
+        agreement: usize,
+        /// Acks required to commit.
+        needed: usize,
+    },
+    /// The addressed repository or node does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Unreachable(m) => write!(f, "node unreachable: {m}"),
+            ClusterError::Api { status, detail } => write!(f, "api error {status}: {detail}"),
+            ClusterError::Protocol(m) => write!(f, "cluster protocol error: {m}"),
+            ClusterError::NoQuorum { agreement, needed } => {
+                write!(f, "replication quorum failed: {agreement} of {needed} acks")
+            }
+            ClusterError::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}

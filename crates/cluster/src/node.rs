@@ -1,0 +1,805 @@
+//! One member of the cluster: a [`TsrService`] wrapped with the
+//! `/v1/cluster/*` protocol surface and the replication roles the
+//! [`Ring`] assigns it.
+//!
+//! A node intercepts three things in front of its service:
+//!
+//! - **`/v1/cluster/*`** — the node-to-node protocol (config gossip,
+//!   replicate-push, seal pull, anti-entropy digest),
+//! - **`POST /v1/repositories/:id/refresh`** — when this node is the
+//!   shard's primary, the refresh becomes *quorum-replicated*: run the
+//!   local sanitize→sign pipeline, push the sealed signed state to the
+//!   replicas, and report commit only when a majority of owner
+//!   ack-votes agree on the resulting index ETag (tallied with
+//!   [`BallotBox`], so duplicate and equivocating acks never count),
+//! - **`POST /v1/repositories`** — tenant creation, bootstrapping the
+//!   new shard onto its ring owners.
+//!
+//! Everything else falls through to the service untouched, so a
+//! one-node cluster behaves exactly like a bare [`TsrService`].
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use tsr_core::{CoreError, ReplicatedState, TsrService};
+use tsr_crypto::hex;
+use tsr_http::router::{Recognized, Router};
+use tsr_http::{Request, Response, Server};
+use tsr_quorum::BallotBox;
+use tsr_wire::{
+    BlobDto, ClusterConfigDto, ClusterDigestDto, ErrorEnvelope, NodeInfoDto, PackageRefDto,
+    ReplicateAckDto, ReplicateRequestDto, RepoDigestDto, RepoSealDto, RepositoryCreated, WireDto,
+};
+
+use crate::error::ClusterError;
+use crate::ring::Ring;
+use crate::transport::NodeTransport;
+
+/// Converts a core [`ReplicatedState`] into its wire form (binary
+/// payloads hex-encoded).
+pub fn state_to_dto(state: &ReplicatedState) -> RepoSealDto {
+    RepoSealDto {
+        id: state.id.clone(),
+        policy_text: state.policy_text.clone(),
+        upstream_index: state.upstream_index.clone(),
+        sanitized_index: state.sanitized_index.clone(),
+        packages: state
+            .packages
+            .iter()
+            .map(|(name, original, sanitized)| PackageRefDto {
+                name: name.clone(),
+                original_hash: original.clone(),
+                sanitized_hash: sanitized.clone(),
+            })
+            .collect(),
+        sealed_hex: hex::to_hex(&state.sealed),
+        seal_counter: state.seal_counter,
+        index_etag: state.index_etag.clone(),
+        blobs: state
+            .blobs
+            .iter()
+            .map(|(hash, bytes)| BlobDto {
+                hash: hash.clone(),
+                bytes_hex: hex::to_hex(bytes),
+            })
+            .collect(),
+    }
+}
+
+/// Decodes a wire [`RepoSealDto`] back into the core form.
+///
+/// # Errors
+///
+/// [`ClusterError::Protocol`] when a hex payload does not decode.
+pub fn state_from_dto(dto: &RepoSealDto) -> Result<ReplicatedState, ClusterError> {
+    let sealed = hex::from_hex(&dto.sealed_hex)
+        .ok_or_else(|| ClusterError::Protocol(format!("seal of {} is not hex", dto.id)))?;
+    let mut blobs = Vec::with_capacity(dto.blobs.len());
+    for blob in &dto.blobs {
+        let bytes = hex::from_hex(&blob.bytes_hex).ok_or_else(|| {
+            ClusterError::Protocol(format!("blob {} of {} is not hex", blob.hash, dto.id))
+        })?;
+        blobs.push((blob.hash.clone(), Arc::<[u8]>::from(bytes)));
+    }
+    Ok(ReplicatedState {
+        id: dto.id.clone(),
+        policy_text: dto.policy_text.clone(),
+        upstream_index: dto.upstream_index.clone(),
+        sanitized_index: dto.sanitized_index.clone(),
+        packages: dto
+            .packages
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    p.original_hash.clone(),
+                    p.sanitized_hash.clone(),
+                )
+            })
+            .collect(),
+        sealed,
+        seal_counter: dto.seal_counter,
+        index_etag: dto.index_etag.clone(),
+        blobs,
+    })
+}
+
+/// What one anti-entropy round did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AntiEntropyReport {
+    /// Repository states pulled and applied.
+    pub pulled: usize,
+    /// Pulls rejected by verification (tampered seal, rollback, bad
+    /// blob hash) — the Byzantine-digest defense firing.
+    pub rejected: usize,
+    /// Peers that could not be reached.
+    pub unreachable_peers: usize,
+    /// One `peer/repo: error` line per rejected pull (trace material).
+    pub rejections: Vec<String>,
+}
+
+/// The cluster routes a node intercepts before its service.
+#[derive(Debug, Clone, Copy)]
+enum ClusterOp {
+    GetConfig,
+    PostConfig,
+    Replicate,
+    Seal,
+    Digest,
+    Refresh,
+    Create,
+}
+
+struct NodeShared {
+    info: NodeInfoDto,
+    service: TsrService,
+    config: RwLock<ClusterConfigDto>,
+    transport: Arc<dyn NodeTransport>,
+    routes: Router<ClusterOp>,
+}
+
+/// One cluster member. Cheap to clone (shared interior); clones address
+/// the same node.
+#[derive(Clone)]
+pub struct ClusterNode {
+    shared: Arc<NodeShared>,
+}
+
+fn envelope(status: u16, code: &str, message: &str, detail: &str) -> Response {
+    Response::json(
+        status,
+        ErrorEnvelope {
+            code: code.to_string(),
+            message: message.to_string(),
+            detail: detail.to_string(),
+        }
+        .encode(),
+    )
+}
+
+fn dto_response(dto: &impl WireDto) -> Response {
+    Response::json(200, dto.encode())
+}
+
+impl ClusterNode {
+    /// A node with identity `info`, serving `service`, reaching peers
+    /// through `transport`, starting from `config`.
+    pub fn new(
+        info: NodeInfoDto,
+        service: TsrService,
+        config: ClusterConfigDto,
+        transport: Arc<dyn NodeTransport>,
+    ) -> Self {
+        let mut routes = Router::new();
+        routes
+            .route("GET", "/v1/cluster/config", ClusterOp::GetConfig)
+            .route("POST", "/v1/cluster/config", ClusterOp::PostConfig)
+            .route("POST", "/v1/cluster/replicate", ClusterOp::Replicate)
+            .route("GET", "/v1/cluster/seal/:id", ClusterOp::Seal)
+            .route("GET", "/v1/cluster/digest", ClusterOp::Digest)
+            .route("POST", "/v1/repositories/:id/refresh", ClusterOp::Refresh)
+            .route("POST", "/v1/repositories", ClusterOp::Create);
+        ClusterNode {
+            shared: Arc::new(NodeShared {
+                info,
+                service,
+                config: RwLock::new(config),
+                transport,
+                routes,
+            }),
+        }
+    }
+
+    /// This node's identity.
+    pub fn info(&self) -> &NodeInfoDto {
+        &self.shared.info
+    }
+
+    /// The wrapped service (tests and harnesses reach through for
+    /// direct state access).
+    pub fn service(&self) -> &TsrService {
+        &self.shared.service
+    }
+
+    /// The config this node currently holds.
+    pub fn config(&self) -> ClusterConfigDto {
+        self.shared
+            .config
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Adopts `incoming` if its epoch is strictly newer, returning the
+    /// config held afterwards (the gossip exchange is idempotent).
+    pub fn join(&self, incoming: &ClusterConfigDto) -> ClusterConfigDto {
+        let mut cfg = self
+            .shared
+            .config
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if incoming.epoch > cfg.epoch {
+            *cfg = incoming.clone();
+            self.shared
+                .service
+                .api_metrics()
+                .set_counter("cluster_config_epoch", incoming.epoch);
+        }
+        cfg.clone()
+    }
+
+    /// Routes one request: cluster protocol and replicated-write
+    /// intercepts first, the plain service for everything else.
+    pub fn handle(&self, req: &mut Request) -> Response {
+        let op = match self.shared.routes.recognize(&req.method, &req.path) {
+            Recognized::Match(m) => {
+                let id = m.params.get("id").map(str::to_string);
+                (*m.value, id)
+            }
+            // Partial matches (e.g. GET /v1/repositories) belong to the
+            // service's own router, error shapes included.
+            Recognized::MethodNotAllowed(_) | Recognized::NotFound => {
+                return self.shared.service.handle(req)
+            }
+        };
+        match op {
+            (ClusterOp::GetConfig, _) => dto_response(&self.config()),
+            (ClusterOp::PostConfig, _) => match ClusterConfigDto::decode(&text_body(req)) {
+                Ok(cfg) => dto_response(&self.join(&cfg)),
+                Err(e) => envelope(400, "bad_request", "undecodable cluster config", &e),
+            },
+            (ClusterOp::Replicate, _) => match ReplicateRequestDto::decode(&text_body(req)) {
+                Ok(push) => dto_response(&self.apply_replicate(&push)),
+                Err(e) => envelope(400, "bad_request", "undecodable replicate request", &e),
+            },
+            (ClusterOp::Seal, Some(id)) => match self.export_seal(&id) {
+                Ok(seal) => dto_response(&seal),
+                Err(ClusterError::NotFound(m)) => envelope(404, "not_found", &m, ""),
+                Err(e) => envelope(500, "cluster_error", &e.to_string(), ""),
+            },
+            (ClusterOp::Digest, _) => dto_response(&self.digest()),
+            (ClusterOp::Refresh, Some(id)) => self.replicated_refresh(&id, req),
+            (ClusterOp::Create, _) => self.create_repository(req),
+            // `:id` routes always capture the parameter.
+            (ClusterOp::Seal | ClusterOp::Refresh, None) => {
+                envelope(500, "cluster_error", "route param missing", "")
+            }
+        }
+    }
+
+    /// Binds an HTTP server exposing [`Self::handle`].
+    ///
+    /// # Errors
+    ///
+    /// [`tsr_http::HttpError`] when the address cannot be bound.
+    pub fn serve(&self, addr: &str) -> Result<Server, tsr_http::HttpError> {
+        let node = self.clone();
+        Server::bind(addr, move |req: &mut Request| node.handle(req))
+    }
+
+    /// The compact state summary anti-entropy exchanges.
+    pub fn digest(&self) -> ClusterDigestDto {
+        ClusterDigestDto {
+            node: self.shared.info.id.clone(),
+            epoch: self.config().epoch,
+            repos: self
+                .shared
+                .service
+                .replication_digest()
+                .into_iter()
+                .map(|(id, index_etag, seal_counter)| RepoDigestDto {
+                    id,
+                    index_etag,
+                    seal_counter,
+                })
+                .collect(),
+        }
+    }
+
+    /// Exports one repository's replicable state in wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NotFound`] for unknown ids,
+    /// [`ClusterError::Protocol`] when the export fails.
+    pub fn export_seal(&self, repo: &str) -> Result<RepoSealDto, ClusterError> {
+        match self.shared.service.export_replicated_state(repo) {
+            Ok(state) => Ok(state_to_dto(&state)),
+            Err(CoreError::NotFound(m)) => Err(ClusterError::NotFound(m)),
+            Err(e) => Err(ClusterError::Protocol(e.to_string())),
+        }
+    }
+
+    /// Applies a pushed replicated state, answering with this node's
+    /// ack-vote. Rejections (stale epoch, rollback, tampered payloads)
+    /// are acks with `accepted: false` — the protocol call itself
+    /// succeeded.
+    pub fn apply_replicate(&self, push: &ReplicateRequestDto) -> ReplicateAckDto {
+        let nack = |detail: String| ReplicateAckDto {
+            node: self.shared.info.id.clone(),
+            repo: push.state.id.clone(),
+            index_etag: String::new(),
+            seal_counter: 0,
+            accepted: false,
+            detail,
+        };
+        let local_epoch = self.config().epoch;
+        if push.epoch < local_epoch {
+            return nack(format!(
+                "stale config epoch {} (local {local_epoch})",
+                push.epoch
+            ));
+        }
+        let state = match state_from_dto(&push.state) {
+            Ok(state) => state,
+            Err(e) => return nack(e.to_string()),
+        };
+        match self.shared.service.apply_replicated_state(&state) {
+            Ok(etag) => ReplicateAckDto {
+                node: self.shared.info.id.clone(),
+                repo: state.id.clone(),
+                index_etag: etag,
+                seal_counter: state.seal_counter,
+                accepted: true,
+                detail: String::new(),
+            },
+            Err(e) => nack(e.to_string()),
+        }
+    }
+
+    /// A primary's replicated refresh: local sanitize→sign first, then
+    /// push the sealed state to the other owners and commit only on a
+    /// majority of ack-votes agreeing on this node's index ETag.
+    fn replicated_refresh(&self, id: &str, req: &mut Request) -> Response {
+        let ring = Ring::new(self.config());
+        let owners = ring.owners(id);
+        if owners.len() > 1 && owners[0].id != self.shared.info.id {
+            let primary = owners[0].id.clone();
+            return envelope(
+                421,
+                "not_primary",
+                &format!("node {} is not the primary of {id}", self.shared.info.id),
+                &primary,
+            );
+        }
+        let resp = self.shared.service.handle(req);
+        if resp.status != 200 || owners.len() <= 1 {
+            return resp;
+        }
+        match self.replicate_out(id, &ring) {
+            Ok(acks) => {
+                self.shared
+                    .service
+                    .api_metrics()
+                    .bump("cluster_replicate_commits");
+                resp.with_header("x-tsr-cluster-acks", &acks.to_string())
+            }
+            Err(e) => {
+                self.shared
+                    .service
+                    .api_metrics()
+                    .bump("cluster_replicate_failures");
+                envelope(
+                    503,
+                    "replication_failed",
+                    &e.to_string(),
+                    "refresh applied locally but not committed cluster-wide",
+                )
+            }
+        }
+    }
+
+    /// Pushes `id`'s state to the other ring owners and tallies
+    /// ack-votes. The vote is attributed to the node *addressed*, not
+    /// the id claimed in the ack, so a Byzantine replica cannot
+    /// impersonate another voter; [`BallotBox`] additionally rejects
+    /// duplicates and equivocation.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoQuorum`] when fewer than a majority of owners
+    /// ack this node's index ETag; [`ClusterError::Protocol`] when the
+    /// local export fails.
+    pub fn replicate_out(&self, id: &str, ring: &Ring) -> Result<usize, ClusterError> {
+        let state = self
+            .shared
+            .service
+            .export_replicated_state(id)
+            .map_err(|e| ClusterError::Protocol(format!("export {id}: {e}")))?;
+        let etag = state.index_etag.clone();
+        let push = ReplicateRequestDto {
+            epoch: ring.config().epoch,
+            primary: self.shared.info.id.clone(),
+            state: state_to_dto(&state),
+        };
+        let mut ballots = BallotBox::new();
+        ballots.cast(&self.shared.info.id, etag.as_bytes());
+        for owner in ring.owners(id) {
+            if owner.id == self.shared.info.id {
+                continue;
+            }
+            match self.shared.transport.replicate(owner, &push) {
+                Ok(ack) if ack.accepted => {
+                    ballots.cast(&owner.id, ack.index_etag.as_bytes());
+                }
+                Ok(_) | Err(_) => {
+                    self.shared
+                        .service
+                        .api_metrics()
+                        .bump("cluster_replica_failures");
+                }
+            }
+        }
+        let needed = ring.quorum(id);
+        match ballots.winner(needed) {
+            Some((acks, value)) if value == etag.as_bytes() => Ok(acks),
+            _ => Err(ClusterError::NoQuorum {
+                agreement: ballots.best_agreement(),
+                needed,
+            }),
+        }
+    }
+
+    /// Tenant creation: create locally, then bootstrap the new shard
+    /// onto its ring owners (push the policy-only state). If this node
+    /// is not itself an owner it drops its local copy — it only acted
+    /// as the id allocator.
+    fn create_repository(&self, req: &mut Request) -> Response {
+        let resp = self.shared.service.handle(req);
+        if resp.status == 200 || resp.status == 201 {
+            if let Ok(created) =
+                RepositoryCreated::decode(&String::from_utf8_lossy(resp.body.as_slice()))
+            {
+                self.bootstrap(&created.id);
+            }
+        }
+        resp
+    }
+
+    /// Best-effort push of a freshly created shard to its owners.
+    /// Replication is not quorum-gated here: an unreachable owner is
+    /// bootstrapped later by the first replicated refresh (the full
+    /// state rides every push).
+    pub fn bootstrap(&self, id: &str) {
+        let ring = Ring::new(self.config());
+        if ring.config().nodes.len() <= 1 {
+            return;
+        }
+        let Ok(state) = self.shared.service.export_replicated_state(id) else {
+            return;
+        };
+        let push = ReplicateRequestDto {
+            epoch: ring.config().epoch,
+            primary: self.shared.info.id.clone(),
+            state: state_to_dto(&state),
+        };
+        for owner in ring.owners(id) {
+            if owner.id != self.shared.info.id {
+                let _ = self.shared.transport.replicate(owner, &push);
+            }
+        }
+        if !ring.is_owner(id, &self.shared.info.id) {
+            let _ = self.shared.service.delete_repository(id);
+        }
+    }
+
+    /// One pull-based anti-entropy round: diff every reachable peer's
+    /// digest against local state and pull the seal of any hosted
+    /// repository where the peer holds a higher seal counter. Pulled
+    /// states go through the full verification path (blob hashes,
+    /// rollback guard, TPM-bound unseal), so a forged digest can waste
+    /// a pull but never poison state.
+    pub fn anti_entropy(&self) -> AntiEntropyReport {
+        let cfg = self.config();
+        let mut report = AntiEntropyReport::default();
+        let mut local: BTreeMap<String, u64> = self
+            .shared
+            .service
+            .replication_digest()
+            .into_iter()
+            .map(|(id, _, counter)| (id, counter))
+            .collect();
+        for peer in &cfg.nodes {
+            if peer.id == self.shared.info.id {
+                continue;
+            }
+            let digest = match self.shared.transport.digest(peer) {
+                Ok(d) => d,
+                Err(_) => {
+                    report.unreachable_peers += 1;
+                    continue;
+                }
+            };
+            for repo in &digest.repos {
+                let Some(&current) = local.get(&repo.id) else {
+                    continue;
+                };
+                if repo.seal_counter <= current {
+                    continue;
+                }
+                let outcome = self
+                    .shared
+                    .transport
+                    .fetch_seal(peer, &repo.id)
+                    .and_then(|seal| {
+                        let state = state_from_dto(&seal)?;
+                        self.shared
+                            .service
+                            .apply_replicated_state(&state)
+                            .map(|_| state.seal_counter)
+                            .map_err(|e| ClusterError::Protocol(e.to_string()))
+                    });
+                match outcome {
+                    Ok(counter) => {
+                        local.insert(repo.id.clone(), counter);
+                        report.pulled += 1;
+                    }
+                    Err(e) => {
+                        report.rejected += 1;
+                        report.rejections.push(format!(
+                            "{}<-{}/{}: {e}",
+                            self.shared.info.id, peer.id, repo.id
+                        ));
+                    }
+                }
+            }
+        }
+        let metrics = self.shared.service.api_metrics();
+        metrics.bump_by("cluster_anti_entropy_pulls", report.pulled as u64);
+        metrics.bump_by("cluster_anti_entropy_rejects", report.rejected as u64);
+        report
+    }
+
+    /// Simulates a process restart: drops all in-memory repository
+    /// state and recovers from the durable store + TPM-sealed
+    /// metadata, exactly like [`TsrService::crash_restart`].
+    pub fn restart(&self) -> Vec<(String, Result<(), CoreError>)> {
+        self.shared.service.crash_restart()
+    }
+}
+
+fn text_body(req: &Request) -> String {
+    String::from_utf8_lossy(&req.body).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    use tsr_mirror::{publish_to_all, Mirror};
+    use tsr_net::{Continent, LatencyModel};
+    use tsr_sim::default_workload;
+    use tsr_simfs::{SimFs, SimFsBackend};
+    use tsr_wire::CreateRepositoryRequest;
+    use tsr_workload::GeneratedRepo;
+
+    use crate::transport::LocalCluster;
+
+    struct Fixture {
+        cluster: LocalCluster,
+        nodes: Vec<ClusterNode>,
+        repo: String,
+    }
+
+    fn request(method: &str, path: &str, body: Vec<u8>) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: BTreeMap::new(),
+            body,
+        }
+    }
+
+    /// Three nodes sharing a platform seed, one replicated tenant.
+    fn fixture() -> Fixture {
+        let upstream = GeneratedRepo::generate(default_workload("node-tests", 11));
+        let make_mirrors = || {
+            let mut ms: Vec<Mirror> = (0..3)
+                .map(|i| Mirror::new(format!("m{i}"), Continent::Europe))
+                .collect();
+            publish_to_all(&mut ms, &upstream.snapshot());
+            ms
+        };
+        let policy = tsr_core::Policy {
+            mirrors: make_mirrors()
+                .iter()
+                .map(|m| tsr_core::MirrorRef {
+                    hostname: m.name.clone(),
+                    continent: m.continent,
+                })
+                .collect(),
+            signers_keys: vec![upstream.signing_key.public_key().clone()],
+            init_config_files: Vec::new(),
+            f: 1,
+            package_whitelist: Vec::new(),
+            package_blacklist: Vec::new(),
+        };
+        let infos: Vec<NodeInfoDto> = (0..3)
+            .map(|i| NodeInfoDto {
+                id: format!("node-{i}"),
+                base_url: format!("local://node-{i}"),
+                continent: "Europe".into(),
+            })
+            .collect();
+        let config = ClusterConfigDto {
+            epoch: 1,
+            replication: 2,
+            nodes: infos.clone(),
+        };
+        let cluster = LocalCluster::new();
+        let mut nodes = Vec::new();
+        for info in &infos {
+            let fs = Arc::new(Mutex::new(SimFs::new()));
+            let (service, _) = TsrService::with_store(
+                b"node-tests-seed",
+                make_mirrors(),
+                LatencyModel::default(),
+                1024,
+                Box::new(SimFsBackend::new(fs, "/store")),
+            )
+            .unwrap();
+            let node = ClusterNode::new(
+                info.clone(),
+                service,
+                config.clone(),
+                cluster.transport_from(info),
+            );
+            cluster.register(node.clone());
+            nodes.push(node);
+        }
+        // Create through the allocator so the shard bootstraps onto its
+        // ring owners, exactly like production traffic would.
+        let ring = Ring::new(config);
+        let allocator = ring.allocator().unwrap().id.clone();
+        let alloc_node = nodes.iter().find(|n| n.info().id == allocator).unwrap();
+        let create = CreateRepositoryRequest {
+            policy: policy.to_text(),
+        };
+        let mut req = request("POST", "/v1/repositories", create.encode().into_bytes());
+        let resp = alloc_node.handle(&mut req);
+        assert_eq!(resp.status, 201, "{:?}", resp.body.as_slice());
+        let created =
+            RepositoryCreated::decode(&String::from_utf8_lossy(resp.body.as_slice())).unwrap();
+        Fixture {
+            cluster,
+            nodes,
+            repo: created.id,
+        }
+    }
+
+    impl Fixture {
+        fn primary(&self) -> &ClusterNode {
+            let ring = Ring::new(self.nodes[0].config());
+            let id = ring.owners(&self.repo)[0].id.clone();
+            self.nodes.iter().find(|n| n.info().id == id).unwrap()
+        }
+
+        fn replica(&self, k: usize) -> &ClusterNode {
+            let ring = Ring::new(self.nodes[0].config());
+            let id = ring.owners(&self.repo)[1 + k].id.clone();
+            self.nodes.iter().find(|n| n.info().id == id).unwrap()
+        }
+
+        fn refresh(&self) -> Response {
+            let mut req = request(
+                "POST",
+                &format!("/v1/repositories/{}/refresh", self.repo),
+                Vec::new(),
+            );
+            self.primary().handle(&mut req)
+        }
+    }
+
+    #[test]
+    fn replicated_refresh_commits_on_full_and_majority_quorum() {
+        let fx = fixture();
+        let resp = fx.refresh();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get("x-tsr-cluster-acks").unwrap(), "3");
+        // Every owner now serves the identical signed index.
+        let want = fx.primary().service().fetch_index(&fx.repo).unwrap();
+        for k in 0..2 {
+            assert_eq!(fx.replica(k).service().fetch_index(&fx.repo).unwrap(), want);
+        }
+
+        // One Byzantine replica: its forged ack-vote never agrees with
+        // the primary's ETag, but the honest majority still commits.
+        fx.cluster.set_byzantine(&fx.replica(0).info().id, true);
+        let resp = fx.refresh();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get("x-tsr-cluster-acks").unwrap(), "2");
+
+        // Two Byzantine replicas: the primary's own vote is not a
+        // majority of three, so the refresh does not commit.
+        fx.cluster.set_byzantine(&fx.replica(1).info().id, true);
+        let resp = fx.refresh();
+        assert_eq!(resp.status, 503);
+        let body = String::from_utf8_lossy(resp.body.as_slice()).into_owned();
+        assert!(body.contains("replication_failed"), "{body}");
+    }
+
+    #[test]
+    fn non_primary_owner_redirects_refresh() {
+        let fx = fixture();
+        let mut req = request(
+            "POST",
+            &format!("/v1/repositories/{}/refresh", fx.repo),
+            Vec::new(),
+        );
+        let resp = fx.replica(0).handle(&mut req);
+        assert_eq!(resp.status, 421);
+        let body = String::from_utf8_lossy(resp.body.as_slice()).into_owned();
+        assert!(body.contains(&fx.primary().info().id), "{body}");
+    }
+
+    #[test]
+    fn stale_epoch_push_is_nacked() {
+        let fx = fixture();
+        fx.refresh();
+        let state = fx
+            .primary()
+            .service()
+            .export_replicated_state(&fx.repo)
+            .unwrap();
+        let push = ReplicateRequestDto {
+            epoch: 0, // config is at epoch 1
+            primary: fx.primary().info().id.clone(),
+            state: state_to_dto(&state),
+        };
+        let ack = fx.replica(0).apply_replicate(&push);
+        assert!(!ack.accepted);
+        assert!(ack.detail.contains("stale config epoch"), "{}", ack.detail);
+    }
+
+    #[test]
+    fn config_gossip_adopts_strictly_newer_epochs_only() {
+        let fx = fixture();
+        let node = &fx.nodes[0];
+        let mut newer = node.config();
+        newer.epoch = 2;
+        newer.replication = 1;
+        assert_eq!(node.join(&newer).replication, 1);
+        let mut stale = node.config();
+        stale.epoch = 2; // same epoch: not strictly newer
+        stale.replication = 9;
+        assert_eq!(node.join(&stale).replication, 1);
+        // And over the wire:
+        let mut req = request(
+            "POST",
+            "/v1/cluster/config",
+            {
+                let mut cfg = node.config();
+                cfg.epoch = 3;
+                cfg.replication = 2;
+                cfg
+            }
+            .encode()
+            .into_bytes(),
+        );
+        let resp = node.handle(&mut req);
+        assert_eq!(resp.status, 200);
+        assert_eq!(node.config().epoch, 3);
+    }
+
+    #[test]
+    fn anti_entropy_catches_up_a_dark_replica() {
+        let fx = fixture();
+        fx.refresh();
+        let dark = fx.replica(1).info().id.clone();
+        fx.cluster.crash(&dark);
+        let resp = fx.refresh(); // 2-of-3
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get("x-tsr-cluster-acks").unwrap(), "2");
+        fx.cluster.restart(&dark);
+        let report = fx.replica(1).restart();
+        assert!(report.iter().all(|(_, r)| r.is_ok()));
+        let round = fx.replica(1).anti_entropy();
+        assert_eq!(round.pulled, 1, "{:?}", round.rejections);
+        assert_eq!(round.rejected, 0);
+        assert_eq!(
+            fx.replica(1).service().fetch_index(&fx.repo).unwrap(),
+            fx.primary().service().fetch_index(&fx.repo).unwrap()
+        );
+    }
+}

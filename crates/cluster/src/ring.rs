@@ -1,0 +1,154 @@
+//! Rendezvous (highest-random-weight) shard placement.
+//!
+//! Every node, given the same [`ClusterConfigDto`], computes the same
+//! owner set for a tenant shard with no coordination: score each node
+//! against the shard key with a keyed hash, order by score, and take
+//! the top `1 + replication` nodes — the first is the **primary**, the
+//! rest are read replicas. Adding or removing one node moves only the
+//! shards that hashed onto it (the rendezvous property), unlike modulo
+//! placement which reshuffles almost everything.
+
+use tsr_crypto::Sha256;
+use tsr_wire::{ClusterConfigDto, NodeInfoDto};
+
+/// The reserved shard key whose rendezvous primary acts as the
+/// cluster's tenant-id allocator (serializes `POST /v1/repositories`
+/// so ids stay unique cluster-wide).
+pub const ALLOCATOR_SHARD: &str = "@allocator";
+
+/// The rendezvous score of `node_id` for `shard`: the big-endian first
+/// eight bytes of `SHA-256("tsr-ring\0" shard "\0" node_id)`.
+pub fn rendezvous_score(shard: &str, node_id: &str) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"tsr-ring\0");
+    h.update(shard.as_bytes());
+    h.update(b"\0");
+    h.update(node_id.as_bytes());
+    let digest = h.finalize();
+    u64::from_be_bytes(digest[..8].try_into().expect("digest is 32 bytes"))
+}
+
+/// Shard placement over one epoch of cluster membership.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    config: ClusterConfigDto,
+}
+
+impl Ring {
+    /// A ring over `config` (epoch, replication factor, node list).
+    pub fn new(config: ClusterConfigDto) -> Self {
+        Ring { config }
+    }
+
+    /// The configuration this ring places against.
+    pub fn config(&self) -> &ClusterConfigDto {
+        &self.config
+    }
+
+    /// The owner set for `shard`, primary first, then the
+    /// `replication` read replicas — capped by the cluster size. Ties
+    /// (only possible with duplicate node ids) break toward the
+    /// lexicographically smaller id.
+    pub fn owners(&self, shard: &str) -> Vec<&NodeInfoDto> {
+        let mut scored: Vec<(u64, &NodeInfoDto)> = self
+            .config
+            .nodes
+            .iter()
+            .map(|n| (rendezvous_score(shard, &n.id), n))
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.id.cmp(&b.1.id)));
+        let take = (1 + self.config.replication).min(scored.len());
+        scored.into_iter().take(take).map(|(_, n)| n).collect()
+    }
+
+    /// The primary owner of `shard`, if the cluster is non-empty.
+    pub fn primary(&self, shard: &str) -> Option<&NodeInfoDto> {
+        self.owners(shard).first().copied()
+    }
+
+    /// Whether `node_id` is in the owner set of `shard`.
+    pub fn is_owner(&self, shard: &str, node_id: &str) -> bool {
+        self.owners(shard).iter().any(|n| n.id == node_id)
+    }
+
+    /// The tenant-id allocator node (rendezvous primary of the
+    /// reserved [`ALLOCATOR_SHARD`] key).
+    pub fn allocator(&self) -> Option<&NodeInfoDto> {
+        self.primary(ALLOCATOR_SHARD)
+    }
+
+    /// Acks required to commit a replicated refresh for `shard`: a
+    /// majority of the owner set (2 of 3 at replication factor 2).
+    pub fn quorum(&self, shard: &str) -> usize {
+        self.owners(shard).len() / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: &str, continent: &str) -> NodeInfoDto {
+        NodeInfoDto {
+            id: id.to_string(),
+            base_url: format!("http://{id}.test"),
+            continent: continent.to_string(),
+        }
+    }
+
+    fn config(n: usize, replication: usize) -> ClusterConfigDto {
+        ClusterConfigDto {
+            epoch: 1,
+            replication,
+            nodes: (0..n).map(|i| node(&format!("n{i}"), "EU")).collect(),
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_complete() {
+        let ring = Ring::new(config(5, 2));
+        let a = ring.owners("repo-1");
+        let b = ring.owners("repo-1");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        // Owner ids are distinct.
+        let ids: std::collections::BTreeSet<&str> = a.iter().map(|n| n.id.as_str()).collect();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ring.quorum("repo-1"), 2);
+    }
+
+    #[test]
+    fn replication_caps_at_cluster_size() {
+        let ring = Ring::new(config(2, 4));
+        assert_eq!(ring.owners("repo-1").len(), 2);
+        let solo = Ring::new(config(1, 2));
+        assert_eq!(solo.owners("repo-1").len(), 1);
+        assert_eq!(solo.quorum("repo-1"), 1);
+    }
+
+    #[test]
+    fn removing_a_node_only_moves_its_own_shards() {
+        let full = Ring::new(config(5, 0));
+        let mut smaller = config(5, 0);
+        let gone = smaller.nodes.remove(2).id;
+        let smaller = Ring::new(smaller);
+        for i in 0..50 {
+            let shard = format!("repo-{i}");
+            let before = full.primary(&shard).unwrap().id.clone();
+            let after = smaller.primary(&shard).unwrap().id.clone();
+            if before != gone {
+                assert_eq!(before, after, "shard {shard} moved needlessly");
+            }
+        }
+    }
+
+    #[test]
+    fn shards_spread_across_nodes() {
+        let ring = Ring::new(config(3, 0));
+        let mut hit = std::collections::BTreeSet::new();
+        for i in 0..30 {
+            hit.insert(ring.primary(&format!("repo-{i}")).unwrap().id.clone());
+        }
+        assert_eq!(hit.len(), 3, "30 shards landed on {hit:?} only");
+    }
+}

@@ -79,8 +79,16 @@ impl ApiMetrics {
 
     /// Increments the named event counter.
     pub fn bump(&self, name: &str) {
+        self.bump_by(name, 1);
+    }
+
+    /// Increments the named event counter by `n`.
+    pub fn bump_by(&self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
         let mut map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
-        *map.entry(name.to_string()).or_insert(0) += 1;
+        *map.entry(name.to_string()).or_insert(0) += n;
     }
 
     /// Sets a named counter to an absolute value — used to mirror

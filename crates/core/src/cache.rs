@@ -222,6 +222,24 @@ impl SealedState {
         Ok(enclave.seal(&self.encode()).to_bytes())
     }
 
+    /// Decrypts and authenticates a sealed blob **without** the hardware
+    /// counter check, returning the counter value bound inside it. Used to
+    /// vet replicated seals pushed by cluster peers *before* committing
+    /// anything: a forged blob fails here, so it never reaches the WAL and
+    /// never advances the local TPM counter.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SealedState`] for malformed or undecryptable blobs.
+    pub fn peek(blob_bytes: &[u8], enclave: &Enclave<'_>) -> Result<u64, CoreError> {
+        let blob = SealedBlob::from_bytes(blob_bytes)
+            .ok_or_else(|| CoreError::SealedState("malformed sealed blob".into()))?;
+        let plain = enclave
+            .unseal(&blob)
+            .map_err(|e| CoreError::SealedState(e.to_string()))?;
+        Ok(Self::decode(&plain)?.counter)
+    }
+
     /// Unseals and validates state after a restart: the sealed counter must
     /// equal the current hardware counter, otherwise an adversary replaced
     /// the sealed file with an older one.

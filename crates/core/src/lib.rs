@@ -45,4 +45,4 @@ pub use parallel::{default_workers, parallel_map_ordered};
 pub use policy::{InitConfigFile, MirrorRef, Policy};
 pub use repository::{RefreshReport, TsrRepository};
 pub use sanitizer::{PackageSanitizer, PhaseTimings, SanitizeRecord};
-pub use service::{ApiOptions, TsrService};
+pub use service::{ApiOptions, ReplicatedState, TsrService, DEFAULT_HOT_BLOB_BUDGET};

@@ -189,12 +189,14 @@ impl Policy {
                 out.push_str(&format!("      {line}\n"));
             }
         }
-        out.push_str("init_config_files:\n");
-        for fcfg in &self.init_config_files {
-            out.push_str(&format!("  - path: {}\n", fcfg.path));
-            out.push_str("    content: |-\n");
-            for line in fcfg.content.lines() {
-                out.push_str(&format!("      {line}\n"));
+        if !self.init_config_files.is_empty() {
+            out.push_str("init_config_files:\n");
+            for fcfg in &self.init_config_files {
+                out.push_str(&format!("  - path: {}\n", fcfg.path));
+                out.push_str("    content: |-\n");
+                for line in fcfg.content.lines() {
+                    out.push_str(&format!("      {line}\n"));
+                }
             }
         }
         out.push_str(&format!("f: {}\n", self.f));
@@ -571,6 +573,12 @@ mod tests {
     fn roundtrip_through_to_text() {
         let p = Policy::parse(&sample_policy_text()).unwrap();
         let p2 = Policy::parse(&p.to_text()).unwrap();
+        // No-config-files policies round-trip too (the header must be
+        // omitted when the list is empty, or re-parsing fails).
+        let mut bare = p.clone();
+        bare.init_config_files.clear();
+        let bare2 = Policy::parse(&bare.to_text()).unwrap();
+        assert!(bare2.init_config_files.is_empty());
         assert_eq!(p, p2);
     }
 

@@ -83,7 +83,16 @@ struct SharedState {
     /// same shard-locked mutation points, so a stale blob can be
     /// *stored* (a benign race) but never *served*. Like `index_etags`,
     /// a leaf lock: never held while acquiring any other lock.
+    ///
+    /// Bounded by `hot_blob_budget`: when the summed blob bytes exceed
+    /// the budget, whole per-repository entries are evicted oldest-write
+    /// first (the `hot_blob_evictions` metrics counter tracks how many).
     hot_blobs: RwLock<BTreeMap<String, HotBlobs>>,
+    /// Byte cap for the summed `hot_blobs` payloads.
+    hot_blob_budget: AtomicUsize,
+    /// Monotonic write clock stamping `hot_blobs` entries for eviction
+    /// ordering.
+    hot_blob_clock: AtomicU64,
     /// The durable storage engine (WAL + content-addressed blobs), when
     /// the service was opened over one ([`TsrService::with_store`]).
     /// A leaf lock in the hierarchy, like `tpm`: taken while holding a
@@ -103,6 +112,44 @@ struct HotBlobs {
     index: Option<Arc<[u8]>>,
     /// Package name → (package ETag, sanitized blob).
     packages: BTreeMap<String, (String, Arc<[u8]>)>,
+    /// Summed payload bytes of `index` + `packages` (budget accounting).
+    bytes: usize,
+    /// Last-write stamp from `SharedState::hot_blob_clock` (eviction
+    /// order: oldest stamp goes first).
+    stamp: u64,
+}
+
+/// Default [`TsrService::set_hot_blob_budget`] cap: generous for the
+/// single-digit-tenant test worlds, small enough that a many-tenant
+/// deployment cannot pin every tenant's index and packages forever.
+pub const DEFAULT_HOT_BLOB_BUDGET: usize = 64 << 20;
+
+/// The full replicable state of one repository — everything a peer node
+/// needs to host a byte-identical copy: the policy, the index texts, the
+/// package blob references (with bytes), and the TPM-bound seal. Produced
+/// by [`TsrService::export_replicated_state`], consumed by
+/// [`TsrService::apply_replicated_state`]; `tsr-cluster` maps it onto the
+/// `/v1/cluster/*` wire DTOs.
+#[derive(Debug, Clone)]
+pub struct ReplicatedState {
+    /// Repository id.
+    pub id: String,
+    /// The deployed policy document.
+    pub policy_text: String,
+    /// Upstream index text (empty before the first refresh).
+    pub upstream_index: String,
+    /// Sanitized index text (empty before the first refresh).
+    pub sanitized_index: String,
+    /// Per-package `(name, original hash, sanitized hash)` blob refs.
+    pub packages: Vec<(String, String, String)>,
+    /// The TPM-bound sealed metadata blob (empty before the first seal).
+    pub sealed: Vec<u8>,
+    /// The monotonic-counter value bound into `sealed`.
+    pub seal_counter: u64,
+    /// ETag of the signed sanitized index (the replication vote value).
+    pub index_etag: String,
+    /// Content-addressed blob payloads, `(hex hash, bytes)`.
+    pub blobs: Vec<(String, Arc<[u8]>)>,
 }
 
 /// The multi-tenant TSR service.
@@ -177,6 +224,8 @@ impl TsrService {
                 metrics: ApiMetrics::default(),
                 index_etags: RwLock::new(BTreeMap::new()),
                 hot_blobs: RwLock::new(BTreeMap::new()),
+                hot_blob_budget: AtomicUsize::new(DEFAULT_HOT_BLOB_BUDGET),
+                hot_blob_clock: AtomicU64::new(0),
                 store,
             }),
             repos: Arc::new(RwLock::new(BTreeMap::new())),
@@ -541,6 +590,259 @@ impl TsrService {
             .collect()
     }
 
+    /// Sets the byte budget of the zero-copy hot-blob cache (default
+    /// [`DEFAULT_HOT_BLOB_BUDGET`]). A smaller budget takes effect at the
+    /// next blob store; it does not synchronously shrink the cache.
+    pub fn set_hot_blob_budget(&self, bytes: usize) {
+        self.shared.hot_blob_budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Exports the full replicable state of one repository: policy,
+    /// index texts, per-package blob references with the blob bytes, the
+    /// TPM-bound sealed metadata, and its counter value. This is what a
+    /// cluster primary pushes to replicas after a refresh (and what
+    /// anti-entropy serves); [`Self::apply_replicated_state`] is the
+    /// inverse.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown ids; [`CoreError::SealedState`]
+    /// when the TPM counter cannot be read.
+    pub fn export_replicated_state(&self, id: &str) -> Result<ReplicatedState, CoreError> {
+        let shard = self.repo(id)?;
+        let repo = lock(&shard);
+        let upstream = repo.upstream_index();
+        let sanitized = repo.sanitized_index();
+        let mut packages = Vec::new();
+        let mut blobs: Vec<(String, Arc<[u8]>)> = Vec::new();
+        let mut have = std::collections::BTreeSet::new();
+        if let Some(up) = upstream {
+            for entry in up.iter() {
+                // Policy-excluded packages were never downloaded.
+                let Some((orig, _)) = repo.cache().read_original_shared(&entry.name) else {
+                    continue;
+                };
+                if have.insert(entry.content_hash.clone()) {
+                    blobs.push((entry.content_hash.clone(), orig));
+                }
+                let shash = sanitized
+                    .and_then(|idx| idx.get(&entry.name))
+                    .map(|e| e.content_hash.clone())
+                    .unwrap_or_default();
+                if !shash.is_empty() && have.insert(shash.clone()) {
+                    if let Some((san, _)) = repo.cache().read_sanitized_shared(&entry.name) {
+                        blobs.push((shash.clone(), san));
+                    }
+                }
+                packages.push((entry.name.clone(), entry.content_hash.clone(), shash));
+            }
+        }
+        let sealed = repo.sealed_disk().map(<[u8]>::to_vec).unwrap_or_default();
+        let seal_counter = if sealed.is_empty() {
+            0
+        } else {
+            // Lock order `repository → tpm`.
+            lock(&self.shared.tpm)
+                .read_counter(repo.counter_id())
+                .map_err(seal_err)?
+        };
+        Ok(ReplicatedState {
+            id: id.to_string(),
+            policy_text: repo.policy().to_text(),
+            upstream_index: upstream.map(tsr_apk::Index::to_text).unwrap_or_default(),
+            sanitized_index: sanitized.map(tsr_apk::Index::to_text).unwrap_or_default(),
+            packages,
+            sealed,
+            seal_counter,
+            index_etag: repo.signed_index_etag().unwrap_or_default().to_string(),
+            blobs,
+        })
+    }
+
+    /// Applies a replicated repository state pushed by a cluster primary
+    /// (or pulled by anti-entropy), returning the ETag of the signed
+    /// index this node now serves for the repository.
+    ///
+    /// The state is applied through the same machinery as crash
+    /// recovery: blob hashes are verified, the WAL records the refresh
+    /// *before* it becomes observable, the sealed blob is installed, the
+    /// local TPM monotonic counter is replayed up to the seal value, and
+    /// the metadata is unsealed and re-signed with the deterministically
+    /// derived repository key — so an identical platform seed yields a
+    /// byte-identical signed index, and a forged or tampered seal fails
+    /// to decrypt.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Policy`] for unparsable policies,
+    /// [`CoreError::SealedState`] for blob-hash mismatches or seals that
+    /// do not unseal, [`CoreError::RollbackDetected`] when the pushed
+    /// seal counter is older than what this node already holds.
+    pub fn apply_replicated_state(&self, state: &ReplicatedState) -> Result<String, CoreError> {
+        let policy = Policy::parse(&state.policy_text)?;
+        for (hash, blob) in &state.blobs {
+            let actual = hex::to_hex(&tsr_crypto::Sha256::digest(blob));
+            if actual != *hash {
+                return Err(CoreError::SealedState(format!(
+                    "replicated blob {hash} hash mismatch"
+                )));
+            }
+        }
+        let existing = self
+            .repos
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&state.id)
+            .cloned();
+        let enclave = self.shared.cpu.load_enclave(ENCLAVE_CODE);
+        let is_new = existing.is_none();
+        let shard = match existing {
+            Some(shard) => shard,
+            None => {
+                let repo = {
+                    let mut tpm = lock(&self.shared.tpm);
+                    TsrRepository::init(
+                        state.id.clone(),
+                        policy,
+                        &enclave,
+                        &mut tpm,
+                        self.shared.key_bits,
+                    )
+                };
+                Arc::new(Mutex::new(repo))
+            }
+        };
+        let mut repo = lock(&shard);
+        {
+            // Rollback guard: a replica never moves its counter backwards.
+            let tpm = lock(&self.shared.tpm);
+            let current = tpm.read_counter(repo.counter_id()).map_err(seal_err)?;
+            if state.seal_counter < current {
+                return Err(CoreError::RollbackDetected(format!(
+                    "replicated seal counter {} behind local {current}",
+                    state.seal_counter
+                )));
+            }
+        }
+        // Vet the pushed seal before committing anything: it must
+        // authenticate under the shared platform sealing key and bind
+        // exactly the counter the sender claims. Without this, a forged
+        // seal would be WAL-logged and the TPM counter pumped to the
+        // forged value before `restore` failed — leaving the node
+        // serving poison to its peers and rejecting honest state as
+        // stale forever.
+        if !state.sealed.is_empty() {
+            let bound = crate::cache::SealedState::peek(&state.sealed, &enclave)?;
+            if bound != state.seal_counter {
+                return Err(CoreError::SealedState(format!(
+                    "replicated seal binds counter {bound}, sender claims {}",
+                    state.seal_counter
+                )));
+            }
+        }
+        // Durable before observable, exactly like a local refresh.
+        self.store_replicated(state, is_new)?;
+        if !state.sealed.is_empty() {
+            repo.set_sealed_disk(state.sealed.clone());
+            let tpm = {
+                let mut tpm = lock(&self.shared.tpm);
+                let cid = repo.counter_id();
+                while tpm.read_counter(cid).map_err(seal_err)? < state.seal_counter {
+                    tpm.increment_counter(cid).map_err(seal_err)?;
+                }
+                tpm
+            };
+            repo.restore(&enclave, &tpm)?;
+            drop(tpm);
+            let pushed: BTreeMap<&str, &Arc<[u8]>> =
+                state.blobs.iter().map(|(h, b)| (h.as_str(), b)).collect();
+            for (name, ohash, shash) in &state.packages {
+                if let Some(blob) = self.replicated_blob(&pushed, ohash)? {
+                    repo.cache_mut().store_original(name, blob);
+                }
+                if !shash.is_empty() {
+                    if let Some(blob) = self.replicated_blob(&pushed, shash)? {
+                        repo.cache_mut().store_sanitized(name, blob);
+                    }
+                }
+            }
+        }
+        let etag = repo.signed_index_etag().unwrap_or_default().to_string();
+        if is_new {
+            self.repos
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(state.id.clone(), Arc::clone(&shard));
+        }
+        self.sync_index_etag(&state.id, &repo);
+        self.shared.metrics.bump("cluster_replicated_applies");
+        Ok(etag)
+    }
+
+    /// Resolves one content-addressed blob during a replicated apply:
+    /// pushed bytes win, the local blob store covers hashes the sender
+    /// skipped, and a miss in both is fine (the package re-downloads on
+    /// the next refresh).
+    fn replicated_blob(
+        &self,
+        pushed: &BTreeMap<&str, &Arc<[u8]>>,
+        hash: &str,
+    ) -> Result<Option<Arc<[u8]>>, CoreError> {
+        if let Some(blob) = pushed.get(hash) {
+            return Ok(Some(Arc::clone(blob)));
+        }
+        let Some(store) = &self.shared.store else {
+            return Ok(None);
+        };
+        let mut eng = lock(store);
+        if !eng.has_blob(hash) {
+            return Ok(None);
+        }
+        eng.get_blob(hash).map(Some).map_err(store_err)
+    }
+
+    /// Makes a replicated apply durable: logs creation (for new
+    /// repositories), writes the pushed blobs into the content-addressed
+    /// store, and logs the refresh + seal — the same records a local
+    /// refresh appends.
+    fn store_replicated(&self, state: &ReplicatedState, is_new: bool) -> Result<(), CoreError> {
+        let Some(store) = &self.shared.store else {
+            return Ok(());
+        };
+        let mut eng = lock(store);
+        if is_new {
+            eng.append(&WalRecord::RepoCreated {
+                id: state.id.clone(),
+                policy_text: state.policy_text.clone(),
+            })
+            .map_err(store_err)?;
+        }
+        for (hash, blob) in &state.blobs {
+            if !eng.has_blob(hash) {
+                eng.put_blob_shared(blob).map_err(store_err)?;
+            }
+        }
+        if !state.sealed.is_empty() {
+            eng.append(&WalRecord::RefreshApplied {
+                id: state.id.clone(),
+                upstream_index: state.upstream_index.clone(),
+                sanitized_index: state.sanitized_index.clone(),
+                packages: state.packages.clone(),
+            })
+            .map_err(store_err)?;
+            eng.append(&WalRecord::SealUpdated {
+                id: state.id.clone(),
+                sealed: state.sealed.clone(),
+                counter: state.seal_counter,
+            })
+            .map_err(store_err)?;
+        }
+        let counters = eng.counters();
+        drop(eng);
+        self.mirror_store_counters(counters);
+        Ok(())
+    }
+
     /// Fetches the signed sanitized index of a repository.
     ///
     /// # Errors
@@ -603,6 +905,25 @@ impl TsrService {
             .keys()
             .cloned()
             .collect()
+    }
+
+    /// Per-repository replication digest: `(id, signed-index ETag, seal
+    /// counter)` for every hosted tenant — what a cluster node
+    /// advertises during anti-entropy. Cheap relative to
+    /// [`Self::export_replicated_state`]: no index texts, no blobs.
+    pub fn replication_digest(&self) -> Vec<(String, String, u64)> {
+        let mut out = Vec::new();
+        for id in self.repository_ids() {
+            let Ok(shard) = self.repo(&id) else { continue };
+            let repo = lock(&shard);
+            let etag = repo.signed_index_etag().unwrap_or_default().to_string();
+            // Lock order `repository → tpm`.
+            let counter = lock(&self.shared.tpm)
+                .read_counter(repo.counter_id())
+                .unwrap_or(0);
+            out.push((id, etag, counter));
+        }
+        out
     }
 
     /// Deletes a repository, dropping its shard (the TPM counter is
@@ -738,13 +1059,28 @@ impl TsrService {
         if self.cached_index_etag(id).as_deref() != Some(index_etag) {
             return;
         }
-        let mut blobs = self
-            .shared
-            .hot_blobs
-            .write()
-            .unwrap_or_else(PoisonError::into_inner);
-        let entry = Self::hot_entry(&mut blobs, id, index_etag);
-        entry.index = Some(blob);
+        let stamp = self.shared.hot_blob_clock.fetch_add(1, Ordering::Relaxed);
+        let budget = self.shared.hot_blob_budget.load(Ordering::Relaxed);
+        let evicted = {
+            let mut blobs = self
+                .shared
+                .hot_blobs
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            let entry = Self::hot_entry(&mut blobs, id, index_etag);
+            if let Some(old) = entry.index.take() {
+                entry.bytes -= old.len();
+            }
+            entry.bytes += blob.len();
+            entry.index = Some(blob);
+            entry.stamp = stamp;
+            Self::enforce_hot_blob_budget(&mut blobs, budget, id)
+        };
+        // The counter is bumped after the leaf lock is released (the
+        // metrics mutex must never nest under it).
+        self.shared
+            .metrics
+            .bump_by("hot_blob_evictions", evicted as u64);
     }
 
     /// Caches one package blob (with its own ETag) under `index_etag`.
@@ -759,15 +1095,56 @@ impl TsrService {
         if self.cached_index_etag(id).as_deref() != Some(index_etag) {
             return;
         }
-        let mut blobs = self
-            .shared
-            .hot_blobs
-            .write()
-            .unwrap_or_else(PoisonError::into_inner);
-        let entry = Self::hot_entry(&mut blobs, id, index_etag);
-        entry
-            .packages
-            .insert(name.to_string(), (pkg_etag.to_string(), blob));
+        let stamp = self.shared.hot_blob_clock.fetch_add(1, Ordering::Relaxed);
+        let budget = self.shared.hot_blob_budget.load(Ordering::Relaxed);
+        let evicted = {
+            let mut blobs = self
+                .shared
+                .hot_blobs
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            let entry = Self::hot_entry(&mut blobs, id, index_etag);
+            if let Some((_, old)) = entry
+                .packages
+                .insert(name.to_string(), (pkg_etag.to_string(), Arc::clone(&blob)))
+            {
+                entry.bytes -= old.len();
+            }
+            entry.bytes += blob.len();
+            entry.stamp = stamp;
+            Self::enforce_hot_blob_budget(&mut blobs, budget, id)
+        };
+        self.shared
+            .metrics
+            .bump_by("hot_blob_evictions", evicted as u64);
+    }
+
+    /// Evicts whole per-repository hot-blob entries — oldest write stamp
+    /// first — until the summed payload fits `budget`. The entry just
+    /// written (`keep`) is never evicted, so a single oversized tenant
+    /// still serves zero-copy. Returns the number of entries evicted.
+    fn enforce_hot_blob_budget(
+        blobs: &mut BTreeMap<String, HotBlobs>,
+        budget: usize,
+        keep: &str,
+    ) -> usize {
+        let mut total: usize = blobs.values().map(|h| h.bytes).sum();
+        let mut evicted = 0usize;
+        while total > budget {
+            let Some(oldest) = blobs
+                .iter()
+                .filter(|(id, _)| id.as_str() != keep)
+                .min_by_key(|(_, h)| h.stamp)
+                .map(|(id, _)| id.clone())
+            else {
+                break;
+            };
+            if let Some(entry) = blobs.remove(&oldest) {
+                total -= entry.bytes;
+            }
+            evicted += 1;
+        }
+        evicted
     }
 
     /// The hot-blob entry for `id` at version `index_etag`, resetting it
@@ -781,12 +1158,16 @@ impl TsrService {
             index_etag: index_etag.to_string(),
             index: None,
             packages: BTreeMap::new(),
+            bytes: 0,
+            stamp: 0,
         });
         if entry.index_etag != index_etag {
             *entry = HotBlobs {
                 index_etag: index_etag.to_string(),
                 index: None,
                 packages: BTreeMap::new(),
+                bytes: 0,
+                stamp: entry.stamp,
             };
         }
         entry
@@ -1116,6 +1497,165 @@ mod tests {
         svc.delete_repository(&id).unwrap();
         assert!(svc.cached_hot_index(&id).is_none());
         assert!(svc.cached_hot_package(&id, "tool").is_none());
+    }
+
+    #[test]
+    fn hot_blob_budget_evicts_oldest_tenant() {
+        let svc = service();
+        let (id1, _) = svc.create_repository(&policy_text()).unwrap();
+        let (id2, _) = svc.create_repository(&policy_text()).unwrap();
+        svc.refresh(&id1).unwrap();
+        svc.refresh(&id2).unwrap();
+        svc.set_hot_blob_budget(64);
+        let etag1 = svc.cached_index_etag(&id1).unwrap();
+        let etag2 = svc.cached_index_etag(&id2).unwrap();
+        svc.store_hot_index(&id1, &etag1, Arc::from(vec![1u8; 48].into_boxed_slice()));
+        assert!(svc.cached_hot_index(&id1).is_some());
+        assert_eq!(svc.api_metrics().counter("hot_blob_evictions"), 0);
+        // Storing tenant 2 pushes the total over the 64-byte budget: the
+        // oldest entry (tenant 1) goes, never the one just written.
+        svc.store_hot_index(&id2, &etag2, Arc::from(vec![2u8; 48].into_boxed_slice()));
+        assert!(svc.cached_hot_index(&id1).is_none(), "oldest evicted");
+        assert!(svc.cached_hot_index(&id2).is_some(), "newest kept");
+        assert_eq!(svc.api_metrics().counter("hot_blob_evictions"), 1);
+        // An oversized single tenant still serves zero-copy.
+        svc.store_hot_index(&id2, &etag2, Arc::from(vec![3u8; 4096].into_boxed_slice()));
+        assert!(svc.cached_hot_index(&id2).is_some());
+    }
+
+    #[test]
+    fn replicated_state_applies_byte_identically_on_a_peer() {
+        let primary = service();
+        let (id, _) = primary.create_repository(&policy_text()).unwrap();
+        primary.refresh(&id).unwrap();
+        let index = primary.fetch_index(&id).unwrap();
+        let pkg = primary.fetch_package(&id, "tool").unwrap();
+        let state = primary.export_replicated_state(&id).unwrap();
+        assert!(!state.sealed.is_empty());
+        assert!(state.seal_counter > 0);
+        assert!(!state.blobs.is_empty());
+
+        // The replica shares the platform seed (one logical fleet
+        // identity) and runs over a durable store of its own.
+        let fs = Arc::new(Mutex::new(tsr_simfs::SimFs::new()));
+        let (replica, _) = TsrService::with_store(
+            b"svc-test",
+            mirrors(),
+            LatencyModel::default(),
+            1024,
+            sim_backend(&fs),
+        )
+        .unwrap();
+        let etag = replica.apply_replicated_state(&state).unwrap();
+        assert_eq!(etag, state.index_etag);
+        assert_eq!(replica.fetch_index(&id).unwrap(), index, "byte-identical");
+        assert_eq!(replica.fetch_package(&id, "tool").unwrap(), pkg);
+        assert_eq!(
+            replica.cached_index_etag(&id).as_deref(),
+            Some(etag.as_str())
+        );
+
+        // Re-applying the same state is idempotent…
+        assert_eq!(replica.apply_replicated_state(&state).unwrap(), etag);
+        // …and the replicated state survives a replica crash-restart.
+        drop(replica);
+        let (recovered, _) = TsrService::with_store(
+            b"svc-test",
+            mirrors(),
+            LatencyModel::default(),
+            1024,
+            sim_backend(&fs),
+        )
+        .unwrap();
+        assert_eq!(recovered.fetch_index(&id).unwrap(), index);
+        assert_eq!(recovered.fetch_package(&id, "tool").unwrap(), pkg);
+    }
+
+    #[test]
+    fn stale_or_tampered_replicated_state_is_rejected() {
+        let primary = service();
+        let (id, _) = primary.create_repository(&policy_text()).unwrap();
+        primary.refresh(&id).unwrap();
+        let old = primary.export_replicated_state(&id).unwrap();
+        primary.refresh(&id).unwrap();
+        let fresh = primary.export_replicated_state(&id).unwrap();
+        assert!(fresh.seal_counter > old.seal_counter);
+
+        let replica = service();
+        replica.apply_replicated_state(&fresh).unwrap();
+        // Replaying the older seal is a rollback.
+        assert!(matches!(
+            replica.apply_replicated_state(&old),
+            Err(CoreError::RollbackDetected(_))
+        ));
+        // A tampered blob payload never reaches the cache or the store.
+        let mut tampered = fresh.clone();
+        tampered.blobs[0].1 = Arc::from(b"evil".to_vec().into_boxed_slice());
+        let peer = service();
+        assert!(matches!(
+            peer.apply_replicated_state(&tampered),
+            Err(CoreError::SealedState(_))
+        ));
+    }
+
+    #[test]
+    fn forged_replicated_seal_leaves_no_side_effects() {
+        let primary = service();
+        let (id, _) = primary.create_repository(&policy_text()).unwrap();
+        primary.refresh(&id).unwrap();
+        let honest = primary.export_replicated_state(&id).unwrap();
+
+        let replica = service();
+        replica.apply_replicated_state(&honest).unwrap();
+        let index = replica.fetch_index(&id).unwrap();
+        let counter_before = replica
+            .replication_digest()
+            .into_iter()
+            .find(|(r, _, _)| r == &id)
+            .map(|(_, _, c)| c)
+            .unwrap();
+
+        // A Byzantine peer forges the sealed bytes AND inflates the
+        // counter, hoping the replica pumps its TPM chasing the claim.
+        let mut forged = honest.clone();
+        for b in &mut forged.sealed {
+            *b ^= 0x5a;
+        }
+        forged.seal_counter += 1_000;
+        assert!(matches!(
+            replica.apply_replicated_state(&forged),
+            Err(CoreError::SealedState(_))
+        ));
+
+        // The rejection is side-effect free: same counter (no TPM
+        // pump), same served index, and honest state still applies —
+        // nothing stale-looking, nothing poisoned on disk.
+        let counter_after = replica
+            .replication_digest()
+            .into_iter()
+            .find(|(r, _, _)| r == &id)
+            .map(|(_, _, c)| c)
+            .unwrap();
+        assert_eq!(counter_before, counter_after, "TPM counter was pumped");
+        assert_eq!(replica.fetch_index(&id).unwrap(), index);
+        let honest_mac_forged_counter = {
+            let mut s = honest.clone();
+            s.seal_counter += 1;
+            s
+        };
+        // A valid seal whose claimed counter disagrees with the bound
+        // one is equally rejected before any commit.
+        assert!(matches!(
+            replica.apply_replicated_state(&honest_mac_forged_counter),
+            Err(CoreError::SealedState(_))
+        ));
+        primary.refresh(&id).unwrap();
+        let next = primary.export_replicated_state(&id).unwrap();
+        replica.apply_replicated_state(&next).unwrap();
+        assert_eq!(
+            replica.fetch_index(&id).unwrap(),
+            primary.fetch_index(&id).unwrap()
+        );
     }
 
     #[test]

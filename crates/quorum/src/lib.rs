@@ -107,6 +107,80 @@ impl Default for QuorumConfig {
     }
 }
 
+/// Deduplicating, equivocation-rejecting vote counter shared by the
+/// mirror quorum read and `tsr-cluster`'s replica ack tally.
+///
+/// Each voter (a mirror name, a node id) gets exactly one counted vote,
+/// keyed by the SHA-256 of the value it votes for. Re-casting the same
+/// value is idempotent; casting a *different* value is equivocation — the
+/// earlier vote is withdrawn and the voter is disqualified outright, so a
+/// Byzantine participant cannot help several values toward quorum.
+#[derive(Debug, Default, Clone)]
+pub struct BallotBox {
+    /// voter → value key voted for; `None` marks a disqualified equivocator.
+    voters: BTreeMap<String, Option<String>>,
+    /// value key → (counted votes, value bytes).
+    tally: BTreeMap<String, (usize, Vec<u8>)>,
+}
+
+impl BallotBox {
+    /// An empty ballot box.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Casts `voter`'s vote for `value`. Returns `true` when the vote
+    /// counted (first vote by this voter); duplicate and equivocating
+    /// casts return `false`.
+    pub fn cast(&mut self, voter: &str, value: &[u8]) -> bool {
+        let key = hex::to_hex(&Sha256::digest(value));
+        match self.voters.get(voter) {
+            Some(None) => false,
+            Some(Some(prev)) if *prev == key => false,
+            Some(Some(prev)) => {
+                if let Some(entry) = self.tally.get_mut(prev) {
+                    entry.0 = entry.0.saturating_sub(1);
+                }
+                self.voters.insert(voter.to_string(), None);
+                false
+            }
+            None => {
+                self.voters.insert(voter.to_string(), Some(key.clone()));
+                let entry = self.tally.entry(key).or_insert_with(|| (0, value.to_vec()));
+                entry.0 += 1;
+                true
+            }
+        }
+    }
+
+    /// The first value (in deterministic key order) with at least
+    /// `quorum` counted votes, as `(agreement, value bytes)`.
+    #[must_use]
+    pub fn winner(&self, quorum: usize) -> Option<(usize, &[u8])> {
+        self.tally
+            .values()
+            .find(|(count, _)| *count >= quorum)
+            .map(|(count, value)| (*count, value.as_slice()))
+    }
+
+    /// The largest agreement any value has achieved.
+    #[must_use]
+    pub fn best_agreement(&self) -> usize {
+        self.tally
+            .values()
+            .map(|(count, _)| *count)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of voters whose vote currently counts (equivocators excluded).
+    #[must_use]
+    pub fn counted_voters(&self) -> usize {
+        self.voters.values().filter(|v| v.is_some()).count()
+    }
+}
+
 /// Result of a successful quorum read.
 #[derive(Debug, Clone)]
 pub struct QuorumOutcome {
@@ -161,8 +235,7 @@ pub fn read_index_quorum(
         });
     }
 
-    // votes: blob-hash → (count, blob)
-    let mut votes: BTreeMap<String, (usize, Vec<u8>)> = BTreeMap::new();
+    let mut ballots = BallotBox::new();
     let mut contacted = 0usize;
     let mut elapsed = Duration::ZERO;
 
@@ -172,7 +245,14 @@ pub fn read_index_quorum(
     let first_wave = config.f + 1;
     let mut wave_max = Duration::ZERO;
     for &i in order.iter().take(first_wave) {
-        let lat = contact(&mirrors[i], config, model, rng, &mut votes, trusted_signers);
+        let lat = contact(
+            &mirrors[i],
+            config,
+            model,
+            rng,
+            &mut ballots,
+            trusted_signers,
+        );
         wave_max = wave_max.max(lat);
         if !config.parallel_first_wave {
             elapsed += lat;
@@ -186,9 +266,8 @@ pub fn read_index_quorum(
     let quorum = config.f + 1;
     let mut rest = order.iter().skip(first_wave);
     loop {
-        if let Some((_, (count, blob))) = votes.iter().find(|(_, (c, _))| *c >= quorum) {
-            let agreement = *count;
-            let raw = blob.clone();
+        if let Some((agreement, blob)) = ballots.winner(quorum) {
+            let raw = blob.to_vec();
             let index = Index::parse_signed(&raw, trusted_signers)?;
             return Ok(QuorumOutcome {
                 index,
@@ -200,13 +279,19 @@ pub fn read_index_quorum(
         }
         // Escalate sequentially to the next-fastest mirror.
         let Some(&i) = rest.next() else {
-            let best = votes.values().map(|(c, _)| *c).max().unwrap_or(0);
             return Err(QuorumError::NoQuorum {
                 contacted,
-                best_agreement: best,
+                best_agreement: ballots.best_agreement(),
             });
         };
-        elapsed += contact(&mirrors[i], config, model, rng, &mut votes, trusted_signers);
+        elapsed += contact(
+            &mirrors[i],
+            config,
+            model,
+            rng,
+            &mut ballots,
+            trusted_signers,
+        );
         contacted += 1;
     }
 }
@@ -218,7 +303,7 @@ fn contact(
     config: &QuorumConfig,
     model: &LatencyModel,
     rng: &mut HmacDrbg,
-    votes: &mut BTreeMap<String, (usize, Vec<u8>)>,
+    ballots: &mut BallotBox,
     trusted_signers: &[(String, RsaPublicKey)],
 ) -> Duration {
     let (res, transfer) = mirror.fetch_index_timed(model, config.observer, rng, config.timeout);
@@ -230,8 +315,7 @@ fn contact(
     }
     if let Ok(blob) = res {
         if Index::parse_signed(&blob, trusted_signers).is_ok() {
-            let h = hex::to_hex(&Sha256::digest(&blob));
-            votes.entry(h).or_insert((0, blob)).0 += 1;
+            ballots.cast(&mirror.name, &blob);
         }
     }
     (setup + transfer).min(config.timeout)
@@ -334,6 +418,46 @@ mod tests {
             timeout: Duration::from_secs(1),
             ..QuorumConfig::default()
         }
+    }
+
+    #[test]
+    fn ballot_box_counts_distinct_voters() {
+        let mut b = BallotBox::new();
+        assert!(b.cast("a", b"v1"));
+        assert!(b.cast("b", b"v1"));
+        assert!(b.cast("c", b"v2"));
+        assert_eq!(b.counted_voters(), 3);
+        assert_eq!(b.best_agreement(), 2);
+        let (agreement, value) = b.winner(2).expect("v1 reaches quorum");
+        assert_eq!(agreement, 2);
+        assert_eq!(value, b"v1");
+        assert!(b.winner(3).is_none());
+    }
+
+    #[test]
+    fn ballot_box_duplicate_vote_is_idempotent() {
+        let mut b = BallotBox::new();
+        assert!(b.cast("a", b"v1"));
+        assert!(!b.cast("a", b"v1"));
+        assert!(!b.cast("a", b"v1"));
+        assert_eq!(b.best_agreement(), 1);
+        assert!(b.winner(2).is_none(), "one voter can never self-quorum");
+    }
+
+    #[test]
+    fn ballot_box_equivocation_withdraws_and_disqualifies() {
+        let mut b = BallotBox::new();
+        assert!(b.cast("byz", b"v1"));
+        assert!(b.cast("honest", b"v1"));
+        // Equivocation: the earlier v1 vote is withdrawn…
+        assert!(!b.cast("byz", b"v2"));
+        assert_eq!(b.best_agreement(), 1);
+        assert_eq!(b.counted_voters(), 1);
+        // …and the voter stays disqualified for good.
+        assert!(!b.cast("byz", b"v1"));
+        assert!(!b.cast("byz", b"v3"));
+        assert_eq!(b.best_agreement(), 1);
+        assert!(b.winner(2).is_none());
     }
 
     #[test]

@@ -47,9 +47,51 @@ pub trait StoreBackend: Send {
     /// True when a file exists at `path`.
     fn exists(&self, path: &str) -> bool;
 
+    /// The size in bytes of the file at `path`.
+    ///
+    /// The default falls back to a whole-file [`StoreBackend::read`];
+    /// backends should override it with a metadata lookup so callers can
+    /// size buffers without materializing the file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Backend`] when the file does not exist.
+    fn file_len(&self, path: &str) -> Result<u64, StoreError> {
+        Ok(self.read(path)?.len() as u64)
+    }
+
+    /// Reads up to `buf.len()` bytes starting at `offset` into `buf`,
+    /// returning how many bytes were read (0 only at end of file). The
+    /// engine streams blob loads through this in bounded chunks instead
+    /// of buffering each file whole.
+    ///
+    /// The default falls back to a whole-file [`StoreBackend::read`];
+    /// backends should override it with a ranged read.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Backend`] when the file does not exist or cannot be
+    /// read.
+    fn read_at(&self, path: &str, offset: u64, buf: &mut [u8]) -> Result<usize, StoreError> {
+        let bytes = self.read(path)?;
+        Ok(copy_range(&bytes, offset, buf))
+    }
+
     /// Downcast hook so tests and fault injectors can reach the
     /// concrete backend behind a `Box<dyn StoreBackend>`.
     fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Copies the slice of `bytes` starting at `offset` into `buf`,
+/// returning the number of bytes copied (0 when `offset` is at or past
+/// the end).
+pub(crate) fn copy_range(bytes: &[u8], offset: u64, buf: &mut [u8]) -> usize {
+    let start = usize::try_from(offset)
+        .unwrap_or(usize::MAX)
+        .min(bytes.len());
+    let n = (bytes.len() - start).min(buf.len());
+    buf[..n].copy_from_slice(&bytes[start..start + n]);
+    n
 }
 
 /// An in-memory backend (unit tests, doctests, throwaway engines).
@@ -103,6 +145,21 @@ impl StoreBackend for MemBackend {
 
     fn exists(&self, path: &str) -> bool {
         self.files.contains_key(path)
+    }
+
+    fn file_len(&self, path: &str) -> Result<u64, StoreError> {
+        self.files
+            .get(path)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| StoreError::Backend(format!("no such file: {path}")))
+    }
+
+    fn read_at(&self, path: &str, offset: u64, buf: &mut [u8]) -> Result<usize, StoreError> {
+        let bytes = self
+            .files
+            .get(path)
+            .ok_or_else(|| StoreError::Backend(format!("no such file: {path}")))?;
+        Ok(copy_range(bytes, offset, buf))
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -185,6 +242,34 @@ impl StoreBackend for DirBackend {
 
     fn exists(&self, path: &str) -> bool {
         self.resolve(path).is_file()
+    }
+
+    fn file_len(&self, path: &str) -> Result<u64, StoreError> {
+        let p = self.resolve(path);
+        std::fs::metadata(&p)
+            .map(|m| m.len())
+            .map_err(|e| StoreError::Backend(format!("stat {}: {e}", p.display())))
+    }
+
+    fn read_at(&self, path: &str, offset: u64, buf: &mut [u8]) -> Result<usize, StoreError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let p = self.resolve(path);
+        let mut f = std::fs::File::open(&p)
+            .map_err(|e| StoreError::Backend(format!("open {}: {e}", p.display())))?;
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| StoreError::Backend(format!("seek {}: {e}", p.display())))?;
+        // Loop so a short read from the OS never reports a spurious EOF.
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = f
+                .read(&mut buf[filled..])
+                .map_err(|e| StoreError::Backend(format!("read {}: {e}", p.display())))?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        Ok(filled)
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -36,6 +36,11 @@ const SNAPSHOT_VERSION: u8 = 1;
 /// steady-state refreshes almost always pay only one small append.
 pub const SNAPSHOT_EVERY_DEFAULT: usize = 32;
 
+/// Chunk size for streaming blob loads off the backend: large enough to
+/// amortize per-read overhead, small enough that recovery's transient
+/// buffering stays bounded regardless of blob size.
+pub const BLOB_READ_CHUNK: usize = 64 * 1024;
+
 /// Durable per-repository metadata, as reconstructed by recovery.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RepoState {
@@ -393,6 +398,11 @@ impl StoreEngine {
     /// the content hash they are stored under (the disk is untrusted).
     /// Cached after the first load; repeated gets share the allocation.
     ///
+    /// The file is streamed from the backend in [`BLOB_READ_CHUNK`]-byte
+    /// ranged reads feeding an incremental hasher, so recovery never
+    /// asks the backend to materialize a blob-sized buffer on top of the
+    /// final allocation.
+    ///
     /// # Errors
     ///
     /// [`StoreError::MissingBlob`] when absent,
@@ -405,8 +415,23 @@ impl StoreEngine {
         if !self.backend.exists(&path) {
             return Err(StoreError::MissingBlob(hash.to_string()));
         }
-        let bytes = self.backend.read(&path)?;
-        let got = hash_of(&bytes);
+        let len = self.backend.file_len(&path)?;
+        let mut bytes = Vec::with_capacity(usize::try_from(len).unwrap_or(0));
+        let mut hasher = Sha256::new();
+        let mut chunk = vec![0u8; BLOB_READ_CHUNK.min(len.max(1) as usize)];
+        let mut offset = 0u64;
+        while offset < len {
+            let n = self.backend.read_at(&path, offset, &mut chunk)?;
+            if n == 0 {
+                return Err(StoreError::Backend(format!(
+                    "blob {path} truncated at byte {offset} of {len}"
+                )));
+            }
+            hasher.update(&chunk[..n]);
+            bytes.extend_from_slice(&chunk[..n]);
+            offset += n as u64;
+        }
+        let got = hex::to_hex(&hasher.finalize());
         if got != hash {
             return Err(StoreError::HashMismatch {
                 expected: hash.to_string(),

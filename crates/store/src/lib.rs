@@ -52,7 +52,9 @@ mod record;
 mod wal;
 
 pub use backend::{DirBackend, MemBackend, StoreBackend};
-pub use engine::{RecoveryReport, RepoState, StoreCounters, StoreEngine, StoreState};
+pub use engine::{
+    RecoveryReport, RepoState, StoreCounters, StoreEngine, StoreState, BLOB_READ_CHUNK,
+};
 pub use record::WalRecord;
 pub use wal::{crc32, decode_frames, encode_frame, FrameScan, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 

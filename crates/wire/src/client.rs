@@ -14,6 +14,7 @@ use tsr_http::router::percent_encode;
 use tsr_http::{Client, HttpError, Response};
 use tsr_sgx::{Measurement, Report};
 
+use crate::cluster::{ClusterConfigDto, ClusterDigestDto, ReplicateAckDto, RepoSealDto};
 use crate::dto::{
     AttestationDto, CreateRepositoryRequest, ErrorEnvelope, HealthDto, MetricsDto, PackagePage,
     RefreshReportDto, RepositoryCreated, RepositoryInfo, RepositoryList, WireDto,
@@ -340,6 +341,58 @@ impl TsrClient {
             .verify(platform_key, &Measurement::of(expected_enclave_code))
             .map_err(|e| WireError::Attestation(e.to_string()))?;
         Ok(dto)
+    }
+
+    /// `GET /v1/cluster/config` — the node's current cluster config.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decode errors as [`WireError`].
+    pub fn cluster_config(&self) -> Result<ClusterConfigDto, WireError> {
+        self.get_dto("/v1/cluster/config")
+    }
+
+    /// `POST /v1/cluster/config` — gossips a config epoch; the node
+    /// adopts it if newer and answers with the config it now holds.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decode errors as [`WireError`].
+    pub fn cluster_join(&self, config: &ClusterConfigDto) -> Result<ClusterConfigDto, WireError> {
+        self.post_dto("/v1/cluster/config", config.encode().as_bytes())
+    }
+
+    /// `POST /v1/cluster/replicate` — pushes one refreshed repository
+    /// state to a replica; the returned ack is the replica's vote.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decode errors as [`WireError`].
+    pub fn cluster_replicate(
+        &self,
+        request: &crate::cluster::ReplicateRequestDto,
+    ) -> Result<ReplicateAckDto, WireError> {
+        self.post_dto("/v1/cluster/replicate", request.encode().as_bytes())
+    }
+
+    /// `GET /v1/cluster/seal/{id}` — the full replicable state of one
+    /// repository (anti-entropy pull).
+    ///
+    /// # Errors
+    ///
+    /// `not_found` for unknown ids.
+    pub fn cluster_seal(&self, id: &str) -> Result<RepoSealDto, WireError> {
+        self.get_dto(&format!("/v1/cluster/seal/{}", percent_encode(id)))
+    }
+
+    /// `GET /v1/cluster/digest` — the node's compact per-repository
+    /// state summary.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decode errors as [`WireError`].
+    pub fn cluster_digest(&self) -> Result<ClusterDigestDto, WireError> {
+        self.get_dto("/v1/cluster/digest")
     }
 
     /// Raw JSON GET for endpoints without a typed DTO yet.

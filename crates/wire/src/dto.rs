@@ -37,36 +37,36 @@ pub trait WireDto: Sized {
     }
 }
 
-fn req<'v>(v: &'v Json, key: &str) -> Result<&'v Json, String> {
+pub(crate) fn req<'v>(v: &'v Json, key: &str) -> Result<&'v Json, String> {
     v.get(key).ok_or_else(|| format!("missing field {key:?}"))
 }
 
-fn req_str(v: &Json, key: &str) -> Result<String, String> {
+pub(crate) fn req_str(v: &Json, key: &str) -> Result<String, String> {
     req(v, key)?
         .as_str()
         .map(str::to_string)
         .ok_or_else(|| format!("field {key:?} must be a string"))
 }
 
-fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+pub(crate) fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
     req(v, key)?
         .as_u64()
         .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
 }
 
-fn req_usize(v: &Json, key: &str) -> Result<usize, String> {
+pub(crate) fn req_usize(v: &Json, key: &str) -> Result<usize, String> {
     req(v, key)?
         .as_usize()
         .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
 }
 
-fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
+pub(crate) fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
     req(v, key)?
         .as_bool()
         .ok_or_else(|| format!("field {key:?} must be a boolean"))
 }
 
-fn req_arr<'v>(v: &'v Json, key: &str) -> Result<&'v [Json], String> {
+pub(crate) fn req_arr<'v>(v: &'v Json, key: &str) -> Result<&'v [Json], String> {
     req(v, key)?
         .as_arr()
         .ok_or_else(|| format!("field {key:?} must be an array"))

@@ -8,9 +8,12 @@
 //!   strict parser,
 //! - [`dto`]: the request/response DTOs of every v1 endpoint and the
 //!   uniform `{code, message, detail}` [`ErrorEnvelope`],
+//! - [`cluster`]: the DTOs of the `/v1/cluster/*` node-to-node protocol
+//!   (config gossip, replicate-refresh, seal fetch, anti-entropy digest),
 //! - [`client`]: [`TsrClient`] — typed calls for repository CRUD,
 //!   refresh, index (with `If-None-Match` conditional fetches), package
-//!   download, and **client-side-verified** attestation.
+//!   download, **client-side-verified** attestation, and the cluster
+//!   node-to-node calls.
 //!
 //! # Examples
 //!
@@ -29,10 +32,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod dto;
 pub mod json;
 
 pub use client::{IndexFetch, TsrClient, WireError};
+pub use cluster::{
+    BlobDto, ClusterConfigDto, ClusterDigestDto, NodeInfoDto, PackageRefDto, ReplicateAckDto,
+    ReplicateRequestDto, RepoDigestDto, RepoSealDto,
+};
 pub use dto::{
     AttestationDto, CreateRepositoryRequest, ErrorEnvelope, HealthDto, MetricsDto, PackageEntryDto,
     PackagePage, PhaseTimingsDto, RefreshReportDto, RejectedPackageDto, RepositoryCreated,

@@ -29,6 +29,7 @@
 
 pub use tsr_apk as apk;
 pub use tsr_archive as archive;
+pub use tsr_cluster as cluster;
 pub use tsr_compress as compress;
 pub use tsr_core as core;
 pub use tsr_crypto as crypto;

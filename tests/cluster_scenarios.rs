@@ -1,0 +1,246 @@
+//! Tier: cluster — deterministic multi-node scenarios over the
+//! `tsr-cluster` layer, plus a real-HTTP replica read verified by the
+//! typed client.
+//!
+//! Each canned cluster scenario builds N store-backed `TsrService`
+//! nodes sharing one platform seed, wires them through the in-process
+//! fault oracle, and executes a schedule of publishes, quorum-replicated
+//! refreshes, crashes, partitions, Byzantine flips, and anti-entropy
+//! rounds. Every scenario runs **twice** per seed and the two event
+//! traces must be byte-identical (as must the converged signed index).
+//!
+//! The seed defaults to a fixed value and can be overridden with
+//! `TSR_SCENARIO_SEED` (CI pins it so failures replay exactly). On
+//! every run the trace lands in
+//! `$CARGO_TARGET_TMPDIR/cluster-traces/<name>.trace`; CI uploads that
+//! directory as an artifact when this tier fails.
+
+use std::sync::{Arc, Mutex};
+
+use tsr::apk::Index;
+use tsr::cluster::sim::{canned_cluster_scenarios, ClusterSimReport};
+use tsr::cluster::{ClusterNode, LocalCluster, Ring};
+use tsr::core::service::ENCLAVE_CODE;
+use tsr::core::TsrService;
+use tsr::crypto::RsaPublicKey;
+use tsr::mirror::{publish_to_all, Mirror};
+use tsr::net::{Continent, LatencyModel};
+use tsr::sim::env_seed as seed;
+use tsr::simfs::{SimFs, SimFsBackend};
+use tsr::wire::{ClusterConfigDto, NodeInfoDto, TsrClient};
+use tsr::workload::GeneratedRepo;
+
+fn write_trace_artifact(name: &str, trace_text: &str) {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("cluster-traces");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{name}.trace")), trace_text);
+    }
+}
+
+/// Runs one canned cluster scenario twice, asserting determinism, and
+/// leaves the trace artifact for both green and red runs.
+fn run_scenario(name: &str) -> ClusterSimReport {
+    let scenario = canned_cluster_scenarios(seed())
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown cluster scenario {name}"));
+    let run = || {
+        scenario.run().unwrap_or_else(|failure| {
+            write_trace_artifact(name, &failure.trace.to_text());
+            panic!(
+                "cluster scenario {name} (seed {}) failed: {failure}\ntrace:\n{}",
+                seed(),
+                failure.trace.to_text()
+            )
+        })
+    };
+    let first = run();
+    write_trace_artifact(name, &first.trace_text());
+    let second = run();
+    assert_eq!(
+        first.trace_digest(),
+        second.trace_digest(),
+        "{name}: same seed must replay to a byte-identical trace"
+    );
+    assert_eq!(
+        first.final_index, second.final_index,
+        "{name}: same seed must converge to byte-identical signed indexes"
+    );
+    first
+}
+
+#[test]
+fn library_covers_at_least_three_scenarios() {
+    assert!(canned_cluster_scenarios(seed()).len() >= 3);
+}
+
+/// The acceptance scenario: node crash-restart + continent partition +
+/// one Byzantine replica in a single 3-node run. Quorum-replicated
+/// refreshes commit on 2-of-3 ack-votes, a refresh with two owners dark
+/// fails to commit, Byzantine-served bytes are rejected client-side,
+/// and anti-entropy converges every live node byte-identically.
+#[test]
+fn chaos_combined_crash_partition_byzantine() {
+    let r = run_scenario("cluster_chaos_combined");
+    assert_eq!(
+        r.commits,
+        3,
+        "three refreshes reach quorum:\n{}",
+        r.trace_text()
+    );
+    assert_eq!(r.failed_commits, 1, "one refresh must fail quorum");
+    assert!(
+        r.served_rejected >= 1,
+        "the Byzantine node's bytes must be rejected by the verifying client"
+    );
+    assert!(
+        r.pulled >= 2,
+        "anti-entropy must catch nodes up:\n{}",
+        r.trace_text()
+    );
+    assert!(!r.final_index.is_empty());
+    let text = r.trace_text();
+    for needle in [
+        "isolate continent",
+        "partitions healed",
+        "byzantine",
+        "crash node-",
+        "restart node-",
+        "converged",
+        "byte-identical=true",
+    ] {
+        assert!(text.contains(needle), "trace lacks {needle:?}:\n{text}");
+    }
+}
+
+#[test]
+fn reads_fail_over_when_the_primary_crashes() {
+    let r = run_scenario("cluster_read_failover");
+    assert!(r.served_verified >= 2, "{}", r.trace_text());
+    assert_eq!(r.served_rejected, 0);
+    assert!(!r.final_index.is_empty());
+}
+
+#[test]
+fn byzantine_digests_cannot_poison_anti_entropy() {
+    let r = run_scenario("cluster_byzantine_poison");
+    assert!(
+        r.rejected_pulls >= 1,
+        "forged digests must lure pulls that verification rejects:\n{}",
+        r.trace_text()
+    );
+    assert_eq!(r.failed_commits, 0);
+    assert!(!r.final_index.is_empty());
+}
+
+/// A read replica served over real HTTP: the typed client attests the
+/// node and verifies the signed index against the repository key — the
+/// paper's verify-at-the-consumer property holding across replication.
+#[test]
+fn replica_serves_verified_state_over_real_http() {
+    let upstream = GeneratedRepo::generate(tsr::sim::default_workload("cluster-http", seed()));
+    let make_mirrors = || {
+        let mut ms: Vec<Mirror> = (0..3)
+            .map(|i| Mirror::new(format!("m{i}"), Continent::Europe))
+            .collect();
+        publish_to_all(&mut ms, &upstream.snapshot());
+        ms
+    };
+    let policy = tsr::core::Policy {
+        mirrors: make_mirrors()
+            .iter()
+            .map(|m| tsr::core::MirrorRef {
+                hostname: m.name.clone(),
+                continent: m.continent,
+            })
+            .collect(),
+        signers_keys: vec![upstream.signing_key.public_key().clone()],
+        init_config_files: Vec::new(),
+        f: 1,
+        package_whitelist: Vec::new(),
+        package_blacklist: Vec::new(),
+    };
+    let infos: Vec<NodeInfoDto> = (0..3)
+        .map(|i| NodeInfoDto {
+            id: format!("node-{i}"),
+            base_url: format!("local://node-{i}"),
+            continent: "Europe".into(),
+        })
+        .collect();
+    let config = ClusterConfigDto {
+        epoch: 1,
+        replication: 2,
+        nodes: infos.clone(),
+    };
+    let cluster = LocalCluster::new();
+    let mut nodes = Vec::new();
+    for info in &infos {
+        let fs = Arc::new(Mutex::new(SimFs::new()));
+        let (service, _) = TsrService::with_store(
+            b"cluster-http-seed",
+            make_mirrors(),
+            LatencyModel::default(),
+            1024,
+            Box::new(SimFsBackend::new(fs, "/store")),
+        )
+        .unwrap();
+        let node = ClusterNode::new(
+            info.clone(),
+            service,
+            config.clone(),
+            cluster.transport_from(info),
+        );
+        cluster.register(node.clone());
+        nodes.push(node);
+    }
+
+    // Create on the allocator (bootstraps the shard onto its owners),
+    // then quorum-replicate a refresh from the primary.
+    let ring = Ring::new(config);
+    let by_id = |id: &str| nodes.iter().find(|n| n.info().id == id).unwrap();
+    let allocator = by_id(&ring.allocator().unwrap().id);
+    let (repo, pem) = allocator
+        .service()
+        .create_repository(&policy.to_text())
+        .unwrap();
+    let repo_key = RsaPublicKey::from_pem(&pem).unwrap();
+    allocator.bootstrap(&repo);
+    let owners = ring.owners(&repo);
+    let primary = by_id(&owners[0].id);
+    primary.replicate_out(&repo, &ring).unwrap();
+    let mut refresh = tsr::http::Request {
+        method: "POST".into(),
+        path: format!("/v1/repositories/{repo}/refresh"),
+        headers: Default::default(),
+        body: Vec::new(),
+    };
+    let resp = primary.handle(&mut refresh);
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.headers.get("x-tsr-cluster-acks").unwrap(), "3");
+
+    // Bind a REPLICA (not the primary) on a real socket.
+    let replica = by_id(&owners[1].id);
+    let server = replica.serve("127.0.0.1:0").unwrap();
+    let client = TsrClient::new(format!("http://{}", server.local_addr()));
+
+    // Client-side attestation of the replica's enclave…
+    let platform = RsaPublicKey::from_pem(&replica.service().platform_key_pem()).unwrap();
+    client
+        .attest(b"replica-nonce", &platform, ENCLAVE_CODE)
+        .unwrap();
+    // …and client-side signature verification of the replica-served
+    // index, byte-identical to what the primary signed.
+    let (bytes, etag) = client.index(&repo).unwrap();
+    assert!(etag.is_some());
+    let signer = format!("tsr-{repo}");
+    Index::parse_signed(&bytes, &[(signer, repo_key)]).unwrap();
+    assert_eq!(bytes, primary.service().fetch_index(&repo).unwrap());
+
+    // The cluster protocol is also served over the same socket.
+    let digest = client.cluster_digest().unwrap();
+    assert_eq!(digest.node, replica.info().id);
+    assert_eq!(digest.repos.len(), 1);
+    let seal = client.cluster_seal(&repo).unwrap();
+    assert_eq!(seal.id, repo);
+    assert!(seal.seal_counter > 0);
+}
