@@ -10,7 +10,7 @@
 //! ```text
 //! loadgen [--smoke] [--strict] [--seed N] [--out PATH] [--speed F]
 //!         [--clients N] [--scenario steady|update_storm|mirror_churn|soak]
-//!         [--store DIR] [--baseline PATH] [--nodes N]
+//!         [--store DIR] [--baseline PATH] [--nodes N] [--access-log PATH]
 //! ```
 //!
 //! `--smoke` shrinks every scenario to CI size (a few seconds total,
@@ -34,11 +34,24 @@
 //! `--baseline PATH` compares the steady-scenario serving p50s against
 //! a previous report; with `--strict`, any serving op whose p50
 //! regresses more than 20% fails the run.
+//!
+//! Single-node runs end with a **Prometheus scrape** of the live server
+//! (`/v1/metrics?format=prometheus`): the exposition must parse, its
+//! histograms must be coherent, and the per-route latency quantiles,
+//! in-flight peak, and worker-queue-depth peaks are embedded in the
+//! JSON report as the `server_metrics` entry next to the client-side
+//! quantiles. `--access-log PATH` additionally writes the structured
+//! JSON access log there and strict-parses every line afterwards
+//! (unique request-ids required). With `--strict`, any of these
+//! observability-contract violations fails the run.
 
 use std::time::Duration;
 
 use tsr_bench::clusterrun::{run_cluster, ClusterLoadReport, ClusterWorld};
-use tsr_bench::loadrun::{measure_recovery, run, LoadReport, LoadWorld, RunOptions};
+use tsr_bench::loadrun::{
+    measure_recovery, run, scrape_server_metrics, validate_access_log, LoadReport, LoadWorld,
+    RunOptions,
+};
 use tsr_bench::report::{bench_envelope, table, write_json};
 use tsr_bench::{banner, key_bits, scale};
 use tsr_wire::Json;
@@ -151,11 +164,16 @@ fn main() {
         .unwrap_or(if smoke { 4 } else { 6 });
     let store_dir = arg_value(&args, "--store").map(std::path::PathBuf::from);
     let baseline = arg_value(&args, "--baseline");
+    let access_log = arg_value(&args, "--access-log").map(std::path::PathBuf::from);
     let nodes: usize = arg_value(&args, "--nodes")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
     if nodes >= 2 && store_dir.is_some() {
         eprintln!("--nodes and --store are mutually exclusive");
+        std::process::exit(2);
+    }
+    if nodes >= 2 && access_log.is_some() {
+        eprintln!("--access-log applies to single-node runs only");
         std::process::exit(2);
     }
 
@@ -191,10 +209,11 @@ fn main() {
         timeout: Duration::from_secs(10),
     };
 
-    let (scenario_jsons, unexpected) = if nodes >= 2 {
-        run_cluster_mode(nodes, seed, clients, speed, opts, &specs)
+    let (scenario_jsons, unexpected, violations) = if nodes >= 2 {
+        let (jsons, unexpected) = run_cluster_mode(nodes, seed, clients, speed, opts, &specs);
+        (jsons, unexpected, Vec::new())
     } else {
-        run_single_node(seed, clients, speed, opts, &specs, &store_dir)
+        run_single_node(seed, clients, speed, opts, &specs, &store_dir, &access_log)
     };
 
     let envelope = bench_envelope("loadgen", seed, scenario_jsons);
@@ -210,6 +229,12 @@ fn main() {
         eprintln!("FAIL: {unexpected} non-injected errors under load");
         std::process::exit(1);
     }
+    if strict && !violations.is_empty() {
+        for v in &violations {
+            eprintln!("FAIL: observability contract: {v}");
+        }
+        std::process::exit(1);
+    }
     if strict && regressions > 0 {
         eprintln!(
             "FAIL: {regressions} steady serving op(s) regressed p50 by more than {:.0}% vs baseline",
@@ -220,7 +245,8 @@ fn main() {
 }
 
 /// The original single-server flow (optionally store-backed, with the
-/// post-run cold-start recovery measurement).
+/// post-run cold-start recovery measurement). The third return value is
+/// the observability-contract violations (strict runs fail on any).
 fn run_single_node(
     seed: u64,
     clients: usize,
@@ -228,24 +254,40 @@ fn run_single_node(
     opts: RunOptions,
     specs: &[ScenarioSpec],
     store_dir: &Option<std::path::PathBuf>,
-) -> (Vec<Json>, u64) {
+    access_log: &Option<std::path::PathBuf>,
+) -> (Vec<Json>, u64, Vec<String>) {
     println!(
         "building world (scale {}, {} key bits)…",
         scale(),
         key_bits()
     );
-    let world = match &store_dir {
-        Some(dir) => {
-            // Fresh store directory: this run *creates* the durable
-            // state the post-run recovery measurement reopens.
-            if dir.exists() {
-                std::fs::remove_dir_all(dir).expect("wipe store dir");
-            }
-            std::fs::create_dir_all(dir).expect("create store dir");
-            println!("durable store enabled at {}", dir.display());
+    if let Some(dir) = store_dir {
+        // Fresh store directory: this run *creates* the durable state
+        // the post-run recovery measurement reopens.
+        if dir.exists() {
+            std::fs::remove_dir_all(dir).expect("wipe store dir");
+        }
+        std::fs::create_dir_all(dir).expect("create store dir");
+        println!("durable store enabled at {}", dir.display());
+    }
+    if let Some(log) = access_log {
+        // Fresh log: validation below must see only this run's lines.
+        let _ = std::fs::remove_file(log);
+        println!("structured access log at {}", log.display());
+    }
+    let world = match (store_dir, access_log) {
+        (store, Some(log)) => LoadWorld::start_logged(
+            seed,
+            scale(),
+            key_bits(),
+            clients.max(2),
+            store.as_deref(),
+            log,
+        ),
+        (Some(dir), None) => {
             LoadWorld::start_with_store(seed, scale(), key_bits(), clients.max(2), dir)
         }
-        None => LoadWorld::start(seed, scale(), key_bits(), clients.max(2)),
+        (None, None) => LoadWorld::start(seed, scale(), key_bits(), clients.max(2)),
     };
     println!(
         "server {} serving {} packages; {} client workers, speed {speed}×\n",
@@ -308,11 +350,47 @@ fn run_single_node(
     );
 
     let mut scenario_jsons: Vec<Json> = reports.iter().map(LoadReport::to_json).collect();
+    let mut violations: Vec<String> = Vec::new();
+
+    // Scrape the live server's Prometheus exposition before teardown:
+    // parse + histogram-coherence validation, per-route quantiles, and
+    // the saturation gauges, embedded as the `server_metrics` entry.
+    match scrape_server_metrics(&world.base) {
+        Ok(sm) => {
+            println!("\nserver-side metrics (Prometheus scrape):");
+            for (route, p50, p99, count) in &sm.routes {
+                println!("  {route:<44} p50 {p50:>9.0} us  p99 {p99:>9.0} us  n={count:.0}");
+            }
+            let queues: Vec<String> = sm
+                .queue_peaks
+                .iter()
+                .map(|(class, peak)| format!("{class}={peak:.0}"))
+                .collect();
+            println!(
+                "  in-flight peak {} | queue depth peaks {}",
+                sm.in_flight_peak,
+                queues.join(" ")
+            );
+            compare_p50s(&reports, &sm);
+            scenario_jsons.push(sm.to_json());
+        }
+        Err(e) => violations.push(e),
+    }
 
     let unexpected: u64 = reports.iter().map(LoadReport::unexpected_errors).sum();
     // Tear the world down *before* the recovery measurement: the dropped
     // server is the simulated kill, and the reopen must stand alone.
     world.stop();
+
+    if let Some(log) = access_log {
+        match validate_access_log(log) {
+            Ok(lines) => println!(
+                "access log {}: {lines} lines strict-parsed, request-ids unique",
+                log.display()
+            ),
+            Err(e) => violations.push(e),
+        }
+    }
 
     if let Some(dir) = &store_dir {
         let timing = measure_recovery(seed, key_bits(), dir);
@@ -329,7 +407,44 @@ fn run_single_node(
         scenario_jsons.push(timing.to_json(seed));
     }
 
-    (scenario_jsons, unexpected)
+    (scenario_jsons, unexpected, violations)
+}
+
+/// The client-op → server-route mapping for the p50 comparison (serving
+/// ops only; admin ops ride the bulk lane).
+const OP_ROUTES: &[(&str, &str)] = &[
+    ("health", "GET /v1/healthz"),
+    ("index", "GET /v1/repositories/:id/index"),
+    ("index_cond", "GET /v1/repositories/:id/index"),
+    ("package", "GET /v1/repositories/:id/packages/:name"),
+    ("page", "GET /v1/repositories/:id/packages"),
+];
+
+/// Prints client-side vs server-side p50 per serving op. The client
+/// number is measured from the *scheduled* dispatch instant (queueing
+/// included), the server number from handler entry — so client ≥ server
+/// is expected and the ratio is a queueing-delay witness, not a gate.
+fn compare_p50s(reports: &[LoadReport], sm: &tsr_bench::loadrun::ServerMetrics) {
+    println!("\nclient vs server p50 (client includes open-loop queueing):");
+    for (op, route) in OP_ROUTES {
+        let mut hist = tsr_stats::Histogram::new();
+        for r in reports {
+            if let Some(stats) = r.ops.get(*op) {
+                hist.merge(&stats.hist);
+            }
+        }
+        if hist.count() == 0 {
+            continue;
+        }
+        let client_p50 = hist.quantile(0.50) as f64;
+        let Some(server_p50) = sm.route_p50(route) else {
+            continue;
+        };
+        let ratio = client_p50 / server_p50.max(1.0);
+        println!(
+            "  {op:<12} client {client_p50:>9.0} us | server {server_p50:>9.0} us ({ratio:.2}x)"
+        );
+    }
 }
 
 /// The `--nodes N` flow: an in-process loopback cluster, per-node and

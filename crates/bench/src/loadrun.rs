@@ -23,9 +23,10 @@ use std::time::{Duration, Instant};
 use tsr_core::{ApiOptions, MirrorRef, Policy, TsrService};
 use tsr_mirror::{publish_to_all, Behavior, Mirror};
 use tsr_net::{Continent, LatencyModel};
+use tsr_obs::Exposition;
 use tsr_stats::Histogram;
 use tsr_store::{DirBackend, StoreBackend};
-use tsr_wire::{IndexFetch, Json, TsrClient, WireError};
+use tsr_wire::{AccessLogLine, IndexFetch, Json, TsrClient, WireDto, WireError};
 use tsr_workload::loadgen::{FaultOp, LoadOp, Schedule};
 use tsr_workload::GeneratedRepo;
 
@@ -59,7 +60,7 @@ impl LoadWorld {
     /// Panics when the world cannot be built — load runs need a healthy
     /// server.
     pub fn start(seed: u64, scale: f64, key_bits: usize, http_workers: usize) -> Self {
-        Self::start_inner(seed, scale, key_bits, http_workers, None)
+        Self::start_inner(seed, scale, key_bits, http_workers, None, None)
     }
 
     /// Like [`LoadWorld::start`] but with the durable storage engine
@@ -80,7 +81,35 @@ impl LoadWorld {
     ) -> Self {
         let backend: Box<dyn StoreBackend> =
             Box::new(DirBackend::new(store_dir).expect("open store dir"));
-        Self::start_inner(seed, scale, key_bits, http_workers, Some(backend))
+        Self::start_inner(seed, scale, key_bits, http_workers, Some(backend), None)
+    }
+
+    /// Like [`LoadWorld::start`]/[`LoadWorld::start_with_store`] but
+    /// additionally writing the structured JSON access log to
+    /// `access_log` (one line per request), so the run can be validated
+    /// with [`validate_access_log`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the world cannot be built.
+    pub fn start_logged(
+        seed: u64,
+        scale: f64,
+        key_bits: usize,
+        http_workers: usize,
+        store_dir: Option<&std::path::Path>,
+        access_log: &std::path::Path,
+    ) -> Self {
+        let backend: Option<Box<dyn StoreBackend>> =
+            store_dir.map(|dir| Box::new(DirBackend::new(dir).expect("open store dir")) as Box<_>);
+        Self::start_inner(
+            seed,
+            scale,
+            key_bits,
+            http_workers,
+            backend,
+            Some(access_log.to_path_buf()),
+        )
     }
 
     fn start_inner(
@@ -89,6 +118,7 @@ impl LoadWorld {
         key_bits: usize,
         http_workers: usize,
         backend: Option<Box<dyn StoreBackend>>,
+        access_log: Option<std::path::PathBuf>,
     ) -> Self {
         let seed_bytes = format!("loadworld-{seed}");
         let upstream = GeneratedRepo::generate(workload_config(scale, seed_bytes.as_bytes()));
@@ -152,6 +182,7 @@ impl LoadWorld {
                 ApiOptions {
                     workers: http_workers,
                     rate_limit: None,
+                    access_log,
                     ..ApiOptions::default()
                 },
             )
@@ -297,6 +328,181 @@ pub fn measure_recovery(seed: u64, key_bits: usize, store_dir: &std::path::Path)
         repos: ids.len(),
         packages,
     }
+}
+
+/// Server-side observability scraped from the Prometheus exposition
+/// after a run: per-route latency quantiles from the middleware
+/// histograms, plus the saturation gauges. Embedded in the JSON report
+/// next to the client-side quantiles so the two views can be compared.
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    /// `(route pattern, p50 µs, p99 µs, sample count)` per route with
+    /// at least one recorded request.
+    pub routes: Vec<(String, f64, f64, f64)>,
+    /// Peak concurrently in-flight requests seen by the middleware.
+    pub in_flight_peak: f64,
+    /// Peak two-class worker queue depths, `(class, peak)`.
+    pub queue_peaks: Vec<(String, f64)>,
+}
+
+impl ServerMetrics {
+    /// The `server_metrics` JSON entry for the bench envelope (rides in
+    /// the `scenarios` array, like the `recovery` entry).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::str("server_metrics")),
+            (
+                "routes",
+                Json::Obj(
+                    self.routes
+                        .iter()
+                        .map(|(route, p50, p99, count)| {
+                            (
+                                route.clone(),
+                                Json::obj([
+                                    ("p50_us", Json::Float(*p50)),
+                                    ("p99_us", Json::Float(*p99)),
+                                    ("count", Json::Float(*count)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("in_flight_peak", Json::Float(self.in_flight_peak)),
+            (
+                "queue_depth_peaks",
+                Json::Obj(
+                    self.queue_peaks
+                        .iter()
+                        .map(|(class, peak)| (class.clone(), Json::Float(*peak)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The server-side p50 for `route`, when that route was scraped.
+    pub fn route_p50(&self, route: &str) -> Option<f64> {
+        self.routes
+            .iter()
+            .find(|(r, ..)| r == route)
+            .map(|(_, p50, ..)| *p50)
+    }
+}
+
+/// Scrapes `{base}/v1/metrics?format=prometheus` and validates the
+/// observability contract: the exposition must parse, histograms must
+/// be coherent (cumulative buckets, `+Inf` == `_count`), and the series
+/// the load run is guaranteed to touch must be present.
+///
+/// # Errors
+///
+/// A human-readable contract violation (CI fails strict runs on it).
+pub fn scrape_server_metrics(base: &str) -> Result<ServerMetrics, String> {
+    let client = TsrClient::with_timeout(base, Duration::from_secs(10));
+    let (text, content_type) = client
+        .get_text("/v1/metrics?format=prometheus")
+        .map_err(|e| format!("prometheus scrape failed: {e}"))?;
+    if !content_type.starts_with("text/plain; version=0.0.4") {
+        return Err(format!(
+            "exposition content-type is {content_type:?}, want text/plain; version=0.0.4"
+        ));
+    }
+    let expo = Exposition::parse(&text).map_err(|e| format!("exposition does not parse: {e}"))?;
+    expo.validate_histograms()
+        .map_err(|e| format!("incoherent histogram series: {e}"))?;
+    for required in ["tsr_http_requests_total", "tsr_core_events_total"] {
+        if !expo.families.contains_key(required) {
+            return Err(format!("missing metric family {required}"));
+        }
+    }
+
+    const DURATION: &str = "tsr_http_request_duration_us";
+    let fam = expo
+        .families
+        .get(DURATION)
+        .ok_or_else(|| format!("missing metric family {DURATION}"))?;
+    let count_name = format!("{DURATION}_count");
+    let mut routes = Vec::new();
+    for s in fam.samples.iter().filter(|s| s.name == count_name) {
+        let Some(route) = s.label("route") else {
+            return Err(format!("{count_name} sample without a route label"));
+        };
+        if s.value <= 0.0 {
+            continue;
+        }
+        let labels = [("route", route)];
+        let p50 = expo
+            .histogram_quantile(DURATION, &labels, 0.50)
+            .ok_or_else(|| format!("route {route:?}: no p50 from buckets"))?;
+        let p99 = expo
+            .histogram_quantile(DURATION, &labels, 0.99)
+            .ok_or_else(|| format!("route {route:?}: no p99 from buckets"))?;
+        routes.push((route.to_string(), p50, p99, s.value));
+    }
+    if routes.is_empty() {
+        return Err("no per-route latency histogram recorded any request".into());
+    }
+
+    let in_flight_peak = expo
+        .sample("tsr_http_requests_in_flight_peak", &[])
+        .ok_or("missing gauge tsr_http_requests_in_flight_peak")?;
+    let queue_fam = expo
+        .families
+        .get("tsr_http_worker_queue_depth_peak")
+        .ok_or("missing gauge family tsr_http_worker_queue_depth_peak")?;
+    let queue_peaks: Vec<(String, f64)> = queue_fam
+        .samples
+        .iter()
+        .filter_map(|s| s.label("class").map(|c| (c.to_string(), s.value)))
+        .collect();
+    if queue_peaks.is_empty() {
+        return Err("tsr_http_worker_queue_depth_peak has no class series".into());
+    }
+    Ok(ServerMetrics {
+        routes,
+        in_flight_peak,
+        queue_peaks,
+    })
+}
+
+/// Validates a structured access log written during a run: every line
+/// must strict-parse as [`AccessLogLine`] (the tsr-wire decoder rejects
+/// missing or mistyped fields) and request-ids must be present and
+/// unique. Returns the number of validated lines.
+///
+/// # Errors
+///
+/// The first malformed line, empty/duplicate request-id, or an empty
+/// log — each a contract violation for a run that served requests.
+pub fn validate_access_log(path: &std::path::Path) -> Result<u64, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("access log {} unreadable: {e}", path.display()))?;
+    let mut seen = std::collections::HashSet::new();
+    let mut lines = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let parsed =
+            AccessLogLine::decode(line).map_err(|e| format!("access log line {}: {e}", i + 1))?;
+        if parsed.request_id.is_empty() {
+            return Err(format!("access log line {}: empty request-id", i + 1));
+        }
+        if !seen.insert(parsed.request_id.clone()) {
+            return Err(format!(
+                "access log line {}: duplicate request-id {}",
+                i + 1,
+                parsed.request_id
+            ));
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("access log {} is empty", path.display()));
+    }
+    Ok(lines)
 }
 
 /// Knobs for one replay.

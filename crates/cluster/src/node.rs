@@ -23,8 +23,10 @@ use std::sync::{Arc, PoisonError, RwLock};
 
 use tsr_core::{CoreError, ReplicatedState, TsrService};
 use tsr_crypto::hex;
+use tsr_http::middleware::{AccessLog, CatchPanic, Chain, RequestId};
 use tsr_http::router::{Recognized, Router};
 use tsr_http::{Request, Response, Server};
+use tsr_obs::{current_request_id, RequestScope};
 use tsr_quorum::BallotBox;
 use tsr_wire::{
     BlobDto, ClusterConfigDto, ClusterDigestDto, ErrorEnvelope, NodeInfoDto, PackageRefDto,
@@ -152,6 +154,7 @@ fn envelope(status: u16, code: &str, message: &str, detail: &str) -> Response {
             code: code.to_string(),
             message: message.to_string(),
             detail: detail.to_string(),
+            request_id: current_request_id().unwrap_or_default(),
         }
         .encode(),
     )
@@ -224,6 +227,9 @@ impl ClusterNode {
                 .service
                 .api_metrics()
                 .set_counter("cluster_config_epoch", incoming.epoch);
+            // Adopting the newer config clears a lagging-epoch readiness
+            // objection (see `apply_replicate`).
+            self.shared.service.set_cluster_epoch_ok(true);
         }
         cfg.clone()
     }
@@ -231,6 +237,10 @@ impl ClusterNode {
     /// Routes one request: cluster protocol and replicated-write
     /// intercepts first, the plain service for everything else.
     pub fn handle(&self, req: &mut Request) -> Response {
+        // Same contract as `TsrService::handle`: the request's id is in
+        // scope for the whole dispatch, so cluster-layer error envelopes
+        // and the replication fan-out triggered by this request carry it.
+        let _scope = RequestScope::enter(req.headers.get("x-request-id").cloned());
         let op = match self.shared.routes.recognize(&req.method, &req.path) {
             Recognized::Match(m) => {
                 let id = m.params.get("id").map(str::to_string);
@@ -274,7 +284,15 @@ impl ClusterNode {
     /// [`tsr_http::HttpError`] when the address cannot be bound.
     pub fn serve(&self, addr: &str) -> Result<Server, tsr_http::HttpError> {
         let node = self.clone();
-        Server::bind(addr, move |req: &mut Request| node.handle(req))
+        // The minimal middleware stack: panic containment, request-id
+        // injection, and the access log — which also strips the internal
+        // x-tsr-route/x-tsr-tenant attribution headers the service
+        // attaches for it, so they never leak onto the wire.
+        let chain = Chain::new(move |req: &mut Request| node.handle(req))
+            .wrap(AccessLog::default())
+            .wrap(RequestId::new())
+            .wrap(CatchPanic);
+        Server::bind(addr, chain.into_handler())
     }
 
     /// The compact state summary anti-entropy exchanges.
@@ -315,6 +333,11 @@ impl ClusterNode {
     /// are acks with `accepted: false` — the protocol call itself
     /// succeeded.
     pub fn apply_replicate(&self, push: &ReplicateRequestDto) -> ReplicateAckDto {
+        // The push carries the client request-id that triggered the
+        // replication; install it so the WAL-append journal events of
+        // the apply are attributed to it, and echo it in the ack as
+        // proof of attribution.
+        let _scope = RequestScope::enter(Some(push.request_id.clone()));
         let nack = |detail: String| ReplicateAckDto {
             node: self.shared.info.id.clone(),
             repo: push.state.id.clone(),
@@ -322,6 +345,7 @@ impl ClusterNode {
             seal_counter: 0,
             accepted: false,
             detail,
+            request_id: push.request_id.clone(),
         };
         let local_epoch = self.config().epoch;
         if push.epoch < local_epoch {
@@ -330,11 +354,17 @@ impl ClusterNode {
                 push.epoch
             ));
         }
+        if push.epoch > local_epoch {
+            // This node's config lags the cluster's: keep applying (the
+            // push is newer, not staler), but object to readiness until
+            // gossip delivers the new config (`join` clears this).
+            self.shared.service.set_cluster_epoch_ok(false);
+        }
         let state = match state_from_dto(&push.state) {
             Ok(state) => state,
             Err(e) => return nack(e.to_string()),
         };
-        match self.shared.service.apply_replicated_state(&state) {
+        let ack = match self.shared.service.apply_replicated_state(&state) {
             Ok(etag) => ReplicateAckDto {
                 node: self.shared.info.id.clone(),
                 repo: state.id.clone(),
@@ -342,9 +372,16 @@ impl ClusterNode {
                 seal_counter: state.seal_counter,
                 accepted: true,
                 detail: String::new(),
+                request_id: push.request_id.clone(),
             },
             Err(e) => nack(e.to_string()),
-        }
+        };
+        self.shared.service.obs_journal().record(
+            "replicate_apply",
+            &push.request_id,
+            format!("{} accepted={}", ack.repo, ack.accepted),
+        );
+        ack
     }
 
     /// A primary's replicated refresh: local sanitize→sign first, then
@@ -407,10 +444,12 @@ impl ClusterNode {
             .export_replicated_state(id)
             .map_err(|e| ClusterError::Protocol(format!("export {id}: {e}")))?;
         let etag = state.index_etag.clone();
+        let request_id = current_request_id().unwrap_or_default();
         let push = ReplicateRequestDto {
             epoch: ring.config().epoch,
             primary: self.shared.info.id.clone(),
             state: state_to_dto(&state),
+            request_id: request_id.clone(),
         };
         let mut ballots = BallotBox::new();
         ballots.cast(&self.shared.info.id, etag.as_bytes());
@@ -418,6 +457,11 @@ impl ClusterNode {
             if owner.id == self.shared.info.id {
                 continue;
             }
+            self.shared.service.obs_journal().record(
+                "replicate_push",
+                &request_id,
+                format!("{id} -> {}", owner.id),
+            );
             match self.shared.transport.replicate(owner, &push) {
                 Ok(ack) if ack.accepted => {
                     ballots.cast(&owner.id, ack.index_etag.as_bytes());
@@ -472,6 +516,7 @@ impl ClusterNode {
             epoch: ring.config().epoch,
             primary: self.shared.info.id.clone(),
             state: state_to_dto(&state),
+            request_id: current_request_id().unwrap_or_default(),
         };
         for owner in ring.owners(id) {
             if owner.id != self.shared.info.id {
@@ -746,10 +791,12 @@ mod tests {
             epoch: 0, // config is at epoch 1
             primary: fx.primary().info().id.clone(),
             state: state_to_dto(&state),
+            request_id: "req-test-stale".to_string(),
         };
         let ack = fx.replica(0).apply_replicate(&push);
         assert!(!ack.accepted);
         assert!(ack.detail.contains("stale config epoch"), "{}", ack.detail);
+        assert_eq!(ack.request_id, "req-test-stale");
     }
 
     #[test]

@@ -25,13 +25,14 @@ pub struct ClusterRouter {
     failovers: AtomicU64,
 }
 
-fn unavailable(detail: &str) -> Response {
+fn unavailable(req: &Request, detail: &str) -> Response {
     Response::json(
         503,
         ErrorEnvelope {
             code: "no_node_available".to_string(),
             message: "no cluster node could serve the request".to_string(),
             detail: detail.to_string(),
+            request_id: req.headers.get("x-request-id").cloned().unwrap_or_default(),
         }
         .encode(),
     )
@@ -95,7 +96,7 @@ impl ClusterRouter {
     pub fn handle(&self, req: &mut Request) -> Response {
         let ring = Ring::new(self.config());
         if ring.config().nodes.is_empty() {
-            return unavailable("empty cluster config");
+            return unavailable(req, "empty cluster config");
         }
         let is_read = matches!(req.method.as_str(), "GET" | "HEAD");
         let (path, _) = split_query(&req.path);
@@ -126,10 +127,10 @@ impl ClusterRouter {
                     last = format!("{}: {m}", node.id);
                     continue;
                 }
-                Err(e) => return unavailable(&e.to_string()),
+                Err(e) => return unavailable(req, &e.to_string()),
             }
         }
-        unavailable(&last)
+        unavailable(req, &last)
     }
 }
 

@@ -19,7 +19,10 @@
 //!    (Byzantine-served bytes are rejected, never trusted),
 //! 4. after partitions heal and anti-entropy runs, all live honest
 //!    nodes serve **byte-identical** signed indexes,
-//! 5. same scenario + same seed ⇒ byte-identical event trace.
+//! 5. same scenario + same seed ⇒ byte-identical event trace,
+//! 6. every replica-side replication apply carries the client's
+//!    `x-request-id` (end-to-end attribution through the quorum
+//!    fan-out; Byzantine forged acks never reach a journal).
 //!
 //! No wall clock, no threads, no sockets: virtual time comes from the
 //! schedule, randomness from the seed, so traces replay bit-for-bit.
@@ -334,6 +337,13 @@ impl ClusterScenario {
         let repo_key = RsaPublicKey::from_pem(&created.public_key_pem)
             .map_err(|e| format!("unparsable repository key: {e}"))?;
 
+        // Discard creation-time journal events: the tenant bootstrap is
+        // not attributed to a scheduled client request. Refreshes assert
+        // request-id attribution on a clean slate.
+        for node in &nodes {
+            node.service().obs_journal().drain();
+        }
+
         let mut trace = EventTrace::new();
         trace.record(
             Duration::ZERO,
@@ -479,11 +489,18 @@ impl World {
     }
 
     fn refresh(&mut self, expect_commit: bool) -> Result<(), String> {
+        // A deterministic client request-id: the sim's stand-in for the
+        // id the RequestId middleware would mint on a real socket.
+        let rid = format!(
+            "req-sim-{:04}",
+            self.report.commits + self.report.failed_commits
+        );
         let mut req = request(
             "POST",
             &format!("/v1/repositories/{}/refresh", self.repo_id),
             Vec::new(),
         );
+        req.headers.insert("x-request-id".into(), rid.clone());
         let resp = self.router.handle(&mut req);
         let acks = resp
             .headers
@@ -496,8 +513,41 @@ impl World {
         } else {
             self.report.failed_commits += 1;
         }
+        // End-to-end attribution: every replica-side apply journaled
+        // during this refresh must carry the client's request-id.
+        // (Byzantine replicas forge acks without applying, crashed or
+        // partitioned ones never see the push — neither journals.)
+        let mut applies = Vec::new();
+        for node in &self.nodes {
+            for ev in node.service().obs_journal().drain() {
+                if ev.kind != "replicate_apply" {
+                    continue;
+                }
+                if ev.request_id != rid {
+                    return Err(format!(
+                        "replica {} applied replication under request-id {:?}, client sent {rid:?}",
+                        node.info().id,
+                        ev.request_id
+                    ));
+                }
+                applies.push(format!(
+                    "replicate_apply node={} request_id={} {}",
+                    node.info().id,
+                    ev.request_id,
+                    ev.detail
+                ));
+            }
+        }
+        if committed && self.nodes.len() > 1 && applies.is_empty() {
+            return Err(format!(
+                "refresh {rid} committed but no replica journaled an attributed apply"
+            ));
+        }
+        for line in applies {
+            self.record(line);
+        }
         self.record(format!(
-            "refresh status={} committed={committed} acks={}",
+            "refresh status={} committed={committed} acks={} request_id={rid}",
             resp.status,
             if acks.is_empty() { "-" } else { &acks }
         ));

@@ -253,6 +253,7 @@ impl NodeTransport for LocalTransport {
                 seal_counter: req.state.seal_counter,
                 accepted: true,
                 detail: String::new(),
+                request_id: req.request_id.clone(),
             });
         }
         Ok(node.apply_replicate(req))

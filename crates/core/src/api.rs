@@ -34,8 +34,11 @@
 //! | `NotFound` | 404 | `not_found` |
 //!
 //! v1 responses carry the envelope as an `application/json` body
-//! (`{"code":…,"message":…,"detail":…}`); legacy responses keep their
-//! plain-text bodies and expose the code in an `x-tsr-error-code` header.
+//! (`{"code":…,"message":…,"detail":…,"request_id":…}` — the
+//! `request_id` comes from the request scope the middleware installs,
+//! so a client can quote it and the operator can grep the access log);
+//! legacy responses keep their plain-text bodies and expose the code in
+//! an `x-tsr-error-code` header.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -45,8 +48,10 @@ use crate::repository::RefreshReport;
 use crate::service::TsrService;
 use tsr_crypto::hex;
 use tsr_crypto::Sha256;
+use tsr_http::middleware::{ROUTE_HEADER, TENANT_HEADER};
 use tsr_http::router::{Params, Recognized, Router};
 use tsr_http::{etag_matches, Request, Response};
+use tsr_obs::Counter;
 use tsr_wire::dto::{
     CreateRepositoryRequest, ErrorEnvelope, HealthDto, MetricsDto, PackageEntryDto, PackagePage,
     PhaseTimingsDto, RefreshReportDto, RejectedPackageDto, RepositoryCreated, RepositoryInfo,
@@ -58,14 +63,59 @@ const DEFAULT_PAGE_LIMIT: u64 = 100;
 /// Hard cap on the page size.
 const MAX_PAGE_LIMIT: u64 = 1000;
 
+/// Typed lock-free counters for the handful of event names that sit on
+/// the request hot path. These started life as string-keyed
+/// [`ApiMetrics::bump`] names; a typed handle replaces the map lock and
+/// per-request string allocation with one relaxed atomic add. The old
+/// names still appear under `counters` in `/v1/metrics` (merged from
+/// these atomics at snapshot time), so nothing scraping the JSON
+/// surface notices the change.
+#[derive(Debug, Default)]
+pub struct HotCounters {
+    /// 304s answered from the ETag side cache without a shard lock.
+    pub index_not_modified_lock_free: Counter,
+    /// Full index GETs served as shared bytes from the hot-blob cache.
+    pub index_hot_blob_hits: Counter,
+    /// Index reads that had to take the repository shard lock.
+    pub index_locked_reads: Counter,
+    /// Package GETs served from the hot-blob cache.
+    pub package_hot_blob_hits: Counter,
+}
+
+impl HotCounters {
+    fn by_name(&self, name: &str) -> Option<&Counter> {
+        match name {
+            "index_not_modified_lock_free" => Some(&self.index_not_modified_lock_free),
+            "index_hot_blob_hits" => Some(&self.index_hot_blob_hits),
+            "index_locked_reads" => Some(&self.index_locked_reads),
+            "package_hot_blob_hits" => Some(&self.package_hot_blob_hits),
+            _ => None,
+        }
+    }
+
+    fn all(&self) -> [(&'static str, &Counter); 4] {
+        [
+            (
+                "index_not_modified_lock_free",
+                &self.index_not_modified_lock_free,
+            ),
+            ("index_hot_blob_hits", &self.index_hot_blob_hits),
+            ("index_locked_reads", &self.index_locked_reads),
+            ("package_hot_blob_hits", &self.package_hot_blob_hits),
+        ]
+    }
+}
+
 /// Per-route request counters (route pattern → status → count) plus
 /// named event counters for paths the load-contract tests must observe
 /// (e.g. how many 304s were answered without touching a repository
-/// shard lock).
+/// shard lock). The hottest event names live in typed atomics
+/// ([`HotCounters`]); the rest stay in the string-keyed map.
 #[derive(Debug, Default)]
 pub struct ApiMetrics {
     requests: Mutex<BTreeMap<String, BTreeMap<u16, u64>>>,
     counters: Mutex<BTreeMap<String, u64>>,
+    hot: HotCounters,
 }
 
 impl ApiMetrics {
@@ -87,8 +137,17 @@ impl ApiMetrics {
         if n == 0 {
             return;
         }
+        if let Some(c) = self.hot.by_name(name) {
+            c.add(n);
+            return;
+        }
         let mut map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
         *map.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// The typed hot-path counters.
+    pub fn hot(&self) -> &HotCounters {
+        &self.hot
     }
 
     /// Sets a named counter to an absolute value — used to mirror
@@ -101,6 +160,9 @@ impl ApiMetrics {
 
     /// The current value of a named event counter (0 if never bumped).
     pub fn counter(&self, name: &str) -> u64 {
+        if let Some(c) = self.hot.by_name(name) {
+            return c.get();
+        }
         self.counters
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -109,20 +171,38 @@ impl ApiMetrics {
             .unwrap_or(0)
     }
 
-    /// A snapshot of all counters as the wire DTO.
+    /// A snapshot of all counters as the wire DTO. Typed hot counters
+    /// are merged in under their original names (omitted while zero, so
+    /// the map keeps its "absent until first bump" shape).
     pub fn snapshot(&self) -> MetricsDto {
+        let mut counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        for (name, c) in self.hot.all() {
+            let v = c.get();
+            if v > 0 {
+                counters.insert(name.to_string(), v);
+            }
+        }
         MetricsDto {
             requests: self
                 .requests
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .clone(),
-            counters: self
-                .counters
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .clone(),
+            counters,
         }
+    }
+
+    /// A snapshot of the per-route status counts (route pattern →
+    /// status → count), for the Prometheus exposition.
+    pub(crate) fn requests_snapshot(&self) -> BTreeMap<String, BTreeMap<u16, u64>> {
+        self.requests
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -131,6 +211,7 @@ impl ApiMetrics {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Op {
     V1Health,
+    V1Ready,
     V1Metrics,
     V1CreateRepository,
     V1ListRepositories,
@@ -154,6 +235,7 @@ fn routes() -> &'static Router<Op> {
         let mut r = Router::new();
         // v1 surface.
         r.route("GET", "/v1/healthz", Op::V1Health)
+            .route("GET", "/v1/readyz", Op::V1Ready)
             .route("GET", "/v1/metrics", Op::V1Metrics)
             .route("POST", "/v1/repositories", Op::V1CreateRepository)
             .route("GET", "/v1/repositories", Op::V1ListRepositories)
@@ -192,6 +274,11 @@ fn envelope(status: u16, code: &str, message: &str, detail: &str) -> Response {
         code: code.to_string(),
         message: message.to_string(),
         detail: detail.to_string(),
+        // The middleware installs the request's id in task-local scope
+        // before dispatch, so every error envelope names the request it
+        // failed — the same id the access log and replication journal
+        // carry.
+        request_id: tsr_obs::current_request_id().unwrap_or_default(),
     }
     .encode();
     Response::json(status, body)
@@ -260,7 +347,15 @@ pub(crate) fn handle(svc: &TsrService, req: &Request) -> Response {
             let resp = dispatch(svc, *m.value, &m.params, req);
             let label = format!("{} {}", req.method.to_ascii_uppercase(), m.pattern);
             svc.api_metrics().record(&label, resp.status);
-            resp
+            // Tell the middleware which route pattern (and tenant) this
+            // was: Telemetry keys its latency histogram on the pattern
+            // (bounded label cardinality), AccessLog logs both and
+            // strips the headers before the bytes hit the wire.
+            let resp = resp.with_header(ROUTE_HEADER, &label);
+            match m.params.get("id") {
+                Some(tenant) if !tenant.is_empty() => resp.with_header(TENANT_HEADER, tenant),
+                _ => resp,
+            }
         }
         Recognized::MethodNotAllowed(allow) => {
             if !req.path.starts_with("/v1/") {
@@ -291,7 +386,8 @@ pub(crate) fn handle(svc: &TsrService, req: &Request) -> Response {
 fn dispatch(svc: &TsrService, op: Op, params: &Params, req: &Request) -> Response {
     match op {
         Op::V1Health => v1_health(svc),
-        Op::V1Metrics => Response::json(200, svc.api_metrics().snapshot().encode()),
+        Op::V1Ready => v1_ready(svc),
+        Op::V1Metrics => v1_metrics(svc, params),
         Op::V1CreateRepository => v1_create_repository(svc, req),
         Op::V1ListRepositories => v1_list_repositories(svc),
         Op::V1RepositoryInfo => v1_repository_info(svc, param(params, "id")),
@@ -323,6 +419,34 @@ fn v1_health(svc: &TsrService) -> Response {
         repositories: svc.repository_ids().len() as u64,
     };
     Response::json(200, dto.encode())
+}
+
+/// Readiness is distinct from liveness: `/v1/healthz` answers 200 as
+/// long as the process serves requests, while `/v1/readyz` answers 503
+/// whenever the node should not receive traffic — during WAL recovery
+/// replay, while its cluster config epoch lags the cluster's, or once a
+/// drain has begun. Load balancers poll this one.
+fn v1_ready(svc: &TsrService) -> Response {
+    let dto = svc.readiness();
+    let status = if dto.ready { 200 } else { 503 };
+    Response::json(status, dto.encode())
+}
+
+fn v1_metrics(svc: &TsrService, params: &Params) -> Response {
+    match params.query("format") {
+        Some("prometheus") => Response::with_content_type(
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            svc.render_prometheus().into_bytes(),
+        ),
+        None | Some("json") => Response::json(200, svc.api_metrics().snapshot().encode()),
+        Some(other) => envelope(
+            400,
+            "invalid_query",
+            "query parameter \"format\" must be \"json\" or \"prometheus\"",
+            other,
+        ),
+    }
 }
 
 fn v1_create_repository(svc: &TsrService, req: &Request) -> Response {
@@ -405,15 +529,15 @@ fn v1_index(svc: &TsrService, id: &str, req: &Request) -> Response {
     // lock, no clone, straight into the reactor's vectored writer.
     if let Some(etag) = svc.cached_index_etag(id) {
         if etag_matches(req, &etag) {
-            svc.api_metrics().bump("index_not_modified_lock_free");
+            svc.api_metrics().hot().index_not_modified_lock_free.inc();
             return Response::not_modified(&etag);
         }
         if let Some((etag, blob)) = svc.cached_hot_index(id) {
-            svc.api_metrics().bump("index_hot_blob_hits");
+            svc.api_metrics().hot().index_hot_blob_hits.inc();
             return Response::shared(blob).with_etag(&etag);
         }
     }
-    svc.api_metrics().bump("index_locked_reads");
+    svc.api_metrics().hot().index_locked_reads.inc();
     // Slow path takes the shard lock; the repository keeps the signed
     // index's ETag in lockstep with the blob, so even here a 304 costs
     // no cloning or hashing.
@@ -504,7 +628,7 @@ fn v1_package(svc: &TsrService, id: &str, name: &str, req: &Request) -> Response
     // index version answers straight from the hot cache — no shard
     // lock, no re-verification, no clone.
     if let Some((etag, blob)) = svc.cached_hot_package(id, name) {
-        svc.api_metrics().bump("package_hot_blob_hits");
+        svc.api_metrics().hot().package_hot_blob_hits.inc();
         return if etag_matches(req, &etag) {
             Response::not_modified(&etag)
         } else {

@@ -16,19 +16,25 @@
 //! | `GET /v1/repositories`, `GET/DELETE /v1/repositories/{id}`, `GET /v1/repositories/{id}/packages`, `GET /v1/healthz`, `GET /v1/metrics` | — | listing, info, delete, pagination, health, counters |
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::Duration;
 
 use tsr_crypto::drbg::HmacDrbg;
 use tsr_crypto::hex;
-use tsr_http::middleware::{AccessLog, BodyLimit, CatchPanic, Chain, RateLimit, RequestId};
+use tsr_http::middleware::{
+    AccessLog, BodyLimit, CatchPanic, Chain, RateLimit, RequestId, Telemetry,
+};
 use tsr_http::{Request, Response, Server, ServerConfig};
 use tsr_mirror::Mirror;
 use tsr_net::LatencyModel;
+use tsr_obs::{expo, Journal, Registry, RequestScope};
 use tsr_sgx::Cpu;
 use tsr_store::{RecoveryReport, StoreBackend, StoreCounters, StoreEngine, WalRecord};
 use tsr_tpm::Tpm;
+use tsr_wire::dto::ReadyDto;
 
 use crate::api::{self, ApiMetrics};
 use crate::error::CoreError;
@@ -99,6 +105,25 @@ struct SharedState {
     /// repository shard lock (`repository → store`) but never while the
     /// TPM lock is held, and no other lock is ever acquired under it.
     store: Option<Mutex<StoreEngine>>,
+    /// The typed metric registry behind the Prometheus exposition
+    /// (`GET /v1/metrics?format=prometheus`). The HTTP middleware's
+    /// latency histograms and in-flight gauges register here; cloning
+    /// the handle is cheap (`Registry` is an `Arc` internally).
+    obs_registry: Registry,
+    /// Bounded in-memory journal tagging request-ids onto side effects
+    /// (WAL appends, replication events). Never touches disk: the WAL
+    /// format stays byte-stable.
+    obs_journal: Journal,
+    /// True while [`TsrService::with_store`] replays the WAL — the
+    /// `recovery_replay` readiness component.
+    recovering: AtomicBool,
+    /// True once [`TsrService::begin_drain`] ran — the `drain`
+    /// readiness component (liveness is unaffected).
+    draining: AtomicBool,
+    /// False while this node's cluster config epoch is known to lag the
+    /// cluster's — the `cluster_epoch` readiness component. Maintained
+    /// by the cluster layer.
+    cluster_epoch_ok: AtomicBool,
 }
 
 /// The zero-copy blob cache for one repository: shared allocations the
@@ -227,6 +252,11 @@ impl TsrService {
                 hot_blob_budget: AtomicUsize::new(DEFAULT_HOT_BLOB_BUDGET),
                 hot_blob_clock: AtomicU64::new(0),
                 store,
+                obs_registry: Registry::new(),
+                obs_journal: Journal::default(),
+                recovering: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                cluster_epoch_ok: AtomicBool::new(true),
             }),
             repos: Arc::new(RwLock::new(BTreeMap::new())),
         }
@@ -261,6 +291,10 @@ impl TsrService {
         let (engine, report) = StoreEngine::open(backend).map_err(store_err)?;
         let state = engine.state().clone();
         let svc = Self::build(seed, mirrors, model, key_bits, Some(Mutex::new(engine)));
+        // Not ready until the replay below finishes: anything polling
+        // `/v1/readyz` (a load balancer, the drain runbook) must not
+        // route traffic at a half-rebuilt node.
+        svc.shared.recovering.store(true, Ordering::SeqCst);
         svc.shared
             .next_id
             .store(state.next_id.max(1), Ordering::Relaxed);
@@ -329,6 +363,7 @@ impl TsrService {
             let counters = lock(store).counters();
             svc.mirror_store_counters(counters);
         }
+        svc.shared.recovering.store(false, Ordering::SeqCst);
         Ok((svc, report))
     }
 
@@ -384,6 +419,108 @@ impl TsrService {
             .clone()
     }
 
+    /// The typed metric registry behind `GET /v1/metrics?format=prometheus`.
+    /// The HTTP middleware registers its latency-histogram and in-flight
+    /// families here when the service is bound via [`Self::serve_with_options`];
+    /// embedders can add their own families through the same handle.
+    pub fn obs_registry(&self) -> &Registry {
+        &self.shared.obs_registry
+    }
+
+    /// The bounded in-memory journal of request-id-tagged side effects
+    /// (WAL appends, replication events). The cluster chaos sim drains
+    /// it to assert end-to-end request-id propagation.
+    pub fn obs_journal(&self) -> &Journal {
+        &self.shared.obs_journal
+    }
+
+    /// Begins a drain: `/v1/readyz` flips to 503 so load balancers take
+    /// the node out of rotation, while `/v1/healthz` (liveness) and all
+    /// other routes keep answering. The socket layer has its own drain
+    /// ([`Server::begin_drain`]) that stops accepting connections; the
+    /// runbook flips this first, waits a poll interval, then drains the
+    /// listener.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`Self::begin_drain`] ran.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Records whether this node's cluster config epoch matches the
+    /// cluster's. The cluster layer calls this with `false` when a peer
+    /// push or digest reveals a newer epoch, and `true` once the node
+    /// adopts it — while `false`, `/v1/readyz` answers 503.
+    pub fn set_cluster_epoch_ok(&self, ok: bool) {
+        self.shared.cluster_epoch_ok.store(ok, Ordering::SeqCst);
+    }
+
+    /// The readiness verdict behind `GET /v1/readyz`: ready iff no
+    /// component objects. Each component reads `true` when it is NOT
+    /// blocking readiness.
+    pub fn readiness(&self) -> ReadyDto {
+        let mut components = BTreeMap::new();
+        components.insert(
+            "recovery_replay".to_string(),
+            !self.shared.recovering.load(Ordering::SeqCst),
+        );
+        components.insert(
+            "cluster_epoch".to_string(),
+            self.shared.cluster_epoch_ok.load(Ordering::SeqCst),
+        );
+        components.insert(
+            "drain".to_string(),
+            !self.shared.draining.load(Ordering::SeqCst),
+        );
+        let ready = components.values().all(|ok| *ok);
+        ReadyDto { ready, components }
+    }
+
+    /// Renders the full Prometheus text exposition (format 0.0.4): the
+    /// typed registry's families (latency histograms, in-flight and
+    /// queue-depth gauges) plus the legacy string-keyed [`ApiMetrics`]
+    /// counters, re-rendered under stable family names so nothing that
+    /// scraped the JSON surface loses a series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.shared.obs_registry.render_prometheus();
+        let requests = self.shared.metrics.requests_snapshot();
+        expo::render_header(
+            &mut out,
+            "tsr_http_requests_total",
+            "Requests by matched route pattern and status.",
+            "counter",
+        );
+        for (route, statuses) in &requests {
+            for (status, count) in statuses {
+                let status = status.to_string();
+                expo::render_sample(
+                    &mut out,
+                    "tsr_http_requests_total",
+                    &[("route", route.as_str()), ("status", status.as_str())],
+                    &count.to_string(),
+                );
+            }
+        }
+        let counters = self.shared.metrics.snapshot().counters;
+        expo::render_header(
+            &mut out,
+            "tsr_core_events_total",
+            "Named core event counters (the `counters` map of GET /v1/metrics).",
+            "counter",
+        );
+        for (name, value) in &counters {
+            expo::render_sample(
+                &mut out,
+                "tsr_core_events_total",
+                &[("event", name.as_str())],
+                &value.to_string(),
+            );
+        }
+        out
+    }
+
     /// Mirrors the storage engine's cumulative counters into the named
     /// counters served at `GET /v1/metrics`.
     fn mirror_store_counters(&self, c: StoreCounters) {
@@ -392,6 +529,28 @@ impl TsrService {
         m.set_counter("wal_bytes", c.wal_bytes);
         m.set_counter("snapshot_writes", c.snapshot_writes);
         m.set_counter("recovery_replayed_records", c.recovery_replayed_records);
+    }
+
+    /// The stable journal name of one WAL record kind.
+    fn wal_kind(record: &WalRecord) -> &'static str {
+        match record {
+            WalRecord::RepoCreated { .. } => "repo_created",
+            WalRecord::RepoDeleted { .. } => "repo_deleted",
+            WalRecord::RefreshApplied { .. } => "refresh_applied",
+            WalRecord::SealUpdated { .. } => "seal_updated",
+        }
+    }
+
+    /// Tags the request-id currently in scope onto a WAL append in the
+    /// in-memory journal. The WAL bytes themselves never change — the
+    /// attribution lives only here, where the chaos sim and operators
+    /// read it.
+    fn journal_wal(&self, record: &WalRecord) {
+        self.shared.obs_journal.record(
+            "wal_append",
+            &tsr_obs::current_request_id().unwrap_or_default(),
+            Self::wal_kind(record).to_string(),
+        );
     }
 
     /// Appends one record to the write-ahead log (no-op without a
@@ -409,6 +568,7 @@ impl TsrService {
         eng.append(record).map_err(store_err)?;
         let counters = eng.counters();
         drop(eng);
+        self.journal_wal(record);
         self.mirror_store_counters(counters);
         Ok(())
     }
@@ -447,21 +607,23 @@ impl TsrService {
                 packages.push((entry.name.clone(), entry.content_hash.clone(), shash));
             }
         }
-        eng.append(&WalRecord::RefreshApplied {
+        let refresh = WalRecord::RefreshApplied {
             id: repo.id.clone(),
             upstream_index: upstream.map(|i| i.to_text()).unwrap_or_default(),
             sanitized_index: sanitized.map(|i| i.to_text()).unwrap_or_default(),
             packages,
-        })
-        .map_err(store_err)?;
-        eng.append(&WalRecord::SealUpdated {
+        };
+        eng.append(&refresh).map_err(store_err)?;
+        let seal = WalRecord::SealUpdated {
             id: repo.id.clone(),
             sealed: repo.sealed_disk().map(<[u8]>::to_vec).unwrap_or_default(),
             counter: seal_counter,
-        })
-        .map_err(store_err)?;
+        };
+        eng.append(&seal).map_err(store_err)?;
         let counters = eng.counters();
         drop(eng);
+        self.journal_wal(&refresh);
+        self.journal_wal(&seal);
         self.mirror_store_counters(counters);
         Ok(())
     }
@@ -810,12 +972,14 @@ impl TsrService {
             return Ok(());
         };
         let mut eng = lock(store);
+        let mut journaled: Vec<WalRecord> = Vec::new();
         if is_new {
-            eng.append(&WalRecord::RepoCreated {
+            let created = WalRecord::RepoCreated {
                 id: state.id.clone(),
                 policy_text: state.policy_text.clone(),
-            })
-            .map_err(store_err)?;
+            };
+            eng.append(&created).map_err(store_err)?;
+            journaled.push(created);
         }
         for (hash, blob) in &state.blobs {
             if !eng.has_blob(hash) {
@@ -823,22 +987,27 @@ impl TsrService {
             }
         }
         if !state.sealed.is_empty() {
-            eng.append(&WalRecord::RefreshApplied {
+            let refresh = WalRecord::RefreshApplied {
                 id: state.id.clone(),
                 upstream_index: state.upstream_index.clone(),
                 sanitized_index: state.sanitized_index.clone(),
                 packages: state.packages.clone(),
-            })
-            .map_err(store_err)?;
-            eng.append(&WalRecord::SealUpdated {
+            };
+            eng.append(&refresh).map_err(store_err)?;
+            journaled.push(refresh);
+            let seal = WalRecord::SealUpdated {
                 id: state.id.clone(),
                 sealed: state.sealed.clone(),
                 counter: state.seal_counter,
-            })
-            .map_err(store_err)?;
+            };
+            eng.append(&seal).map_err(store_err)?;
+            journaled.push(seal);
         }
         let counters = eng.counters();
         drop(eng);
+        for record in &journaled {
+            self.journal_wal(record);
+        }
         self.mirror_store_counters(counters);
         Ok(())
     }
@@ -1184,6 +1353,11 @@ impl TsrService {
     /// `/v1` JSON surface plus the legacy plain-text shim. See
     /// [`crate::api`] for routes and the error contract.
     pub fn handle(&self, req: &Request) -> Response {
+        // Put the request's id (injected by the RequestId middleware, or
+        // sent by the client) in scope for the duration of the dispatch:
+        // error envelopes, WAL-append journal events, and cluster
+        // replication pushes triggered by this request all pick it up.
+        let _scope = RequestScope::enter(req.headers.get("x-request-id").cloned());
         api::handle(self, req)
     }
 
@@ -1200,8 +1374,12 @@ impl TsrService {
     /// Binds an HTTP server with explicit middleware/transport tunables.
     ///
     /// The middleware stack, outermost first: panic containment →
-    /// request-id injection → structured access log → token-bucket rate
-    /// limit → body-size guard → router.
+    /// request-id injection → structured access log → telemetry
+    /// (latency histograms + in-flight gauges into
+    /// [`Self::obs_registry`]) → token-bucket rate limit → body-size
+    /// guard → router. Binding also registers scrape-time gauges over
+    /// the reactor's two-class job-queue depths (and their high-water
+    /// marks) in the registry.
     ///
     /// Two body limits apply at different layers: requests over
     /// [`ApiOptions::max_body`] get the middleware's JSON 413 envelope;
@@ -1223,11 +1401,27 @@ impl TsrService {
         if let Some((burst, per_sec)) = options.rate_limit {
             chain = chain.wrap(RateLimit::new(burst, per_sec));
         }
+        let access_log = match &options.access_log {
+            Some(path) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(tsr_http::HttpError::Io)?;
+                let file = Mutex::new(file);
+                AccessLog::new(move |line| {
+                    let mut f = file.lock().unwrap_or_else(PoisonError::into_inner);
+                    let _ = writeln!(f, "{line}");
+                })
+            }
+            None => AccessLog::default(),
+        };
         let chain = chain
-            .wrap(AccessLog::default())
+            .wrap(Telemetry::new(&self.shared.obs_registry))
+            .wrap(access_log)
             .wrap(RequestId::new())
             .wrap(CatchPanic);
-        Server::bind_with_config(
+        let server = Server::bind_with_config(
             addr,
             chain.into_handler(),
             ServerConfig {
@@ -1239,7 +1433,41 @@ impl TsrService {
                 // keeps index/package reads off its tail on small pools.
                 classify: Some(std::sync::Arc::new(classify_request)),
             },
-        )
+        )?;
+        // Queue depths are owned by the reactor; sample them at scrape
+        // time. Re-binding (tests spin up several servers per service)
+        // replaces the callback with the newest server's queues.
+        let stats = server.queue_stats();
+        self.shared.obs_registry.gauge_fn(
+            "tsr_http_worker_queue_depth",
+            "Jobs waiting in the reactor's two-class worker queue.",
+            move || {
+                let (serve, bulk) = stats.depths();
+                vec![
+                    (
+                        vec![("class".to_string(), "serve".to_string())],
+                        serve as i64,
+                    ),
+                    (vec![("class".to_string(), "bulk".to_string())], bulk as i64),
+                ]
+            },
+        );
+        let stats = server.queue_stats();
+        self.shared.obs_registry.gauge_fn(
+            "tsr_http_worker_queue_depth_peak",
+            "High-water mark of the worker queue depth since bind.",
+            move || {
+                let (serve, bulk) = stats.peaks();
+                vec![
+                    (
+                        vec![("class".to_string(), "serve".to_string())],
+                        serve as i64,
+                    ),
+                    (vec![("class".to_string(), "bulk".to_string())], bulk as i64),
+                ]
+            },
+        );
+        Ok(server)
     }
 }
 
@@ -1267,6 +1495,11 @@ pub struct ApiOptions {
     pub max_body: usize,
     /// Slow-loris read deadline on the socket.
     pub read_deadline: Duration,
+    /// When set, one structured JSON access-log line per request is
+    /// appended to this file. When `None`, lines go to stderr only if
+    /// the `TSR_HTTP_LOG` environment variable is set (the
+    /// [`AccessLog::default`] behaviour).
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ApiOptions {
@@ -1277,6 +1510,7 @@ impl Default for ApiOptions {
             rate_limit: Some((10_000, 10_000.0)),
             max_body: 16 << 20,
             read_deadline: Duration::from_secs(10),
+            access_log: None,
         }
     }
 }
@@ -1816,5 +2050,153 @@ mod tests {
             body: vec![],
         });
         assert_eq!(resp.status, 404);
+    }
+
+    fn api_request(method: &str, path: &str, headers: &[(&str, &str)]) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn readyz_reflects_drain_and_cluster_epoch() {
+        use tsr_wire::{dto::ReadyDto, WireDto};
+        let svc = service();
+        let resp = svc.handle(&api_request("GET", "/v1/readyz", &[]));
+        assert_eq!(resp.status, 200);
+        let dto = ReadyDto::decode(&String::from_utf8_lossy(resp.body.as_slice())).unwrap();
+        assert!(dto.ready);
+        assert_eq!(dto.components.len(), 3);
+        assert!(dto.components.values().all(|&ok| ok));
+
+        svc.set_cluster_epoch_ok(false);
+        let resp = svc.handle(&api_request("GET", "/v1/readyz", &[]));
+        assert_eq!(resp.status, 503);
+        let dto = ReadyDto::decode(&String::from_utf8_lossy(resp.body.as_slice())).unwrap();
+        assert!(!dto.ready);
+        assert!(!dto.components["cluster_epoch"]);
+        assert!(dto.components["drain"]);
+        svc.set_cluster_epoch_ok(true);
+
+        svc.begin_drain();
+        assert!(svc.is_draining());
+        let resp = svc.handle(&api_request("GET", "/v1/readyz", &[]));
+        assert_eq!(resp.status, 503);
+        let dto = ReadyDto::decode(&String::from_utf8_lossy(resp.body.as_slice())).unwrap();
+        assert!(!dto.components["drain"]);
+        // Liveness is unaffected by drain: the process is still healthy.
+        let live = svc.handle(&api_request("GET", "/v1/healthz", &[]));
+        assert_eq!(live.status, 200);
+    }
+
+    #[test]
+    fn error_envelopes_carry_the_request_id() {
+        use tsr_wire::{ErrorEnvelope, WireDto};
+        let svc = service();
+        let resp = svc.handle(&api_request(
+            "POST",
+            "/v1/repositories/nope/refresh",
+            &[("x-request-id", "req-err-7")],
+        ));
+        assert_eq!(resp.status, 404);
+        let env = ErrorEnvelope::decode(&String::from_utf8_lossy(resp.body.as_slice())).unwrap();
+        assert_eq!(env.request_id, "req-err-7");
+        // Without the header, the field encodes as absent/empty.
+        let resp = svc.handle(&api_request("POST", "/v1/repositories/nope/refresh", &[]));
+        let env = ErrorEnvelope::decode(&String::from_utf8_lossy(resp.body.as_slice())).unwrap();
+        assert!(env.request_id.is_empty());
+    }
+
+    #[test]
+    fn prometheus_exposition_parses_and_reflects_traffic() {
+        use tsr_obs::Exposition;
+        let svc = service();
+        let (id, _) = svc.create_repository(&policy_text()).unwrap();
+        svc.refresh(&id).unwrap();
+        // Two index GETs: the second takes the hot-blob fast path, so
+        // the typed hot counter must surface under its legacy name.
+        let index_path = format!("/v1/repositories/{id}/index");
+        assert_eq!(
+            svc.handle(&api_request("GET", &index_path, &[])).status,
+            200
+        );
+        assert_eq!(
+            svc.handle(&api_request("GET", &index_path, &[])).status,
+            200
+        );
+
+        let resp = svc.handle(&api_request("GET", "/v1/metrics?format=prometheus", &[]));
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.headers.get("content-type").map(String::as_str),
+            Some("text/plain; version=0.0.4; charset=utf-8")
+        );
+        let text = String::from_utf8(resp.body.as_slice().to_vec()).unwrap();
+        let expo = Exposition::parse(&text).unwrap();
+        expo.validate_histograms().unwrap();
+        let sample = expo
+            .sample(
+                "tsr_http_requests_total",
+                &[
+                    ("route", "GET /v1/repositories/:id/index"),
+                    ("status", "200"),
+                ],
+            )
+            .expect("index request counted by route pattern");
+        assert!(sample >= 1.0);
+        // The typed hot-path counters surface under their legacy JSON
+        // metric names via the core-events family.
+        assert!(
+            expo.sample("tsr_core_events_total", &[("event", "index_hot_blob_hits")])
+                .is_some_and(|v| v >= 1.0),
+            "core counters exported:\n{text}"
+        );
+        // Unknown formats are a client error, not a silent default.
+        let resp = svc.handle(&api_request("GET", "/v1/metrics?format=xml", &[]));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn journal_attributes_wal_appends_to_the_request_id() {
+        let fs = Arc::new(Mutex::new(tsr_simfs::SimFs::new()));
+        let (svc, _) = TsrService::with_store(
+            b"svc-journal",
+            mirrors(),
+            LatencyModel::default(),
+            1024,
+            sim_backend(&fs),
+        )
+        .unwrap();
+        let (id, _) = svc.create_repository(&policy_text()).unwrap();
+        svc.obs_journal().drain();
+        let resp = svc.handle(&api_request(
+            "POST",
+            &format!("/v1/repositories/{id}/refresh"),
+            &[("x-request-id", "req-wal-1")],
+        ));
+        assert_eq!(resp.status, 200);
+        let events = svc.obs_journal().drain();
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == "wal_append")
+            .map(|e| e.detail.as_str())
+            .collect();
+        assert!(
+            kinds.contains(&"refresh_applied") && kinds.contains(&"seal_updated"),
+            "{kinds:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .filter(|e| e.kind == "wal_append")
+                .all(|e| e.request_id == "req-wal-1"),
+            "{events:?}"
+        );
     }
 }

@@ -41,7 +41,7 @@ pub mod middleware;
 pub mod reactor;
 pub mod router;
 
-pub use reactor::Server;
+pub use reactor::{QueueStats, Server};
 
 use std::collections::BTreeMap;
 use std::error::Error;

@@ -24,15 +24,29 @@
 //! ```
 //!
 //! The provided layers cover the cross-cutting concerns of the REST API:
-//! [`RequestId`] injection, [`AccessLog`] structured logging, [`RateLimit`]
-//! token-bucket throttling, [`BodyLimit`] payload guarding, and
-//! [`CatchPanic`] panic-to-500 containment.
+//! [`RequestId`] injection, [`AccessLog`] structured JSON logging,
+//! [`Telemetry`] per-route latency histograms and the in-flight gauge,
+//! [`RateLimit`] token-bucket throttling, [`BodyLimit`] payload guarding,
+//! and [`CatchPanic`] panic-to-500 containment.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Instant, SystemTime};
+
+use tsr_obs::registry::{Gauge, HistogramVec, Registry, LATENCY_BUCKETS_US};
 
 use crate::{Request, Response};
+
+/// Response header the router/API layer sets to the matched route
+/// pattern (e.g. `GET /v1/repositories/:id/index`). [`Telemetry`] keys
+/// its latency histogram by it and [`AccessLog`] logs it; both treat it
+/// as internal — [`AccessLog`] strips it before the response leaves the
+/// chain.
+pub const ROUTE_HEADER: &str = "x-tsr-route";
+
+/// Response header carrying the tenant (repository id) a request
+/// addressed, for the access log. Stripped alongside [`ROUTE_HEADER`].
+pub const TENANT_HEADER: &str = "x-tsr-tenant";
 
 /// One layer of request processing.
 pub trait Middleware: Send + Sync {
@@ -108,7 +122,34 @@ impl Middleware for RequestId {
     }
 }
 
-/// Structured access logging: one `key=value` line per request.
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Structured access logging: one canonical JSON line per request —
+/// `{"ts_us":…,"request_id":"…","method":"…","path":"…","route":"…",
+/// "status":…,"latency_us":…,"bytes":…,"tenant":"…"}`. The schema is
+/// mirrored by `tsr_wire::AccessLogLine`, whose strict parser the CI
+/// jsonl-validity check runs over captured logs.
+///
+/// `route` and `tenant` are read from the internal [`ROUTE_HEADER`] /
+/// [`TENANT_HEADER`] response headers the API layer sets (empty when
+/// absent), which this layer strips after logging.
 ///
 /// The default sink writes to stderr only when the `TSR_HTTP_LOG`
 /// environment variable is set (so test suites stay quiet); a custom sink
@@ -155,18 +196,99 @@ impl Middleware for AccessLog {
         let started = Instant::now();
         let method = req.method.clone();
         let path = req.path.clone();
-        let resp = next(req);
+        let mut resp = next(req);
         let request_id = req
             .headers
             .get("x-request-id")
             .map(String::as_str)
-            .unwrap_or("-");
+            .unwrap_or("");
+        let route = resp.headers.remove(ROUTE_HEADER).unwrap_or_default();
+        let tenant = resp.headers.remove(TENANT_HEADER).unwrap_or_default();
+        let ts_us = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
         (self.sink)(&format!(
-            "method={method} path={path} status={status} bytes={bytes} duration_us={us} request_id={request_id}",
+            "{{\"ts_us\":{ts_us},\"request_id\":\"{rid}\",\"method\":\"{m}\",\"path\":\"{p}\",\
+             \"route\":\"{r}\",\"status\":{status},\"latency_us\":{us},\"bytes\":{bytes},\
+             \"tenant\":\"{t}\"}}",
+            rid = json_escape(request_id),
+            m = json_escape(&method),
+            p = json_escape(&path),
+            r = json_escape(&route),
             status = resp.status,
-            bytes = resp.body.len(),
             us = started.elapsed().as_micros(),
+            bytes = resp.body.len(),
+            t = json_escape(&tenant),
         ));
+        resp
+    }
+}
+
+/// Per-route server-side telemetry: a latency-histogram family keyed by
+/// the matched route pattern (from [`ROUTE_HEADER`], label `unmatched`
+/// when absent) and an in-flight-request gauge with a high-water peak.
+/// Registers `tsr_http_request_duration_us` and
+/// `tsr_http_requests_in_flight` (plus its `_peak`) in the given
+/// [`Registry`].
+pub struct Telemetry {
+    latency: HistogramVec,
+    in_flight: Gauge,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").finish()
+    }
+}
+
+impl Telemetry {
+    /// Registers the telemetry families in `registry` and returns the
+    /// middleware recording into them.
+    pub fn new(registry: &Registry) -> Self {
+        let latency = registry.histogram_vec(
+            "tsr_http_request_duration_us",
+            "Server-side request latency by matched route pattern, microseconds.",
+            "route",
+            LATENCY_BUCKETS_US,
+        );
+        let in_flight = registry.gauge(
+            "tsr_http_requests_in_flight",
+            "Requests currently inside the middleware chain.",
+        );
+        let peak_source = in_flight.clone();
+        registry.gauge_fn(
+            "tsr_http_requests_in_flight_peak",
+            "High-water mark of concurrently in-flight requests.",
+            move || vec![(Vec::new(), peak_source.peak())],
+        );
+        Telemetry { latency, in_flight }
+    }
+}
+
+/// Decrements the in-flight gauge even when the inner chain unwinds
+/// (the outer [`CatchPanic`] layer catches the panic after this drops).
+struct InFlightGuard(Gauge);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
+impl Middleware for Telemetry {
+    fn handle(&self, req: &mut Request, next: &dyn Fn(&mut Request) -> Response) -> Response {
+        self.in_flight.inc();
+        let _guard = InFlightGuard(self.in_flight.clone());
+        let started = Instant::now();
+        let resp = next(req);
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let route = resp
+            .headers
+            .get(ROUTE_HEADER)
+            .map(String::as_str)
+            .unwrap_or("unmatched");
+        self.latency.with(route).observe(us);
         resp
     }
 }
@@ -311,6 +433,80 @@ mod tests {
         let resp = chain.handle(&mut request());
         assert_eq!(resp.status, 500);
         assert!(String::from_utf8_lossy(&resp.body).contains("internal"));
+    }
+
+    #[test]
+    fn access_log_emits_canonical_json_and_strips_internal_headers() {
+        let lines = Arc::new(Mutex::new(Vec::<String>::new()));
+        let captured = lines.clone();
+        let chain = Chain::new(|_: &mut Request| {
+            Response::ok(b"12345".to_vec())
+                .with_header(ROUTE_HEADER, "GET /t/:id")
+                .with_header(TENANT_HEADER, "repo-1")
+        })
+        .wrap(AccessLog::new(move |line| {
+            captured.lock().unwrap().push(line.to_string());
+        }));
+        let mut req = request();
+        req.headers
+            .insert("x-request-id".into(), "req-00000001".into());
+        let resp = chain.handle(&mut req);
+        assert!(!resp.headers.contains_key(ROUTE_HEADER));
+        assert!(!resp.headers.contains_key(TENANT_HEADER));
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.starts_with("{\"ts_us\":"), "{line}");
+        for needle in [
+            "\"request_id\":\"req-00000001\"",
+            "\"method\":\"GET\"",
+            "\"path\":\"/t\"",
+            "\"route\":\"GET /t/:id\"",
+            "\"status\":200,",
+            "\"bytes\":5,",
+            "\"tenant\":\"repo-1\"",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn json_escape_control_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn telemetry_records_route_latency_and_in_flight_peak() {
+        let registry = Registry::new();
+        let telemetry = Telemetry::new(&registry);
+        let chain =
+            Chain::new(|_: &mut Request| Response::ok(vec![]).with_header(ROUTE_HEADER, "GET /t"))
+                .wrap(telemetry);
+        for _ in 0..3 {
+            assert_eq!(chain.handle(&mut request()).status, 200);
+        }
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("tsr_http_request_duration_us_count{route=\"GET /t\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("tsr_http_requests_in_flight 0"), "{text}");
+        assert!(
+            text.contains("tsr_http_requests_in_flight_peak 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn telemetry_in_flight_survives_panicking_handler() {
+        let registry = Registry::new();
+        let chain = Chain::new(|_: &mut Request| -> Response { panic!("boom") })
+            .wrap(Telemetry::new(&registry))
+            .wrap(CatchPanic);
+        assert_eq!(chain.handle(&mut request()).status, 500);
+        assert!(registry
+            .render_prometheus()
+            .contains("tsr_http_requests_in_flight 0"));
     }
 
     #[test]

@@ -44,7 +44,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -281,6 +281,10 @@ struct JobQueueInner {
     serve: VecDeque<Job>,
     bulk: VecDeque<Job>,
     closed: bool,
+    /// High-water marks of the two backlogs since the queue was created;
+    /// scraped as gauges by the observability layer.
+    peak_serve: usize,
+    peak_bulk: usize,
 }
 
 /// The handler-pool job queue: two FIFOs, one per [`JobClass`]. Workers
@@ -316,8 +320,14 @@ impl JobQueue {
             return;
         }
         match class {
-            JobClass::Serve => inner.serve.push_back(job),
-            JobClass::Bulk => inner.bulk.push_back(job),
+            JobClass::Serve => {
+                inner.serve.push_back(job);
+                inner.peak_serve = inner.peak_serve.max(inner.serve.len());
+            }
+            JobClass::Bulk => {
+                inner.bulk.push_back(job);
+                inner.peak_bulk = inner.peak_bulk.max(inner.bulk.len());
+            }
         }
         drop(inner);
         self.cond.notify_one();
@@ -355,6 +365,32 @@ impl JobQueue {
         let inner = self.lock();
         (inner.serve.len(), inner.bulk.len())
     }
+
+    /// High-water marks `(serve, bulk)` of the backlog since startup.
+    fn peaks(&self) -> (usize, usize) {
+        let inner = self.lock();
+        (inner.peak_serve, inner.peak_bulk)
+    }
+}
+
+/// A cloneable read-only view of the handler-pool job queue, detached
+/// from the [`Server`]'s lifetime borrow — the observability layer
+/// registers scrape-time gauge callbacks over it.
+#[derive(Clone)]
+pub struct QueueStats {
+    jobs: Arc<JobQueue>,
+}
+
+impl QueueStats {
+    /// Current backlog `(serve, bulk)` — jobs waiting for a worker.
+    pub fn depths(&self) -> (usize, usize) {
+        self.jobs.depths()
+    }
+
+    /// High-water marks `(serve, bulk)` of the backlog since startup.
+    pub fn peaks(&self) -> (usize, usize) {
+        self.jobs.peaks()
+    }
 }
 
 const TOK_LISTENER: u64 = u64::MAX;
@@ -384,6 +420,9 @@ struct Reactor {
     stop: Arc<AtomicBool>,
     config: ServerConfig,
     stop_seen: Option<Instant>,
+    drain: Arc<AtomicBool>,
+    drain_grace_us: Arc<AtomicU64>,
+    drain_seen: Option<Instant>,
 }
 
 /// The HTTP server: an epoll event loop on one I/O thread plus a
@@ -394,6 +433,8 @@ struct Reactor {
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    drain_grace_us: Arc<AtomicU64>,
     wake_tx: UnixStream,
     reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -459,6 +500,8 @@ impl Server {
         wake_tx.set_nonblocking(true)?;
 
         let stop = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
+        let drain_grace_us = Arc::new(AtomicU64::new(0));
         let completions: Arc<CompletionQueue> = Arc::new(Mutex::new(Vec::new()));
         let jobs = JobQueue::new();
         let handler: Arc<crate::Handler> = Arc::new(handler);
@@ -491,12 +534,17 @@ impl Server {
             stop: Arc::clone(&stop),
             config,
             stop_seen: None,
+            drain: Arc::clone(&drain),
+            drain_grace_us: Arc::clone(&drain_grace_us),
+            drain_seen: None,
         };
         let reactor_handle = std::thread::spawn(move || reactor.run());
 
         Ok(Server {
             addr: local,
             stop,
+            drain,
+            drain_grace_us,
             wake_tx,
             reactor: Some(reactor_handle),
             workers,
@@ -518,6 +566,35 @@ impl Server {
     /// for a worker, not counting the ones already executing.
     pub fn queue_depths(&self) -> (usize, usize) {
         self.jobs.depths()
+    }
+
+    /// High-water marks of the handler-queue backlog as `(serve, bulk)`
+    /// since the server started.
+    pub fn queue_peaks(&self) -> (usize, usize) {
+        self.jobs.peaks()
+    }
+
+    /// A cloneable handle over the handler-queue depth/peak counters,
+    /// usable after this borrow ends (e.g. from metric scrape
+    /// callbacks).
+    pub fn queue_stats(&self) -> QueueStats {
+        QueueStats {
+            jobs: Arc::clone(&self.jobs),
+        }
+    }
+
+    /// Begins a graceful drain: the listener closes (new connects are
+    /// refused), idle keep-alive connections get a clean FIN,
+    /// keep-alive is disabled on subsequent responses, and in-flight
+    /// requests may finish within `grace` before their connections are
+    /// forced closed. The reactor keeps running — [`Server::shutdown`]
+    /// still performs the final teardown. Idempotent; the first grace
+    /// wins.
+    pub fn begin_drain(&self, grace: Duration) {
+        let grace_us = u64::try_from(grace.as_micros()).unwrap_or(u64::MAX);
+        self.drain_grace_us.store(grace_us, Ordering::SeqCst);
+        self.drain.store(true, Ordering::SeqCst);
+        let _ = (&self.wake_tx).write(&[1]);
     }
 
     /// Stops accepting, drains in-flight requests (bounded grace), joins
@@ -582,7 +659,28 @@ impl Reactor {
                     break; // drained, or grace expired: force-close the rest
                 }
             }
-            let timeout_ms: i32 = if self.stop_seen.is_some() || self.wheel.has_armed() {
+            if self.stop_seen.is_none()
+                && self.drain_seen.is_none()
+                && self.drain.load(Ordering::SeqCst)
+            {
+                self.begin_drain_mode();
+            }
+            if let Some(t0) = self.drain_seen {
+                let grace = Duration::from_micros(self.drain_grace_us.load(Ordering::SeqCst));
+                if t0.elapsed() > grace && !self.conns.is_empty() {
+                    // Grace expired: force-close whatever is still open.
+                    // The reactor itself keeps running so shutdown() can
+                    // still join it.
+                    let remaining: Vec<u64> = self.conns.keys().copied().collect();
+                    for token in remaining {
+                        self.close(token);
+                    }
+                }
+            }
+            let timeout_ms: i32 = if self.stop_seen.is_some()
+                || (self.drain_seen.is_some() && !self.conns.is_empty())
+                || self.wheel.has_armed()
+            {
                 WHEEL_TICK_MS as i32
             } else {
                 -1 // fully idle: block until a socket or wakeup fires
@@ -619,6 +717,22 @@ impl Reactor {
     fn begin_shutdown(&mut self) {
         self.stop_seen = Some(Instant::now());
         self.listener = None; // close: refuse new connections immediately
+        self.close_idle();
+    }
+
+    /// Enters drain mode: like [`Reactor::begin_shutdown`], but the
+    /// event loop keeps running so in-flight handlers finish under the
+    /// caller-chosen grace and the final `shutdown()` still joins
+    /// cleanly.
+    fn begin_drain_mode(&mut self) {
+        self.drain_seen = Some(Instant::now());
+        self.listener = None; // refuse new connections immediately
+        self.close_idle();
+    }
+
+    /// Closes every connection with no request in flight — idle
+    /// keep-alive peers get a clean FIN.
+    fn close_idle(&mut self) {
         let idle: Vec<u64> = self
             .conns
             .iter()
@@ -637,8 +751,8 @@ impl Reactor {
             };
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    if self.stop_seen.is_some() {
-                        continue; // accepted during shutdown: close immediately
+                    if self.stop_seen.is_some() || self.drain_seen.is_some() {
+                        continue; // accepted during shutdown/drain: close immediately
                     }
                     if stream.set_nonblocking(true).is_err() {
                         continue;
@@ -909,7 +1023,7 @@ impl Reactor {
     }
 
     fn finish_write(&mut self, token: u64, close: bool) {
-        if close || self.stop_seen.is_some() {
+        if close || self.stop_seen.is_some() || self.drain_seen.is_some() {
             self.close(token);
             return;
         }
@@ -952,7 +1066,7 @@ impl Reactor {
                 // connection rather than desynchronize it.
                 None => self.close(token),
                 Some(resp) => {
-                    let ka = keep_alive && self.stop_seen.is_none();
+                    let ka = keep_alive && self.stop_seen.is_none() && self.drain_seen.is_none();
                     self.start_write(token, resp, ka, head_only, !ka);
                 }
             }

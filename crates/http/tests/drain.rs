@@ -1,0 +1,233 @@
+//! Raw-socket tests for the graceful-drain path and the job-queue
+//! high-water marks.
+//!
+//! Drain is the socket half of taking a node out of rotation: the
+//! listener closes, idle keep-alive connections get a clean FIN,
+//! keep-alive is disabled on subsequent responses, and in-flight
+//! requests finish within the grace period. The reactor keeps running
+//! so the final `shutdown()` still joins cleanly.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tsr_http::{Request, Response, Server, ServerConfig};
+
+fn wait_for<F: Fn() -> bool>(what: &str, cond: F) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(t0.elapsed() < Duration::from_secs(10), "timed out: {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Reads one full response off a raw socket: (status, head text, body).
+fn read_response(stream: &mut TcpStream) -> (u16, String, Vec<u8>) {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).unwrap(), 1, "eof inside head");
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8(buf).unwrap();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .map(|v| v.trim().parse().unwrap())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).unwrap();
+    (status, head, body)
+}
+
+#[test]
+fn drain_finishes_in_flight_closes_idle_and_refuses_new_connections() {
+    let gate_running = Arc::new(AtomicBool::new(false));
+    let gate_open = Arc::new(AtomicBool::new(false));
+    let server = {
+        let running = Arc::clone(&gate_running);
+        let open = Arc::clone(&gate_open);
+        Server::bind("127.0.0.1:0", move |req: &mut Request| {
+            if req.path == "/slow" {
+                running.store(true, Ordering::SeqCst);
+                while !open.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            Response::text(200, "done")
+        })
+        .expect("bind")
+    };
+    let addr = server.local_addr();
+
+    // An established idle keep-alive connection (one request answered).
+    let mut idle = TcpStream::connect(addr).unwrap();
+    write!(idle, "GET /warm HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    let (status, head, _) = read_response(&mut idle);
+    assert_eq!(status, 200);
+    assert!(head.contains("connection: keep-alive"), "head: {head}");
+
+    // An in-flight request blocked inside the handler.
+    let mut inflight = TcpStream::connect(addr).unwrap();
+    write!(inflight, "GET /slow HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    wait_for("slow handler running", || {
+        gate_running.load(Ordering::SeqCst)
+    });
+
+    server.begin_drain(Duration::from_secs(5));
+
+    // The idle keep-alive connection is closed with a clean FIN.
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut sink = [0u8; 64];
+    assert_eq!(
+        idle.read(&mut sink).expect("clean eof, not a reset"),
+        0,
+        "idle keep-alive connection must see EOF after drain"
+    );
+
+    // The listener is closed: new connections are refused (or, if a
+    // race lets one through before the listener drops, it is closed
+    // without a response).
+    wait_for("listener closed", || match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut late) => {
+            let _ = write!(late, "GET /late HTTP/1.1\r\nhost: t\r\n\r\n");
+            late.set_read_timeout(Some(Duration::from_secs(2))).ok();
+            matches!(late.read(&mut [0u8; 1]), Ok(0))
+        }
+    });
+
+    // The in-flight request still completes — with keep-alive disabled
+    // and the connection closed after the response.
+    gate_open.store(true, Ordering::SeqCst);
+    inflight
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let (status, head, body) = read_response(&mut inflight);
+    assert_eq!(status, 200);
+    assert_eq!(body, b"done");
+    assert!(
+        head.contains("connection: close"),
+        "drained responses must disable keep-alive, head: {head}"
+    );
+    assert_eq!(
+        inflight.read(&mut sink).expect("clean eof after response"),
+        0,
+        "connection must close after the drained response"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn drain_grace_force_closes_a_stuck_handler_connection() {
+    let gate_running = Arc::new(AtomicBool::new(false));
+    let gate_open = Arc::new(AtomicBool::new(false));
+    let server = {
+        let running = Arc::clone(&gate_running);
+        let open = Arc::clone(&gate_open);
+        Server::bind("127.0.0.1:0", move |_req: &mut Request| {
+            running.store(true, Ordering::SeqCst);
+            while !open.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Response::text(200, "late")
+        })
+        .expect("bind")
+    };
+    let addr = server.local_addr();
+
+    let mut stuck = TcpStream::connect(addr).unwrap();
+    write!(stuck, "GET /stuck HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    wait_for("handler running", || gate_running.load(Ordering::SeqCst));
+
+    // Zero grace: the connection is force-closed without a response.
+    server.begin_drain(Duration::from_millis(0));
+    stuck
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let n = match stuck.read(&mut [0u8; 64]) {
+        Ok(n) => n,
+        // A force-close of a connection with unread kernel buffer may
+        // surface as a reset rather than clean EOF; both mean "closed".
+        Err(e) if e.kind() == ErrorKind::ConnectionReset => 0,
+        Err(e) => panic!("unexpected read error: {e}"),
+    };
+    assert_eq!(n, 0, "stuck connection must be closed once grace expires");
+
+    // Unblock the worker so shutdown can join it.
+    gate_open.store(true, Ordering::SeqCst);
+    server.shutdown();
+}
+
+#[test]
+fn queue_peaks_record_the_backlog_high_water_mark() {
+    let gate_running = Arc::new(AtomicBool::new(false));
+    let gate_open = Arc::new(AtomicBool::new(false));
+    let server = {
+        let running = Arc::clone(&gate_running);
+        let open = Arc::clone(&gate_open);
+        Server::bind_with_config(
+            "127.0.0.1:0",
+            move |req: &mut Request| {
+                if req.path == "/gate" {
+                    running.store(true, Ordering::SeqCst);
+                    while !open.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                Response::text(200, "ok")
+            },
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind")
+    };
+    let addr = server.local_addr().to_string();
+    let stats = server.queue_stats();
+    assert_eq!(stats.peaks(), (0, 0));
+
+    // Occupy the single worker, then stack two jobs behind it.
+    let get = |path: &str| {
+        let addr = addr.clone();
+        let path = path.to_string();
+        std::thread::spawn(move || {
+            let mut s = TcpStream::connect(&addr).unwrap();
+            write!(
+                s,
+                "GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"
+            )
+            .unwrap();
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).unwrap();
+        })
+    };
+    let gate = get("/gate");
+    wait_for("gate running", || gate_running.load(Ordering::SeqCst));
+    let a = get("/a");
+    let b = get("/b");
+    wait_for("two jobs queued", || stats.depths().0 == 2);
+
+    gate_open.store(true, Ordering::SeqCst);
+    for h in [gate, a, b] {
+        h.join().unwrap();
+    }
+    assert_eq!(stats.depths(), (0, 0));
+    assert!(
+        stats.peaks().0 >= 2,
+        "serve peak must record the stacked backlog, got {:?}",
+        stats.peaks()
+    );
+    assert_eq!(server.queue_peaks(), stats.peaks());
+    server.shutdown();
+}

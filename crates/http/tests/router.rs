@@ -214,11 +214,12 @@ fn access_log_sees_request_id_from_inner_layer() {
     chain.handle(&mut request("GET", "/metrics-path"));
     let lines = lines.lock().unwrap();
     assert_eq!(lines.len(), 1);
-    assert!(lines[0].contains("method=GET"));
-    assert!(lines[0].contains("path=/metrics-path"));
-    assert!(lines[0].contains("status=200"));
-    assert!(lines[0].contains("bytes=4"));
-    assert!(lines[0].contains("request_id=req-"));
+    let line = &lines[0];
+    assert!(line.contains("\"method\":\"GET\""), "{line}");
+    assert!(line.contains("\"path\":\"/metrics-path\""), "{line}");
+    assert!(line.contains("\"status\":200"), "{line}");
+    assert!(line.contains("\"bytes\":4"), "{line}");
+    assert!(line.contains("\"request_id\":\"req-"), "{line}");
 }
 
 #[test]

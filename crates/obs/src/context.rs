@@ -1,0 +1,71 @@
+//! Request-scoped context: the current request-id.
+//!
+//! The HTTP layer handles each request synchronously on one worker
+//! thread, so a thread-local carries the `x-request-id` from the
+//! middleware chain down into core without threading a parameter
+//! through every call — error envelopes, WAL-append journal events,
+//! and cluster replication pushes all read it from here.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static REQUEST_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// The request-id of the request currently being handled on this
+/// thread, if a [`RequestScope`] is active.
+pub fn current_request_id() -> Option<String> {
+    REQUEST_ID.with(|slot| slot.borrow().clone())
+}
+
+/// An RAII guard installing a request-id for the current thread; the
+/// previous value (normally `None`) is restored on drop, so nested
+/// scopes — a node handling a replicated push while itself serving a
+/// request — behave like a stack.
+pub struct RequestScope {
+    prev: Option<String>,
+}
+
+impl RequestScope {
+    /// Installs `id` as the current request-id (empty ids count as
+    /// absent).
+    pub fn enter(id: Option<String>) -> Self {
+        let id = id.filter(|s| !s.is_empty());
+        let prev = REQUEST_ID.with(|slot| slot.replace(id));
+        RequestScope { prev }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        REQUEST_ID.with(|slot| {
+            *slot.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_installs_and_restores() {
+        assert_eq!(current_request_id(), None);
+        {
+            let _outer = RequestScope::enter(Some("req-1".into()));
+            assert_eq!(current_request_id().as_deref(), Some("req-1"));
+            {
+                let _inner = RequestScope::enter(Some("req-2".into()));
+                assert_eq!(current_request_id().as_deref(), Some("req-2"));
+            }
+            assert_eq!(current_request_id().as_deref(), Some("req-1"));
+        }
+        assert_eq!(current_request_id(), None);
+    }
+
+    #[test]
+    fn empty_id_counts_as_absent() {
+        let _scope = RequestScope::enter(Some(String::new()));
+        assert_eq!(current_request_id(), None);
+    }
+}

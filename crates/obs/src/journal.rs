@@ -1,0 +1,99 @@
+//! A bounded in-memory event journal.
+//!
+//! Side effects that must stay attributable to the request that caused
+//! them — WAL appends, cluster replication pushes and applies — record
+//! an event here tagged with the current request-id. The journal is
+//! telemetry, not durability: the on-disk WAL format is strict (its
+//! decoder rejects trailing bytes), so request-ids ride in memory
+//! where the chaos sim and tests can assert end-to-end propagation
+//! without perturbing the storage contract.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One journaled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Event kind (e.g. `wal_append`, `replicate_push`,
+    /// `replicate_apply`).
+    pub kind: String,
+    /// The request-id active when the event fired (empty when none).
+    pub request_id: String,
+    /// Free-form detail (repository id, record kind, peer node, …).
+    pub detail: String,
+}
+
+/// A bounded FIFO of [`JournalEvent`]s; the oldest events are dropped
+/// once the capacity is reached. Cloning shares the buffer.
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<VecDeque<JournalEvent>>>,
+    capacity: usize,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new(1024)
+    }
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends one event, evicting the oldest when full.
+    pub fn record(&self, kind: &str, request_id: &str, detail: String) {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(JournalEvent {
+            kind: kind.to_string(),
+            request_id: request_id.to_string(),
+            detail,
+        });
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<JournalEvent> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<JournalEvent> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_fifo_with_drain() {
+        let j = Journal::new(2);
+        j.record("a", "r1", "d1".into());
+        j.record("b", "r2", "d2".into());
+        j.record("c", "r3", "d3".into());
+        let events = j.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "b");
+        assert_eq!(events[1].request_id, "r3");
+        assert_eq!(j.drain().len(), 2);
+        assert!(j.snapshot().is_empty());
+    }
+}

@@ -316,6 +316,22 @@ impl Histogram {
         self.quantile(p / 100.0)
     }
 
+    /// The exact sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Number of recorded values at or below `bound`, to bucket
+    /// resolution: the bucket containing `bound` is counted entirely, so
+    /// the result can over-count by values in that one bucket that
+    /// exceed `bound` (≤ 1/64 relative error, same bound as
+    /// [`Self::quantile`]). Monotone in `bound`;
+    /// `count_le(u64::MAX) == count()`. Cumulative-bucket exports (e.g.
+    /// Prometheus `_bucket` series) are built from this.
+    pub fn count_le(&self, bound: u64) -> u64 {
+        self.counts[..=bucket_index(bound)].iter().sum()
+    }
+
     /// Adds every count of `other` into `self`. Merging is associative and
     /// commutative: any merge order over a set of histograms produces
     /// identical state.

@@ -139,7 +139,7 @@ impl TsrClient {
                 ErrorEnvelope {
                     code: "http_error".to_string(),
                     message: String::from_utf8_lossy(&resp.body).into_owned(),
-                    detail: String::new(),
+                    ..ErrorEnvelope::default()
                 }
             });
         Err(WireError::Api { status, error })
@@ -404,5 +404,25 @@ impl TsrClient {
         let resp = Self::check(self.http.get(&self.url(path))?)?;
         Json::parse(&String::from_utf8_lossy(&resp.body))
             .map_err(|e| WireError::Decode(e.to_string()))
+    }
+
+    /// Raw text GET for non-JSON endpoints — e.g. the Prometheus
+    /// exposition at `/v1/metrics?format=prometheus`. Returns the body
+    /// and the response `content-type`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API errors as [`WireError`].
+    pub fn get_text(&self, path: &str) -> Result<(String, String), WireError> {
+        let resp = Self::check(self.http.get(&self.url(path))?)?;
+        let content_type = resp
+            .headers
+            .get("content-type")
+            .cloned()
+            .unwrap_or_default();
+        Ok((
+            String::from_utf8_lossy(&resp.body).into_owned(),
+            content_type,
+        ))
     }
 }

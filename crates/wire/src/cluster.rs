@@ -8,7 +8,7 @@
 //! codec is strict UTF-8 JSON, and seals/blobs are small relative to the
 //! indexes they accompany.
 
-use crate::dto::{req, req_arr, req_bool, req_str, req_u64, req_usize, WireDto};
+use crate::dto::{opt_str, req, req_arr, req_bool, req_str, req_u64, req_usize, WireDto};
 use crate::json::Json;
 
 /// One node of the cluster membership.
@@ -210,15 +210,22 @@ pub struct ReplicateRequestDto {
     pub primary: String,
     /// The replicated repository state.
     pub state: RepoSealDto,
+    /// Request-id of the client request that triggered this push
+    /// (empty means unattributed; the field is omitted on the wire).
+    pub request_id: String,
 }
 
 impl WireDto for ReplicateRequestDto {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("epoch", Json::Int(self.epoch.into())),
             ("primary", Json::str(&self.primary)),
             ("state", self.state.to_json()),
-        ])
+        ];
+        if !self.request_id.is_empty() {
+            pairs.push(("request_id", Json::str(&self.request_id)));
+        }
+        Json::obj(pairs)
     }
 
     fn from_json(v: &Json) -> Result<Self, String> {
@@ -226,6 +233,7 @@ impl WireDto for ReplicateRequestDto {
             epoch: req_u64(v, "epoch")?,
             primary: req_str(v, "primary")?,
             state: RepoSealDto::from_json(req(v, "state")?)?,
+            request_id: opt_str(v, "request_id")?,
         })
     }
 }
@@ -248,18 +256,26 @@ pub struct ReplicateAckDto {
     pub accepted: bool,
     /// Failure detail when `accepted` is false (empty otherwise).
     pub detail: String,
+    /// Echo of the push's `request_id` — proof the replica attributed
+    /// its apply to the originating client request (empty when the push
+    /// carried none; omitted on the wire).
+    pub request_id: String,
 }
 
 impl WireDto for ReplicateAckDto {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("node", Json::str(&self.node)),
             ("repo", Json::str(&self.repo)),
             ("index_etag", Json::str(&self.index_etag)),
             ("seal_counter", Json::Int(self.seal_counter.into())),
             ("accepted", Json::Bool(self.accepted)),
             ("detail", Json::str(&self.detail)),
-        ])
+        ];
+        if !self.request_id.is_empty() {
+            pairs.push(("request_id", Json::str(&self.request_id)));
+        }
+        Json::obj(pairs)
     }
 
     fn from_json(v: &Json) -> Result<Self, String> {
@@ -270,6 +286,7 @@ impl WireDto for ReplicateAckDto {
             seal_counter: req_u64(v, "seal_counter")?,
             accepted: req_bool(v, "accepted")?,
             detail: req_str(v, "detail")?,
+            request_id: opt_str(v, "request_id")?,
         })
     }
 }

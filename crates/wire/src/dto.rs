@@ -66,6 +66,18 @@ pub(crate) fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
         .ok_or_else(|| format!("field {key:?} must be a boolean"))
 }
 
+/// An optional string field: absent decodes as empty, present must be a
+/// string. Pairs with the "encode only when non-empty" convention.
+pub(crate) fn opt_str(v: &Json, key: &str) -> Result<String, String> {
+    match v.get(key) {
+        None => Ok(String::new()),
+        Some(s) => s
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("field {key:?} must be a string")),
+    }
+}
+
 pub(crate) fn req_arr<'v>(v: &'v Json, key: &str) -> Result<&'v [Json], String> {
     req(v, key)?
         .as_arr()
@@ -73,7 +85,7 @@ pub(crate) fn req_arr<'v>(v: &'v Json, key: &str) -> Result<&'v [Json], String> 
 }
 
 /// The uniform error envelope every non-2xx v1 response carries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ErrorEnvelope {
     /// Stable machine-readable code (e.g. `rollback_detected`).
     pub code: String,
@@ -81,15 +93,22 @@ pub struct ErrorEnvelope {
     pub message: String,
     /// Additional context (may be empty).
     pub detail: String,
+    /// The `x-request-id` of the failing request, when one was set
+    /// (empty means absent; the field is omitted on the wire).
+    pub request_id: String,
 }
 
 impl WireDto for ErrorEnvelope {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("code", Json::str(&self.code)),
             ("message", Json::str(&self.message)),
             ("detail", Json::str(&self.detail)),
-        ])
+        ];
+        if !self.request_id.is_empty() {
+            pairs.push(("request_id", Json::str(&self.request_id)));
+        }
+        Json::obj(pairs)
     }
 
     fn from_json(v: &Json) -> Result<Self, String> {
@@ -97,6 +116,8 @@ impl WireDto for ErrorEnvelope {
             code: req_str(v, "code")?,
             message: req_str(v, "message")?,
             detail: req_str(v, "detail")?,
+            // Optional so pre-existing captures still decode.
+            request_id: opt_str(v, "request_id")?,
         })
     }
 }
@@ -608,6 +629,116 @@ impl WireDto for MetricsDto {
             }
         }
         Ok(MetricsDto { requests, counters })
+    }
+}
+
+/// Response of `GET /v1/readyz`: readiness, distinct from liveness.
+///
+/// A live process may still be unready — replaying its WAL, holding a
+/// stale cluster config epoch, or draining before restart. Load
+/// balancers route on this; `/v1/healthz` only answers "is the process
+/// up".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadyDto {
+    /// `true` once every component below is ready.
+    pub ready: bool,
+    /// Per-component readiness: `recovery_replay`, `cluster_epoch`,
+    /// `drain` — `true` means that component is not blocking readiness.
+    pub components: BTreeMap<String, bool>,
+}
+
+impl WireDto for ReadyDto {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ready", Json::Bool(self.ready)),
+            (
+                "components",
+                Json::Obj(
+                    self.components
+                        .iter()
+                        .map(|(name, ok)| (name.clone(), Json::Bool(*ok)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let obj = req(v, "components")?
+            .as_obj()
+            .ok_or_else(|| "field \"components\" must be an object".to_string())?;
+        let mut components = BTreeMap::new();
+        for (name, ok) in obj {
+            let b = ok
+                .as_bool()
+                .ok_or_else(|| format!("component {name:?} must be a boolean"))?;
+            components.insert(name.clone(), b);
+        }
+        Ok(ReadyDto {
+            ready: req_bool(v, "ready")?,
+            components,
+        })
+    }
+}
+
+/// One structured access-log line, as emitted by the HTTP middleware
+/// chain — one JSON object per request.
+///
+/// The middleware writes these by hand (the HTTP crate sits below this
+/// one), so this decoder doubles as the conformance check: the load
+/// harness strict-parses every emitted line through it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessLogLine {
+    /// Wall-clock microseconds since the Unix epoch at response time.
+    pub ts_us: u64,
+    /// The request's `x-request-id` (empty when the client sent none
+    /// and no middleware generated one).
+    pub request_id: String,
+    /// HTTP method.
+    pub method: String,
+    /// Raw request path.
+    pub path: String,
+    /// Matched route pattern (`"METHOD /pattern"`), or `unmatched`.
+    pub route: String,
+    /// Response status code.
+    pub status: u16,
+    /// Handler latency in microseconds, as seen by the access-log layer.
+    pub latency_us: u64,
+    /// Response body bytes.
+    pub bytes: u64,
+    /// Tenant (repository id) when the route carries one, else empty.
+    pub tenant: String,
+}
+
+impl WireDto for AccessLogLine {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ts_us", Json::Int(i128::from(self.ts_us))),
+            ("request_id", Json::str(&self.request_id)),
+            ("method", Json::str(&self.method)),
+            ("path", Json::str(&self.path)),
+            ("route", Json::str(&self.route)),
+            ("status", Json::Int(i128::from(self.status))),
+            ("latency_us", Json::Int(i128::from(self.latency_us))),
+            ("bytes", Json::Int(i128::from(self.bytes))),
+            ("tenant", Json::str(&self.tenant)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let status = req_u64(v, "status")?;
+        let status = u16::try_from(status).map_err(|_| format!("status {status} out of range"))?;
+        Ok(AccessLogLine {
+            ts_us: req_u64(v, "ts_us")?,
+            request_id: req_str(v, "request_id")?,
+            method: req_str(v, "method")?,
+            path: req_str(v, "path")?,
+            route: req_str(v, "route")?,
+            status,
+            latency_us: req_u64(v, "latency_us")?,
+            bytes: req_u64(v, "bytes")?,
+            tenant: req_str(v, "tenant")?,
+        })
     }
 }
 

@@ -24,6 +24,7 @@
 //!     code: "rollback_detected".into(),
 //!     message: "rollback detected: upstream snapshot 1 < previously seen 2".into(),
 //!     detail: "repository repo-1".into(),
+//!     request_id: "req-42".into(),
 //! };
 //! let text = env.encode();
 //! assert_eq!(ErrorEnvelope::decode(&text).unwrap(), env);
@@ -42,8 +43,8 @@ pub use cluster::{
     ReplicateRequestDto, RepoDigestDto, RepoSealDto,
 };
 pub use dto::{
-    AttestationDto, CreateRepositoryRequest, ErrorEnvelope, HealthDto, MetricsDto, PackageEntryDto,
-    PackagePage, PhaseTimingsDto, RefreshReportDto, RejectedPackageDto, RepositoryCreated,
-    RepositoryInfo, RepositoryList, SanitizeRecordDto, WireDto,
+    AccessLogLine, AttestationDto, CreateRepositoryRequest, ErrorEnvelope, HealthDto, MetricsDto,
+    PackageEntryDto, PackagePage, PhaseTimingsDto, ReadyDto, RefreshReportDto, RejectedPackageDto,
+    RepositoryCreated, RepositoryInfo, RepositoryList, SanitizeRecordDto, WireDto,
 };
 pub use json::{Json, JsonError};

@@ -158,8 +158,9 @@ proptest! {
         epoch in any::<u64>(),
         primary in "node-[0-9]{1,4}",
         state in repo_seal(),
+        request_id in "(req-[0-9a-f]{1,12})?",
     ) {
-        roundtrip(&ReplicateRequestDto { epoch, primary, state })?;
+        roundtrip(&ReplicateRequestDto { epoch, primary, state, request_id })?;
     }
 
     #[test]
@@ -169,6 +170,7 @@ proptest! {
         seal_counter in any::<u64>(),
         accepted in any::<bool>(),
         detail in wild_string(),
+        request_id in "(req-[0-9a-f]{1,12})?",
     ) {
         roundtrip(&ReplicateAckDto {
             node: ids.0,
@@ -177,6 +179,7 @@ proptest! {
             seal_counter,
             accepted,
             detail,
+            request_id,
         })?;
     }
 
@@ -243,6 +246,7 @@ fn regression_seeds_replay() {
             epoch: seed,
             primary: "node-0".into(),
             state: seal.clone(),
+            request_id: format!("req-{seed:x}"),
         };
         for r in [
             roundtrip(&config),

@@ -9,9 +9,9 @@
 use proptest::prelude::*;
 use proptest::TestRng;
 use tsr_wire::dto::{
-    AttestationDto, CreateRepositoryRequest, ErrorEnvelope, HealthDto, MetricsDto, PackageEntryDto,
-    PackagePage, PhaseTimingsDto, RefreshReportDto, RejectedPackageDto, RepositoryCreated,
-    RepositoryInfo, RepositoryList, SanitizeRecordDto, WireDto,
+    AccessLogLine, AttestationDto, CreateRepositoryRequest, ErrorEnvelope, HealthDto, MetricsDto,
+    PackageEntryDto, PackagePage, PhaseTimingsDto, ReadyDto, RefreshReportDto, RejectedPackageDto,
+    RepositoryCreated, RepositoryInfo, RepositoryList, SanitizeRecordDto, WireDto,
 };
 use tsr_wire::json::Json;
 
@@ -153,8 +153,13 @@ proptest! {
     }
 
     #[test]
-    fn error_envelope_roundtrip(code in "[a-z_]{1,20}", message in wild_string(), detail in wild_string()) {
-        roundtrip(&ErrorEnvelope { code, message, detail })?;
+    fn error_envelope_roundtrip(
+        code in "[a-z_]{1,20}",
+        message in wild_string(),
+        detail in wild_string(),
+        request_id in "(req-[0-9a-f]{1,12})?",
+    ) {
+        roundtrip(&ErrorEnvelope { code, message, detail, request_id })?;
     }
 
     #[test]
@@ -248,6 +253,38 @@ proptest! {
     }
 
     #[test]
+    fn ready_roundtrip(
+        components in proptest::collection::btree_map(
+            "(recovery_replay|cluster_epoch|drain)",
+            any::<bool>(),
+            0..4,
+        ),
+    ) {
+        let ready = components.values().all(|ok| *ok);
+        roundtrip(&ReadyDto { ready, components })?;
+    }
+
+    #[test]
+    fn access_log_line_roundtrip(
+        nums in (any::<u64>(), 100u16..600, any::<u64>(), any::<u64>()),
+        request_id in "(req-[0-9a-f]{1,12})?",
+        path in wild_string(),
+        tenant in wild_string(),
+    ) {
+        roundtrip(&AccessLogLine {
+            ts_us: nums.0,
+            request_id,
+            method: "GET".into(),
+            path,
+            route: "GET /v1/repositories/:id/index".into(),
+            status: nums.1,
+            latency_us: nums.2,
+            bytes: nums.3,
+            tenant,
+        })?;
+    }
+
+    #[test]
     fn malformed_wire_text_never_panics(seed in any::<u64>()) {
         // Mutate valid wire text at a random byte: decode must error or
         // succeed, never panic.
@@ -256,6 +293,7 @@ proptest! {
             code: "not_found".into(),
             message: "package ghost".into(),
             detail: "repo-1".into(),
+            request_id: "req-1".into(),
         };
         let mut bytes = dto.encode().into_bytes();
         let pos = rng.below(bytes.len() as u64) as usize;
